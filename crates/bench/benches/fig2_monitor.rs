@@ -1,0 +1,82 @@
+//! F2 bench: per-packet monitor adjudication cost — the endpoint-side
+//! overhead of §3.4's policing. Compares the Cpf-compiled Figure 2
+//! monitor, a hand-assembled minimal ICMP filter, Cpf compilation itself,
+//! and PFVM fuel-bounded loop execution.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use plab_filter::{asm, Vm};
+use plab_packet::{builder, layout};
+use std::net::Ipv4Addr;
+
+fn bench_monitor(c: &mut Criterion) {
+    let me: Ipv4Addr = "10.0.0.1".parse().unwrap();
+    let target: Ipv4Addr = "10.0.99.1".parse().unwrap();
+    let probe = builder::icmp_echo_request(me, target, 5, 1, 1, &[0, 1]);
+    let mut info = vec![0u8; layout::INFO_SIZE];
+    layout::resolve_info("addr.ip")
+        .unwrap()
+        .write_le(&mut info, u32::from(me) as u64);
+
+    let mut g = c.benchmark_group("fig2");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("figure2_send_adjudication", |b| {
+        let program = plab_cpf::compile(plab_bench::FIGURE2_MONITOR).unwrap();
+        let mut vm = Vm::new(program).unwrap();
+        b.iter(|| vm.check_send(&probe, &info));
+    });
+
+    g.bench_function("figure2_recv_adjudication", |b| {
+        let program = plab_cpf::compile(plab_bench::FIGURE2_MONITOR).unwrap();
+        let mut vm = Vm::new(program).unwrap();
+        vm.check_send(&probe, &info); // latch ping_dst
+        let reply = builder::icmp_echo_reply(target, me, 1, 1, &[0, 1]);
+        b.iter(|| vm.check_recv(&reply, &info));
+    });
+
+    g.bench_function("hand_assembled_icmp_filter", |b| {
+        let program = asm::assemble(
+            r#"
+entry send:
+    ld.f r2, ip.proto
+    jne.i r2, 1, deny
+    mov.r r0, r1
+    ret r0
+deny:
+    mov.i r0, 0
+    ret r0
+"#,
+        )
+        .unwrap();
+        let mut vm = Vm::new(program).unwrap();
+        b.iter(|| vm.check_send(&probe, &info));
+    });
+
+    g.bench_function("cpf_compile_figure2", |b| {
+        b.iter(|| plab_cpf::compile(plab_bench::FIGURE2_MONITOR).unwrap());
+    });
+
+    g.bench_function("pfvm_loop_1000_iterations", |b| {
+        let program = plab_cpf::compile(
+            r#"
+            uint32_t send(const union packet *pkt, uint32_t len) {
+                uint32_t i = 0;
+                uint32_t acc = 0;
+                while (i < 1000) {
+                    acc = acc + i;
+                    i = i + 1;
+                }
+                return acc;
+            }
+            "#,
+        )
+        .unwrap();
+        let mut vm = Vm::new(program).unwrap();
+        b.iter(|| vm.run("send", &probe, &info).unwrap());
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

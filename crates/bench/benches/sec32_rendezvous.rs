@@ -1,0 +1,83 @@
+//! S1 bench: rendezvous server publish/fan-out and subscribe-replay cost
+//! as the subscriber population scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use packetlab::cert::{CertPayload, Certificate, Restrictions};
+use packetlab::descriptor::ExperimentDescriptor;
+use packetlab::rendezvous::{RendezvousServer, RvMessage};
+use plab_crypto::{KeyHash, Keypair};
+
+fn setup(n_subs: u64) -> (RendezvousServer, Vec<u8>, Vec<Vec<u8>>, Vec<[u8; 32]>) {
+    let rv_op = Keypair::from_seed(&[1; 32]);
+    let exp = Keypair::from_seed(&[2; 32]);
+    let mut server = RendezvousServer::new(vec![KeyHash::of(&rv_op.public)], 1_700_000_000);
+    for sid in 0..n_subs {
+        server.on_message(
+            sid,
+            RvMessage::Subscribe { channels: vec![KeyHash::of(&rv_op.public).0] },
+        );
+    }
+    let descriptor = ExperimentDescriptor {
+        name: "bench".into(),
+        controller_addr: "10.0.0.1:7000".into(),
+        info_url: String::new(),
+        experimenter: KeyHash::of(&exp.public),
+    };
+    let deleg = Certificate::sign(
+        &rv_op,
+        CertPayload::Delegation(KeyHash::of(&exp.public)),
+        Restrictions::none(),
+    );
+    let leaf = Certificate::sign(
+        &exp,
+        CertPayload::Experiment(descriptor.hash()),
+        Restrictions::none(),
+    );
+    (
+        server,
+        descriptor.encode(),
+        vec![deleg.encode(), leaf.encode()],
+        vec![*rv_op.public.as_bytes(), *exp.public.as_bytes()],
+    )
+}
+
+fn bench_rendezvous(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec32");
+    g.sample_size(20);
+
+    for n_subs in [10u64, 1_000, 10_000] {
+        g.bench_with_input(
+            BenchmarkId::new("publish_fanout_subs", n_subs),
+            &n_subs,
+            |b, &n_subs| {
+                let (mut server, d, chain, keys) = setup(n_subs);
+                b.iter(|| {
+                    let out = server.on_message(
+                        u64::MAX,
+                        RvMessage::Publish {
+                            descriptor: d.clone(),
+                            chain: chain.clone(),
+                            keys: keys.clone(),
+                        },
+                    );
+                    assert_eq!(out.len() as u64, 1 + n_subs);
+                    out.len()
+                });
+            },
+        );
+    }
+
+    g.bench_function("rv_message_codec_roundtrip", |b| {
+        let (_, d, chain, keys) = setup(0);
+        let msg = RvMessage::Publish { descriptor: d, chain, keys };
+        b.iter(|| {
+            let enc = msg.encode();
+            RvMessage::decode(&enc).unwrap()
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_rendezvous);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! C1 bench: cost of a full preemption-and-resume cycle (§3.3) and of a
+//! second session authenticating against a busy endpoint.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use packetlab::controller::Controller;
+use packetlab::endpoint::EndpointConfig;
+use packetlab::harness::{SimChannel, SimNet};
+use plab_bench::credentials;
+use plab_crypto::KeyHash;
+use plab_netsim::{LinkParams, TopologyBuilder};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn bench_contention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec33");
+    g.sample_size(10);
+
+    g.bench_function("preempt_and_resume_cycle", |b| {
+        b.iter(|| {
+            // Fresh world per iteration: two controllers, one endpoint.
+            let world = plab_bench::build_world(5, 0, 1);
+            let mut t = TopologyBuilder::new();
+            let c1 = t.host("c1", "10.0.1.1".parse().unwrap());
+            let c2 = t.host("c2", "10.0.2.1".parse().unwrap());
+            let r = t.router("r", "10.0.0.254".parse().unwrap());
+            let ep = t.host("ep", "10.0.0.1".parse().unwrap());
+            t.link(c1, r, LinkParams::new(5, 0));
+            t.link(c2, r, LinkParams::new(5, 0));
+            t.link(r, ep, LinkParams::new(5, 0));
+            let sim = t.build();
+            let mut net = SimNet::new(sim);
+            net.add_endpoint(
+                ep,
+                EndpointConfig {
+                    trusted_keys: vec![KeyHash::of(&world.operator.public)],
+                    ..Default::default()
+                },
+            );
+            let net = Rc::new(RefCell::new(net));
+
+            let low_creds = credentials(&world, Default::default(), 5);
+            let high_creds = credentials(&world, Default::default(), 50);
+            let chan = SimChannel::connect(&net, c1, "10.0.0.1".parse().unwrap());
+            let mut low = Controller::connect(chan, &low_creds).unwrap();
+            low.read_clock().unwrap();
+            let chan = SimChannel::connect(&net, c2, "10.0.0.1".parse().unwrap());
+            let mut high = Controller::connect(chan, &high_creds).unwrap();
+            high.read_clock().unwrap();
+            assert!(low.read_clock().is_err());
+            high.yield_endpoint().unwrap();
+            low.read_clock().unwrap();
+        });
+    });
+
+    g.bench_function("authenticate_session", |b| {
+        b.iter(|| {
+            let world = plab_bench::build_world(5, 0, 1);
+            let mut ctrl = plab_bench::connect(&world);
+            ctrl.read_clock().unwrap()
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_contention);
+criterion_main!(benches);

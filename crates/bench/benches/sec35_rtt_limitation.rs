@@ -1,0 +1,38 @@
+//! L1 bench: host cost of the §3.5 reactive-vs-scheduled comparison at
+//! two control latencies (the *virtual-time* results are in
+//! `repro_rtt_limitation`; this measures implementation cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plab_bench::{build_world, connect, reactive_response_time, scheduled_send_error};
+
+fn bench_limitation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec35");
+    g.sample_size(10);
+
+    for latency in [5u64, 50] {
+        g.bench_with_input(
+            BenchmarkId::new("reactive_exchange", latency),
+            &latency,
+            |b, &latency| {
+                b.iter(|| {
+                    let world = build_world(latency, 0, 1);
+                    let mut ctrl = connect(&world);
+                    reactive_response_time(&world, &mut ctrl)
+                });
+            },
+        );
+    }
+
+    g.bench_function("scheduled_send_roundtrip", |b| {
+        b.iter(|| {
+            let world = build_world(10, 0, 1);
+            let mut ctrl = connect(&world);
+            scheduled_send_error(&world, &mut ctrl)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_limitation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E1 bench: host cost of the complete §4 bandwidth experiment (virtual
+//! network + endpoint agent + control protocol end to end), across burst
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use packetlab::controller::experiments;
+use plab_bench::{build_world, connect};
+
+fn bench_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec4_bandwidth");
+    g.sample_size(10);
+
+    for burst in [10u32, 50] {
+        g.bench_with_input(BenchmarkId::new("scheduled_burst", burst), &burst, |b, &burst| {
+            b.iter(|| {
+                let world = build_world(10, 10, 2);
+                let mut ctrl = connect(&world);
+                let est = experiments::measure_uplink_bandwidth(
+                    &mut ctrl,
+                    9000,
+                    burst,
+                    1172,
+                    300_000_000,
+                )
+                .unwrap();
+                assert!(est.received >= burst - 1);
+                est.bits_per_sec
+            });
+        });
+    }
+
+    g.bench_function("unscheduled_burst_10", |b| {
+        b.iter(|| {
+            let world = build_world(10, 10, 2);
+            let mut ctrl = connect(&world);
+            experiments::measure_uplink_bandwidth_unscheduled(&mut ctrl, 9001, 10, 1172)
+                .unwrap()
+                .bits_per_sec
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_bandwidth);
+criterion_main!(benches);

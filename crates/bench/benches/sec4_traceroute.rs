@@ -1,0 +1,38 @@
+//! E2 bench: host cost of the complete §4 traceroute experiment across
+//! path lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use packetlab::controller::experiments;
+use plab_bench::{build_world, connect};
+
+fn bench_traceroute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec4_traceroute");
+    g.sample_size(10);
+
+    for routers in [2usize, 5, 10] {
+        g.bench_with_input(BenchmarkId::new("path_routers", routers), &routers, |b, &routers| {
+            b.iter(|| {
+                let world = build_world(10, 0, routers);
+                let mut ctrl = connect(&world);
+                let result = experiments::traceroute(&mut ctrl, world.target_addr, 40).unwrap();
+                assert!(result.reached);
+                result.hops.len()
+            });
+        });
+    }
+
+    g.bench_function("ping_5_probes", |b| {
+        b.iter(|| {
+            let world = build_world(10, 0, 3);
+            let mut ctrl = connect(&world);
+            let stats =
+                experiments::ping(&mut ctrl, world.target_addr, 5, 50_000_000, 16).unwrap();
+            assert_eq!(stats.replies.len(), 5);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_traceroute);
+criterion_main!(benches);

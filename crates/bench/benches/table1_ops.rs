@@ -1,0 +1,65 @@
+//! T1 bench: implementation cost of each Table 1 operation, measured as
+//! host wall time per complete command round trip through the endpoint
+//! agent, wire codec, simulated TCP, and simulated network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use packetlab::controller::experiments;
+use plab_bench::{build_world, connect};
+
+fn bench_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+
+    g.bench_function("mread_clock", |b| {
+        let world = build_world(1, 0, 1);
+        let mut ctrl = connect(&world);
+        b.iter(|| ctrl.read_clock().unwrap());
+    });
+
+    g.bench_function("mwrite_scratch", |b| {
+        let world = build_world(1, 0, 1);
+        let mut ctrl = connect(&world);
+        b.iter(|| ctrl.mwrite(64, vec![1; 8]).unwrap());
+    });
+
+    g.bench_function("nsend_raw_immediate", |b| {
+        let world = build_world(1, 0, 1);
+        let mut ctrl = connect(&world);
+        ctrl.nopen_raw(1).unwrap();
+        let src = ctrl.endpoint_addr().unwrap();
+        let probe =
+            plab_packet::builder::icmp_echo_request(src, world.target_addr, 64, 1, 1, &[]);
+        b.iter(|| ctrl.nsend(1, 0, probe.clone()).unwrap());
+    });
+
+    g.bench_function("ncap_install_cpf_filter", |b| {
+        let world = build_world(1, 0, 1);
+        let mut ctrl = connect(&world);
+        ctrl.nopen_raw(1).unwrap();
+        b.iter(|| {
+            ctrl.ncap_cpf(1, u64::MAX, experiments::ICMP_CAPTURE_FILTER)
+                .unwrap()
+        });
+    });
+
+    g.bench_function("npoll_empty_deadline_now", |b| {
+        let world = build_world(1, 0, 1);
+        let mut ctrl = connect(&world);
+        ctrl.nopen_raw(1).unwrap();
+        b.iter(|| ctrl.npoll(0).unwrap());
+    });
+
+    g.bench_function("nopen_nclose_udp_pair", |b| {
+        let world = build_world(1, 0, 1);
+        let mut ctrl = connect(&world);
+        b.iter(|| {
+            ctrl.nopen_udp(5, 5000, world.target_addr, 7).unwrap();
+            ctrl.nclose(5).unwrap();
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! Shared scaffolding for the reproduction benches and harness binaries.
+//!
+//! Every table/figure/experiment in the paper has (a) a `repro-*` binary
+//! that regenerates its rows (see `src/bin/`), and (b) a Criterion bench
+//! measuring the implementation's own cost (see `benches/`). This module
+//! holds the world-building helpers they share.
+
+use packetlab::cert::Restrictions;
+use packetlab::controller::{Controller, Credentials};
+use packetlab::descriptor::ExperimentDescriptor;
+use packetlab::endpoint::EndpointConfig;
+use packetlab::harness::{SimChannel, SimNet};
+use plab_crypto::{Keypair, KeyHash};
+use plab_netsim::{LinkParams, NodeId, TopologyBuilder};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// A standard single-endpoint world:
+///
+/// ```text
+/// controller ──(control_latency)── racc ──(access: 5ms, uplink_mbps)── endpoint
+///                                   └── r1 ── r2 ── … ──(5ms each)── target
+/// ```
+pub struct World {
+    /// The harness.
+    pub net: Rc<RefCell<SimNet>>,
+    /// Controller host.
+    pub controller: NodeId,
+    /// Endpoint address.
+    pub endpoint_addr: Ipv4Addr,
+    /// Target address.
+    pub target_addr: Ipv4Addr,
+    /// Router addresses on the endpoint→target path (racc first).
+    pub path: Vec<Ipv4Addr>,
+    /// Operator key (for issuing further credentials).
+    pub operator: Keypair,
+}
+
+/// Build a [`World`]. `path_routers` is the number of routers between the
+/// endpoint and the target (≥ 1; the access router is the first hop).
+pub fn build_world(control_latency_ms: u64, uplink_mbps: u64, path_routers: usize) -> World {
+    assert!(path_routers >= 1);
+    let operator = Keypair::from_seed(&[1; 32]);
+    let mut t = TopologyBuilder::new();
+    let controller = t.host("controller", "10.9.0.1".parse().unwrap());
+    let endpoint = t.host("endpoint", "10.0.0.1".parse().unwrap());
+    let racc = t.router("racc", "10.0.0.254".parse().unwrap());
+    t.link(endpoint, racc, LinkParams::new(5, uplink_mbps));
+    t.link(racc, controller, LinkParams::new(control_latency_ms, 0));
+
+    let mut path = vec!["10.0.0.254".parse().unwrap()];
+    let mut prev = racc;
+    for i in 1..path_routers {
+        let addr: Ipv4Addr = format!("10.0.{i}.254").parse().unwrap();
+        let r = t.router(&format!("r{i}"), addr);
+        t.link(prev, r, LinkParams::new(5, 0));
+        path.push(addr);
+        prev = r;
+    }
+    let target_addr: Ipv4Addr = "10.0.99.1".parse().unwrap();
+    let target = t.host("target", target_addr);
+    t.link(prev, target, LinkParams::new(5, 0));
+
+    let sim = t.build();
+    let mut net = SimNet::new(sim);
+    net.add_endpoint(
+        endpoint,
+        EndpointConfig {
+            trusted_keys: vec![KeyHash::of(&operator.public)],
+            ..Default::default()
+        },
+    );
+    World {
+        net: Rc::new(RefCell::new(net)),
+        controller,
+        endpoint_addr: "10.0.0.1".parse().unwrap(),
+        target_addr,
+        path,
+        operator,
+    }
+}
+
+/// Standard credentials against the world's operator.
+pub fn credentials(world: &World, restrictions: Restrictions, priority: u8) -> Credentials {
+    let experimenter = Keypair::from_seed(&[42; 32]);
+    let descriptor = ExperimentDescriptor {
+        name: "bench".into(),
+        controller_addr: "10.9.0.1:7000".into(),
+        info_url: String::new(),
+        experimenter: KeyHash::of(&experimenter.public),
+    };
+    Credentials::issue(&world.operator, &experimenter, descriptor, restrictions, priority)
+}
+
+/// Connect an authenticated controller.
+pub fn connect(world: &World) -> Controller<SimChannel> {
+    connect_with(world, Restrictions::none(), 10)
+}
+
+/// Connect with explicit restrictions/priority.
+pub fn connect_with(
+    world: &World,
+    restrictions: Restrictions,
+    priority: u8,
+) -> Controller<SimChannel> {
+    let creds = credentials(world, restrictions, priority);
+    let chan = SimChannel::connect(&world.net, world.controller, world.endpoint_addr);
+    Controller::connect(chan, &creds).expect("bench world authenticates")
+}
+
+/// The paper's Figure 2 monitor source (dead-store fixed), shared by the
+/// Figure 2 bench/bin.
+pub const FIGURE2_MONITOR: &str = r#"
+in_addr_t ping_dst = 0;
+
+uint32_t send(const union packet * pkt, uint32_t len) {
+    if (pkt->ip.ver == 4 && pkt->ip.ihl == 5 &&
+        pkt->ip.proto == IPPROTO_ICMP &&
+        pkt->ip.src == info->addr.ip &&
+        pkt->ip.icmp.type == ICMP_ECHO_REQUEST)
+    {
+        ping_dst = pkt->ip.dst;
+        return len;
+    } else
+        return 0;
+}
+
+uint32_t recv(const union packet * pkt, uint32_t len) {
+    if (pkt->ip.ver == 4 && pkt->ip.ihl == 5 &&
+        pkt->ip.proto == IPPROTO_ICMP && (
+        (pkt->ip.icmp.type == ICMP_ECHO_REPLY &&
+         pkt->ip.src == ping_dst) ||
+        (pkt->ip.icmp.type == ICMP_TIME_EXCEEDED &&
+         pkt->ip.icmp.orig.ip.src == info->addr.ip &&
+         pkt->ip.icmp.orig.ip.dst == ping_dst)))
+        return len;
+    else
+        return 0;
+}
+"#;
+
+/// Reactive-response measurement for the §3.5 limitation experiment: a
+/// peer (the target host) sends a UDP request to the endpoint; the
+/// *controller* — not the endpoint — decides the response and commands it
+/// via `nsend`. Returns the peer-observed response time in ns.
+///
+/// Compare with [`scheduled_send_error`]: the reactive path necessarily
+/// includes the controller↔endpoint round trip; the scheduled path does
+/// not ("a round trip is only necessary if a sent packet depends on a
+/// received packet").
+pub fn reactive_response_time(world: &World, ctrl: &mut Controller<SimChannel>) -> u64 {
+    const SKT: u32 = 7;
+    const EP_PORT: u16 = 7100;
+    const PEER_PORT: u16 = 7200;
+    ctrl.nopen_udp(SKT, EP_PORT, world.target_addr, PEER_PORT)
+        .unwrap();
+    // The peer fires its request.
+    let sent_at;
+    {
+        let net = ctrl.channel().net();
+        let mut n = net.borrow_mut();
+        let target = n.sim.node_by_name("target").unwrap();
+        n.sim.udp_bind(target, PEER_PORT);
+        sent_at = n.sim.now();
+        n.sim
+            .udp_send(target, PEER_PORT, world.endpoint_addr, EP_PORT, b"request");
+    }
+    // Controller polls until the request shows up, then commands the
+    // response — the reactive pattern.
+    let deadline = ctrl.read_clock().unwrap() + 60_000_000_000;
+    loop {
+        let poll = ctrl.npoll(deadline).unwrap();
+        if !poll.packets.is_empty() {
+            break;
+        }
+    }
+    ctrl.nsend(SKT, 0, b"response".to_vec()).unwrap();
+    // Wait for the peer to observe it.
+    let horizon = ctrl.now() + 60_000_000_000;
+    ctrl.channel().wait_until(horizon);
+    let response_at = {
+        let net = ctrl.channel().net();
+        let mut n = net.borrow_mut();
+        let target = n.sim.node_by_name("target").unwrap();
+        let got = n.sim.udp_recv(target, PEER_PORT);
+        got.first().expect("peer got the response").0
+    };
+    ctrl.nclose(SKT).unwrap();
+    response_at - sent_at
+}
+
+/// Scheduled-send timing error for the §3.5 comparison: schedule a packet
+/// at a precise future endpoint time and report |actual − requested| in
+/// ns.
+pub fn scheduled_send_error(world: &World, ctrl: &mut Controller<SimChannel>) -> u64 {
+    const SKT: u32 = 8;
+    ctrl.nopen_raw(SKT).unwrap();
+    let src = ctrl.endpoint_addr().unwrap();
+    // The lead time must exceed the one-way control delay or the schedule
+    // is already in the past when the command arrives — so derive it from
+    // the measured control RTT, as a real controller would.
+    let sync = ctrl.sync_clock(2).unwrap();
+    let lead = 500_000_000u64.max(2 * sync.min_rtt);
+    let t0 = ctrl.read_clock().unwrap();
+    let when = t0 + lead;
+    let probe = plab_packet::builder::icmp_echo_request(src, world.target_addr, 64, 9, 9, &[]);
+    let tag = ctrl.nsend(SKT, when, probe).unwrap();
+    let horizon = ctrl.now() + 2_000_000_000;
+    ctrl.channel().wait_until(horizon);
+    let actual = ctrl.read_send_time(tag).unwrap().expect("send happened");
+    ctrl.nclose(SKT).unwrap();
+    actual.abs_diff(when)
+}

@@ -1,0 +1,455 @@
+//! The experiment controller (§3.1): the experimenter-side client library.
+//!
+//! "To run an experiment, an experiment controller operated by the
+//! experimenter interactively controls the measurement endpoint. ... All
+//! experiment logic is located on the experiment controller so that the
+//! measurement endpoint interface can remain simple and universal."
+//!
+//! [`Controller`] is generic over a [`ControlChannel`] — the framed,
+//! reliable pipe to one endpoint — so the same experiment code drives
+//! simulated endpoints (via [`crate::harness::SimChannel`]) or remote ones.
+//! The [`experiments`] submodule contains the measurement library written
+//! purely against the public command set, exactly as an outside
+//! experimenter would write it: ping, traceroute (§4), and uplink
+//! bandwidth estimation (§4).
+
+use crate::cert::{CertPayload, Certificate, Restrictions};
+use crate::descriptor::ExperimentDescriptor;
+use crate::memory::EndpointMemory;
+use crate::wire::{Command, ErrCode, Message, Notification, Proto, Response};
+use plab_crypto::{KeyHash, Keypair, PublicKey};
+use std::net::Ipv4Addr;
+
+pub mod compat;
+pub mod experiments;
+
+/// A reliable, framed, ordered channel to one endpoint.
+pub trait ControlChannel {
+    /// Send a message.
+    fn send(&mut self, msg: &Message);
+    /// Receive the next message, waiting (virtual or real time) until
+    /// `deadline` (controller clock, ns; `None` = wait as long as
+    /// progress is possible).
+    fn recv(&mut self, deadline: Option<u64>) -> Option<Message>;
+    /// The controller's local clock, ns.
+    fn now(&self) -> u64;
+}
+
+/// Everything needed to authenticate to endpoints for one experiment:
+/// descriptor, certificate chain, referenced keys, and the experiment
+/// signing key (for the possession proof).
+#[derive(Clone)]
+pub struct Credentials {
+    /// The experiment descriptor.
+    pub descriptor: ExperimentDescriptor,
+    /// Certificate chain, root first.
+    pub chain: Vec<Certificate>,
+    /// Public keys referenced by the chain.
+    pub keys: Vec<PublicKey>,
+    /// The key that signed the experiment certificate.
+    pub signing_key: Keypair,
+    /// Requested priority.
+    pub priority: u8,
+}
+
+impl Credentials {
+    /// Standard two-certificate authorization (Figure 1 ➋–➍): `operator`
+    /// delegates to `experimenter` with `restrictions`; `experimenter`
+    /// signs the experiment certificate for `descriptor`.
+    pub fn issue(
+        operator: &Keypair,
+        experimenter: &Keypair,
+        descriptor: ExperimentDescriptor,
+        restrictions: Restrictions,
+        priority: u8,
+    ) -> Credentials {
+        let deleg = Certificate::sign(
+            operator,
+            CertPayload::Delegation(KeyHash::of(&experimenter.public)),
+            restrictions,
+        );
+        let leaf = Certificate::sign(
+            experimenter,
+            CertPayload::Experiment(descriptor.hash()),
+            Restrictions::none(),
+        );
+        Credentials {
+            descriptor,
+            chain: vec![deleg, leaf],
+            keys: vec![operator.public, experimenter.public],
+            signing_key: experimenter.clone(),
+            priority,
+        }
+    }
+
+    /// The `Auth` message for `nonce`.
+    pub fn auth_message(&self, nonce: &[u8; 32]) -> Message {
+        let dhash = self.descriptor.hash();
+        let mut signed = Vec::with_capacity(64);
+        signed.extend_from_slice(nonce);
+        signed.extend_from_slice(&dhash.0);
+        let proof = self.signing_key.sign(&signed);
+        Message::Auth {
+            descriptor: self.descriptor.encode(),
+            chain: self.chain.iter().map(|c| c.encode()).collect(),
+            keys: self.keys.iter().map(|k| *k.as_bytes()).collect(),
+            priority: self.priority,
+            proof: *proof.as_bytes(),
+        }
+    }
+}
+
+/// Controller-side failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControllerError {
+    /// No response before the deadline.
+    Timeout,
+    /// The endpoint refused a command.
+    Endpoint(ErrCode, String),
+    /// Protocol violation.
+    Protocol(String),
+}
+
+impl core::fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ControllerError::Timeout => write!(f, "timed out"),
+            ControllerError::Endpoint(c, m) => write!(f, "endpoint error {c:?}: {m}"),
+            ControllerError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+/// Result of clock synchronization against one endpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockSync {
+    /// endpoint_clock − controller_clock, in ns (from the minimum-RTT
+    /// sample).
+    pub offset: i128,
+    /// Best observed control-channel round-trip, ns.
+    pub min_rtt: u64,
+    /// Samples taken.
+    pub samples: u32,
+}
+
+impl ClockSync {
+    /// Convert a controller-clock time to the endpoint clock.
+    pub fn to_endpoint(&self, controller_time: u64) -> u64 {
+        (controller_time as i128 + self.offset).max(0) as u64
+    }
+
+    /// Convert an endpoint-clock time to the controller clock.
+    pub fn to_controller(&self, endpoint_time: u64) -> u64 {
+        (endpoint_time as i128 - self.offset).max(0) as u64
+    }
+}
+
+/// An authenticated control session with one endpoint.
+pub struct Controller<C: ControlChannel> {
+    chan: C,
+    /// Asynchronous notifications collected while waiting for responses
+    /// (`Interrupted` / `Resumed`, §3.3).
+    pub notifications: Vec<Notification>,
+    request_timeout: u64,
+}
+
+impl<C: ControlChannel> Controller<C> {
+    /// Connect: Hello → HelloAck → Auth → AuthOk.
+    pub fn connect(mut chan: C, creds: &Credentials) -> Result<Self, ControllerError> {
+        chan.send(&Message::Hello { version: crate::PROTOCOL_VERSION });
+        let deadline = chan.now() + 30_000_000_000;
+        let nonce = loop {
+            match chan.recv(Some(deadline)) {
+                Some(Message::HelloAck { version, nonce }) => {
+                    if version != crate::PROTOCOL_VERSION {
+                        return Err(ControllerError::Protocol("version mismatch".into()));
+                    }
+                    break nonce;
+                }
+                Some(other) => {
+                    return Err(ControllerError::Protocol(format!("expected HelloAck, got {other:?}")))
+                }
+                None => return Err(ControllerError::Timeout),
+            }
+        };
+        chan.send(&creds.auth_message(&nonce));
+        let deadline = chan.now() + 30_000_000_000;
+        loop {
+            match chan.recv(Some(deadline)) {
+                Some(Message::AuthOk) => {
+                    return Ok(Controller {
+                        chan,
+                        notifications: Vec::new(),
+                        request_timeout: 60_000_000_000,
+                    })
+                }
+                Some(Message::Resp(Response::Err { code, msg })) => {
+                    return Err(ControllerError::Endpoint(code, msg))
+                }
+                Some(Message::Notify(_)) => continue,
+                Some(other) => {
+                    return Err(ControllerError::Protocol(format!("expected AuthOk, got {other:?}")))
+                }
+                None => return Err(ControllerError::Timeout),
+            }
+        }
+    }
+
+    /// Set the per-request timeout (controller-clock ns). Defaults to 60
+    /// virtual seconds — generous for simulation; real deployments tune it
+    /// to a few control RTTs.
+    pub fn set_request_timeout(&mut self, timeout_ns: u64) {
+        self.request_timeout = timeout_ns;
+    }
+
+    /// Access the underlying channel (e.g. for its clock).
+    pub fn channel(&mut self) -> &mut C {
+        &mut self.chan
+    }
+
+    /// Controller-clock now.
+    pub fn now(&self) -> u64 {
+        self.chan.now()
+    }
+
+    /// Issue a command and wait for its response.
+    pub fn request(&mut self, cmd: Command) -> Result<Response, ControllerError> {
+        self.chan.send(&Message::Cmd(cmd));
+        self.wait_response(self.request_timeout)
+    }
+
+    /// Issue many commands pipelined: all commands are sent back-to-back,
+    /// then all responses collected in order. This keeps command delivery
+    /// off the critical path of scheduled sends — e.g. the §4 bandwidth
+    /// experiment schedules its whole burst in ~one round trip instead of
+    /// one RTT per datagram.
+    pub fn request_batch(&mut self, cmds: Vec<Command>) -> Result<Vec<Response>, ControllerError> {
+        let n = cmds.len();
+        for cmd in cmds {
+            self.chan.send(&Message::Cmd(cmd));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.wait_response(self.request_timeout)?);
+        }
+        Ok(out)
+    }
+
+    /// Issue a command whose response may take until `deadline`
+    /// (endpoint-paced commands like `npoll`).
+    pub fn request_until(&mut self, cmd: Command, deadline: u64) -> Result<Response, ControllerError> {
+        self.chan.send(&Message::Cmd(cmd));
+        let budget = deadline.saturating_sub(self.chan.now()) + self.request_timeout;
+        self.wait_response(budget)
+    }
+
+    fn wait_response(&mut self, budget: u64) -> Result<Response, ControllerError> {
+        let deadline = self.chan.now() + budget;
+        loop {
+            match self.chan.recv(Some(deadline)) {
+                Some(Message::Resp(r)) => return Ok(r),
+                Some(Message::Notify(n)) => self.notifications.push(n),
+                Some(other) => {
+                    return Err(ControllerError::Protocol(format!("unexpected {other:?}")))
+                }
+                None => return Err(ControllerError::Timeout),
+            }
+        }
+    }
+
+    fn expect_ok(&mut self, cmd: Command) -> Result<(), ControllerError> {
+        match self.request(cmd)? {
+            Response::Ok => Ok(()),
+            Response::Err { code, msg } => Err(ControllerError::Endpoint(code, msg)),
+            other => Err(ControllerError::Protocol(format!("expected Ok, got {other:?}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Table 1 commands
+    // ------------------------------------------------------------------
+
+    /// `nopen(sktid, raw)`.
+    pub fn nopen_raw(&mut self, sktid: u32) -> Result<(), ControllerError> {
+        self.expect_ok(Command::NOpen {
+            sktid,
+            proto: Proto::Raw,
+            locport: 0,
+            remaddr: 0,
+            remport: 0,
+        })
+    }
+
+    /// `nopen(sktid, udp, locport, remaddr, remport)`.
+    pub fn nopen_udp(
+        &mut self,
+        sktid: u32,
+        locport: u16,
+        remaddr: Ipv4Addr,
+        remport: u16,
+    ) -> Result<(), ControllerError> {
+        self.expect_ok(Command::NOpen {
+            sktid,
+            proto: Proto::Udp,
+            locport,
+            remaddr: u32::from(remaddr),
+            remport,
+        })
+    }
+
+    /// `nopen(sktid, tcp, locport, remaddr, remport)`.
+    pub fn nopen_tcp(
+        &mut self,
+        sktid: u32,
+        locport: u16,
+        remaddr: Ipv4Addr,
+        remport: u16,
+    ) -> Result<(), ControllerError> {
+        self.expect_ok(Command::NOpen {
+            sktid,
+            proto: Proto::Tcp,
+            locport,
+            remaddr: u32::from(remaddr),
+            remport,
+        })
+    }
+
+    /// `nclose(sktid)`.
+    pub fn nclose(&mut self, sktid: u32) -> Result<(), ControllerError> {
+        self.expect_ok(Command::NClose { sktid })
+    }
+
+    /// `nsend(sktid, time, data)` → send-log tag.
+    pub fn nsend(&mut self, sktid: u32, time: u64, data: Vec<u8>) -> Result<u64, ControllerError> {
+        match self.request(Command::NSend { sktid, time, data })? {
+            Response::SendQueued { tag } => Ok(tag),
+            Response::Err { code, msg } => Err(ControllerError::Endpoint(code, msg)),
+            other => Err(ControllerError::Protocol(format!("expected SendQueued, got {other:?}"))),
+        }
+    }
+
+    /// `ncap(sktid, time, filt)` with an already-encoded PFVM program.
+    pub fn ncap(&mut self, sktid: u32, time: u64, filt: Vec<u8>) -> Result<(), ControllerError> {
+        self.expect_ok(Command::NCap { sktid, time, filt })
+    }
+
+    /// `ncap` with a Cpf source filter, compiled client-side.
+    pub fn ncap_cpf(&mut self, sktid: u32, time: u64, source: &str) -> Result<(), ControllerError> {
+        let program = plab_cpf::compile(source)
+            .map_err(|e| ControllerError::Protocol(format!("cpf: {e}")))?;
+        self.ncap(sktid, time, program.encode())
+    }
+
+    /// `npoll(time)`.
+    pub fn npoll(&mut self, until_endpoint_time: u64) -> Result<PollResult, ControllerError> {
+        match self.request_until(Command::NPoll { time: until_endpoint_time }, until_endpoint_time)? {
+            Response::Poll { packets, dropped_packets, dropped_bytes } => Ok(PollResult {
+                packets,
+                dropped_packets,
+                dropped_bytes,
+            }),
+            Response::Err { code, msg } => Err(ControllerError::Endpoint(code, msg)),
+            other => Err(ControllerError::Protocol(format!("expected Poll, got {other:?}"))),
+        }
+    }
+
+    /// `mread(memaddr, bytecnt)`.
+    pub fn mread(&mut self, memaddr: u32, bytecnt: u32) -> Result<Vec<u8>, ControllerError> {
+        match self.request(Command::MRead { memaddr, bytecnt })? {
+            Response::Mem { data } => Ok(data),
+            Response::Err { code, msg } => Err(ControllerError::Endpoint(code, msg)),
+            other => Err(ControllerError::Protocol(format!("expected Mem, got {other:?}"))),
+        }
+    }
+
+    /// `mwrite(memaddr, data)`.
+    pub fn mwrite(&mut self, memaddr: u32, data: Vec<u8>) -> Result<(), ControllerError> {
+        self.expect_ok(Command::MWrite { memaddr, data })
+    }
+
+    /// Yield the endpoint (ends our control; resumes a suspended
+    /// experiment if any).
+    pub fn yield_endpoint(&mut self) -> Result<(), ControllerError> {
+        self.expect_ok(Command::Yield)
+    }
+
+    // ------------------------------------------------------------------
+    // Derived helpers
+    // ------------------------------------------------------------------
+
+    /// Read the endpoint's 64-bit clock (info offset 0).
+    pub fn read_clock(&mut self) -> Result<u64, ControllerError> {
+        let data = self.mread(0, 8)?;
+        Ok(u64::from_le_bytes(data.try_into().map_err(|_| {
+            ControllerError::Protocol("short clock read".into())
+        })?))
+    }
+
+    /// Read an info field by name.
+    pub fn read_info(&mut self, field: &str) -> Result<u64, ControllerError> {
+        let spec = plab_packet::layout::resolve_info(field)
+            .ok_or_else(|| ControllerError::Protocol(format!("unknown info field {field}")))?;
+        let data = self.mread(spec.offset as u32, spec.width as u32)?;
+        let mut v = 0u64;
+        for (i, b) in data.iter().enumerate() {
+            v |= (*b as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// The endpoint's internal IPv4 address ("to craft a valid IP packet
+    /// in raw mode, a controller needs to know the endpoint's internal IP
+    /// address").
+    pub fn endpoint_addr(&mut self) -> Result<Ipv4Addr, ControllerError> {
+        Ok(Ipv4Addr::from(self.read_info("addr.ip")? as u32))
+    }
+
+    /// Read back the actual transmit time of a scheduled send (§3.1: "the
+    /// endpoint then attempts to send the data at the specified time,
+    /// recording the time it was actually sent; an endpoint can retrieve
+    /// this timestamp using the mread command").
+    pub fn read_send_time(&mut self, tag: u64) -> Result<Option<u64>, ControllerError> {
+        let slot = EndpointMemory::sendlog_slot(tag);
+        let data = self.mread(slot, crate::memory::SENDLOG_ENTRY as u32)?;
+        match EndpointMemory::parse_sendlog_entry(&data) {
+            Some((t, time)) if t == tag => Ok(Some(time)),
+            _ => Ok(None),
+        }
+    }
+
+    /// NTP-style clock synchronization (§3.1 Timekeeping: "the experiment
+    /// controller should start by determining its clock offset with
+    /// respect to the endpoint using a clock synchronization algorithm
+    /// such as NTP"). Takes `samples` round trips and keeps the
+    /// minimum-RTT estimate.
+    pub fn sync_clock(&mut self, samples: u32) -> Result<ClockSync, ControllerError> {
+        let mut best: Option<(u64, i128)> = None;
+        for _ in 0..samples.max(1) {
+            let t0 = self.chan.now();
+            let endpoint_clock = self.read_clock()?;
+            let t1 = self.chan.now();
+            let rtt = t1.saturating_sub(t0);
+            // The endpoint read the clock roughly mid-flight.
+            let midpoint = t0 as i128 + (rtt / 2) as i128;
+            let offset = endpoint_clock as i128 - midpoint;
+            if best.map_or(true, |(r, _)| rtt < r) {
+                best = Some((rtt, offset));
+            }
+        }
+        let (min_rtt, offset) = best.expect("at least one sample");
+        Ok(ClockSync { offset, min_rtt, samples })
+    }
+}
+
+/// Result of an `npoll`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PollResult {
+    /// Captured (sktid, endpoint receive time, bytes).
+    pub packets: Vec<(u32, u64, Vec<u8>)>,
+    /// Drop accounting since the previous poll.
+    pub dropped_packets: u64,
+    /// Bytes dropped since the previous poll.
+    pub dropped_bytes: u64,
+}

@@ -1,0 +1,525 @@
+//! The measurement library: experiments written purely against the
+//! PacketLab command set, as an outside experimenter would write them.
+//!
+//! [`ping`] and [`traceroute`] reproduce §4's traceroute prototype
+//! ("creates a series of ICMP echo request packets with incrementing TTL
+//! values starting from 1 and the payload set to contain a two-byte
+//! sequence number"); [`measure_uplink_bandwidth`] reproduces §4's
+//! bandwidth measurement ("schedules a block of UDP datagrams to be sent
+//! from the endpoint to the controller at time t0 + δ ... records their
+//! arrival times, and calculates the uplink bandwidth").
+
+use super::{ClockSync, ControlChannel, Controller, ControllerError};
+use crate::harness::SimChannel;
+use plab_packet::{builder, icmp, ipv4};
+use std::net::Ipv4Addr;
+
+/// Capture filter: all ICMP addressed to the endpoint. Written in Cpf and
+/// compiled client-side, like every controller-supplied filter.
+pub const ICMP_CAPTURE_FILTER: &str = r#"
+uint32_t recv(const union packet *pkt, uint32_t len) {
+    if (pkt->ip.ver == 4 && pkt->ip.proto == IPPROTO_ICMP)
+        return len;
+    return 0;
+}
+"#;
+
+/// ICMP ident used by the measurement library ("PL").
+pub const PING_IDENT: u16 = 0x504c;
+
+/// One ping result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PingReply {
+    /// Sequence number.
+    pub seq: u16,
+    /// Round-trip time on the endpoint clock, ns.
+    pub rtt: u64,
+}
+
+/// Outcome of a ping run.
+#[derive(Debug, Clone)]
+pub struct PingStats {
+    /// Probes sent.
+    pub sent: u32,
+    /// Replies received, by sequence.
+    pub replies: Vec<PingReply>,
+    /// Clock sync used.
+    pub sync: ClockSync,
+}
+
+impl PingStats {
+    /// Fraction of probes answered.
+    pub fn loss(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        1.0 - self.replies.len() as f64 / self.sent as f64
+    }
+
+    /// Mean RTT over received replies, ns.
+    pub fn mean_rtt(&self) -> Option<u64> {
+        if self.replies.is_empty() {
+            return None;
+        }
+        Some(self.replies.iter().map(|r| r.rtt as u128).sum::<u128>() as u64 / self.replies.len() as u64)
+    }
+
+    /// Minimum RTT, ns.
+    pub fn min_rtt(&self) -> Option<u64> {
+        self.replies.iter().map(|r| r.rtt).min()
+    }
+
+    /// Maximum RTT, ns.
+    pub fn max_rtt(&self) -> Option<u64> {
+        self.replies.iter().map(|r| r.rtt).max()
+    }
+
+    /// Population standard deviation of the RTTs, ns.
+    pub fn stddev_rtt(&self) -> Option<f64> {
+        if self.replies.is_empty() {
+            return None;
+        }
+        let mean = self.mean_rtt()? as f64;
+        let var = self
+            .replies
+            .iter()
+            .map(|r| {
+                let d = r.rtt as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.replies.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Mean absolute difference between consecutive RTTs (RFC 3550-style
+    /// jitter over the received sequence), ns.
+    pub fn jitter(&self) -> Option<u64> {
+        if self.replies.len() < 2 {
+            return None;
+        }
+        let diffs: u64 = self
+            .replies
+            .windows(2)
+            .map(|w| w[1].rtt.abs_diff(w[0].rtt))
+            .sum();
+        Some(diffs / (self.replies.len() as u64 - 1))
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    fn stats(rtts: &[u64]) -> PingStats {
+        PingStats {
+            sent: rtts.len() as u32,
+            replies: rtts
+                .iter()
+                .enumerate()
+                .map(|(i, &rtt)| PingReply { seq: i as u16, rtt })
+                .collect(),
+            sync: ClockSync { offset: 0, min_rtt: 0, samples: 0 },
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = stats(&[10, 20, 30, 40]);
+        assert_eq!(s.mean_rtt(), Some(25));
+        assert_eq!(s.min_rtt(), Some(10));
+        assert_eq!(s.max_rtt(), Some(40));
+        let sd = s.stddev_rtt().unwrap();
+        assert!((sd - 11.18).abs() < 0.01, "{sd}");
+        assert_eq!(s.jitter(), Some(10));
+        assert_eq!(s.loss(), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_none() {
+        let s = stats(&[]);
+        assert_eq!(s.mean_rtt(), None);
+        assert_eq!(s.min_rtt(), None);
+        assert_eq!(s.stddev_rtt(), None);
+        assert_eq!(s.jitter(), None);
+    }
+
+    #[test]
+    fn single_reply_has_no_jitter() {
+        let s = stats(&[100]);
+        assert_eq!(s.jitter(), None);
+        assert_eq!(s.stddev_rtt(), Some(0.0));
+    }
+
+    #[test]
+    fn loss_fraction() {
+        let mut s = stats(&[10, 20]);
+        s.sent = 8;
+        assert!((s.loss() - 0.75).abs() < 1e-9);
+    }
+}
+
+/// Ping `dst` from the endpoint: schedule `count` echo requests spaced
+/// `interval` ns apart (endpoint clock), capture replies, compute RTTs
+/// from the endpoint's own timestamps (the paper's point that precise
+/// timestamps — not fast endpoint response — are what timing measurements
+/// need).
+pub fn ping<C: ControlChannel>(
+    ctrl: &mut Controller<C>,
+    dst: Ipv4Addr,
+    count: u32,
+    interval: u64,
+    payload_len: usize,
+) -> Result<PingStats, ControllerError> {
+    const SKT: u32 = 1;
+    let sync = ctrl.sync_clock(4)?;
+    let src = ctrl.endpoint_addr()?;
+    ctrl.nopen_raw(SKT)?;
+    ctrl.ncap_cpf(SKT, u64::MAX, ICMP_CAPTURE_FILTER)?;
+
+    // Schedule all probes slightly in the future so control traffic does
+    // not contend with the measurement (§3.1's rationale for nsend times).
+    let t0 = ctrl.read_clock()?;
+    let start = t0 + 2 * sync.min_rtt.max(1_000_000);
+    let mut tags = Vec::new();
+    for i in 0..count {
+        let probe = builder::icmp_echo_request(
+            src,
+            dst,
+            64,
+            PING_IDENT,
+            i as u16,
+            &vec![0xa5; payload_len],
+        );
+        let tag = ctrl.nsend(SKT, start + i as u64 * interval, probe)?;
+        tags.push(tag);
+    }
+
+    // Poll for replies until shortly after the last probe + a grace RTT.
+    let deadline = start + count as u64 * interval + 2_000_000_000;
+    let mut replies = Vec::new();
+    while replies.len() < count as usize {
+        let poll = ctrl.npoll(deadline)?;
+        let mut got_any = false;
+        for (_skt, trcv, pkt) in &poll.packets {
+            got_any = true;
+            let Ok(view) = ipv4::Ipv4View::new_unchecked(pkt) else { continue };
+            if view.src() != dst {
+                continue;
+            }
+            if let Ok(icmp::IcmpMessage::EchoReply { ident, seq, .. }) = icmp::parse(view.payload())
+            {
+                if ident == PING_IDENT && (seq as u32) < count {
+                    if let Some(tsnd) = ctrl.read_send_time(tags[seq as usize])? {
+                        replies.push(PingReply { seq, rtt: trcv.saturating_sub(tsnd) });
+                    }
+                }
+            }
+        }
+        if !got_any && ctrl.read_clock()? >= deadline {
+            break;
+        }
+        if poll.packets.is_empty() {
+            break;
+        }
+    }
+    ctrl.nclose(SKT)?;
+    replies.sort_by_key(|r| r.seq);
+    replies.dedup_by_key(|r| r.seq);
+    Ok(PingStats { sent: count, replies, sync })
+}
+
+/// One traceroute hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// TTL of the probe.
+    pub ttl: u8,
+    /// Responding router/host, if any.
+    pub addr: Option<Ipv4Addr>,
+    /// RTT on the endpoint clock, ns.
+    pub rtt: Option<u64>,
+    /// True when the responder is the destination itself (echo reply).
+    pub reached: bool,
+}
+
+/// Traceroute result.
+#[derive(Debug, Clone)]
+pub struct TracerouteResult {
+    /// Hops in TTL order, ending at the destination if reached.
+    pub hops: Vec<Hop>,
+    /// Whether the destination answered.
+    pub reached: bool,
+}
+
+/// §4's traceroute, verbatim: ICMP echo requests with TTL 1..=40 and a
+/// two-byte sequence number in the payload; RTT is `trcv − tsnd`, both on
+/// the endpoint clock; probing stops once the destination replies or TTL
+/// exceeds `max_ttl`.
+pub fn traceroute<C: ControlChannel>(
+    ctrl: &mut Controller<C>,
+    dst: Ipv4Addr,
+    max_ttl: u8,
+) -> Result<TracerouteResult, ControllerError> {
+    const SKT: u32 = 2;
+    let sync = ctrl.sync_clock(4)?;
+    let src = ctrl.endpoint_addr()?;
+    ctrl.nopen_raw(SKT)?;
+    ctrl.ncap_cpf(SKT, u64::MAX, ICMP_CAPTURE_FILTER)?;
+
+    let mut hops: Vec<Hop> = Vec::new();
+    let mut reached = false;
+    let mut ttl = 1u8;
+    while ttl <= max_ttl && !reached {
+        // Probe a small batch of TTLs, scheduled ahead of time.
+        let batch_end = (ttl + 3).min(max_ttl);
+        let t0 = ctrl.read_clock()?;
+        let start = t0 + 2 * sync.min_rtt.max(1_000_000);
+        let mut tags = std::collections::HashMap::new();
+        for t in ttl..=batch_end {
+            // "the payload set to contain a two-byte sequence number".
+            let seq = t as u16;
+            let payload = seq.to_be_bytes();
+            let probe = builder::icmp_echo_request(src, dst, t, PING_IDENT, seq, &payload);
+            let tag = ctrl.nsend(SKT, start + (t - ttl) as u64 * 1_000_000, probe)?;
+            tags.insert(seq, tag);
+        }
+        let deadline = start + 3_000_000_000;
+        let mut answered: std::collections::HashMap<u16, (Ipv4Addr, u64, bool)> =
+            std::collections::HashMap::new();
+        while answered.len() < tags.len() {
+            let poll = ctrl.npoll(deadline)?;
+            if poll.packets.is_empty() {
+                break;
+            }
+            for (_skt, trcv, pkt) in &poll.packets {
+                let Ok(view) = ipv4::Ipv4View::new_unchecked(pkt) else { continue };
+                match icmp::parse(view.payload()) {
+                    Ok(icmp::IcmpMessage::TimeExceeded { original, .. }) => {
+                        // "The sequence number is extracted from the packet
+                        // and used to match the original ICMP's tsnd."
+                        if let Some(seq) = quoted_seq(original) {
+                            answered.entry(seq).or_insert((view.src(), *trcv, false));
+                        }
+                    }
+                    Ok(icmp::IcmpMessage::EchoReply { ident, seq, .. }) => {
+                        if ident == PING_IDENT && view.src() == dst {
+                            answered.entry(seq).or_insert((view.src(), *trcv, true));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for t in ttl..=batch_end {
+            let seq = t as u16;
+            match answered.get(&seq) {
+                Some((addr, trcv, is_dst)) => {
+                    let tsnd = ctrl.read_send_time(tags[&seq])?;
+                    let rtt = tsnd.map(|ts| trcv.saturating_sub(ts));
+                    hops.push(Hop { ttl: t, addr: Some(*addr), rtt, reached: *is_dst });
+                    if *is_dst {
+                        reached = true;
+                        break;
+                    }
+                }
+                None => hops.push(Hop { ttl: t, addr: None, rtt: None, reached: false }),
+            }
+        }
+        ttl = batch_end + 1;
+    }
+    ctrl.nclose(SKT)?;
+    Ok(TracerouteResult { hops, reached })
+}
+
+/// Extract the two-byte sequence number from the quoted original datagram
+/// inside an ICMP error (IP header + ICMP header + payload prefix).
+fn quoted_seq(original: &[u8]) -> Option<u16> {
+    let view = ipv4::Ipv4View::new_unchecked(original).ok()?;
+    let ihl = view.header_len();
+    // The quoted ICMP echo header: type(1) code(1) cksum(2) ident(2) seq(2).
+    if original.len() < ihl + 8 {
+        return None;
+    }
+    Some(u16::from_be_bytes([original[ihl + 6], original[ihl + 7]]))
+}
+
+/// Result of the §4 uplink bandwidth experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthEstimate {
+    /// Datagrams that arrived at the controller sink.
+    pub received: u32,
+    /// Datagrams sent by the endpoint.
+    pub sent: u32,
+    /// First arrival (controller clock, ns).
+    pub first_arrival: u64,
+    /// Last arrival (controller clock, ns).
+    pub last_arrival: u64,
+    /// Estimated uplink bandwidth, bits per second (IP-layer).
+    pub bits_per_sec: f64,
+}
+
+/// Ablation counterpart to [`measure_uplink_bandwidth`]: the *naive*
+/// controller-paced variant, without `nsend` scheduling — each datagram is
+/// sent "immediately" as its command arrives over the control channel.
+/// This is what a design without scheduled sends would measure: the
+/// arrival rate reflects the control-channel round trip, not the access
+/// link, so the estimate collapses (§3.1's rationale for the `time`
+/// parameter: "By scheduling data to be sent later, rather than sending it
+/// immediately, traffic between the endpoint and experiment controller
+/// does not affect the bandwidth measurement").
+pub fn measure_uplink_bandwidth_unscheduled(
+    ctrl: &mut Controller<SimChannel>,
+    sink_port: u16,
+    n_packets: u32,
+    payload_len: usize,
+) -> Result<BandwidthEstimate, ControllerError> {
+    const SKT: u32 = 4;
+    let sink_addr = ctrl.channel().addr();
+    ctrl.channel().udp_bind(sink_port);
+    ctrl.nopen_udp(SKT, 20_001, sink_addr, sink_port)?;
+    // One command per datagram, each waiting for its response: the control
+    // RTT paces the burst.
+    for i in 0..n_packets {
+        let mut payload = vec![0u8; payload_len];
+        payload[..4.min(payload_len)]
+            .copy_from_slice(&i.to_le_bytes()[..4.min(payload_len)]);
+        ctrl.nsend(SKT, 0, payload)?;
+    }
+    let horizon = ctrl.now() + 2_000_000_000;
+    ctrl.channel().wait_until(horizon);
+    let arrivals = ctrl.channel().udp_take(sink_port);
+    ctrl.nclose(SKT)?;
+    if arrivals.len() < 2 {
+        return Ok(BandwidthEstimate {
+            received: arrivals.len() as u32,
+            sent: n_packets,
+            first_arrival: 0,
+            last_arrival: 0,
+            bits_per_sec: 0.0,
+        });
+    }
+    let first = arrivals.first().unwrap().0;
+    let last = arrivals.last().unwrap().0;
+    let bytes: u64 = arrivals[1..].iter().map(|(_, _, _, len)| *len as u64 + 28).sum();
+    let duration = (last - first).max(1);
+    Ok(BandwidthEstimate {
+        received: arrivals.len() as u32,
+        sent: n_packets,
+        first_arrival: first,
+        last_arrival: last,
+        bits_per_sec: bytes as f64 * 8.0 / (duration as f64 / 1e9),
+    })
+}
+
+/// §4's uplink bandwidth measurement, verbatim in structure:
+///
+/// 1. "The controller first reads the current time t0 on the endpoint
+///    (using the mread command)."
+/// 2. "It then opens a UDP socket on the endpoint (using nopen)".
+/// 3. "and schedules a block of UDP datagrams to be sent from the endpoint
+///    to the controller at time t0 + δ (using nsend)."
+/// 4. "The controller then waits for the UDP packets from the endpoint,
+///    records their arrival times, and calculates the uplink bandwidth."
+///
+/// Runs over the simulation harness (the controller's UDP sink lives on
+/// its simulated host).
+pub fn measure_uplink_bandwidth(
+    ctrl: &mut Controller<SimChannel>,
+    sink_port: u16,
+    n_packets: u32,
+    payload_len: usize,
+    delay_ns: u64,
+) -> Result<BandwidthEstimate, ControllerError> {
+    // The nsend commands themselves traverse the (slow) access link, and
+    // their responses share the uplink with the measurement — the very
+    // contention §3.1's scheduling exists to avoid. For large bursts, run
+    // a small probe burst first to coarsely estimate the link, then size
+    // the scheduling delay so all control traffic completes before the
+    // burst departs.
+    let mut delay = delay_ns;
+    if n_packets > 16 {
+        let coarse = burst_once(ctrl, 30, 20_002, sink_port, 10, payload_len, delay_ns)?;
+        if coarse.bits_per_sec > 0.0 {
+            // Bytes of command traffic still to deliver, with generous
+            // framing overhead, at the coarse rate — double it for slack.
+            let cmd_bytes = n_packets as u64 * (payload_len as u64 + 120);
+            let deliver_ns = (cmd_bytes as f64 * 8.0 / coarse.bits_per_sec * 1e9) as u64;
+            delay = delay_ns + 2 * deliver_ns + 100_000_000;
+        }
+    }
+    burst_once(ctrl, 3, 20_000, sink_port, n_packets, payload_len, delay)
+}
+
+/// One scheduled burst round of the §4 bandwidth experiment.
+fn burst_once(
+    ctrl: &mut Controller<SimChannel>,
+    skt: u32,
+    locport: u16,
+    sink_port: u16,
+    n_packets: u32,
+    payload_len: usize,
+    delay_ns: u64,
+) -> Result<BandwidthEstimate, ControllerError> {
+    let sink_addr = ctrl.channel().addr();
+    ctrl.channel().udp_bind(sink_port);
+    // Drain anything a previous round left in the sink.
+    let _ = ctrl.channel().udp_take(sink_port);
+
+    // 1. Endpoint time.
+    let t0 = ctrl.read_clock()?;
+    // 2. UDP socket on the endpoint.
+    ctrl.nopen_udp(skt, locport, sink_addr, sink_port)?;
+    // 3. Schedule the burst at t0 + δ: all datagrams queued for the same
+    //    instant; the access link's serialization paces them out, which is
+    //    precisely what the estimate measures.
+    let burst_time = t0 + delay_ns;
+    let cmds: Vec<_> = (0..n_packets)
+        .map(|i| {
+            let mut payload = vec![0u8; payload_len];
+            payload[..4.min(payload_len)]
+                .copy_from_slice(&i.to_le_bytes()[..4.min(payload_len)]);
+            crate::wire::Command::NSend { sktid: skt, time: burst_time, data: payload }
+        })
+        .collect();
+    // Pipelined: the whole block is scheduled in ~one control round trip,
+    // so control traffic is off the access link before the burst departs.
+    for resp in ctrl.request_batch(cmds)? {
+        if let crate::wire::Response::Err { code, msg } = resp {
+            return Err(ControllerError::Endpoint(code, msg));
+        }
+    }
+
+    // 4. Wait for the burst to drain and record arrivals.
+    let sync = ctrl.sync_clock(2)?;
+    let ctrl_burst_time = sync.to_controller(burst_time);
+    // Generous horizon: burst duration at 1 Mbps plus slack.
+    let ip_len = (payload_len + 28) as u64;
+    let horizon = ctrl_burst_time + n_packets as u64 * ip_len * 8 * 1_000 + 5_000_000_000;
+    ctrl.channel().wait_until(horizon);
+
+    let arrivals = ctrl.channel().udp_take(sink_port);
+    ctrl.nclose(skt)?;
+    if arrivals.len() < 2 {
+        return Ok(BandwidthEstimate {
+            received: arrivals.len() as u32,
+            sent: n_packets,
+            first_arrival: arrivals.first().map(|a| a.0).unwrap_or(0),
+            last_arrival: arrivals.last().map(|a| a.0).unwrap_or(0),
+            bits_per_sec: 0.0,
+        });
+    }
+    let first = arrivals.first().unwrap().0;
+    let last = arrivals.last().unwrap().0;
+    // Rate = bytes excluding the first datagram (its serialization time is
+    // not inside the measured interval) over the arrival span.
+    let bytes: u64 = arrivals[1..].iter().map(|(_, _, _, len)| *len as u64 + 28).sum();
+    let duration = (last - first).max(1);
+    let bits_per_sec = bytes as f64 * 8.0 / (duration as f64 / 1e9);
+    Ok(BandwidthEstimate {
+        received: arrivals.len() as u32,
+        sent: n_packets,
+        first_arrival: first,
+        last_arrival: last,
+        bits_per_sec,
+    })
+}

@@ -1,0 +1,1457 @@
+//! The measurement endpoint agent (§3.1, §3.3, §3.4).
+//!
+//! "An endpoint's role during an experiment is simple: it sends packets
+//! that the experiment controller tells it to send, and it captures
+//! packets the experiment controller tells it to capture."
+//!
+//! The agent is a pure protocol state machine over a [`NetStack`]: the
+//! harness (or a real transport server) feeds it control frames, deferred
+//! raw packets, and timer wakeups; it returns frames to transmit. This
+//! keeps all endpoint semantics — sessions, authentication, sockets,
+//! scheduled sends, capture buffering with drop accounting, monitors,
+//! priority contention — in one transport-agnostic, unit-testable place.
+
+use crate::cert::{self, Certificate, EffectiveRestrictions};
+use crate::descriptor::ExperimentDescriptor;
+use crate::memory::EndpointMemory;
+use crate::monitor::MonitorSet;
+use crate::netstack::NetStack;
+use crate::wire::{Command, ErrCode, Message, Notification, Proto, Response};
+use plab_crypto::{KeyHash, PublicKey, Signature};
+use plab_filter::{Program, Vm};
+use plab_netsim::RawDisposition;
+use plab_packet::layout;
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+/// Frames the agent wants sent, tagged by control-session id.
+pub type Out = Vec<(u64, Message)>;
+
+/// Endpoint configuration, installed by the endpoint operator out-of-band
+/// ("This set of trusted keys is installed and managed out-of-band by the
+/// endpoint operator", §3.3).
+#[derive(Clone)]
+pub struct EndpointConfig {
+    /// Operator keys whose certificate chains this endpoint accepts.
+    pub trusted_keys: Vec<KeyHash>,
+    /// Wall-clock seconds used for certificate validity checks.
+    pub wall_time: u64,
+    /// Default capture-buffer capacity (bytes) when no certificate
+    /// restriction tightens it.
+    pub default_buffer_bytes: u64,
+    /// Maximum concurrent sessions (active + suspended).
+    pub max_sessions: usize,
+}
+
+impl Default for EndpointConfig {
+    fn default() -> Self {
+        EndpointConfig {
+            trusted_keys: Vec::new(),
+            wall_time: 1_700_000_000,
+            default_buffer_bytes: 1 << 20,
+            max_sessions: 8,
+        }
+    }
+}
+
+/// One controller's socket.
+enum SocketBinding {
+    Raw {
+        /// Installed `ncap` filter and its expiry (endpoint clock ns).
+        filter: Option<(Vm, u64)>,
+    },
+    Udp {
+        locport: u16,
+        remaddr: Ipv4Addr,
+        remport: u16,
+    },
+    Tcp {
+        conn: u64,
+        remaddr: Ipv4Addr,
+        remport: u16,
+        locport: u16,
+    },
+}
+
+/// Capture buffer with the §3.1 drop accounting.
+struct CaptureBuffer {
+    entries: VecDeque<(u32, u64, Vec<u8>)>,
+    bytes: usize,
+    capacity: usize,
+    dropped_packets: u64,
+    dropped_bytes: u64,
+}
+
+impl CaptureBuffer {
+    fn new(capacity: usize) -> Self {
+        CaptureBuffer {
+            entries: VecDeque::new(),
+            bytes: 0,
+            capacity,
+            dropped_packets: 0,
+            dropped_bytes: 0,
+        }
+    }
+
+    fn space(&self) -> usize {
+        self.capacity.saturating_sub(self.bytes)
+    }
+
+    fn push(&mut self, sktid: u32, time: u64, data: Vec<u8>) -> bool {
+        if data.len() > self.space() {
+            self.dropped_packets += 1;
+            self.dropped_bytes += data.len() as u64;
+            return false;
+        }
+        self.bytes += data.len();
+        self.entries.push_back((sktid, time, data));
+        true
+    }
+
+    fn drain(&mut self) -> (Vec<(u32, u64, Vec<u8>)>, u64, u64) {
+        let entries: Vec<_> = self.entries.drain(..).collect();
+        self.bytes = 0;
+        let dp = std::mem::take(&mut self.dropped_packets);
+        let db = std::mem::take(&mut self.dropped_bytes);
+        (entries, dp, db)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+enum SessionState {
+    /// Waiting for `Hello`.
+    New,
+    /// `HelloAck` sent; waiting for `Auth`.
+    AwaitAuth { nonce: [u8; 32] },
+    /// Authenticated and in control (or suspended).
+    Ready,
+}
+
+struct Session {
+    sid: u64,
+    state: SessionState,
+    priority: u8,
+    suspended: bool,
+    /// Set when the session voluntarily yielded; cleared when it issues a
+    /// new command (at which point it re-contends for control).
+    yielded: bool,
+    monitors: MonitorSet,
+    restrictions: EffectiveRestrictions,
+    memory: EndpointMemory,
+    sockets: HashMap<u32, SocketBinding>,
+    capture: CaptureBuffer,
+    /// Outstanding `npoll` deadline (endpoint clock ns).
+    pending_poll: Option<u64>,
+    next_tag: u64,
+    experiment_name: String,
+}
+
+impl Session {
+    fn new(sid: u64, default_buffer: usize) -> Self {
+        Session {
+            sid,
+            state: SessionState::New,
+            priority: 0,
+            suspended: false,
+            yielded: false,
+            monitors: MonitorSet::unrestricted(),
+            restrictions: EffectiveRestrictions::default(),
+            memory: EndpointMemory::new(),
+            sockets: HashMap::new(),
+            capture: CaptureBuffer::new(default_buffer),
+            pending_poll: None,
+            next_tag: 1,
+            experiment_name: String::new(),
+        }
+    }
+}
+
+/// Wakeup-key kinds (encoded into the [`NetStack::schedule_wakeup`] key).
+const WAKE_POLL: u64 = 1;
+const WAKE_TCP_SEND: u64 = 2;
+
+fn wake_key(kind: u64, sid: u64, seq: u32) -> u64 {
+    (kind << 56) | ((sid & 0xff_ffff) << 32) | seq as u64
+}
+
+fn wake_parts(key: u64) -> (u64, u64, u32) {
+    (key >> 56, (key >> 32) & 0xff_ffff, key as u32)
+}
+
+/// The endpoint agent.
+pub struct EndpointAgent {
+    config: EndpointConfig,
+    sessions: HashMap<u64, Session>,
+    /// The session currently in control, if any (§3.3: "at any given time,
+    /// no more than one controller has control of an endpoint").
+    active: Option<u64>,
+    /// Deferred TCP scheduled sends: seq → (sid, sktid, payload, tag).
+    pending_tcp: HashMap<u32, (u64, u32, Vec<u8>, u64)>,
+    next_tcp_seq: u32,
+    /// Statistics: total packets captured across all sessions.
+    pub captured_packets: u64,
+    /// Statistics: total sends denied by monitors.
+    pub denied_sends: u64,
+}
+
+impl EndpointAgent {
+    /// New agent with operator configuration.
+    pub fn new(config: EndpointConfig) -> Self {
+        EndpointAgent {
+            config,
+            sessions: HashMap::new(),
+            active: None,
+            pending_tcp: HashMap::new(),
+            next_tcp_seq: 1,
+            captured_packets: 0,
+            denied_sends: 0,
+        }
+    }
+
+    /// Read-only view of the configuration.
+    pub fn config(&self) -> &EndpointConfig {
+        &self.config
+    }
+
+    /// The priority of the experiment currently in control.
+    pub fn active_priority(&self) -> Option<u8> {
+        self.active
+            .and_then(|sid| self.sessions.get(&sid))
+            .map(|s| s.priority)
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// A new control connection was accepted / dialed.
+    pub fn on_session_open(&mut self, sid: u64) {
+        if self.sessions.len() < self.config.max_sessions {
+            self.sessions
+                .insert(sid, Session::new(sid, self.config.default_buffer_bytes as usize));
+        }
+    }
+
+    /// A control connection went away; tear down its experiment.
+    pub fn on_session_closed(&mut self, sid: u64, stack: &mut dyn NetStack) -> Out {
+        if let Some(mut s) = self.sessions.remove(&sid) {
+            self.teardown_sockets(&mut s, stack);
+            if self.active == Some(sid) {
+                self.active = None;
+                return self.resume_next_excluding(None);
+            }
+        }
+        Vec::new()
+    }
+
+    fn teardown_sockets(&mut self, s: &mut Session, stack: &mut dyn NetStack) {
+        for (_, binding) in s.sockets.drain() {
+            match binding {
+                SocketBinding::Udp { locport, .. } => stack.udp_unbind(locport),
+                SocketBinding::Tcp { conn, .. } => stack.tcp_close(conn),
+                SocketBinding::Raw { .. } => {}
+            }
+        }
+    }
+
+    /// Handle one decoded control message from session `sid`.
+    pub fn on_message(&mut self, sid: u64, msg: Message, stack: &mut dyn NetStack) -> Out {
+        let mut out = Out::new();
+        // Messages for sessions that were never opened (or were rejected at
+        // the max_sessions cap) are dropped outright: no state, no replies.
+        if !self.sessions.contains_key(&sid) {
+            return out;
+        }
+        match msg {
+            Message::Hello { version } => {
+                if version != crate::PROTOCOL_VERSION {
+                    out.push((sid, err(ErrCode::Malformed, "protocol version")));
+                    return out;
+                }
+                // Nonce derived from clock + sid; unpredictable enough for
+                // the simulator, and deterministic for reproducibility.
+                let mut nonce = [0u8; 32];
+                nonce[..8].copy_from_slice(&stack.clock().to_le_bytes());
+                nonce[8..16].copy_from_slice(&sid.to_le_bytes());
+                nonce[16..24].copy_from_slice(&self.config.wall_time.to_le_bytes());
+                if let Some(s) = self.sessions.get_mut(&sid) {
+                    s.state = SessionState::AwaitAuth { nonce };
+                    out.push((
+                        sid,
+                        Message::HelloAck { version: crate::PROTOCOL_VERSION, nonce },
+                    ));
+                }
+            }
+            Message::Auth { descriptor, chain, keys, priority, proof } => {
+                out.extend(self.handle_auth(sid, descriptor, chain, keys, priority, proof, stack));
+            }
+            Message::Cmd(cmd) => {
+                out.extend(self.handle_command(sid, cmd, stack));
+            }
+            // Controller-bound message types arriving here are protocol
+            // violations.
+            Message::HelloAck { .. } | Message::AuthOk | Message::Resp(_) | Message::Notify(_) => {
+                out.push((sid, err(ErrCode::Malformed, "unexpected message")));
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_auth(
+        &mut self,
+        sid: u64,
+        descriptor: Vec<u8>,
+        chain: Vec<Vec<u8>>,
+        keys: Vec<[u8; 32]>,
+        priority: u8,
+        proof: [u8; 64],
+        stack: &mut dyn NetStack,
+    ) -> Out {
+        let mut out = Out::new();
+        let nonce = match self.sessions.get(&sid).map(|s| &s.state) {
+            Some(SessionState::AwaitAuth { nonce }) => *nonce,
+            _ => {
+                out.push((sid, err(ErrCode::Auth, "auth before hello")));
+                return out;
+            }
+        };
+        let fail = |out: &mut Out, msg: &str| {
+            out.push((sid, err(ErrCode::Auth, msg)));
+        };
+
+        let Some(desc) = ExperimentDescriptor::decode(&descriptor) else {
+            fail(&mut out, "bad descriptor");
+            return out;
+        };
+        let mut certs = Vec::with_capacity(chain.len());
+        for c in &chain {
+            match Certificate::decode(c) {
+                Ok(cert) => certs.push(cert),
+                Err(e) => {
+                    fail(&mut out, &format!("bad certificate: {e}"));
+                    return out;
+                }
+            }
+        }
+        let pubkeys: Vec<PublicKey> = keys.iter().map(|k| PublicKey::from_bytes(*k)).collect();
+        let key_map = cert::key_map(&pubkeys);
+        let dhash = desc.hash();
+        let effective = match cert::verify_chain(
+            &certs,
+            &key_map,
+            &self.config.trusted_keys,
+            &dhash,
+            self.config.wall_time,
+        ) {
+            Ok(e) => e,
+            Err(e) => {
+                fail(&mut out, &format!("chain rejected: {e}"));
+                return out;
+            }
+        };
+        // Possession proof: the leaf's signer key signed nonce ‖ dhash.
+        let leaf_signer = certs.last().expect("nonempty chain").signer;
+        let Some(leaf_key) = key_map.get(&leaf_signer) else {
+            fail(&mut out, "leaf key missing");
+            return out;
+        };
+        let mut signed = Vec::with_capacity(64);
+        signed.extend_from_slice(&nonce);
+        signed.extend_from_slice(&dhash.0);
+        if !plab_crypto::ed25519::verify(leaf_key, &signed, &Signature::from_bytes(proof)) {
+            fail(&mut out, "possession proof invalid");
+            return out;
+        }
+        // Priority ceiling (§3.3: "this priority must not exceed the
+        // maximum priority specified in any certificate in the chain").
+        if let Some(ceiling) = effective.max_priority {
+            if priority > ceiling {
+                fail(&mut out, "priority exceeds certificate ceiling");
+                return out;
+            }
+        }
+        // Instantiate monitors against the current info block.
+        let info_snapshot = {
+            let s = self.sessions.get_mut(&sid).unwrap();
+            Self::refresh_info(s, stack);
+            s.memory.info().to_vec()
+        };
+        let monitors = match MonitorSet::instantiate(&effective.monitors, &info_snapshot) {
+            Ok(m) => m,
+            Err(e) => {
+                fail(&mut out, &format!("monitor rejected: {e}"));
+                return out;
+            }
+        };
+
+        let buffer = effective
+            .max_buffer_bytes
+            .unwrap_or(self.config.default_buffer_bytes)
+            .min(self.config.default_buffer_bytes) as usize;
+        {
+            let s = self.sessions.get_mut(&sid).unwrap();
+            s.state = SessionState::Ready;
+            s.priority = priority;
+            s.monitors = monitors;
+            s.restrictions = effective;
+            s.capture = CaptureBuffer::new(buffer);
+            s.experiment_name = desc.name.clone();
+            s.memory.set_info("experiment.priority", priority as u64);
+        }
+        out.push((sid, Message::AuthOk));
+        out.extend(self.contend(sid));
+        out
+    }
+
+    /// §3.3 contention: give control to the highest-priority session.
+    fn contend(&mut self, new_sid: u64) -> Out {
+        let mut out = Out::new();
+        let new_priority = self.sessions[&new_sid].priority;
+        match self.active {
+            None => {
+                self.active = Some(new_sid);
+                let s = self.sessions.get_mut(&new_sid).unwrap();
+                s.suspended = false;
+                s.yielded = false;
+            }
+            Some(cur) if cur == new_sid => {}
+            Some(cur) => {
+                let cur_priority = self.sessions.get(&cur).map(|s| s.priority).unwrap_or(0);
+                if new_priority > cur_priority {
+                    // Preempt: "the endpoint notifies the experiment
+                    // controller of the current experiment that its
+                    // experiment has been interrupted, and then transfers
+                    // control".
+                    if let Some(s) = self.sessions.get_mut(&cur) {
+                        s.suspended = true;
+                    }
+                    out.push((
+                        cur,
+                        Message::Notify(Notification::Interrupted { by_priority: new_priority }),
+                    ));
+                    self.active = Some(new_sid);
+                    self.sessions.get_mut(&new_sid).unwrap().suspended = false;
+                } else {
+                    self.sessions.get_mut(&new_sid).unwrap().suspended = true;
+                }
+            }
+        }
+        out
+    }
+
+    /// Resume the highest-priority suspended session after the active one
+    /// ends ("The endpoint then returns control to the controller with the
+    /// next highest priority suspended experiment"). `exclude` skips the
+    /// session that just yielded so it cannot immediately reclaim control.
+    fn resume_next_excluding(&mut self, exclude: Option<u64>) -> Out {
+        let mut out = Out::new();
+        let next = self
+            .sessions
+            .values()
+            .filter(|s| {
+                s.suspended
+                    && !s.yielded
+                    && matches!(s.state, SessionState::Ready)
+                    && Some(s.sid) != exclude
+            })
+            .max_by_key(|s| (s.priority, std::cmp::Reverse(s.sid)))
+            .map(|s| s.sid);
+        if let Some(sid) = next {
+            self.active = Some(sid);
+            self.sessions.get_mut(&sid).unwrap().suspended = false;
+            out.push((sid, Message::Notify(Notification::Resumed)));
+        }
+        out
+    }
+
+    fn handle_command(&mut self, sid: u64, cmd: Command, stack: &mut dyn NetStack) -> Out {
+        let mut out = Out::new();
+        // Session must be authenticated.
+        if !matches!(
+            self.sessions.get(&sid).map(|s| &s.state),
+            Some(SessionState::Ready)
+        ) {
+            out.push((sid, err(ErrCode::Auth, "not authenticated")));
+            return out;
+        }
+        // Suspended sessions' commands are refused until resumed — except
+        // that a previously-yielded session issuing a new command
+        // re-contends for control (and may preempt, per its priority).
+        if self.sessions[&sid].suspended && !matches!(cmd, Command::Yield) {
+            if self.sessions[&sid].yielded {
+                self.sessions.get_mut(&sid).unwrap().yielded = false;
+                out.extend(self.contend(sid));
+            }
+            if self.sessions[&sid].suspended {
+                out.push((sid, err(ErrCode::Suspended, "preempted by higher priority")));
+                return out;
+            }
+        }
+
+        match cmd {
+            Command::NOpen { sktid, proto, locport, remaddr, remport } => {
+                out.push((sid, self.nopen(sid, sktid, proto, locport, remaddr, remport, stack)));
+            }
+            Command::NClose { sktid } => {
+                let resp = {
+                    let s = self.sessions.get_mut(&sid).unwrap();
+                    match s.sockets.remove(&sktid) {
+                        Some(SocketBinding::Udp { locport, .. }) => {
+                            stack.udp_unbind(locport);
+                            Message::Resp(Response::Ok)
+                        }
+                        Some(SocketBinding::Tcp { conn, .. }) => {
+                            stack.tcp_close(conn);
+                            Message::Resp(Response::Ok)
+                        }
+                        Some(SocketBinding::Raw { .. }) => Message::Resp(Response::Ok),
+                        None => err(ErrCode::BadSocket, "unknown socket"),
+                    }
+                };
+                out.push((sid, resp));
+            }
+            Command::NSend { sktid, time, data } => {
+                out.push((sid, self.nsend(sid, sktid, time, data, stack)));
+            }
+            Command::NCap { sktid, time, filt } => {
+                let resp = self.ncap(sid, sktid, time, filt);
+                out.push((sid, resp));
+            }
+            Command::NPoll { time } => {
+                // Respond immediately if data is buffered; otherwise defer.
+                let s = self.sessions.get_mut(&sid).unwrap();
+                if !s.capture.is_empty() || time <= stack.clock() {
+                    let (packets, dp, db) = s.capture.drain();
+                    out.push((
+                        sid,
+                        Message::Resp(Response::Poll {
+                            packets,
+                            dropped_packets: dp,
+                            dropped_bytes: db,
+                        }),
+                    ));
+                } else {
+                    s.pending_poll = Some(time);
+                    stack.schedule_wakeup(wake_key(WAKE_POLL, sid, 0), time);
+                }
+            }
+            Command::MRead { memaddr, bytecnt } => {
+                let s = self.sessions.get_mut(&sid).unwrap();
+                Self::refresh_info(s, stack);
+                let resp = match s.memory.read(memaddr, bytecnt) {
+                    Some(data) => Message::Resp(Response::Mem { data: data.to_vec() }),
+                    None => err(ErrCode::BadMemory, "mread out of range"),
+                };
+                out.push((sid, resp));
+            }
+            Command::MWrite { memaddr, data } => {
+                let s = self.sessions.get_mut(&sid).unwrap();
+                let resp = if s.memory.write(memaddr, &data) {
+                    Message::Resp(Response::Ok)
+                } else {
+                    err(ErrCode::BadMemory, "mwrite read-only or out of range")
+                };
+                out.push((sid, resp));
+            }
+            Command::Yield => {
+                out.push((sid, Message::Resp(Response::Ok)));
+                if self.active == Some(sid) {
+                    self.active = None;
+                    // The yielder becomes dormant: suspended and not
+                    // eligible for auto-resumption until it issues a new
+                    // command (which re-contends).
+                    let s = self.sessions.get_mut(&sid).unwrap();
+                    s.suspended = true;
+                    s.yielded = true;
+                    out.extend(self.resume_next_excluding(Some(sid)));
+                }
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn nopen(
+        &mut self,
+        sid: u64,
+        sktid: u32,
+        proto: Proto,
+        locport: u16,
+        remaddr: u32,
+        remport: u16,
+        stack: &mut dyn NetStack,
+    ) -> Message {
+        let info = {
+            let s = self.sessions.get_mut(&sid).unwrap();
+            if s.sockets.contains_key(&sktid) {
+                return err(ErrCode::BadSocket, "socket id in use");
+            }
+            Self::refresh_info(s, stack);
+            s.memory.info().to_vec()
+        };
+        let proto_num = match proto {
+            Proto::Raw => 0u8,
+            Proto::Udp => plab_packet::proto::UDP,
+            Proto::Tcp => plab_packet::proto::TCP,
+        };
+        let allowed = self
+            .sessions
+            .get_mut(&sid)
+            .unwrap()
+            .monitors
+            .allow_open(proto_num, locport, remaddr, remport, &info);
+        if !allowed {
+            return err(ErrCode::Denied, "monitor denied nopen");
+        }
+        let s = self.sessions.get_mut(&sid).unwrap();
+        match proto {
+            Proto::Raw => {
+                if !stack.raw_supported() {
+                    return err(ErrCode::Unsupported, "raw sockets unavailable");
+                }
+                s.sockets.insert(sktid, SocketBinding::Raw { filter: None });
+            }
+            Proto::Udp => {
+                if !stack.udp_bind(locport) {
+                    return err(ErrCode::BadSocket, "port in use");
+                }
+                s.sockets.insert(
+                    sktid,
+                    SocketBinding::Udp {
+                        locport,
+                        remaddr: Ipv4Addr::from(remaddr),
+                        remport,
+                    },
+                );
+            }
+            Proto::Tcp => {
+                if !stack.tcp_supported() {
+                    return err(ErrCode::Unsupported, "tcp sockets unavailable");
+                }
+                let conn = stack.tcp_connect(Ipv4Addr::from(remaddr), remport);
+                s.sockets.insert(
+                    sktid,
+                    SocketBinding::Tcp {
+                        conn,
+                        remaddr: Ipv4Addr::from(remaddr),
+                        remport,
+                        locport,
+                    },
+                );
+            }
+        }
+        s.memory.set_info("sockets.open", s.sockets.len() as u64);
+        Message::Resp(Response::Ok)
+    }
+
+    fn nsend(
+        &mut self,
+        sid: u64,
+        sktid: u32,
+        time: u64,
+        data: Vec<u8>,
+        stack: &mut dyn NetStack,
+    ) -> Message {
+        let info = {
+            let s = self.sessions.get_mut(&sid).unwrap();
+            Self::refresh_info(s, stack);
+            s.memory.info().to_vec()
+        };
+        let s = self.sessions.get_mut(&sid).unwrap();
+        let tag = s.next_tag;
+        let local = stack.local_addr();
+        match s.sockets.get(&sktid) {
+            None => err(ErrCode::BadSocket, "unknown socket"),
+            Some(SocketBinding::Raw { .. }) => {
+                // Monitors adjudicate the exact datagram.
+                if !s.monitors.allow_send(&data, &info) {
+                    self.denied_sends += 1;
+                    return err(ErrCode::Denied, "monitor denied send");
+                }
+                s.next_tag += 1;
+                stack.raw_send_at(time, data, tag);
+                Message::Resp(Response::SendQueued { tag })
+            }
+            Some(SocketBinding::Udp { locport, remaddr, remport }) => {
+                let (locport, remaddr, remport) = (*locport, *remaddr, *remport);
+                let datagram =
+                    plab_packet::builder::udp_datagram(local, remaddr, locport, remport, &data);
+                if !s.monitors.allow_send(&datagram, &info) {
+                    self.denied_sends += 1;
+                    return err(ErrCode::Denied, "monitor denied send");
+                }
+                s.next_tag += 1;
+                stack.udp_send_at(time, locport, remaddr, remport, &data, tag);
+                Message::Resp(Response::SendQueued { tag })
+            }
+            Some(SocketBinding::Tcp { conn, remaddr, remport, locport }) => {
+                let (conn, remaddr, remport, locport) = (*conn, *remaddr, *remport, *locport);
+                // Monitors see a synthesized segment (correct addresses and
+                // ports; sequence fields zero) since the OS owns the real
+                // header.
+                let synth = plab_packet::builder::tcp_segment(
+                    local,
+                    remaddr,
+                    plab_packet::tcp::TcpHeader {
+                        src_port: locport,
+                        dst_port: remport,
+                        seq: 0,
+                        ack: 0,
+                        flags: plab_packet::tcp::flags::ACK,
+                        window: 0,
+                    },
+                    &data,
+                );
+                if !s.monitors.allow_send(&synth, &info) {
+                    self.denied_sends += 1;
+                    return err(ErrCode::Denied, "monitor denied send");
+                }
+                s.next_tag += 1;
+                if time <= stack.clock() {
+                    stack.tcp_send(conn, &data);
+                    s.memory.record_send(tag, stack.clock());
+                } else {
+                    let seq = self.next_tcp_seq;
+                    self.next_tcp_seq += 1;
+                    self.pending_tcp.insert(seq, (sid, sktid, data, tag));
+                    stack.schedule_wakeup(wake_key(WAKE_TCP_SEND, sid, seq), time);
+                }
+                Message::Resp(Response::SendQueued { tag })
+            }
+        }
+    }
+
+    fn ncap(&mut self, sid: u64, sktid: u32, time: u64, filt: Vec<u8>) -> Message {
+        let s = self.sessions.get_mut(&sid).unwrap();
+        match s.sockets.get_mut(&sktid) {
+            Some(SocketBinding::Raw { filter }) => {
+                let program = match Program::decode(&filt) {
+                    Ok(p) => p,
+                    Err(e) => return err(ErrCode::Malformed, &format!("filter: {e}")),
+                };
+                let vm = match Vm::new(program) {
+                    Ok(vm) => vm,
+                    Err(e) => return err(ErrCode::Malformed, &format!("filter: {e}")),
+                };
+                *filter = Some((vm, time));
+                Message::Resp(Response::Ok)
+            }
+            Some(_) => err(ErrCode::BadSocket, "ncap requires a raw socket"),
+            None => err(ErrCode::BadSocket, "unknown socket"),
+        }
+    }
+
+    /// A raw packet arrived at the endpoint host and awaits disposition
+    /// (§3.1: "the packet filter installed by ncap specifies whether a
+    /// packet should be ignored, consumed or mirrored").
+    ///
+    /// Filter convention: the program's `recv` entry returns 0 to ignore
+    /// the packet (not captured, OS processes it) or non-zero to capture
+    /// it. A captured packet is *consumed* unless the program also defines
+    /// a `mirror` entry returning non-zero for it, in which case the OS
+    /// processes it too (passive-capture / telescope mode).
+    pub fn on_packet(&mut self, time: u64, packet: &[u8], stack: &mut dyn NetStack) -> (RawDisposition, Out) {
+        let mut out = Out::new();
+        let mut disposition = RawDisposition::Ignore;
+        let now = stack.clock();
+        let sids: Vec<u64> = self.sessions.keys().copied().collect();
+        for sid in sids {
+            // Snapshot info per session (refreshed lazily).
+            let info = {
+                let s = self.sessions.get_mut(&sid).unwrap();
+                Self::refresh_info(s, stack);
+                s.memory.info().to_vec()
+            };
+            let s = self.sessions.get_mut(&sid).unwrap();
+            let mut captured_here: Vec<u32> = Vec::new();
+            let mut want_mirror = false;
+            let mut want_consume = false;
+            for (sktid, binding) in s.sockets.iter_mut() {
+                let SocketBinding::Raw { filter } = binding else {
+                    continue;
+                };
+                let Some((vm, until)) = filter else { continue };
+                if now > *until {
+                    // "tells the endpoint when to stop capturing packets".
+                    *filter = None;
+                    continue;
+                }
+                match vm.run(plab_filter::ENTRY_RECV, packet, &info) {
+                    Ok(0) | Err(_) => {}
+                    Ok(_) => {
+                        captured_here.push(*sktid);
+                        let mirrors = match vm.run("mirror", packet, &info) {
+                            Ok(v) => v != 0,
+                            Err(_) => false,
+                        };
+                        if mirrors {
+                            want_mirror = true;
+                        } else {
+                            want_consume = true;
+                        }
+                    }
+                }
+            }
+            if !captured_here.is_empty() {
+                // Monitors gate what reaches the controller.
+                let allowed = s.monitors.allow_recv(packet, &info);
+                if allowed {
+                    for sktid in captured_here {
+                        if s.capture.push(sktid, time, packet.to_vec()) {
+                            self.captured_packets += 1;
+                        }
+                    }
+                    // Captured data may satisfy an outstanding npoll.
+                    out.extend(Self::complete_poll_if_ready(s, now));
+                    if want_consume {
+                        disposition = RawDisposition::Consume;
+                    } else if want_mirror && disposition != RawDisposition::Consume {
+                        disposition = RawDisposition::Mirror;
+                    }
+                }
+            }
+        }
+        (disposition, out)
+    }
+
+    /// A scheduled wakeup fired.
+    pub fn on_wakeup(&mut self, key: u64, stack: &mut dyn NetStack) -> Out {
+        let mut out = Out::new();
+        let (kind, sid, seq) = wake_parts(key);
+        match kind {
+            WAKE_POLL => {
+                if let Some(s) = self.sessions.get_mut(&sid) {
+                    if let Some(deadline) = s.pending_poll {
+                        if stack.clock() >= deadline {
+                            s.pending_poll = None;
+                            let (packets, dp, db) = s.capture.drain();
+                            out.push((
+                                sid,
+                                Message::Resp(Response::Poll {
+                                    packets,
+                                    dropped_packets: dp,
+                                    dropped_bytes: db,
+                                }),
+                            ));
+                        }
+                    }
+                }
+            }
+            WAKE_TCP_SEND => {
+                if let Some((sid, sktid, data, tag)) = self.pending_tcp.remove(&seq) {
+                    if let Some(s) = self.sessions.get_mut(&sid) {
+                        if let Some(SocketBinding::Tcp { conn, .. }) = s.sockets.get(&sktid) {
+                            stack.tcp_send(*conn, &data);
+                            s.memory.record_send(tag, stack.clock());
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// Periodic service: drain OS-socket data into capture buffers,
+    /// harvest scheduled-send timestamps, satisfy pending polls.
+    pub fn service(&mut self, stack: &mut dyn NetStack) -> Out {
+        let mut out = Out::new();
+        // Scheduled raw/UDP sends that actually left: record times.
+        let send_log = stack.take_send_log();
+        let now = stack.clock();
+        let sids: Vec<u64> = self.sessions.keys().copied().collect();
+        for (tag, time) in &send_log {
+            // Tags are per-session counters; a tag may collide across
+            // sessions, so record into every session that issued it (the
+            // controller only reads its own session's memory).
+            for sid in &sids {
+                let s = self.sessions.get_mut(sid).unwrap();
+                if *tag < s.next_tag {
+                    s.memory.record_send(*tag, *time);
+                }
+            }
+        }
+        for sid in sids {
+            let s = self.sessions.get_mut(&sid).unwrap();
+            // Drain OS sockets into the capture buffer, respecting
+            // capacity: when full we simply stop reading (§3.1 — this is
+            // what creates TCP backpressure).
+            enum Drain {
+                Udp(u16),
+                Tcp(u64),
+            }
+            let bindings: Vec<(u32, Drain)> = s
+                .sockets
+                .iter()
+                .filter_map(|(id, b)| match b {
+                    SocketBinding::Udp { locport, .. } => Some((*id, Drain::Udp(*locport))),
+                    SocketBinding::Tcp { conn, .. } => Some((*id, Drain::Tcp(*conn))),
+                    SocketBinding::Raw { .. } => None,
+                })
+                .collect();
+            for (sktid, drain) in bindings {
+                match drain {
+                    Drain::Tcp(conn) => loop {
+                        let space = s.capture.space();
+                        if space == 0 || stack.tcp_readable(conn) == 0 {
+                            break;
+                        }
+                        let data = stack.tcp_recv(conn, space.min(4096));
+                        if data.is_empty() {
+                            break;
+                        }
+                        s.capture.push(sktid, now, data);
+                    },
+                    Drain::Udp(locport) => {
+                        if s.capture.space() > 0 {
+                            for (t, _src, _sport, payload) in stack.take_udp(locport) {
+                                s.capture.push(sktid, t, payload);
+                            }
+                        }
+                    }
+                }
+            }
+            s.memory.set_info("buffer.capacity", s.capture.capacity as u64);
+            s.memory.set_info("buffer.used", s.capture.bytes as u64);
+            out.extend(Self::complete_poll_if_ready(s, now));
+        }
+        out
+    }
+
+    fn complete_poll_if_ready(s: &mut Session, _now: u64) -> Out {
+        let mut out = Out::new();
+        if s.pending_poll.is_some() && !s.capture.is_empty() {
+            s.pending_poll = None;
+            let (packets, dp, db) = s.capture.drain();
+            out.push((
+                s.sid,
+                Message::Resp(Response::Poll {
+                    packets,
+                    dropped_packets: dp,
+                    dropped_bytes: db,
+                }),
+            ));
+        }
+        out
+    }
+
+    fn refresh_info(s: &mut Session, stack: &mut dyn NetStack) {
+        s.memory.set_info("clock", stack.clock());
+        s.memory
+            .set_info("addr.ip", u32::from(stack.local_addr()) as u64);
+        s.memory
+            .set_info("addr.ext_ip", u32::from(stack.external_addr()) as u64);
+        s.memory.set_info("mtu", stack.mtu() as u64);
+        let mut flags = 0u64;
+        if stack.raw_supported() {
+            flags |= layout::INFO_FLAG_RAW as u64;
+        }
+        if stack.external_addr() != stack.local_addr() {
+            flags |= layout::INFO_FLAG_NAT as u64;
+        }
+        s.memory.set_info("flags", flags);
+    }
+}
+
+fn err(code: ErrCode, msg: &str) -> Message {
+    Message::Resp(Response::Err { code, msg: msg.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Credentials;
+    use plab_crypto::Keypair;
+
+    /// A canned [`NetStack`] recording agent interactions.
+    struct MockStack {
+        clock: u64,
+        addr: Ipv4Addr,
+        raw_ok: bool,
+        bound_udp: Vec<u16>,
+        raw_sends: Vec<(u64, Vec<u8>, u64)>,
+        udp_sends: Vec<(u64, u16, Ipv4Addr, u16, Vec<u8>, u64)>,
+        wakeups: Vec<(u64, u64)>,
+        udp_inbox: Vec<(u64, Ipv4Addr, u16, Vec<u8>)>,
+        send_log: Vec<(u64, u64)>,
+    }
+
+    impl MockStack {
+        fn new() -> MockStack {
+            MockStack {
+                clock: 1_000,
+                addr: Ipv4Addr::new(10, 0, 0, 1),
+                raw_ok: true,
+                bound_udp: Vec::new(),
+                raw_sends: Vec::new(),
+                udp_sends: Vec::new(),
+                wakeups: Vec::new(),
+                udp_inbox: Vec::new(),
+                send_log: Vec::new(),
+            }
+        }
+    }
+
+    impl NetStack for MockStack {
+        fn clock(&self) -> u64 {
+            self.clock
+        }
+        fn local_addr(&self) -> Ipv4Addr {
+            self.addr
+        }
+        fn external_addr(&self) -> Ipv4Addr {
+            self.addr
+        }
+        fn mtu(&self) -> u32 {
+            1500
+        }
+        fn raw_supported(&self) -> bool {
+            self.raw_ok
+        }
+        fn raw_send_at(&mut self, time: u64, packet: Vec<u8>, tag: u64) {
+            self.raw_sends.push((time, packet, tag));
+        }
+        fn udp_bind(&mut self, port: u16) -> bool {
+            if self.bound_udp.contains(&port) {
+                return false;
+            }
+            self.bound_udp.push(port);
+            true
+        }
+        fn udp_unbind(&mut self, port: u16) {
+            self.bound_udp.retain(|p| *p != port);
+        }
+        fn udp_send_at(
+            &mut self,
+            time: u64,
+            src_port: u16,
+            dst: Ipv4Addr,
+            dst_port: u16,
+            payload: &[u8],
+            tag: u64,
+        ) {
+            self.udp_sends
+                .push((time, src_port, dst, dst_port, payload.to_vec(), tag));
+        }
+        fn take_udp(&mut self, _port: u16) -> Vec<(u64, Ipv4Addr, u16, Vec<u8>)> {
+            std::mem::take(&mut self.udp_inbox)
+        }
+        fn tcp_connect(&mut self, _dst: Ipv4Addr, _dst_port: u16) -> u64 {
+            7
+        }
+        fn tcp_send(&mut self, _conn: u64, _data: &[u8]) {}
+        fn tcp_recv(&mut self, _conn: u64, _max: usize) -> Vec<u8> {
+            Vec::new()
+        }
+        fn tcp_readable(&self, _conn: u64) -> usize {
+            0
+        }
+        fn tcp_close(&mut self, _conn: u64) {}
+        fn tcp_alive(&self, _conn: u64) -> bool {
+            true
+        }
+        fn schedule_wakeup(&mut self, key: u64, time: u64) {
+            self.wakeups.push((key, time));
+        }
+        fn take_send_log(&mut self) -> Vec<(u64, u64)> {
+            std::mem::take(&mut self.send_log)
+        }
+    }
+
+    fn operator() -> Keypair {
+        Keypair::from_seed(&[1; 32])
+    }
+
+    fn agent() -> EndpointAgent {
+        EndpointAgent::new(EndpointConfig {
+            trusted_keys: vec![plab_crypto::KeyHash::of(&operator().public)],
+            ..Default::default()
+        })
+    }
+
+    /// Drive hello+auth for session `sid`; returns after AuthOk.
+    fn authenticate(agent: &mut EndpointAgent, stack: &mut MockStack, sid: u64, priority: u8) {
+        let experimenter = Keypair::from_seed(&[42; 32]);
+        let creds = Credentials::issue(
+            &operator(),
+            &experimenter,
+            crate::descriptor::ExperimentDescriptor {
+                name: "unit".into(),
+                controller_addr: "10.0.9.1:7000".into(),
+                info_url: String::new(),
+                experimenter: plab_crypto::KeyHash::of(&experimenter.public),
+            },
+            crate::cert::Restrictions::none(),
+            priority,
+        );
+        agent.on_session_open(sid);
+        let out = agent.on_message(sid, Message::Hello { version: crate::PROTOCOL_VERSION }, stack);
+        let Some((_, Message::HelloAck { nonce, .. })) = out.first() else {
+            panic!("expected HelloAck, got {out:?}");
+        };
+        let auth = creds.auth_message(nonce);
+        let out = agent.on_message(sid, auth, stack);
+        assert!(
+            out.iter().any(|(s, m)| *s == sid && matches!(m, Message::AuthOk)),
+            "expected AuthOk, got {out:?}"
+        );
+    }
+
+    fn cmd(agent: &mut EndpointAgent, stack: &mut MockStack, sid: u64, c: Command) -> Message {
+        let out = agent.on_message(sid, Message::Cmd(c), stack);
+        // Return the first direct response to this session.
+        out.into_iter()
+            .find(|(s, m)| *s == sid && matches!(m, Message::Resp(_)))
+            .map(|(_, m)| m)
+            .expect("command must produce a response")
+    }
+
+    #[test]
+    fn command_before_auth_rejected() {
+        let mut a = agent();
+        let mut s = MockStack::new();
+        a.on_session_open(1);
+        let resp = cmd(&mut a, &mut s, 1, Command::NPoll { time: 0 });
+        assert!(matches!(
+            resp,
+            Message::Resp(Response::Err { code: ErrCode::Auth, .. })
+        ));
+    }
+
+    #[test]
+    fn hello_with_wrong_version_rejected() {
+        let mut a = agent();
+        let mut s = MockStack::new();
+        a.on_session_open(1);
+        let out = a.on_message(1, Message::Hello { version: 99 }, &mut s);
+        assert!(matches!(
+            out.first(),
+            Some((_, Message::Resp(Response::Err { code: ErrCode::Malformed, .. })))
+        ));
+    }
+
+    #[test]
+    fn auth_then_scheduled_raw_send() {
+        let mut a = agent();
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        let resp = cmd(&mut a, &mut s, 1, Command::NOpen {
+            sktid: 1,
+            proto: Proto::Raw,
+            locport: 0,
+            remaddr: 0,
+            remport: 0,
+        });
+        assert!(matches!(resp, Message::Resp(Response::Ok)));
+        let pkt = plab_packet::builder::icmp_echo_request(
+            s.addr,
+            Ipv4Addr::new(10, 0, 0, 9),
+            64,
+            1,
+            1,
+            &[],
+        );
+        let resp = cmd(&mut a, &mut s, 1, Command::NSend { sktid: 1, time: 5_000, data: pkt.clone() });
+        let Message::Resp(Response::SendQueued { tag }) = resp else {
+            panic!("{resp:?}");
+        };
+        assert_eq!(s.raw_sends.len(), 1);
+        assert_eq!(s.raw_sends[0].0, 5_000, "scheduled time forwarded to stack");
+        assert_eq!(s.raw_sends[0].1, pkt);
+        assert_eq!(s.raw_sends[0].2, tag);
+    }
+
+    #[test]
+    fn send_log_recorded_into_session_memory() {
+        let mut a = agent();
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        cmd(&mut a, &mut s, 1, Command::NOpen {
+            sktid: 1,
+            proto: Proto::Raw,
+            locport: 0,
+            remaddr: 0,
+            remport: 0,
+        });
+        let pkt = plab_packet::builder::icmp_echo_request(
+            s.addr,
+            Ipv4Addr::new(10, 0, 0, 9),
+            64,
+            1,
+            1,
+            &[],
+        );
+        let Message::Resp(Response::SendQueued { tag }) =
+            cmd(&mut a, &mut s, 1, Command::NSend { sktid: 1, time: 0, data: pkt })
+        else {
+            panic!()
+        };
+        // The stack reports the actual transmit time; service() records it.
+        s.send_log.push((tag, 4_242));
+        let _ = a.service(&mut s);
+        let slot = crate::memory::EndpointMemory::sendlog_slot(tag);
+        let resp = cmd(&mut a, &mut s, 1, Command::MRead {
+            memaddr: slot,
+            bytecnt: crate::memory::SENDLOG_ENTRY as u32,
+        });
+        let Message::Resp(Response::Mem { data }) = resp else { panic!() };
+        assert_eq!(
+            crate::memory::EndpointMemory::parse_sendlog_entry(&data),
+            Some((tag, 4_242))
+        );
+    }
+
+    #[test]
+    fn npoll_defers_and_wakeup_completes_empty() {
+        let mut a = agent();
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        // No data buffered; deadline in the future → no immediate response,
+        // a wakeup is scheduled.
+        let out = a.on_message(1, Message::Cmd(Command::NPoll { time: 50_000 }), &mut s);
+        assert!(out.is_empty(), "poll deferred: {out:?}");
+        assert_eq!(s.wakeups.len(), 1);
+        let (key, at) = s.wakeups[0];
+        assert_eq!(at, 50_000);
+        // Deadline passes; wakeup yields an empty poll.
+        s.clock = 60_000;
+        let out = a.on_wakeup(key, &mut s);
+        assert!(matches!(
+            out.first(),
+            Some((1, Message::Resp(Response::Poll { packets, .. }))) if packets.is_empty()
+        ));
+    }
+
+    #[test]
+    fn captured_packet_completes_pending_poll() {
+        let mut a = agent();
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        cmd(&mut a, &mut s, 1, Command::NOpen {
+            sktid: 1,
+            proto: Proto::Raw,
+            locport: 0,
+            remaddr: 0,
+            remport: 0,
+        });
+        let filt = plab_cpf::compile(
+            "uint32_t recv(const union packet *pkt, uint32_t len) { return len; }",
+        )
+        .unwrap()
+        .encode();
+        cmd(&mut a, &mut s, 1, Command::NCap { sktid: 1, time: u64::MAX, filt });
+        // Outstanding poll...
+        let out = a.on_message(1, Message::Cmd(Command::NPoll { time: u64::MAX }), &mut s);
+        assert!(out.is_empty());
+        // ...completed by an arriving packet.
+        let pkt = plab_packet::builder::icmp_echo_reply(
+            Ipv4Addr::new(10, 0, 0, 9),
+            s.addr,
+            1,
+            1,
+            b"data",
+        );
+        let (disposition, out) = a.on_packet(2_000, &pkt, &mut s);
+        assert_eq!(disposition, plab_netsim::RawDisposition::Consume);
+        let Some((1, Message::Resp(Response::Poll { packets, .. }))) = out.first() else {
+            panic!("{out:?}");
+        };
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].1, 2_000, "capture timestamped at arrival");
+    }
+
+    #[test]
+    fn uncaptured_packet_is_ignored_disposition() {
+        let mut a = agent();
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        cmd(&mut a, &mut s, 1, Command::NOpen {
+            sktid: 1,
+            proto: Proto::Raw,
+            locport: 0,
+            remaddr: 0,
+            remport: 0,
+        });
+        // No ncap filter: default is capture-nothing, OS processes.
+        let pkt = plab_packet::builder::icmp_echo_request(
+            Ipv4Addr::new(10, 0, 0, 9),
+            s.addr,
+            64,
+            1,
+            1,
+            &[],
+        );
+        let (disposition, out) = a.on_packet(2_000, &pkt, &mut s);
+        assert_eq!(disposition, plab_netsim::RawDisposition::Ignore);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mirror_entry_requests_mirror_disposition() {
+        let mut a = agent();
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        cmd(&mut a, &mut s, 1, Command::NOpen {
+            sktid: 1,
+            proto: Proto::Raw,
+            locport: 0,
+            remaddr: 0,
+            remport: 0,
+        });
+        // Filter captures everything AND defines mirror() returning 1:
+        // passive capture, OS still processes (telescope mode, §3.1).
+        let filt = plab_cpf::compile(
+            "uint32_t recv(const union packet *pkt, uint32_t len) { return len; }
+             uint32_t mirror(const union packet *pkt, uint32_t len) { return 1; }",
+        )
+        .unwrap()
+        .encode();
+        cmd(&mut a, &mut s, 1, Command::NCap { sktid: 1, time: u64::MAX, filt });
+        let pkt = plab_packet::builder::icmp_echo_request(
+            Ipv4Addr::new(10, 0, 0, 9),
+            s.addr,
+            64,
+            1,
+            1,
+            &[],
+        );
+        let (disposition, _) = a.on_packet(2_000, &pkt, &mut s);
+        assert_eq!(disposition, plab_netsim::RawDisposition::Mirror);
+        assert_eq!(a.captured_packets, 1);
+    }
+
+    #[test]
+    fn udp_nsend_builds_datagram_via_stack() {
+        let mut a = agent();
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        cmd(&mut a, &mut s, 1, Command::NOpen {
+            sktid: 2,
+            proto: Proto::Udp,
+            locport: 5000,
+            remaddr: u32::from(Ipv4Addr::new(10, 0, 0, 9)),
+            remport: 53,
+        });
+        assert_eq!(s.bound_udp, vec![5000]);
+        cmd(&mut a, &mut s, 1, Command::NSend { sktid: 2, time: 111, data: b"q".to_vec() });
+        assert_eq!(s.udp_sends.len(), 1);
+        let (time, sport, dst, dport, payload, _) = &s.udp_sends[0];
+        assert_eq!(*time, 111);
+        assert_eq!(*sport, 5000);
+        assert_eq!(*dst, Ipv4Addr::new(10, 0, 0, 9));
+        assert_eq!(*dport, 53);
+        assert_eq!(payload, b"q");
+    }
+
+    #[test]
+    fn session_teardown_releases_udp_port() {
+        let mut a = agent();
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        cmd(&mut a, &mut s, 1, Command::NOpen {
+            sktid: 2,
+            proto: Proto::Udp,
+            locport: 5000,
+            remaddr: 0,
+            remport: 53,
+        });
+        assert_eq!(s.bound_udp, vec![5000]);
+        let _ = a.on_session_closed(1, &mut s);
+        assert!(s.bound_udp.is_empty(), "teardown unbinds");
+        assert_eq!(a.session_count(), 0);
+    }
+
+    #[test]
+    fn max_sessions_cap() {
+        let mut a = EndpointAgent::new(EndpointConfig {
+            trusted_keys: vec![plab_crypto::KeyHash::of(&operator().public)],
+            max_sessions: 2,
+            ..Default::default()
+        });
+        let mut s = MockStack::new();
+        a.on_session_open(1);
+        a.on_session_open(2);
+        a.on_session_open(3); // over the cap: silently not tracked
+        assert_eq!(a.session_count(), 2);
+        // Messages from the untracked session get no crash, no reply state.
+        let out = a.on_message(3, Message::Hello { version: crate::PROTOCOL_VERSION }, &mut s);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn active_priority_tracks_contention() {
+        let mut a = agent();
+        let mut s = MockStack::new();
+        assert_eq!(a.active_priority(), None);
+        authenticate(&mut a, &mut s, 1, 10);
+        assert_eq!(a.active_priority(), Some(10));
+        authenticate(&mut a, &mut s, 2, 99);
+        assert_eq!(a.active_priority(), Some(99), "higher priority took over");
+    }
+
+    #[test]
+    fn malformed_ncap_filter_rejected() {
+        let mut a = agent();
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        cmd(&mut a, &mut s, 1, Command::NOpen {
+            sktid: 1,
+            proto: Proto::Raw,
+            locport: 0,
+            remaddr: 0,
+            remport: 0,
+        });
+        let resp = cmd(&mut a, &mut s, 1, Command::NCap {
+            sktid: 1,
+            time: u64::MAX,
+            filt: vec![1, 2, 3],
+        });
+        assert!(matches!(
+            resp,
+            Message::Resp(Response::Err { code: ErrCode::Malformed, .. })
+        ));
+    }
+
+    #[test]
+    fn replayed_auth_with_stale_nonce_rejected() {
+        // Authenticate session 1, then replay its Auth message on a fresh
+        // session: the nonce differs, so the possession proof fails.
+        let mut a = agent();
+        let mut s = MockStack::new();
+        let experimenter = Keypair::from_seed(&[42; 32]);
+        let creds = Credentials::issue(
+            &operator(),
+            &experimenter,
+            crate::descriptor::ExperimentDescriptor {
+                name: "unit".into(),
+                controller_addr: "10.0.9.1:7000".into(),
+                info_url: String::new(),
+                experimenter: plab_crypto::KeyHash::of(&experimenter.public),
+            },
+            crate::cert::Restrictions::none(),
+            1,
+        );
+        a.on_session_open(1);
+        let out = a.on_message(1, Message::Hello { version: crate::PROTOCOL_VERSION }, &mut s);
+        let Some((_, Message::HelloAck { nonce, .. })) = out.first() else { panic!() };
+        let auth = creds.auth_message(nonce);
+        let out = a.on_message(1, auth.clone(), &mut s);
+        assert!(out.iter().any(|(_, m)| matches!(m, Message::AuthOk)));
+
+        // Replay on session 2 (whose nonce is different: later clock).
+        s.clock += 1;
+        a.on_session_open(2);
+        let _ = a.on_message(2, Message::Hello { version: crate::PROTOCOL_VERSION }, &mut s);
+        let out = a.on_message(2, auth, &mut s);
+        assert!(
+            out.iter().any(|(sid, m)| *sid == 2
+                && matches!(m, Message::Resp(Response::Err { code: ErrCode::Auth, .. }))),
+            "replayed proof must fail: {out:?}"
+        );
+    }
+}

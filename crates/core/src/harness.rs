@@ -1,0 +1,709 @@
+//! Simulation harness: runs endpoints, rendezvous servers, and controller
+//! channels over a `plab-netsim` topology in deterministic lockstep.
+//!
+//! The harness is the "deployment" of the reproduction: endpoint agents
+//! listen for control connections on their simulated hosts, rendezvous
+//! servers accept publishes and subscriptions, controllers connect through
+//! [`SimChannel`], and everything advances on the simulator's virtual
+//! clock. Experiment code is identical to what would run against real
+//! endpoints — only the [`crate::controller::ControlChannel`]
+//! implementation differs.
+
+use crate::controller::ControlChannel;
+use crate::endpoint::{EndpointAgent, EndpointConfig};
+use crate::rendezvous::{RendezvousServer, RvMessage};
+use crate::netstack::SimStack;
+use crate::wire::{FrameDecoder, Message};
+use plab_netsim::{NodeId, RawDisposition, Sim};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// Default endpoint control port.
+pub const CONTROL_PORT: u16 = 6000;
+/// Default rendezvous port.
+pub const RENDEZVOUS_PORT: u16 = 5999;
+
+struct SessionConn {
+    conn: u64,
+    decoder: FrameDecoder,
+}
+
+struct EndpointHost {
+    node: NodeId,
+    agent: EndpointAgent,
+    port: u16,
+    sessions: HashMap<u64, SessionConn>,
+    next_sid: u64,
+    ext_addr: Option<Ipv4Addr>,
+    raw_ok: bool,
+    /// Connection to a rendezvous server, if subscribed.
+    rv_conn: Option<(u64, FrameDecoder)>,
+    /// Dial controllers named in rendezvous announcements.
+    auto_dial: bool,
+    dialed: Vec<String>,
+    /// Announcements received (descriptor bytes), for inspection.
+    pub announcements: Vec<Vec<u8>>,
+}
+
+struct RvHost {
+    node: NodeId,
+    server: RendezvousServer,
+    port: u16,
+    sessions: HashMap<u64, SessionConn>,
+    next_sid: u64,
+}
+
+/// Handle identifying an endpoint within a [`SimNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointId(usize);
+
+impl EndpointId {
+    /// The first endpoint added to the harness.
+    pub fn first() -> EndpointId {
+        EndpointId(0)
+    }
+
+    /// The `i`-th endpoint added to the harness.
+    pub fn index(i: usize) -> EndpointId {
+        EndpointId(i)
+    }
+}
+
+/// The simulation harness.
+pub struct SimNet {
+    /// The underlying simulator.
+    pub sim: Sim,
+    endpoints: Vec<EndpointHost>,
+    rendezvous: Vec<RvHost>,
+    /// Controller-side listeners: (node, port) → accepted conns.
+    listeners: Vec<(NodeId, u16, Vec<u64>)>,
+}
+
+impl SimNet {
+    /// Wrap a built simulator.
+    pub fn new(sim: Sim) -> Self {
+        SimNet {
+            sim,
+            endpoints: Vec::new(),
+            rendezvous: Vec::new(),
+            listeners: Vec::new(),
+        }
+    }
+
+    /// Install a PacketLab endpoint agent on `node`, listening on
+    /// [`CONTROL_PORT`].
+    pub fn add_endpoint(&mut self, node: NodeId, config: EndpointConfig) -> EndpointId {
+        self.add_endpoint_opts(node, config, true, None)
+    }
+
+    /// Install an endpoint with explicit raw-socket capability and NAT
+    /// external address.
+    pub fn add_endpoint_opts(
+        &mut self,
+        node: NodeId,
+        config: EndpointConfig,
+        raw_ok: bool,
+        ext_addr: Option<Ipv4Addr>,
+    ) -> EndpointId {
+        self.sim.tcp_listen(node, CONTROL_PORT);
+        self.sim.set_defer_os(node, true);
+        self.endpoints.push(EndpointHost {
+            node,
+            agent: EndpointAgent::new(config),
+            port: CONTROL_PORT,
+            sessions: HashMap::new(),
+            next_sid: 1,
+            ext_addr,
+            raw_ok,
+            rv_conn: None,
+            auto_dial: false,
+            dialed: Vec::new(),
+            announcements: Vec::new(),
+        });
+        EndpointId(self.endpoints.len() - 1)
+    }
+
+    /// Install a rendezvous server on `node`.
+    pub fn add_rendezvous(&mut self, node: NodeId, server: RendezvousServer) {
+        self.sim.tcp_listen(node, RENDEZVOUS_PORT);
+        self.rendezvous.push(RvHost {
+            node,
+            server,
+            port: RENDEZVOUS_PORT,
+            sessions: HashMap::new(),
+            next_sid: 1,
+        });
+    }
+
+    /// Access an endpoint's agent (e.g. for statistics assertions).
+    pub fn endpoint_agent(&self, id: EndpointId) -> &EndpointAgent {
+        &self.endpoints[id.0].agent
+    }
+
+    /// Announcements an endpoint has received from its rendezvous server.
+    pub fn endpoint_announcements(&self, id: EndpointId) -> &[Vec<u8>] {
+        &self.endpoints[id.0].announcements
+    }
+
+    /// Controllers an endpoint auto-dialed from announcements.
+    pub fn endpoint_dialed(&self, id: EndpointId) -> &[String] {
+        &self.endpoints[id.0].dialed
+    }
+
+    /// Subscribe an endpoint to a rendezvous server at `addr`, using the
+    /// endpoint's trusted keys as its channels (§3.3: "it subscribes to
+    /// the set of channels corresponding to each of the public keys it
+    /// trusts"). With `auto_dial`, the endpoint contacts controllers named
+    /// in announcements (§3.2).
+    pub fn endpoint_subscribe(&mut self, id: EndpointId, rv_addr: Ipv4Addr, auto_dial: bool) {
+        let ep = &mut self.endpoints[id.0];
+        let conn = self.sim.tcp_connect(ep.node, rv_addr, RENDEZVOUS_PORT);
+        let channels: Vec<[u8; 32]> = ep
+            .agent
+            .config()
+            .trusted_keys
+            .iter()
+            .map(|k| k.0)
+            .collect();
+        let frame = rv_frame(&RvMessage::Subscribe { channels });
+        self.sim.tcp_send(ep.node, conn, &frame);
+        ep.rv_conn = Some((conn, FrameDecoder::new()));
+        ep.auto_dial = auto_dial;
+    }
+
+    /// Publish an experiment to the rendezvous server at `addr` from
+    /// `from_node`. Returns the connection used (drive with
+    /// [`SimNet::run_until`] and check the server's state or endpoint
+    /// announcements).
+    pub fn publish_experiment(
+        &mut self,
+        from_node: NodeId,
+        rv_addr: Ipv4Addr,
+        descriptor: Vec<u8>,
+        chain: Vec<Vec<u8>>,
+        keys: Vec<[u8; 32]>,
+    ) -> u64 {
+        let conn = self.sim.tcp_connect(from_node, rv_addr, RENDEZVOUS_PORT);
+        let frame = rv_frame(&RvMessage::Publish { descriptor, chain, keys });
+        self.sim.tcp_send(from_node, conn, &frame);
+        conn
+    }
+
+    /// Make an endpoint dial a controller directly (the §3.2 direction,
+    /// without going through a rendezvous announcement). NAT'd endpoints
+    /// must use this: inbound connections do not traverse their NAT.
+    pub fn endpoint_dial(&mut self, id: EndpointId, controller: Ipv4Addr, port: u16) {
+        let ep = &mut self.endpoints[id.0];
+        let conn = self.sim.tcp_connect(ep.node, controller, port);
+        let sid = ep.next_sid;
+        ep.next_sid += 1;
+        ep.agent.on_session_open(sid);
+        ep.sessions.insert(sid, SessionConn { conn, decoder: FrameDecoder::new() });
+    }
+
+    /// Open a controller-side listener (for endpoint-initiated control
+    /// connections, the paper's §3.2 direction).
+    pub fn controller_listen(&mut self, node: NodeId, port: u16) {
+        self.sim.tcp_listen(node, port);
+        self.listeners.push((node, port, Vec::new()));
+    }
+
+    /// Pop a connection accepted on a controller listener.
+    pub fn controller_accept(&mut self, node: NodeId, port: u16) -> Option<u64> {
+        self.process();
+        for (n, p, queue) in &mut self.listeners {
+            if *n == node && *p == port {
+                return queue.pop();
+            }
+        }
+        None
+    }
+
+    /// Advance virtual time to `deadline`, servicing all agents.
+    pub fn run_until(&mut self, deadline: u64) {
+        loop {
+            self.process();
+            match self.sim.next_event_time() {
+                Some(t) if t <= deadline => {
+                    self.sim.step();
+                }
+                _ => break,
+            }
+        }
+        self.sim.run_until(deadline);
+        self.process();
+    }
+
+    /// Process one simulator event (if any) plus agent servicing; returns
+    /// false when no event was pending.
+    pub fn step(&mut self) -> bool {
+        self.process();
+        let stepped = self.sim.step();
+        self.process();
+        stepped
+    }
+
+    /// Service all agents until quiescent at the current instant.
+    pub fn process(&mut self) {
+        // Controller-side listener accepts.
+        for (node, port, queue) in &mut self.listeners {
+            while let Some(conn) = self.sim.tcp_accept(*node, *port) {
+                queue.push(conn);
+            }
+        }
+        let fired = self.sim.take_fired_timers();
+        self.process_endpoints(&fired);
+        self.process_rendezvous();
+    }
+
+    fn process_endpoints(&mut self, fired: &[(NodeId, u64)]) {
+        for i in 0..self.endpoints.len() {
+            // Accept new control connections.
+            loop {
+                let ep = &mut self.endpoints[i];
+                let Some(conn) = self.sim.tcp_accept(ep.node, ep.port) else {
+                    break;
+                };
+                let sid = ep.next_sid;
+                ep.next_sid += 1;
+                ep.agent.on_session_open(sid);
+                ep.sessions.insert(sid, SessionConn { conn, decoder: FrameDecoder::new() });
+            }
+
+            let node = self.endpoints[i].node;
+
+            // Deferred OS packets: capture + disposition.
+            let pending = self.sim.take_pending_os(node);
+            for (time, pkt) in pending {
+                let (disposition, out) = {
+                    let ep = &mut self.endpoints[i];
+                    let mut stack = SimStack {
+                        sim: &mut self.sim,
+                        node,
+                        ext_addr: ep.ext_addr,
+                        raw_ok: ep.raw_ok,
+                    };
+                    ep.agent.on_packet(time, &pkt, &mut stack)
+                };
+                if disposition != RawDisposition::Consume {
+                    self.sim.os_process(node, &pkt);
+                }
+                self.send_frames(i, out);
+            }
+
+            // Timers for this node.
+            for (t_node, key) in fired {
+                if *t_node == node {
+                    let out = {
+                        let ep = &mut self.endpoints[i];
+                        let mut stack = SimStack {
+                            sim: &mut self.sim,
+                            node,
+                            ext_addr: ep.ext_addr,
+                            raw_ok: ep.raw_ok,
+                        };
+                        ep.agent.on_wakeup(*key, &mut stack)
+                    };
+                    self.send_frames(i, out);
+                }
+            }
+
+            // Drain control connections.
+            let sids: Vec<u64> = self.endpoints[i].sessions.keys().copied().collect();
+            for sid in sids {
+                let (conn, closed) = {
+                    let ep = &self.endpoints[i];
+                    let sc = &ep.sessions[&sid];
+                    let dead = self.sim.tcp_closed(node, sc.conn)
+                        || self.sim.tcp_peer_done(node, sc.conn);
+                    (sc.conn, dead)
+                };
+                // Read available stream data.
+                loop {
+                    let data = self.sim.tcp_recv(node, conn, 65536);
+                    if data.is_empty() {
+                        break;
+                    }
+                    self.endpoints[i]
+                        .sessions
+                        .get_mut(&sid)
+                        .unwrap()
+                        .decoder
+                        .extend(&data);
+                }
+                loop {
+                    let frame = {
+                        let ep = &mut self.endpoints[i];
+                        match ep.sessions.get_mut(&sid).unwrap().decoder.next_message() {
+                            Ok(Some(m)) => Some(m),
+                            Ok(None) => None,
+                            Err(_) => {
+                                // Corrupt stream: drop the session.
+                                None
+                            }
+                        }
+                    };
+                    let Some(msg) = frame else { break };
+                    let out = {
+                        let ep = &mut self.endpoints[i];
+                        let mut stack = SimStack {
+                            sim: &mut self.sim,
+                            node,
+                            ext_addr: ep.ext_addr,
+                            raw_ok: ep.raw_ok,
+                        };
+                        ep.agent.on_message(sid, msg, &mut stack)
+                    };
+                    self.send_frames(i, out);
+                }
+                if closed {
+                    let out = {
+                        let ep = &mut self.endpoints[i];
+                        ep.sessions.remove(&sid);
+                        let mut stack = SimStack {
+                            sim: &mut self.sim,
+                            node,
+                            ext_addr: ep.ext_addr,
+                            raw_ok: ep.raw_ok,
+                        };
+                        ep.agent.on_session_closed(sid, &mut stack)
+                    };
+                    self.send_frames(i, out);
+                }
+            }
+
+            // Rendezvous announcements.
+            self.drain_endpoint_rendezvous(i);
+
+            // Periodic service.
+            let out = {
+                let ep = &mut self.endpoints[i];
+                let mut stack = SimStack {
+                    sim: &mut self.sim,
+                    node,
+                    ext_addr: ep.ext_addr,
+                    raw_ok: ep.raw_ok,
+                };
+                ep.agent.service(&mut stack)
+            };
+            self.send_frames(i, out);
+        }
+    }
+
+    fn drain_endpoint_rendezvous(&mut self, i: usize) {
+        let node = self.endpoints[i].node;
+        let Some((conn, _)) = self.endpoints[i].rv_conn else {
+            return;
+        };
+        loop {
+            let data = self.sim.tcp_recv(node, conn, 65536);
+            if data.is_empty() {
+                break;
+            }
+            if let Some((_, dec)) = &mut self.endpoints[i].rv_conn {
+                dec.extend(&data);
+            }
+        }
+        loop {
+            let frame = match &mut self.endpoints[i].rv_conn {
+                Some((_, dec)) => dec.next_frame().unwrap_or(None),
+                None => None,
+            };
+            let Some(payload) = frame else { break };
+            if let Some(RvMessage::Announce { descriptor, .. }) = RvMessage::decode(&payload) {
+                self.endpoints[i].announcements.push(descriptor.clone());
+                if self.endpoints[i].auto_dial {
+                    if let Some(desc) = crate::descriptor::ExperimentDescriptor::decode(&descriptor)
+                    {
+                        if !self.endpoints[i].dialed.contains(&desc.controller_addr) {
+                            if let Some((addr, port)) = parse_addr(&desc.controller_addr) {
+                                // "an endpoint contacts the experiment
+                                // controller given in the descriptor".
+                                let conn = self.sim.tcp_connect(node, addr, port);
+                                let ep = &mut self.endpoints[i];
+                                let sid = ep.next_sid;
+                                ep.next_sid += 1;
+                                ep.agent.on_session_open(sid);
+                                ep.sessions
+                                    .insert(sid, SessionConn { conn, decoder: FrameDecoder::new() });
+                                ep.dialed.push(desc.controller_addr.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn process_rendezvous(&mut self) {
+        for i in 0..self.rendezvous.len() {
+            loop {
+                let rv = &mut self.rendezvous[i];
+                let Some(conn) = self.sim.tcp_accept(rv.node, rv.port) else {
+                    break;
+                };
+                let sid = rv.next_sid;
+                rv.next_sid += 1;
+                rv.sessions.insert(sid, SessionConn { conn, decoder: FrameDecoder::new() });
+            }
+            let node = self.rendezvous[i].node;
+            let sids: Vec<u64> = self.rendezvous[i].sessions.keys().copied().collect();
+            for sid in sids {
+                let (conn, closed) = {
+                    let rv = &self.rendezvous[i];
+                    let sc = &rv.sessions[&sid];
+                    (sc.conn, self.sim.tcp_closed(node, sc.conn))
+                };
+                loop {
+                    let data = self.sim.tcp_recv(node, conn, 65536);
+                    if data.is_empty() {
+                        break;
+                    }
+                    self.rendezvous[i]
+                        .sessions
+                        .get_mut(&sid)
+                        .unwrap()
+                        .decoder
+                        .extend(&data);
+                }
+                loop {
+                    let payload = {
+                        let rv = &mut self.rendezvous[i];
+                        rv.sessions
+                            .get_mut(&sid)
+                            .unwrap()
+                            .decoder
+                            .next_frame()
+                            .unwrap_or(None)
+                    };
+                    let Some(payload) = payload else { break };
+                    let Some(msg) = RvMessage::decode(&payload) else { continue };
+                    let replies = self.rendezvous[i].server.on_message(sid, msg);
+                    for (to_sid, reply) in replies {
+                        let to_conn = self.rendezvous[i]
+                            .sessions
+                            .get(&to_sid)
+                            .map(|sc| sc.conn);
+                        if let Some(c) = to_conn {
+                            let frame = rv_frame(&reply);
+                            self.sim.tcp_send(node, c, &frame);
+                        }
+                    }
+                }
+                if closed {
+                    self.rendezvous[i].sessions.remove(&sid);
+                    self.rendezvous[i].server.on_session_closed(sid);
+                }
+            }
+        }
+    }
+
+    fn send_frames(&mut self, endpoint_idx: usize, out: crate::endpoint::Out) {
+        let node = self.endpoints[endpoint_idx].node;
+        for (sid, msg) in out {
+            let conn = self.endpoints[endpoint_idx]
+                .sessions
+                .get(&sid)
+                .map(|sc| sc.conn);
+            if let Some(conn) = conn {
+                self.sim.tcp_send(node, conn, &msg.to_frame());
+            }
+        }
+    }
+}
+
+fn rv_frame(msg: &RvMessage) -> Vec<u8> {
+    let payload = msg.encode();
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn parse_addr(s: &str) -> Option<(Ipv4Addr, u16)> {
+    let (host, port) = s.rsplit_once(':')?;
+    Some((host.parse().ok()?, port.parse().ok()?))
+}
+
+/// A [`ControlChannel`] over a [`SimNet`] TCP connection. The controller
+/// "runs" on a simulated host; waiting for a reply advances virtual time.
+pub struct SimChannel {
+    net: Rc<RefCell<SimNet>>,
+    node: NodeId,
+    conn: u64,
+    decoder: FrameDecoder,
+}
+
+impl SimChannel {
+    /// Dial an endpoint's control port from `node`.
+    pub fn connect(net: &Rc<RefCell<SimNet>>, node: NodeId, endpoint: Ipv4Addr) -> SimChannel {
+        let conn = {
+            let mut n = net.borrow_mut();
+            let conn = n.sim.tcp_connect(node, endpoint, CONTROL_PORT);
+            // Let the handshake complete: pump events until the connection
+            // establishes or a generous deadline passes.
+            let deadline = n.sim.now() + 10 * plab_netsim::SECOND;
+            while !n.sim.tcp_established(node, conn)
+                && n.sim.next_event_time().map_or(false, |t| t <= deadline)
+            {
+                n.step();
+            }
+            conn
+        };
+        SimChannel { net: Rc::clone(net), node, conn, decoder: FrameDecoder::new() }
+    }
+
+    /// Wrap a connection accepted by a controller listener (the
+    /// endpoint-dialed direction).
+    pub fn from_accepted(net: &Rc<RefCell<SimNet>>, node: NodeId, conn: u64) -> SimChannel {
+        SimChannel { net: Rc::clone(net), node, conn, decoder: FrameDecoder::new() }
+    }
+
+    fn drain(&mut self) {
+        let mut n = self.net.borrow_mut();
+        loop {
+            let data = n.sim.tcp_recv(self.node, self.conn, 65536);
+            if data.is_empty() {
+                break;
+            }
+            self.decoder.extend(&data);
+        }
+    }
+
+    /// The harness (for experiment code needing controller-host sockets,
+    /// e.g. the §4 bandwidth experiment's UDP sink).
+    pub fn net(&self) -> Rc<RefCell<SimNet>> {
+        Rc::clone(&self.net)
+    }
+
+    /// This controller's host node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Bind a UDP port on the controller host.
+    pub fn udp_bind(&self, port: u16) -> bool {
+        self.net.borrow_mut().sim.udp_bind(self.node, port)
+    }
+
+    /// Drain UDP arrivals on the controller host: (arrival time, source,
+    /// source port, payload length).
+    pub fn udp_take(&self, port: u16) -> Vec<(u64, Ipv4Addr, u16, usize)> {
+        self.net
+            .borrow_mut()
+            .sim
+            .udp_recv(self.node, port)
+            .into_iter()
+            .map(|(t, a, p, d)| (t, a, p, d.len()))
+            .collect()
+    }
+
+    /// The controller host's address (for descriptors and UDP sinks).
+    pub fn addr(&self) -> Ipv4Addr {
+        let n = self.net.borrow();
+        n.sim.addr_of(self.node)
+    }
+
+    /// Advance virtual time (used by experiments waiting on wall-clock
+    /// style conditions rather than control messages).
+    pub fn wait_until(&self, time: u64) {
+        self.net.borrow_mut().run_until(time);
+    }
+}
+
+impl Drop for SimChannel {
+    fn drop(&mut self) {
+        // Close the control connection so the endpoint tears the session
+        // down (releasing its sockets), as a real client process exit
+        // would. try_borrow: dropping during a panic must not double-panic.
+        if let Ok(mut n) = self.net.try_borrow_mut() {
+            n.sim.tcp_close(self.node, self.conn);
+            let now = n.sim.now();
+            n.run_until(now + plab_netsim::SECOND);
+        }
+    }
+}
+
+impl ControlChannel for SimChannel {
+    fn send(&mut self, msg: &Message) {
+        let frame = msg.to_frame();
+        let mut n = self.net.borrow_mut();
+        n.sim.tcp_send(self.node, self.conn, &frame);
+        n.process();
+    }
+
+    fn recv(&mut self, deadline: Option<u64>) -> Option<Message> {
+        loop {
+            self.drain();
+            match self.decoder.next_message() {
+                Ok(Some(m)) => return Some(m),
+                Ok(None) => {}
+                Err(_) => return None,
+            }
+            // Advance the world.
+            let mut n = self.net.borrow_mut();
+            n.process();
+            let next = n.sim.next_event_time();
+            match (next, deadline) {
+                (Some(t), Some(d)) if t > d => {
+                    n.run_until(d);
+                    drop(n);
+                    self.drain();
+                    return self.decoder.next_message().ok().flatten();
+                }
+                (Some(_), _) => {
+                    n.step();
+                }
+                (None, Some(d)) => {
+                    n.run_until(d);
+                    drop(n);
+                    self.drain();
+                    return self.decoder.next_message().ok().flatten();
+                }
+                (None, None) => return None,
+            }
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.net.borrow().sim.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_addr_accepts_host_port() {
+        assert_eq!(
+            parse_addr("10.0.0.1:7000"),
+            Some(("10.0.0.1".parse().unwrap(), 7000))
+        );
+        assert_eq!(parse_addr("not-an-addr"), None);
+        assert_eq!(parse_addr("10.0.0.1:"), None);
+        assert_eq!(parse_addr(":80"), None);
+        assert_eq!(parse_addr("300.0.0.1:80"), None);
+    }
+
+    #[test]
+    fn endpoint_id_helpers() {
+        assert_eq!(EndpointId::first(), EndpointId::index(0));
+        assert_ne!(EndpointId::first(), EndpointId::index(1));
+    }
+
+    #[test]
+    fn simnet_smoke() {
+        let mut t = plab_netsim::TopologyBuilder::new();
+        let a = t.host("a", "10.0.0.1".parse().unwrap());
+        let b = t.host("b", "10.0.0.2".parse().unwrap());
+        t.link(a, b, plab_netsim::LinkParams::new(1, 0));
+        let mut net = SimNet::new(t.build());
+        let id = net.add_endpoint(a, crate::endpoint::EndpointConfig::default());
+        assert_eq!(net.endpoint_agent(id).session_count(), 0);
+        net.run_until(plab_netsim::SECOND);
+        assert!(net.sim.now() >= plab_netsim::SECOND);
+    }
+}

@@ -1,0 +1,68 @@
+//! # packetlab — a universal measurement endpoint interface
+//!
+//! A from-scratch, full-system reproduction of **PacketLab** (Levchenko,
+//! Dhamdhere, Huffaker, claffy, Allman, Paxson — IMC 2017): a clean-slate
+//! measurement architecture in which measurement endpoints are dumb packet
+//! sources/sinks, all experiment logic lives on a remote *experiment
+//! controller*, *rendezvous servers* disseminate experiments by
+//! publish/subscribe, and cryptographic *certificates* with attached
+//! *monitors* delegate and police endpoint access.
+//!
+//! ## Crate map
+//!
+//! | module | paper section | role |
+//! |--------|---------------|------|
+//! | [`wire`] | §3.1, Table 1 | framed control protocol: `nopen`, `nclose`, `nsend`, `ncap`, `npoll`, `mread`, `mwrite` |
+//! | [`cert`] | §3.3 | experiment & delegation certificates, restrictions, chain verification |
+//! | [`descriptor`] | §3.2 | experiment descriptors |
+//! | [`memory`] | §3.1 | the endpoint virtual address space (`mread`/`mwrite`): info block, send-time log, controller scratch |
+//! | [`monitor`] | §3.4 | monitor sets instantiated from a certificate chain (PFVM) |
+//! | [`netstack`] | §3.1 | the endpoint's network abstraction; implemented over `plab-netsim` |
+//! | [`endpoint`] | §3.1, §3.3 | the measurement endpoint agent: sessions, sockets, scheduler, capture buffers, contention |
+//! | [`rendezvous`] | §3.2, §3.3 | publish/subscribe experiment dissemination with channel = key-hash |
+//! | [`controller`] | §3.1, §4 | experimenter-side client: command API, clock sync, measurement library (ping, traceroute, bandwidth) |
+//! | [`harness`] | — | glue driving endpoints/rendezvous/controllers over a `plab-netsim` topology in lockstep |
+//! | [`transport`] | — | the same agent/controller over real `std::net` sockets in real time |
+//!
+//! ## The experiment lifecycle (Figure 1 of the paper)
+//!
+//! 1. A *rendezvous operator* authorizes an experimenter key (delegation
+//!    certificate ➊).
+//! 2. An *endpoint operator* signs a delegation certificate for the
+//!    experimenter (➋–➌), optionally attaching restrictions: validity
+//!    window, monitor program, buffer ceiling, maximum priority.
+//! 3. The experimenter creates an experiment descriptor and signs an
+//!    experiment certificate for it (➍), then publishes descriptor + chain
+//!    to a rendezvous server (➎), which verifies the chain (➏) and
+//!    broadcasts to endpoints subscribed to any key-hash channel in it.
+//! 4. Endpoints contact the controller named in the descriptor; the
+//!    controller presents the certificate chain (➐); the endpoint verifies
+//!    it against its trusted operator keys (➑), instantiates monitors, and
+//!    enters the command loop.
+//!
+//! See `DESIGN.md` (repo root) for the reproduction inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cert;
+pub mod controller;
+pub mod descriptor;
+pub mod endpoint;
+pub mod harness;
+pub mod memory;
+pub mod monitor;
+pub mod netstack;
+pub mod rendezvous;
+pub mod transport;
+pub mod wire;
+
+pub use cert::{CertPayload, Certificate, Restrictions};
+pub use descriptor::ExperimentDescriptor;
+pub use endpoint::EndpointAgent;
+pub use harness::SimNet;
+pub use wire::{Command, Message, Notification, Response};
+
+/// Protocol version implemented by this crate.
+pub const PROTOCOL_VERSION: u8 = 1;

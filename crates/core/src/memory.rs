@@ -1,0 +1,191 @@
+//! The endpoint virtual address space accessed by `mread`/`mwrite` (§3.1).
+//!
+//! "A PacketLab endpoint makes this information such as its IP address,
+//! DHCP parameters, and the current socket state available to the
+//! controller via a structured block of memory that is accessed using the
+//! mread and mwrite commands. ... an endpoint makes its clock available as
+//! a read-only 64-bit value."
+//!
+//! Layout (all little-endian):
+//!
+//! | range | contents | writable |
+//! |-------|----------|----------|
+//! | `0 .. 64` | info block: clock, addresses, MTU, flags, buffer stats (see [`plab_packet::layout::INFO_FIELDS`]) | no |
+//! | `64 .. 128` | controller scratch (visible to monitors as info fields `scratch0..3`) | yes |
+//! | `128 .. 1152` | send-time log: 64 × (tag u64, actual send time u64) ring, slot = tag % 64 | no |
+//!
+//! The same `0..128` prefix is what monitor programs see as their *info*
+//! address space, so a controller can pass parameters to a stateful
+//! monitor through the scratch words.
+
+use plab_packet::layout;
+
+/// Total size of the controller-visible memory.
+pub const MEMORY_SIZE: usize = SENDLOG_OFFSET + SENDLOG_SLOTS * SENDLOG_ENTRY;
+/// Offset of the send-time log.
+pub const SENDLOG_OFFSET: usize = layout::INFO_SIZE;
+/// Entries in the send-time log ring.
+pub const SENDLOG_SLOTS: usize = 64;
+/// Bytes per send-log entry (tag, time).
+pub const SENDLOG_ENTRY: usize = 16;
+
+/// The endpoint memory image.
+pub struct EndpointMemory {
+    bytes: Vec<u8>,
+}
+
+impl Default for EndpointMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EndpointMemory {
+    /// Zeroed memory.
+    pub fn new() -> Self {
+        EndpointMemory { bytes: vec![0; MEMORY_SIZE] }
+    }
+
+    /// The monitor-visible info region (`0..INFO_SIZE`).
+    pub fn info(&self) -> &[u8] {
+        &self.bytes[..layout::INFO_SIZE]
+    }
+
+    /// Read for `mread`; `None` when out of range.
+    pub fn read(&self, addr: u32, len: u32) -> Option<&[u8]> {
+        let addr = addr as usize;
+        let len = len as usize;
+        if addr + len > self.bytes.len() {
+            return None;
+        }
+        Some(&self.bytes[addr..addr + len])
+    }
+
+    /// Write for `mwrite`; only the controller scratch region is writable.
+    /// Returns false on a read-only or out-of-range write.
+    pub fn write(&mut self, addr: u32, data: &[u8]) -> bool {
+        let addr = addr as usize;
+        let end = addr + data.len();
+        if addr < layout::INFO_RW_OFFSET || end > layout::INFO_SIZE {
+            return false;
+        }
+        self.bytes[addr..end].copy_from_slice(data);
+        true
+    }
+
+    /// Endpoint-side setter for an info field (ignores writability).
+    pub fn set_info(&mut self, field: &str, value: u64) {
+        let spec = layout::resolve_info(field).expect("known info field");
+        spec.write_le(&mut self.bytes, value);
+    }
+
+    /// Endpoint-side getter.
+    pub fn get_info(&self, field: &str) -> u64 {
+        let spec = layout::resolve_info(field).expect("known info field");
+        spec.read_le(&self.bytes).expect("in range")
+    }
+
+    /// Record a scheduled send's actual transmission time (the `nsend`
+    /// timestamp the paper says is retrieved via `mread`).
+    pub fn record_send(&mut self, tag: u64, time: u64) {
+        let slot = (tag as usize % SENDLOG_SLOTS) * SENDLOG_ENTRY + SENDLOG_OFFSET;
+        self.bytes[slot..slot + 8].copy_from_slice(&tag.to_le_bytes());
+        self.bytes[slot + 8..slot + 16].copy_from_slice(&time.to_le_bytes());
+    }
+
+    /// Byte offset of the send-log slot for `tag` (for controllers).
+    pub fn sendlog_slot(tag: u64) -> u32 {
+        (SENDLOG_OFFSET + (tag as usize % SENDLOG_SLOTS) * SENDLOG_ENTRY) as u32
+    }
+
+    /// Parse a send-log entry read back via `mread`.
+    pub fn parse_sendlog_entry(data: &[u8]) -> Option<(u64, u64)> {
+        if data.len() < SENDLOG_ENTRY {
+            return None;
+        }
+        Some((
+            u64::from_le_bytes(data[..8].try_into().unwrap()),
+            u64::from_le_bytes(data[8..16].try_into().unwrap()),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_field_roundtrips() {
+        let mut m = EndpointMemory::new();
+        m.set_info("clock", 123_456_789);
+        assert_eq!(m.get_info("clock"), 123_456_789);
+        // Readable via mread at offset 0.
+        let raw = m.read(0, 8).unwrap();
+        assert_eq!(u64::from_le_bytes(raw.try_into().unwrap()), 123_456_789);
+    }
+
+    #[test]
+    fn mwrite_only_in_scratch_region() {
+        let mut m = EndpointMemory::new();
+        assert!(!m.write(0, &[1]), "clock is read-only");
+        assert!(!m.write(8, &[1, 2, 3, 4]), "addresses are read-only");
+        assert!(m.write(64, &[9; 8]), "scratch is writable");
+        assert_eq!(m.read(64, 8).unwrap(), &[9; 8]);
+        assert!(!m.write(124, &[0; 8]), "write may not cross into send log");
+        assert!(!m.write(200, &[1]), "send log is read-only");
+    }
+
+    #[test]
+    fn mread_bounds_checked() {
+        let m = EndpointMemory::new();
+        assert!(m.read(0, MEMORY_SIZE as u32).is_some());
+        assert!(m.read(0, MEMORY_SIZE as u32 + 1).is_none());
+        assert!(m.read(u32::MAX, 1).is_none());
+        assert!(m.read(MEMORY_SIZE as u32, 0).is_some(), "empty read at end ok");
+    }
+
+    #[test]
+    fn send_log_records_and_reads_back() {
+        let mut m = EndpointMemory::new();
+        m.record_send(5, 111);
+        m.record_send(77, 222);
+        let slot = EndpointMemory::sendlog_slot(5);
+        let entry = m.read(slot, SENDLOG_ENTRY as u32).unwrap();
+        assert_eq!(EndpointMemory::parse_sendlog_entry(entry), Some((5, 111)));
+        let slot = EndpointMemory::sendlog_slot(77);
+        let entry = m.read(slot, SENDLOG_ENTRY as u32).unwrap();
+        assert_eq!(EndpointMemory::parse_sendlog_entry(entry), Some((77, 222)));
+    }
+
+    #[test]
+    fn send_log_ring_wraps() {
+        let mut m = EndpointMemory::new();
+        m.record_send(1, 100);
+        m.record_send(1 + SENDLOG_SLOTS as u64, 200); // same slot
+        let slot = EndpointMemory::sendlog_slot(1);
+        let entry = m.read(slot, SENDLOG_ENTRY as u32).unwrap();
+        assert_eq!(
+            EndpointMemory::parse_sendlog_entry(entry),
+            Some((1 + SENDLOG_SLOTS as u64, 200)),
+            "newer entry overwrites the slot"
+        );
+    }
+
+    #[test]
+    fn info_slice_is_monitor_visible_prefix() {
+        let mut m = EndpointMemory::new();
+        m.set_info("addr.ip", 0x0a000001);
+        m.write(64, &42u64.to_le_bytes());
+        let info = m.info();
+        assert_eq!(info.len(), plab_packet::layout::INFO_SIZE);
+        // Monitors see both endpoint fields and controller scratch.
+        assert_eq!(
+            plab_packet::layout::resolve_info("addr.ip").unwrap().read_le(info),
+            Some(0x0a000001)
+        );
+        assert_eq!(
+            plab_packet::layout::resolve_info("scratch0").unwrap().read_le(info),
+            Some(42)
+        );
+    }
+}

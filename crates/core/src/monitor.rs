@@ -1,0 +1,211 @@
+//! Experiment monitors (§3.4): instantiating and consulting the PFVM
+//! programs attached to a certificate chain.
+//!
+//! "Monitors provide the mechanism by which an operator restricts what an
+//! experiment can do on an endpoint. An endpoint uses the monitor during
+//! the experiment to ensure that the experiment does not stray outside the
+//! behavior allowed by the endpoint operator."
+//!
+//! Every certificate in the authorizing chain may attach a monitor; the
+//! endpoint instantiates all of them and an operation proceeds only if
+//! *every* monitor allows it (restrictions only tighten along a chain).
+//! Each monitor keeps its own persistent memory for the lifetime of the
+//! experiment — "each monitor also has a block of private memory that
+//! persists for the duration of the experiment that is not accessible to
+//! the controller via the mread command."
+
+use plab_filter::{Program, Verdict, Vm};
+
+/// The set of monitors guarding one experiment session.
+pub struct MonitorSet {
+    vms: Vec<Vm>,
+}
+
+impl core::fmt::Debug for MonitorSet {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "MonitorSet({} monitors)", self.vms.len())
+    }
+}
+
+/// Why a monitor set could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorError {
+    /// A monitor program failed to decode.
+    Undecodable(usize),
+    /// A monitor program failed validation.
+    Invalid(usize, String),
+}
+
+impl core::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MonitorError::Undecodable(i) => write!(f, "monitor {i} undecodable"),
+            MonitorError::Invalid(i, e) => write!(f, "monitor {i} invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+impl MonitorSet {
+    /// Instantiate monitors from their encoded programs (the
+    /// `EffectiveRestrictions::monitors` of a verified chain), running each
+    /// program's `init` entry.
+    pub fn instantiate(encoded: &[Vec<u8>], info: &[u8]) -> Result<MonitorSet, MonitorError> {
+        let mut vms = Vec::with_capacity(encoded.len());
+        for (i, bytes) in encoded.iter().enumerate() {
+            let program =
+                Program::decode(bytes).map_err(|_| MonitorError::Undecodable(i))?;
+            let mut vm =
+                Vm::new(program).map_err(|e| MonitorError::Invalid(i, e.to_string()))?;
+            vm.init(info);
+            vms.push(vm);
+        }
+        Ok(MonitorSet { vms })
+    }
+
+    /// An unrestricted monitor set (no certificates attached monitors).
+    pub fn unrestricted() -> MonitorSet {
+        MonitorSet { vms: Vec::new() }
+    }
+
+    /// Number of monitors.
+    pub fn len(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// True if no monitors are attached.
+    pub fn is_empty(&self) -> bool {
+        self.vms.is_empty()
+    }
+
+    /// May this packet be sent? All monitors must allow.
+    pub fn allow_send(&mut self, packet: &[u8], info: &[u8]) -> bool {
+        self.vms.iter_mut().all(|vm| vm.check_send(packet, info).allowed())
+    }
+
+    /// May this captured packet be returned to the controller?
+    pub fn allow_recv(&mut self, packet: &[u8], info: &[u8]) -> bool {
+        self.vms.iter_mut().all(|vm| vm.check_recv(packet, info).allowed())
+    }
+
+    /// May this `nopen` proceed? Consults the optional `open` entry with a
+    /// pseudo-packet describing the request: `[proto, locport_hi,
+    /// locport_lo, remaddr(4), remport_hi, remport_lo]`.
+    pub fn allow_open(&mut self, proto: u8, locport: u16, remaddr: u32, remport: u16, info: &[u8]) -> bool {
+        let mut pseudo = Vec::with_capacity(9);
+        pseudo.push(proto);
+        pseudo.extend_from_slice(&locport.to_be_bytes());
+        pseudo.extend_from_slice(&remaddr.to_be_bytes());
+        pseudo.extend_from_slice(&remport.to_be_bytes());
+        self.vms
+            .iter_mut()
+            .all(|vm| match vm.run_entry_or_allow(plab_filter::ENTRY_OPEN, &pseudo, info) {
+                Verdict::Allow(_) => true,
+                _ => false,
+            })
+    }
+
+    /// Total PFVM instructions executed so far (overhead accounting).
+    pub fn insns_executed(&self) -> u64 {
+        self.vms.iter().map(|vm| vm.insns_executed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn icmp_only_monitor() -> Vec<u8> {
+        plab_cpf::compile(
+            r#"
+            uint32_t send(const union packet *pkt, uint32_t len) {
+                if (pkt->ip.proto == IPPROTO_ICMP) return len;
+                return 0;
+            }
+            "#,
+        )
+        .unwrap()
+        .encode()
+    }
+
+    fn deny_udp_monitor() -> Vec<u8> {
+        plab_cpf::compile(
+            r#"
+            uint32_t send(const union packet *pkt, uint32_t len) {
+                if (pkt->ip.proto == IPPROTO_UDP) return 0;
+                return len;
+            }
+            "#,
+        )
+        .unwrap()
+        .encode()
+    }
+
+    fn pkt(proto: u8) -> Vec<u8> {
+        use std::net::Ipv4Addr;
+        plab_packet::ipv4::Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            proto,
+        )
+        .build(&[0u8; 8])
+    }
+
+    #[test]
+    fn unrestricted_allows_everything() {
+        let mut m = MonitorSet::unrestricted();
+        assert!(m.allow_send(&pkt(17), &[]));
+        assert!(m.allow_recv(&pkt(6), &[]));
+        assert!(m.allow_open(0, 0, 0, 0, &[]));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn all_monitors_must_allow() {
+        // ICMP-only AND deny-UDP: ICMP passes both, UDP fails both, TCP
+        // fails the first.
+        let mut m = MonitorSet::instantiate(&[icmp_only_monitor(), deny_udp_monitor()], &[])
+            .unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(m.allow_send(&pkt(1), &[]));
+        assert!(!m.allow_send(&pkt(17), &[]));
+        assert!(!m.allow_send(&pkt(6), &[]));
+    }
+
+    #[test]
+    fn missing_recv_entry_allows_recv() {
+        let mut m = MonitorSet::instantiate(&[icmp_only_monitor()], &[]).unwrap();
+        // The monitor constrains only send.
+        assert!(m.allow_recv(&pkt(17), &[]));
+    }
+
+    #[test]
+    fn undecodable_monitor_rejected() {
+        let err = MonitorSet::instantiate(&[vec![1, 2, 3]], &[]).unwrap_err();
+        assert_eq!(err, MonitorError::Undecodable(0));
+    }
+
+    #[test]
+    fn monitors_keep_private_state() {
+        // A quota monitor: allows 3 sends then denies.
+        let quota = plab_cpf::compile(
+            r#"
+            uint32_t used = 0;
+            uint32_t send(const union packet *pkt, uint32_t len) {
+                if (used >= 3) return 0;
+                used = used + 1;
+                return len;
+            }
+            "#,
+        )
+        .unwrap()
+        .encode();
+        let mut m = MonitorSet::instantiate(&[quota], &[]).unwrap();
+        for _ in 0..3 {
+            assert!(m.allow_send(&pkt(1), &[]));
+        }
+        assert!(!m.allow_send(&pkt(1), &[]), "quota exhausted");
+        assert!(m.insns_executed() > 0);
+    }
+}

@@ -1,0 +1,473 @@
+//! Rendezvous servers (§3.2–3.3): publish/subscribe experiment
+//! dissemination.
+//!
+//! "Experiment controllers and measurement endpoints find each other with
+//! the help of a rendezvous server, which provides a publish-subscribe
+//! facility for experiment dissemination. ... The identifier used to
+//! describe a channel is simply the hash of a public key used to sign
+//! certificates. ... This allows the rendezvous server to verify the
+//! certificate chain and broadcast the experiment to all endpoints that
+//! accept experiments signed by at least one of the keys in the
+//! certificate chain."
+
+use crate::cert::{self, Certificate};
+use crate::descriptor::ExperimentDescriptor;
+use plab_crypto::{KeyHash, PublicKey};
+use std::collections::HashMap;
+
+/// Rendezvous wire messages (own framing-compatible codec: these travel in
+/// the same length-prefixed frames as [`crate::wire::Message`], on the
+/// rendezvous port).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RvMessage {
+    /// Experimenter → server: publish an experiment.
+    Publish {
+        /// Encoded descriptor.
+        descriptor: Vec<u8>,
+        /// Encoded certificate chain, root first. The root must be signed
+        /// by a key the server trusts for publishing.
+        chain: Vec<Vec<u8>>,
+        /// Public keys referenced in the chain.
+        keys: Vec<[u8; 32]>,
+    },
+    /// Server → experimenter: accepted.
+    PublishOk,
+    /// Server → experimenter: rejected.
+    PublishErr {
+        /// Why.
+        reason: String,
+    },
+    /// Endpoint → server: subscribe to channels (key hashes).
+    Subscribe {
+        /// Channels, i.e. hashes of keys the endpoint trusts.
+        channels: Vec<[u8; 32]>,
+    },
+    /// Server → endpoint: an experiment on a subscribed channel.
+    Announce {
+        /// Encoded descriptor.
+        descriptor: Vec<u8>,
+        /// Encoded chain.
+        chain: Vec<Vec<u8>>,
+        /// Keys.
+        keys: Vec<[u8; 32]>,
+    },
+}
+
+impl RvMessage {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+        fn put_bundle(out: &mut Vec<u8>, descriptor: &[u8], chain: &[Vec<u8>], keys: &[[u8; 32]]) {
+            put_bytes(out, descriptor);
+            out.extend_from_slice(&(chain.len() as u16).to_le_bytes());
+            for c in chain {
+                put_bytes(out, c);
+            }
+            out.extend_from_slice(&(keys.len() as u16).to_le_bytes());
+            for k in keys {
+                out.extend_from_slice(k);
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            RvMessage::Publish { descriptor, chain, keys } => {
+                out.push(0);
+                put_bundle(&mut out, descriptor, chain, keys);
+            }
+            RvMessage::PublishOk => out.push(1),
+            RvMessage::PublishErr { reason } => {
+                out.push(2);
+                put_bytes(&mut out, reason.as_bytes());
+            }
+            RvMessage::Subscribe { channels } => {
+                out.push(3);
+                out.extend_from_slice(&(channels.len() as u16).to_le_bytes());
+                for c in channels {
+                    out.extend_from_slice(c);
+                }
+            }
+            RvMessage::Announce { descriptor, chain, keys } => {
+                out.push(4);
+                put_bundle(&mut out, descriptor, chain, keys);
+            }
+        }
+        out
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(bytes: &[u8]) -> Option<RvMessage> {
+        fn take<'a>(r: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if r.len() < n {
+                return None;
+            }
+            let (a, b) = r.split_at(n);
+            *r = b;
+            Some(a)
+        }
+        fn take_bytes(r: &mut &[u8]) -> Option<Vec<u8>> {
+            let len = u32::from_le_bytes(take(r, 4)?.try_into().ok()?) as usize;
+            if len > 1 << 24 {
+                return None;
+            }
+            Some(take(r, len)?.to_vec())
+        }
+        fn take_bundle(r: &mut &[u8]) -> Option<(Vec<u8>, Vec<Vec<u8>>, Vec<[u8; 32]>)> {
+            let descriptor = take_bytes(r)?;
+            let n = u16::from_le_bytes(take(r, 2)?.try_into().ok()?) as usize;
+            let mut chain = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                chain.push(take_bytes(r)?);
+            }
+            let n = u16::from_le_bytes(take(r, 2)?.try_into().ok()?) as usize;
+            let mut keys = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                keys.push(take(r, 32)?.try_into().ok()?);
+            }
+            Some((descriptor, chain, keys))
+        }
+        let mut r = bytes;
+        let tag = take(&mut r, 1)?[0];
+        let msg = match tag {
+            0 => {
+                let (descriptor, chain, keys) = take_bundle(&mut r)?;
+                RvMessage::Publish { descriptor, chain, keys }
+            }
+            1 => RvMessage::PublishOk,
+            2 => RvMessage::PublishErr {
+                reason: String::from_utf8(take_bytes(&mut r)?).ok()?,
+            },
+            3 => {
+                let n = u16::from_le_bytes(take(&mut r, 2)?.try_into().ok()?) as usize;
+                let mut channels = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    channels.push(take(&mut r, 32)?.try_into().ok()?);
+                }
+                RvMessage::Subscribe { channels }
+            }
+            4 => {
+                let (descriptor, chain, keys) = take_bundle(&mut r)?;
+                RvMessage::Announce { descriptor, chain, keys }
+            }
+            _ => return None,
+        };
+        if !r.is_empty() {
+            return None;
+        }
+        Some(msg)
+    }
+}
+
+/// A published experiment retained by the server.
+#[derive(Debug, Clone)]
+pub struct PublishedExperiment {
+    /// Encoded descriptor.
+    pub descriptor: Vec<u8>,
+    /// Encoded chain.
+    pub chain: Vec<Vec<u8>>,
+    /// Referenced keys.
+    pub keys: Vec<[u8; 32]>,
+    /// Channels this experiment broadcasts on: all key hashes in the
+    /// chain.
+    pub channels: Vec<KeyHash>,
+}
+
+/// The rendezvous server: "the only permanent infrastructure required by
+/// PacketLab".
+pub struct RendezvousServer {
+    /// Keys accepted to anchor publish chains ("Each rendezvous server has
+    /// a list of public keys whose signatures it accepts").
+    pub trusted_publishers: Vec<KeyHash>,
+    /// Wall time for validity checks.
+    pub wall_time: u64,
+    published: Vec<PublishedExperiment>,
+    /// Subscriber session → channels.
+    subscribers: HashMap<u64, Vec<KeyHash>>,
+}
+
+impl RendezvousServer {
+    /// New server trusting `publishers`.
+    pub fn new(trusted_publishers: Vec<KeyHash>, wall_time: u64) -> Self {
+        RendezvousServer {
+            trusted_publishers,
+            wall_time,
+            published: Vec::new(),
+            subscribers: HashMap::new(),
+        }
+    }
+
+    /// Number of retained experiments.
+    pub fn published_count(&self) -> usize {
+        self.published.len()
+    }
+
+    /// Number of live subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// A subscriber connection closed.
+    pub fn on_session_closed(&mut self, sid: u64) {
+        self.subscribers.remove(&sid);
+    }
+
+    /// Handle one message from session `sid`, returning messages to send.
+    pub fn on_message(&mut self, sid: u64, msg: RvMessage) -> Vec<(u64, RvMessage)> {
+        match msg {
+            RvMessage::Publish { descriptor, chain, keys } => {
+                self.publish(sid, descriptor, chain, keys)
+            }
+            RvMessage::Subscribe { channels } => {
+                let channels: Vec<KeyHash> = channels.into_iter().map(KeyHash).collect();
+                let mut out = Vec::new();
+                // Replay existing experiments matching any channel.
+                for exp in &self.published {
+                    if exp.channels.iter().any(|c| channels.contains(c)) {
+                        out.push((
+                            sid,
+                            RvMessage::Announce {
+                                descriptor: exp.descriptor.clone(),
+                                chain: exp.chain.clone(),
+                                keys: exp.keys.clone(),
+                            },
+                        ));
+                    }
+                }
+                self.subscribers.insert(sid, channels);
+                out
+            }
+            // Client-bound messages arriving at the server are ignored.
+            _ => Vec::new(),
+        }
+    }
+
+    fn publish(
+        &mut self,
+        sid: u64,
+        descriptor: Vec<u8>,
+        chain: Vec<Vec<u8>>,
+        keys: Vec<[u8; 32]>,
+    ) -> Vec<(u64, RvMessage)> {
+        let reject = |reason: &str| {
+            vec![(sid, RvMessage::PublishErr { reason: reason.to_string() })]
+        };
+        let Some(desc) = ExperimentDescriptor::decode(&descriptor) else {
+            return reject("bad descriptor");
+        };
+        let mut certs = Vec::with_capacity(chain.len());
+        for c in &chain {
+            match Certificate::decode(c) {
+                Ok(cert) => certs.push(cert),
+                Err(e) => return reject(&format!("bad certificate: {e}")),
+            }
+        }
+        let pubkeys: Vec<PublicKey> = keys.iter().map(|k| PublicKey::from_bytes(*k)).collect();
+        let key_map = cert::key_map(&pubkeys);
+        if let Err(e) = cert::verify_cert_set(
+            &certs,
+            &key_map,
+            &self.trusted_publishers,
+            &desc.hash(),
+            self.wall_time,
+        ) {
+            return reject(&format!("chain rejected: {e}"));
+        }
+        // Channels: every key hash appearing in the chain (signers and
+        // delegated keys).
+        let mut channels: Vec<KeyHash> = Vec::new();
+        for cert in &certs {
+            if !channels.contains(&cert.signer) {
+                channels.push(cert.signer);
+            }
+            if let crate::cert::CertPayload::Delegation(k) = &cert.payload {
+                if !channels.contains(k) {
+                    channels.push(*k);
+                }
+            }
+        }
+        let exp = PublishedExperiment {
+            descriptor: descriptor.clone(),
+            chain: chain.clone(),
+            keys: keys.clone(),
+            channels: channels.clone(),
+        };
+        self.published.push(exp);
+
+        let mut out = vec![(sid, RvMessage::PublishOk)];
+        // Broadcast to subscribers on any matching channel.
+        for (&sub, sub_channels) in &self.subscribers {
+            if channels.iter().any(|c| sub_channels.contains(c)) {
+                out.push((
+                    sub,
+                    RvMessage::Announce {
+                        descriptor: descriptor.clone(),
+                        chain: chain.clone(),
+                        keys: keys.clone(),
+                    },
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::{CertPayload, Restrictions};
+    use plab_crypto::Keypair;
+
+    fn kp(seed: u8) -> Keypair {
+        Keypair::from_seed(&[seed; 32])
+    }
+
+    fn descriptor(experimenter: &Keypair) -> ExperimentDescriptor {
+        ExperimentDescriptor {
+            name: "test-exp".into(),
+            controller_addr: "10.0.0.9:7000".into(),
+            info_url: "https://example.org".into(),
+            experimenter: KeyHash::of(&experimenter.public),
+        }
+    }
+
+    /// rendezvous-root -> experimenter -> experiment bundle.
+    fn bundle(root: &Keypair, exp: &Keypair) -> (Vec<u8>, Vec<Vec<u8>>, Vec<[u8; 32]>) {
+        let d = descriptor(exp);
+        let deleg = Certificate::sign(
+            root,
+            CertPayload::Delegation(KeyHash::of(&exp.public)),
+            Restrictions::none(),
+        );
+        let leaf = Certificate::sign(exp, CertPayload::Experiment(d.hash()), Restrictions::none());
+        (
+            d.encode(),
+            vec![deleg.encode(), leaf.encode()],
+            vec![*root.public.as_bytes(), *exp.public.as_bytes()],
+        )
+    }
+
+    #[test]
+    fn rv_message_roundtrips() {
+        let msgs = [
+            RvMessage::Publish {
+                descriptor: vec![1, 2],
+                chain: vec![vec![3], vec![4, 5]],
+                keys: vec![[6; 32]],
+            },
+            RvMessage::PublishOk,
+            RvMessage::PublishErr { reason: "nope".into() },
+            RvMessage::Subscribe { channels: vec![[1; 32], [2; 32]] },
+            RvMessage::Announce { descriptor: vec![], chain: vec![], keys: vec![] },
+        ];
+        for m in msgs {
+            assert_eq!(RvMessage::decode(&m.encode()), Some(m));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_garbage() {
+        let enc = RvMessage::Publish {
+            descriptor: vec![1, 2, 3],
+            chain: vec![vec![4]],
+            keys: vec![[5; 32]],
+        }
+        .encode();
+        for cut in 0..enc.len() {
+            assert!(RvMessage::decode(&enc[..cut]).is_none(), "cut {cut}");
+        }
+        assert!(RvMessage::decode(&[9, 9, 9]).is_none());
+    }
+
+    #[test]
+    fn publish_verifies_chain_and_broadcasts() {
+        let root = kp(1);
+        let exp = kp(2);
+        let mut server = RendezvousServer::new(vec![KeyHash::of(&root.public)], 1000);
+
+        // Endpoint 77 subscribes to the root channel (it trusts root).
+        let out = server.on_message(
+            77,
+            RvMessage::Subscribe { channels: vec![KeyHash::of(&root.public).0] },
+        );
+        assert!(out.is_empty(), "nothing published yet");
+
+        // Experimenter publishes.
+        let (d, chain, keys) = bundle(&root, &exp);
+        let out = server.on_message(5, RvMessage::Publish { descriptor: d, chain, keys });
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 5);
+        assert!(matches!(out[0].1, RvMessage::PublishOk));
+        assert_eq!(out[1].0, 77, "subscriber gets the announce");
+        assert!(matches!(out[1].1, RvMessage::Announce { .. }));
+        assert_eq!(server.published_count(), 1);
+    }
+
+    #[test]
+    fn late_subscriber_gets_replay() {
+        let root = kp(1);
+        let exp = kp(2);
+        let mut server = RendezvousServer::new(vec![KeyHash::of(&root.public)], 1000);
+        let (d, chain, keys) = bundle(&root, &exp);
+        server.on_message(5, RvMessage::Publish { descriptor: d, chain, keys });
+        // Endpoint subscribes on the *experimenter* channel — also in the
+        // chain, so it matches.
+        let out = server.on_message(
+            88,
+            RvMessage::Subscribe { channels: vec![KeyHash::of(&exp.public).0] },
+        );
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].1, RvMessage::Announce { .. }));
+    }
+
+    #[test]
+    fn publish_with_untrusted_root_rejected() {
+        let root = kp(1);
+        let exp = kp(2);
+        let mallory = kp(3);
+        let mut server = RendezvousServer::new(vec![KeyHash::of(&root.public)], 1000);
+        let (d, chain, keys) = bundle(&mallory, &exp);
+        let out = server.on_message(5, RvMessage::Publish { descriptor: d, chain, keys });
+        assert!(matches!(&out[0].1, RvMessage::PublishErr { reason } if reason.contains("chain")));
+        assert_eq!(server.published_count(), 0);
+    }
+
+    #[test]
+    fn publish_with_tampered_descriptor_rejected() {
+        let root = kp(1);
+        let exp = kp(2);
+        let mut server = RendezvousServer::new(vec![KeyHash::of(&root.public)], 1000);
+        let (mut d, chain, keys) = bundle(&root, &exp);
+        // Flip a descriptor byte: the leaf's hash no longer matches.
+        let idx = d.len() - 1;
+        d[idx] ^= 0xff;
+        let out = server.on_message(5, RvMessage::Publish { descriptor: d, chain, keys });
+        assert!(matches!(&out[0].1, RvMessage::PublishErr { .. }));
+    }
+
+    #[test]
+    fn unsubscribed_channels_get_nothing() {
+        let root = kp(1);
+        let exp = kp(2);
+        let mut server = RendezvousServer::new(vec![KeyHash::of(&root.public)], 1000);
+        server.on_message(77, RvMessage::Subscribe { channels: vec![[0xee; 32]] });
+        let (d, chain, keys) = bundle(&root, &exp);
+        let out = server.on_message(5, RvMessage::Publish { descriptor: d, chain, keys });
+        assert_eq!(out.len(), 1, "only the PublishOk, no announce");
+    }
+
+    #[test]
+    fn session_close_unsubscribes() {
+        let root = kp(1);
+        let exp = kp(2);
+        let mut server = RendezvousServer::new(vec![KeyHash::of(&root.public)], 1000);
+        server.on_message(77, RvMessage::Subscribe { channels: vec![KeyHash::of(&root.public).0] });
+        assert_eq!(server.subscriber_count(), 1);
+        server.on_session_closed(77);
+        assert_eq!(server.subscriber_count(), 0);
+        let (d, chain, keys) = bundle(&root, &exp);
+        let out = server.on_message(5, RvMessage::Publish { descriptor: d, chain, keys });
+        assert_eq!(out.len(), 1);
+    }
+}

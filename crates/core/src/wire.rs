@@ -1,0 +1,777 @@
+//! The PacketLab control protocol: framing and message codec.
+//!
+//! Every controller↔endpoint exchange is a length-prefixed frame carrying
+//! one [`Message`]. The command set is exactly the paper's Table 1 plus
+//! the session-management messages the paper describes in prose (hello,
+//! authentication, priority contention notifications, yield).
+//!
+//! The codec is a hand-written binary format (length-prefixed strings and
+//! byte blobs, little-endian integers) — a measurement protocol should own
+//! its wire representation rather than inherit one from a serialization
+//! framework.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Frame length prefix size.
+pub const FRAME_HEADER: usize = 4;
+/// Maximum frame size accepted (guards allocation).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Socket protocol selector for `nopen` (Table 1: "opens a raw IP socket
+/// ... or a TCP or UDP socket").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proto {
+    /// Raw IP: send/capture whole datagrams.
+    Raw,
+    /// Native UDP socket serviced by the endpoint's OS.
+    Udp,
+    /// Native TCP socket serviced by the endpoint's OS.
+    Tcp,
+}
+
+impl Proto {
+    fn to_u8(self) -> u8 {
+        match self {
+            Proto::Raw => 0,
+            Proto::Udp => 1,
+            Proto::Tcp => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Proto> {
+        Some(match v {
+            0 => Proto::Raw,
+            1 => Proto::Udp,
+            2 => Proto::Tcp,
+            _ => return None,
+        })
+    }
+}
+
+/// Commands a controller issues to an endpoint (Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Open a socket. For `Raw`, `locport`/`remaddr`/`remport` are unused.
+    NOpen {
+        /// Controller-chosen socket id.
+        sktid: u32,
+        /// Protocol.
+        proto: Proto,
+        /// Local port (TCP/UDP).
+        locport: u16,
+        /// Remote IPv4 address as u32 (TCP/UDP).
+        remaddr: u32,
+        /// Remote port (TCP/UDP).
+        remport: u16,
+    },
+    /// Close a socket.
+    NClose {
+        /// Socket id.
+        sktid: u32,
+    },
+    /// Queue data to be sent on a socket at a particular endpoint-clock
+    /// time ("To send immediately, the controller specifies a time in the
+    /// past").
+    NSend {
+        /// Socket id.
+        sktid: u32,
+        /// Endpoint-clock transmit time, ns.
+        time: u64,
+        /// Raw: complete IP datagram. UDP: one datagram payload. TCP:
+        /// stream bytes.
+        data: Vec<u8>,
+    },
+    /// Install a packet filter on a raw socket; captures until `time`.
+    NCap {
+        /// Socket id.
+        sktid: u32,
+        /// Endpoint-clock expiry, ns ("can be arbitrarily far in the
+        /// future").
+        time: u64,
+        /// Encoded PFVM program (see `plab-filter`).
+        filt: Vec<u8>,
+    },
+    /// Poll for received data; endpoint replies immediately if data is
+    /// buffered, otherwise when data arrives or at `time`.
+    NPoll {
+        /// Endpoint-clock deadline, ns.
+        time: u64,
+    },
+    /// Read endpoint virtual memory.
+    MRead {
+        /// Byte offset.
+        memaddr: u32,
+        /// Byte count.
+        bytecnt: u32,
+    },
+    /// Write endpoint virtual memory (controller-writable region only).
+    MWrite {
+        /// Byte offset.
+        memaddr: u32,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Voluntarily yield the endpoint (ends the session, resumes any
+    /// suspended lower-priority experiment).
+    Yield,
+}
+
+/// Endpoint responses. Each command gets exactly one response, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Command succeeded.
+    Ok,
+    /// `nsend` accepted: the scheduled send was assigned this tag; its
+    /// actual transmit time becomes readable via `mread` in the send-time
+    /// log region (see `memory`).
+    SendQueued {
+        /// Send-log tag.
+        tag: u64,
+    },
+    /// `mread` result.
+    Mem {
+        /// The bytes read.
+        data: Vec<u8>,
+    },
+    /// `npoll` result: captured data plus drop accounting ("the npoll
+    /// command also returns the number of packets and bytes dropped due to
+    /// buffer exhaustion").
+    Poll {
+        /// Captured (sktid, endpoint receive time, bytes) tuples.
+        packets: Vec<(u32, u64, Vec<u8>)>,
+        /// Packets dropped since the last poll.
+        dropped_packets: u64,
+        /// Bytes dropped since the last poll.
+        dropped_bytes: u64,
+    },
+    /// Command failed.
+    Err {
+        /// Machine-readable code.
+        code: ErrCode,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+/// Error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Authentication / certificate problem.
+    Auth,
+    /// Socket id unknown or already in use.
+    BadSocket,
+    /// Operation denied by a monitor.
+    Denied,
+    /// Malformed command or filter program.
+    Malformed,
+    /// Memory access out of range or read-only.
+    BadMemory,
+    /// Session is suspended by a higher-priority experiment.
+    Suspended,
+    /// Capability unavailable (e.g. raw sockets without privilege).
+    Unsupported,
+    /// Resource limits exceeded.
+    Limit,
+}
+
+impl ErrCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrCode::Auth => 0,
+            ErrCode::BadSocket => 1,
+            ErrCode::Denied => 2,
+            ErrCode::Malformed => 3,
+            ErrCode::BadMemory => 4,
+            ErrCode::Suspended => 5,
+            ErrCode::Unsupported => 6,
+            ErrCode::Limit => 7,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<ErrCode> {
+        Some(match v {
+            0 => ErrCode::Auth,
+            1 => ErrCode::BadSocket,
+            2 => ErrCode::Denied,
+            3 => ErrCode::Malformed,
+            4 => ErrCode::BadMemory,
+            5 => ErrCode::Suspended,
+            6 => ErrCode::Unsupported,
+            7 => ErrCode::Limit,
+            _ => return None,
+        })
+    }
+}
+
+/// Asynchronous endpoint→controller notifications (§3.3 contention).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Notification {
+    /// "the endpoint notifies the experiment controller of the current
+    /// experiment that its experiment has been interrupted".
+    Interrupted {
+        /// Priority of the preempting experiment.
+        by_priority: u8,
+    },
+    /// Control returned to this controller.
+    Resumed,
+}
+
+/// Every frame carries one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Controller → endpoint: protocol hello.
+    Hello {
+        /// Protocol version.
+        version: u8,
+    },
+    /// Endpoint → controller: hello response with an anti-replay nonce
+    /// the controller must sign during authentication.
+    HelloAck {
+        /// Protocol version.
+        version: u8,
+        /// 32-byte nonce.
+        nonce: [u8; 32],
+    },
+    /// Controller → endpoint: present the experiment and prove key
+    /// possession. `chain`/`keys` establish authorization (Figure 1 ➐–➑);
+    /// `proof` is an Ed25519 signature over `nonce ‖ sha256(descriptor)`
+    /// by the experiment certificate's signing key.
+    Auth {
+        /// Encoded experiment descriptor.
+        descriptor: Vec<u8>,
+        /// Encoded certificate chain, root first.
+        chain: Vec<Vec<u8>>,
+        /// Raw public keys referenced by hash in the chain.
+        keys: Vec<[u8; 32]>,
+        /// Requested priority (must not exceed the chain's ceiling).
+        priority: u8,
+        /// Possession proof signature.
+        proof: [u8; 64],
+    },
+    /// Endpoint → controller: session established.
+    AuthOk,
+    /// Controller → endpoint command.
+    Cmd(Command),
+    /// Endpoint → controller response.
+    Resp(Response),
+    /// Endpoint → controller async notification.
+    Notify(Notification),
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_bytes(buf: &mut BytesMut, data: &[u8]) {
+    buf.put_u32_le(data.len() as u32);
+    buf.put_slice(data);
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame or field truncated.
+    Truncated,
+    /// Unknown tag or enum value.
+    BadTag,
+    /// Length field exceeds limits.
+    TooLarge,
+    /// Invalid UTF-8 in a string field.
+    BadString,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::BadTag => write!(f, "unknown message tag"),
+            WireError::TooLarge => write!(f, "length field too large"),
+            WireError::BadString => write!(f, "invalid string"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        if self.buf.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        Ok(self.buf.get_u8())
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        if self.buf.remaining() < 2 {
+            return Err(WireError::Truncated);
+        }
+        Ok(self.buf.get_u16_le())
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        if self.buf.remaining() < 4 {
+            return Err(WireError::Truncated);
+        }
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        if self.buf.remaining() < 8 {
+            return Err(WireError::Truncated);
+        }
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::TooLarge);
+        }
+        if self.buf.remaining() < len {
+            return Err(WireError::Truncated);
+        }
+        let mut v = vec![0u8; len];
+        self.buf.copy_to_slice(&mut v);
+        Ok(v)
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        if self.buf.remaining() < N {
+            return Err(WireError::Truncated);
+        }
+        let mut v = [0u8; N];
+        self.buf.copy_to_slice(&mut v);
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?).map_err(|_| WireError::BadString)
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::BadTag)
+        }
+    }
+}
+
+impl Message {
+    /// Encode into a payload (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = BytesMut::new();
+        match self {
+            Message::Hello { version } => {
+                b.put_u8(0);
+                b.put_u8(*version);
+            }
+            Message::HelloAck { version, nonce } => {
+                b.put_u8(1);
+                b.put_u8(*version);
+                b.put_slice(nonce);
+            }
+            Message::Auth { descriptor, chain, keys, priority, proof } => {
+                b.put_u8(2);
+                put_bytes(&mut b, descriptor);
+                b.put_u16_le(chain.len() as u16);
+                for c in chain {
+                    put_bytes(&mut b, c);
+                }
+                b.put_u16_le(keys.len() as u16);
+                for k in keys {
+                    b.put_slice(k);
+                }
+                b.put_u8(*priority);
+                b.put_slice(proof);
+            }
+            Message::AuthOk => {
+                b.put_u8(3);
+            }
+            Message::Cmd(cmd) => {
+                b.put_u8(4);
+                encode_command(&mut b, cmd);
+            }
+            Message::Resp(resp) => {
+                b.put_u8(5);
+                encode_response(&mut b, resp);
+            }
+            Message::Notify(n) => {
+                b.put_u8(6);
+                match n {
+                    Notification::Interrupted { by_priority } => {
+                        b.put_u8(0);
+                        b.put_u8(*by_priority);
+                    }
+                    Notification::Resumed => b.put_u8(1),
+                }
+            }
+        }
+        b.to_vec()
+    }
+
+    /// Decode from a payload.
+    pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
+        let mut r = Reader::new(payload);
+        let msg = match r.u8()? {
+            0 => Message::Hello { version: r.u8()? },
+            1 => Message::HelloAck { version: r.u8()?, nonce: r.array()? },
+            2 => {
+                let descriptor = r.bytes()?;
+                let n_chain = r.u16()? as usize;
+                let mut chain = Vec::with_capacity(n_chain.min(64));
+                for _ in 0..n_chain {
+                    chain.push(r.bytes()?);
+                }
+                let n_keys = r.u16()? as usize;
+                let mut keys = Vec::with_capacity(n_keys.min(64));
+                for _ in 0..n_keys {
+                    keys.push(r.array()?);
+                }
+                Message::Auth {
+                    descriptor,
+                    chain,
+                    keys,
+                    priority: r.u8()?,
+                    proof: r.array()?,
+                }
+            }
+            3 => Message::AuthOk,
+            4 => Message::Cmd(decode_command(&mut r)?),
+            5 => Message::Resp(decode_response(&mut r)?),
+            6 => match r.u8()? {
+                0 => Message::Notify(Notification::Interrupted { by_priority: r.u8()? }),
+                1 => Message::Notify(Notification::Resumed),
+                _ => return Err(WireError::BadTag),
+            },
+            _ => return Err(WireError::BadTag),
+        };
+        r.done()?;
+        Ok(msg)
+    }
+
+    /// Encode as a complete frame (length prefix + payload).
+    pub fn to_frame(&self) -> Vec<u8> {
+        let payload = self.encode();
+        let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+fn encode_command(b: &mut BytesMut, cmd: &Command) {
+    match cmd {
+        Command::NOpen { sktid, proto, locport, remaddr, remport } => {
+            b.put_u8(0);
+            b.put_u32_le(*sktid);
+            b.put_u8(proto.to_u8());
+            b.put_u16_le(*locport);
+            b.put_u32_le(*remaddr);
+            b.put_u16_le(*remport);
+        }
+        Command::NClose { sktid } => {
+            b.put_u8(1);
+            b.put_u32_le(*sktid);
+        }
+        Command::NSend { sktid, time, data } => {
+            b.put_u8(2);
+            b.put_u32_le(*sktid);
+            b.put_u64_le(*time);
+            put_bytes(b, data);
+        }
+        Command::NCap { sktid, time, filt } => {
+            b.put_u8(3);
+            b.put_u32_le(*sktid);
+            b.put_u64_le(*time);
+            put_bytes(b, filt);
+        }
+        Command::NPoll { time } => {
+            b.put_u8(4);
+            b.put_u64_le(*time);
+        }
+        Command::MRead { memaddr, bytecnt } => {
+            b.put_u8(5);
+            b.put_u32_le(*memaddr);
+            b.put_u32_le(*bytecnt);
+        }
+        Command::MWrite { memaddr, data } => {
+            b.put_u8(6);
+            b.put_u32_le(*memaddr);
+            put_bytes(b, data);
+        }
+        Command::Yield => b.put_u8(7),
+    }
+}
+
+fn decode_command(r: &mut Reader) -> Result<Command, WireError> {
+    Ok(match r.u8()? {
+        0 => Command::NOpen {
+            sktid: r.u32()?,
+            proto: Proto::from_u8(r.u8()?).ok_or(WireError::BadTag)?,
+            locport: r.u16()?,
+            remaddr: r.u32()?,
+            remport: r.u16()?,
+        },
+        1 => Command::NClose { sktid: r.u32()? },
+        2 => Command::NSend { sktid: r.u32()?, time: r.u64()?, data: r.bytes()? },
+        3 => Command::NCap { sktid: r.u32()?, time: r.u64()?, filt: r.bytes()? },
+        4 => Command::NPoll { time: r.u64()? },
+        5 => Command::MRead { memaddr: r.u32()?, bytecnt: r.u32()? },
+        6 => Command::MWrite { memaddr: r.u32()?, data: r.bytes()? },
+        7 => Command::Yield,
+        _ => return Err(WireError::BadTag),
+    })
+}
+
+fn encode_response(b: &mut BytesMut, resp: &Response) {
+    match resp {
+        Response::Ok => b.put_u8(0),
+        Response::SendQueued { tag } => {
+            b.put_u8(1);
+            b.put_u64_le(*tag);
+        }
+        Response::Mem { data } => {
+            b.put_u8(2);
+            put_bytes(b, data);
+        }
+        Response::Poll { packets, dropped_packets, dropped_bytes } => {
+            b.put_u8(3);
+            b.put_u32_le(packets.len() as u32);
+            for (sktid, time, data) in packets {
+                b.put_u32_le(*sktid);
+                b.put_u64_le(*time);
+                put_bytes(b, data);
+            }
+            b.put_u64_le(*dropped_packets);
+            b.put_u64_le(*dropped_bytes);
+        }
+        Response::Err { code, msg } => {
+            b.put_u8(4);
+            b.put_u8(code.to_u8());
+            put_str(b, msg);
+        }
+    }
+}
+
+fn decode_response(r: &mut Reader) -> Result<Response, WireError> {
+    Ok(match r.u8()? {
+        0 => Response::Ok,
+        1 => Response::SendQueued { tag: r.u64()? },
+        2 => Response::Mem { data: r.bytes()? },
+        3 => {
+            let n = r.u32()? as usize;
+            let mut packets = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                packets.push((r.u32()?, r.u64()?, r.bytes()?));
+            }
+            Response::Poll {
+                packets,
+                dropped_packets: r.u64()?,
+                dropped_bytes: r.u64()?,
+            }
+        }
+        4 => Response::Err {
+            code: ErrCode::from_u8(r.u8()?).ok_or(WireError::BadTag)?,
+            msg: r.string()?,
+        },
+        _ => return Err(WireError::BadTag),
+    })
+}
+
+/// Incremental frame extractor for a byte stream.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// Fresh decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed stream bytes.
+    pub fn extend(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Extract the next complete frame payload, if any.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        if self.buf.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::TooLarge);
+        }
+        if self.buf.len() < FRAME_HEADER + len {
+            return Ok(None);
+        }
+        let payload = self.buf[FRAME_HEADER..FRAME_HEADER + len].to_vec();
+        self.buf.drain(..FRAME_HEADER + len);
+        Ok(Some(payload))
+    }
+
+    /// Extract and decode the next message, if a full frame is buffered.
+    pub fn next_message(&mut self) -> Result<Option<Message>, WireError> {
+        match self.next_frame()? {
+            Some(p) => Ok(Some(Message::decode(&p)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let enc = msg.encode();
+        assert_eq!(Message::decode(&enc), Ok(msg));
+    }
+
+    #[test]
+    fn roundtrip_hello() {
+        roundtrip(Message::Hello { version: 1 });
+        roundtrip(Message::HelloAck { version: 1, nonce: [7; 32] });
+    }
+
+    #[test]
+    fn roundtrip_auth() {
+        roundtrip(Message::Auth {
+            descriptor: vec![1, 2, 3],
+            chain: vec![vec![4, 5], vec![6]],
+            keys: vec![[1; 32], [2; 32]],
+            priority: 9,
+            proof: [3; 64],
+        });
+        roundtrip(Message::AuthOk);
+    }
+
+    #[test]
+    fn roundtrip_all_commands() {
+        for cmd in [
+            Command::NOpen {
+                sktid: 1,
+                proto: Proto::Raw,
+                locport: 0,
+                remaddr: 0,
+                remport: 0,
+            },
+            Command::NOpen {
+                sktid: 2,
+                proto: Proto::Tcp,
+                locport: 1234,
+                remaddr: 0x0a000001,
+                remport: 80,
+            },
+            Command::NOpen {
+                sktid: 3,
+                proto: Proto::Udp,
+                locport: 5000,
+                remaddr: 0x0a000002,
+                remport: 53,
+            },
+            Command::NClose { sktid: 2 },
+            Command::NSend { sktid: 1, time: u64::MAX, data: vec![0; 100] },
+            Command::NCap { sktid: 1, time: 1 << 40, filt: vec![9; 30] },
+            Command::NPoll { time: 12345 },
+            Command::MRead { memaddr: 0, bytecnt: 8 },
+            Command::MWrite { memaddr: 64, data: vec![1, 2, 3, 4] },
+            Command::Yield,
+        ] {
+            roundtrip(Message::Cmd(cmd));
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_responses() {
+        for resp in [
+            Response::Ok,
+            Response::SendQueued { tag: 42 },
+            Response::Mem { data: vec![0xde, 0xad] },
+            Response::Poll {
+                packets: vec![(1, 100, vec![1, 2]), (2, 200, vec![])],
+                dropped_packets: 3,
+                dropped_bytes: 4096,
+            },
+            Response::Err { code: ErrCode::Denied, msg: "monitor denied send".into() },
+        ] {
+            roundtrip(Message::Resp(resp));
+        }
+    }
+
+    #[test]
+    fn roundtrip_notifications() {
+        roundtrip(Message::Notify(Notification::Interrupted { by_priority: 200 }));
+        roundtrip(Message::Notify(Notification::Resumed));
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut enc = Message::Hello { version: 1 }.encode();
+        enc.push(0xff);
+        assert!(Message::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        assert_eq!(Message::decode(&[99]), Err(WireError::BadTag));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let enc = Message::Cmd(Command::NSend { sktid: 1, time: 2, data: vec![1; 50] })
+            .encode();
+        for cut in 1..enc.len() {
+            assert!(Message::decode(&enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn frame_decoder_reassembles_split_frames() {
+        let m1 = Message::Hello { version: 1 };
+        let m2 = Message::Cmd(Command::NPoll { time: 7 });
+        let mut stream = m1.to_frame();
+        stream.extend(m2.to_frame());
+        let mut dec = FrameDecoder::new();
+        // Feed byte by byte.
+        let mut got = Vec::new();
+        for b in stream {
+            dec.extend(&[b]);
+            while let Some(m) = dec.next_message().unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, vec![m1, m2]);
+    }
+
+    #[test]
+    fn frame_decoder_rejects_oversized() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(u32::MAX).to_le_bytes());
+        assert_eq!(dec.next_frame(), Err(WireError::TooLarge));
+    }
+
+    #[test]
+    fn empty_poll_roundtrip() {
+        roundtrip(Message::Resp(Response::Poll {
+            packets: vec![],
+            dropped_packets: 0,
+            dropped_bytes: 0,
+        }));
+    }
+}

@@ -1,0 +1,261 @@
+//! §3.3 contention: priority preemption, suspension, and resumption.
+//!
+//! "If an experiment controller asks an endpoint to run a higher-priority
+//! experiment than what it is currently running, the endpoint notifies the
+//! experiment controller of the current experiment that its experiment has
+//! been interrupted, and then transfers control to the controller with the
+//! higher-priority experiment. The interrupted experiment is suspended
+//! until the higher-priority experiment completes or its controller
+//! suspends it by yielding control of the endpoint."
+
+use packetlab::cert::Restrictions;
+use packetlab::controller::{Controller, ControllerError, Credentials};
+use packetlab::descriptor::ExperimentDescriptor;
+use packetlab::endpoint::EndpointConfig;
+use packetlab::harness::{SimChannel, SimNet};
+use packetlab::wire::{ErrCode, Notification};
+use plab_crypto::{Keypair, KeyHash};
+use plab_netsim::{LinkParams, NodeId, TopologyBuilder, SECOND};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+fn kp(seed: u8) -> Keypair {
+    Keypair::from_seed(&[seed; 32])
+}
+
+struct World {
+    net: Rc<RefCell<SimNet>>,
+    c1: NodeId,
+    c2: NodeId,
+    endpoint_addr: Ipv4Addr,
+}
+
+fn build() -> (World, Keypair) {
+    let operator = kp(1);
+    let mut t = TopologyBuilder::new();
+    let c1 = t.host("c1", "10.0.1.1".parse().unwrap());
+    let c2 = t.host("c2", "10.0.2.1".parse().unwrap());
+    let r = t.router("r", "10.0.0.254".parse().unwrap());
+    let endpoint = t.host("ep", "10.0.0.1".parse().unwrap());
+    t.link(c1, r, LinkParams::new(5, 0));
+    t.link(c2, r, LinkParams::new(5, 0));
+    t.link(r, endpoint, LinkParams::new(5, 0));
+    let sim = t.build();
+    let mut net = SimNet::new(sim);
+    net.add_endpoint(
+        endpoint,
+        EndpointConfig {
+            trusted_keys: vec![KeyHash::of(&operator.public)],
+            ..Default::default()
+        },
+    );
+    (
+        World {
+            net: Rc::new(RefCell::new(net)),
+            c1,
+            c2,
+            endpoint_addr: "10.0.0.1".parse().unwrap(),
+        },
+        operator,
+    )
+}
+
+fn creds(operator: &Keypair, seed: u8, priority: u8) -> Credentials {
+    let experimenter = kp(seed);
+    let descriptor = ExperimentDescriptor {
+        name: format!("exp-{seed}"),
+        controller_addr: "10.0.1.1:7000".into(),
+        info_url: "https://example.org".into(),
+        experimenter: KeyHash::of(&experimenter.public),
+    };
+    Credentials::issue(operator, &experimenter, descriptor, Restrictions::none(), priority)
+}
+
+#[test]
+fn higher_priority_preempts_and_yield_resumes() {
+    let (world, operator) = build();
+
+    // Low-priority experiment takes control.
+    let chan1 = SimChannel::connect(&world.net, world.c1, world.endpoint_addr);
+    let mut low = Controller::connect(chan1, &creds(&operator, 10, 5)).unwrap();
+    low.read_clock().unwrap();
+
+    // High-priority experiment connects: preempts.
+    let chan2 = SimChannel::connect(&world.net, world.c2, world.endpoint_addr);
+    let mut high = Controller::connect(chan2, &creds(&operator, 11, 50)).unwrap();
+    high.read_clock().unwrap();
+
+    // The low-priority controller's next command is refused and it has
+    // been told it was interrupted.
+    let err = low.read_clock().unwrap_err();
+    assert!(matches!(err, ControllerError::Endpoint(ErrCode::Suspended, _)));
+    assert!(
+        low.notifications
+            .iter()
+            .any(|n| matches!(n, Notification::Interrupted { by_priority: 50 })),
+        "low controller saw Interrupted: {:?}",
+        low.notifications
+    );
+
+    // High yields; low is resumed and works again.
+    high.yield_endpoint().unwrap();
+    let t = low.read_clock();
+    assert!(t.is_ok(), "resumed controller works: {t:?}");
+    assert!(
+        low.notifications
+            .iter()
+            .any(|n| matches!(n, Notification::Resumed)),
+        "low controller saw Resumed: {:?}",
+        low.notifications
+    );
+}
+
+#[test]
+fn lower_priority_waits_instead_of_preempting() {
+    let (world, operator) = build();
+    let chan1 = SimChannel::connect(&world.net, world.c1, world.endpoint_addr);
+    let mut high = Controller::connect(chan1, &creds(&operator, 10, 50)).unwrap();
+    high.read_clock().unwrap();
+
+    // Lower-priority arrival does NOT preempt.
+    let chan2 = SimChannel::connect(&world.net, world.c2, world.endpoint_addr);
+    let mut low = Controller::connect(chan2, &creds(&operator, 11, 5)).unwrap();
+    let err = low.read_clock().unwrap_err();
+    assert!(matches!(err, ControllerError::Endpoint(ErrCode::Suspended, _)));
+
+    // The high-priority controller never saw an interruption.
+    high.read_clock().unwrap();
+    assert!(high.notifications.is_empty());
+
+    // When high yields, low resumes.
+    high.yield_endpoint().unwrap();
+    assert!(low.read_clock().is_ok());
+}
+
+#[test]
+fn equal_priority_does_not_preempt() {
+    let (world, operator) = build();
+    let chan1 = SimChannel::connect(&world.net, world.c1, world.endpoint_addr);
+    let mut first = Controller::connect(chan1, &creds(&operator, 10, 20)).unwrap();
+    first.read_clock().unwrap();
+    let chan2 = SimChannel::connect(&world.net, world.c2, world.endpoint_addr);
+    let mut second = Controller::connect(chan2, &creds(&operator, 11, 20)).unwrap();
+    // "unless interrupted by a higher-priority experiment, controllers
+    // have exclusive control": ties go to the incumbent.
+    let err = second.read_clock().unwrap_err();
+    assert!(matches!(err, ControllerError::Endpoint(ErrCode::Suspended, _)));
+    first.read_clock().unwrap();
+}
+
+#[test]
+fn disconnect_of_active_resumes_suspended() {
+    let (world, operator) = build();
+    let chan1 = SimChannel::connect(&world.net, world.c1, world.endpoint_addr);
+    let mut low = Controller::connect(chan1, &creds(&operator, 10, 5)).unwrap();
+    low.read_clock().unwrap();
+
+    {
+        let chan2 = SimChannel::connect(&world.net, world.c2, world.endpoint_addr);
+        let mut high = Controller::connect(chan2, &creds(&operator, 11, 50)).unwrap();
+        high.read_clock().unwrap();
+        // Simulate the high-priority controller disappearing: close its
+        // TCP connection outright.
+        let node = world.c2;
+        let mut net = world.net.borrow_mut();
+        // The controller's connection is the only one from c2.
+        // Closing every c2 connection terminates the session.
+        for conn in 1..=4u64 {
+            net.sim.tcp_close(node, conn);
+        }
+        let now = net.sim.now();
+        net.run_until(now + 5 * SECOND);
+    }
+
+    // Low gets control back.
+    assert!(low.read_clock().is_ok(), "suspended experiment resumed after disconnect");
+}
+
+#[test]
+fn three_way_priority_ordering() {
+    let (world, operator) = build();
+    // Two experiments from c1 (priorities 5, 30) and one from c2 (50).
+    let chan_a = SimChannel::connect(&world.net, world.c1, world.endpoint_addr);
+    let mut a = Controller::connect(chan_a, &creds(&operator, 10, 5)).unwrap();
+    a.read_clock().unwrap();
+
+    let chan_b = SimChannel::connect(&world.net, world.c1, world.endpoint_addr);
+    let mut b = Controller::connect(chan_b, &creds(&operator, 11, 30)).unwrap();
+    b.read_clock().unwrap(); // b preempted a
+
+    let chan_c = SimChannel::connect(&world.net, world.c2, world.endpoint_addr);
+    let mut c = Controller::connect(chan_c, &creds(&operator, 12, 50)).unwrap();
+    c.read_clock().unwrap(); // c preempted b
+
+    assert!(a.read_clock().is_err());
+    assert!(b.read_clock().is_err());
+
+    // c yields → control returns to the *next highest*, b.
+    c.yield_endpoint().unwrap();
+    assert!(b.read_clock().is_ok(), "b resumes before a");
+    assert!(a.read_clock().is_err(), "a still suspended");
+
+    // b yields → a resumes.
+    b.yield_endpoint().unwrap();
+    assert!(a.read_clock().is_ok());
+}
+
+#[test]
+fn suspended_experiment_keeps_capturing() {
+    // "An endpoint can be involved in multiple concurrent experiments;
+    // however, at any given time, no more than one controller has control"
+    // — capture buffers keep filling while a session is suspended; the
+    // data is there when control returns.
+    let (world, operator) = build();
+    let endpoint_addr = world.endpoint_addr;
+
+    let chan1 = SimChannel::connect(&world.net, world.c1, endpoint_addr);
+    let mut low = Controller::connect(chan1, &creds(&operator, 10, 5)).unwrap();
+    low.nopen_raw(1).unwrap();
+    low.ncap_cpf(
+        1,
+        u64::MAX,
+        "uint32_t recv(const union packet *pkt, uint32_t len) {
+             if (pkt->ip.proto == IPPROTO_ICMP) return len;
+             return 0;
+         }",
+    )
+    .unwrap();
+
+    // Higher-priority experiment takes over.
+    let chan2 = SimChannel::connect(&world.net, world.c2, endpoint_addr);
+    let mut high = Controller::connect(chan2, &creds(&operator, 11, 50)).unwrap();
+    high.read_clock().unwrap();
+    assert!(low.read_clock().is_err(), "low is suspended");
+
+    // While low is suspended, a ping arrives at the endpoint: low's filter
+    // captures the echo request into its buffer.
+    {
+        let mut n = world.net.borrow_mut();
+        let ep = n.sim.node_by_name("ep").unwrap();
+        let c2 = world.c2;
+        let ping = plab_packet::builder::icmp_echo_request(
+            n.sim.addr_of(c2),
+            endpoint_addr,
+            64,
+            42,
+            1,
+            &[],
+        );
+        n.sim.raw_send(c2, ping);
+        let now = n.sim.now();
+        n.run_until(now + SECOND);
+    }
+
+    // High yields; low resumes and finds the captured packet waiting.
+    high.yield_endpoint().unwrap();
+    let poll = low.npoll(0).unwrap();
+    assert_eq!(poll.packets.len(), 1, "capture continued during suspension");
+    let view = plab_packet::ipv4::Ipv4View::new_unchecked(&poll.packets[0].2).unwrap();
+    assert_eq!(view.protocol(), plab_packet::proto::ICMP);
+}

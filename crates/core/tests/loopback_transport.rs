@@ -1,0 +1,171 @@
+//! The real-socket deployment, tested headlessly: endpoint server thread,
+//! controller over a real TCP control channel, UDP experiment over
+//! loopback.
+
+use packetlab::cert::Restrictions;
+use packetlab::controller::{Controller, ControllerError, Credentials};
+use packetlab::descriptor::ExperimentDescriptor;
+use packetlab::endpoint::EndpointConfig;
+use packetlab::transport::{EndpointServer, TcpChannel};
+use packetlab::wire::ErrCode;
+use plab_crypto::{Keypair, KeyHash};
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn kp(seed: u8) -> Keypair {
+    Keypair::from_seed(&[seed; 32])
+}
+
+struct Deployment {
+    control_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Deployment {
+    fn start(operator: &Keypair) -> Deployment {
+        let server = EndpointServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            EndpointConfig {
+                trusted_keys: vec![KeyHash::of(&operator.public)],
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let control_addr = server.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || server.run(stop))
+        };
+        Deployment { control_addr, stop, thread: Some(thread) }
+    }
+
+    fn connect(&self, operator: &Keypair) -> Controller<TcpChannel> {
+        let experimenter = kp(42);
+        let creds = Credentials::issue(
+            operator,
+            &experimenter,
+            ExperimentDescriptor {
+                name: "loopback-test".into(),
+                controller_addr: self.control_addr.to_string(),
+                info_url: String::new(),
+                experimenter: KeyHash::of(&experimenter.public),
+            },
+            Restrictions::none(),
+            1,
+        );
+        let chan = TcpChannel::connect(self.control_addr).unwrap();
+        Controller::connect(chan, &creds).expect("authenticate over real TCP")
+    }
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[test]
+fn authenticate_and_read_memory_over_real_tcp() {
+    let operator = kp(1);
+    let d = Deployment::start(&operator);
+    let mut ctrl = d.connect(&operator);
+    let c1 = ctrl.read_clock().unwrap();
+    let c2 = ctrl.read_clock().unwrap();
+    assert!(c2 > c1, "real monotonic clock advances");
+    ctrl.mwrite(64, vec![5; 8]).unwrap();
+    assert_eq!(ctrl.mread(64, 8).unwrap(), vec![5; 8]);
+    assert_eq!(
+        ctrl.endpoint_addr().unwrap(),
+        "127.0.0.1".parse::<std::net::Ipv4Addr>().unwrap()
+    );
+}
+
+#[test]
+fn raw_and_tcp_sockets_honestly_unsupported() {
+    let operator = kp(1);
+    let d = Deployment::start(&operator);
+    let mut ctrl = d.connect(&operator);
+    let err = ctrl.nopen_raw(1).unwrap_err();
+    assert!(matches!(err, ControllerError::Endpoint(ErrCode::Unsupported, _)));
+    let err = ctrl
+        .nopen_tcp(2, 0, "127.0.0.1".parse().unwrap(), 80)
+        .unwrap_err();
+    assert!(matches!(err, ControllerError::Endpoint(ErrCode::Unsupported, _)));
+    // The flags field agrees.
+    let flags = ctrl.read_info("flags").unwrap();
+    assert_eq!(flags & plab_packet::layout::INFO_FLAG_RAW as u64, 0);
+}
+
+#[test]
+fn scheduled_udp_send_and_capture_over_loopback() {
+    let operator = kp(1);
+    let d = Deployment::start(&operator);
+    let mut ctrl = d.connect(&operator);
+
+    // Real UDP echo peer.
+    let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
+    peer.set_read_timeout(Some(std::time::Duration::from_millis(10)))
+        .unwrap();
+    let peer_addr = peer.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let echo_thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 2048];
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok((n, from)) = peer.recv_from(&mut buf) {
+                    let _ = peer.send_to(&buf[..n], from);
+                }
+            }
+        })
+    };
+
+    let peer_ip = match peer_addr.ip() {
+        std::net::IpAddr::V4(ip) => ip,
+        _ => unreachable!(),
+    };
+    ctrl.nopen_udp(1, 39_100, peer_ip, peer_addr.port()).unwrap();
+    let t0 = ctrl.read_clock().unwrap();
+    let when = t0 + 30_000_000;
+    let tag = ctrl.nsend(1, when, b"ping".to_vec()).unwrap();
+    let poll = ctrl.npoll(when + 3_000_000_000).unwrap();
+    assert_eq!(poll.packets.len(), 1);
+    assert_eq!(poll.packets[0].2, b"ping");
+    // The send-log timestamp is close to the requested time (within the
+    // 200 µs polling cadence plus OS scheduling slop).
+    let tsnd = ctrl.read_send_time(tag).unwrap().unwrap();
+    assert!(tsnd >= when, "never early");
+    assert!(tsnd - when < 50_000_000, "sent within 50 ms of schedule");
+
+    ctrl.nclose(1).unwrap();
+    stop.store(true, Ordering::Relaxed);
+    echo_thread.join().unwrap();
+}
+
+#[test]
+fn wrong_operator_rejected_over_real_tcp() {
+    let operator = kp(1);
+    let mallory = kp(66);
+    let d = Deployment::start(&operator);
+    let experimenter = kp(42);
+    let creds = Credentials::issue(
+        &mallory,
+        &experimenter,
+        ExperimentDescriptor {
+            name: "rogue".into(),
+            controller_addr: d.control_addr.to_string(),
+            info_url: String::new(),
+            experimenter: KeyHash::of(&experimenter.public),
+        },
+        Restrictions::none(),
+        1,
+    );
+    let chan = TcpChannel::connect(d.control_addr).unwrap();
+    assert!(Controller::connect(chan, &creds).is_err());
+}

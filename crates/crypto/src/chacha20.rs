@@ -1,0 +1,167 @@
+//! ChaCha20 stream cipher (RFC 7539).
+//!
+//! Used for optional confidentiality of the controller↔endpoint control
+//! channel. PacketLab's design only *requires* authentication (certificates),
+//! but a shared measurement fabric benefits from keeping experiment commands
+//! opaque to on-path observers, so the transport layer can wrap frames in
+//! ChaCha20 keyed from the session handshake.
+
+/// ChaCha20 cipher instance: a 256-bit key and 96-bit nonce.
+#[derive(Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+}
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha20 {
+    /// Create a cipher from a 32-byte key and 12-byte nonce.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> Self {
+        let mut k = [0u32; 8];
+        for i in 0..8 {
+            k[i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        let mut n = [0u32; 3];
+        for i in 0..3 {
+            n[i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        ChaCha20 { key: k, nonce: n }
+    }
+
+    /// Produce the 64-byte keystream block for `counter`.
+    pub fn block(&self, counter: u32) -> [u8; 64] {
+        let mut state = [0u32; 16];
+        state[0] = 0x61707865; // "expa"
+        state[1] = 0x3320646e; // "nd 3"
+        state[2] = 0x79622d32; // "2-by"
+        state[3] = 0x6b206574; // "te k"
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce);
+        let initial = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = state[i].wrapping_add(initial[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XOR `data` in place with the keystream starting at block `counter`.
+    ///
+    /// Encryption and decryption are the same operation.
+    pub fn apply(&self, counter: u32, data: &mut [u8]) {
+        for (i, chunk) in data.chunks_mut(64).enumerate() {
+            let ks = self.block(counter.wrapping_add(i as u32));
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn rfc7539_quarter_round_vector() {
+        // RFC 7539 §2.1.1.
+        let mut state = [0u32; 16];
+        state[0] = 0x11111111;
+        state[1] = 0x01020304;
+        state[2] = 0x9b8d6f43;
+        state[3] = 0x01234567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a92f4);
+        assert_eq!(state[1], 0xcb1cf8ce);
+        assert_eq!(state[2], 0x4581472e);
+        assert_eq!(state[3], 0x5881c4bb);
+    }
+
+    #[test]
+    fn rfc7539_block_function_vector() {
+        // RFC 7539 §2.3.2.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce = hex::decode_array::<12>("000000090000004a00000000").unwrap();
+        let cipher = ChaCha20::new(&key, &nonce);
+        let block = cipher.block(1);
+        assert_eq!(
+            hex::encode(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    #[test]
+    fn rfc7539_encryption_vector() {
+        // RFC 7539 §2.4.2 ("sunscreen" plaintext), counter starts at 1.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce = hex::decode_array::<12>("000000000000004a00000000").unwrap();
+        let cipher = ChaCha20::new(&key, &nonce);
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could \
+offer you only one tip for the future, sunscreen would be it."
+            .to_vec();
+        cipher.apply(1, &mut data);
+        assert_eq!(
+            hex::encode(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        // Decryption restores the plaintext.
+        cipher.apply(1, &mut data);
+        assert!(data.starts_with(b"Ladies and Gentlemen"));
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_lengths() {
+        let key = [0x42u8; 32];
+        let nonce = [0x24u8; 12];
+        let cipher = ChaCha20::new(&key, &nonce);
+        for len in [0usize, 1, 63, 64, 65, 200, 1000] {
+            let original: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+            let mut data = original.clone();
+            cipher.apply(5, &mut data);
+            if len > 8 {
+                assert_ne!(data, original, "keystream must change data (len {len})");
+            }
+            cipher.apply(5, &mut data);
+            assert_eq!(data, original, "roundtrip failed at len {len}");
+        }
+    }
+
+    #[test]
+    fn different_counters_different_keystream() {
+        let cipher = ChaCha20::new(&[1u8; 32], &[2u8; 12]);
+        assert_ne!(cipher.block(0), cipher.block(1));
+    }
+
+    #[test]
+    fn different_nonces_different_keystream() {
+        let a = ChaCha20::new(&[1u8; 32], &[2u8; 12]);
+        let b = ChaCha20::new(&[1u8; 32], &[3u8; 12]);
+        assert_ne!(a.block(0), b.block(0));
+    }
+}

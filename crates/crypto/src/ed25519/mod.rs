@@ -1,0 +1,301 @@
+//! Ed25519 digital signatures (RFC 8032).
+//!
+//! PacketLab certificates, experiment descriptors, and rendezvous publishes
+//! are all signed with Ed25519. The implementation is deliberately written
+//! in plain, auditable Rust: radix-2^51 field arithmetic, extended-coordinate
+//! group law straight from RFC 8032, and binary long reduction for scalars.
+
+pub mod field;
+pub mod point;
+pub mod scalar;
+
+use crate::sha512;
+use point::Point;
+use scalar::Scalar;
+
+/// An Ed25519 public key (compressed point).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey([u8; 32]);
+
+/// An Ed25519 secret key seed.
+#[derive(Clone)]
+pub struct SecretKey([u8; 32]);
+
+/// An Ed25519 signature (R ‖ s).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature(pub [u8; 64]);
+
+/// A secret/public key pair.
+#[derive(Clone)]
+pub struct Keypair {
+    /// The secret seed.
+    pub secret: SecretKey,
+    /// The derived public key.
+    pub public: PublicKey,
+}
+
+impl core::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "PublicKey({}..)", crate::hex::encode(&self.0[..6]))
+    }
+}
+
+impl core::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SecretKey(..)")
+    }
+}
+
+impl core::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Signature({}..)", crate::hex::encode(&self.0[..6]))
+    }
+}
+
+impl PublicKey {
+    /// Construct from raw bytes (validity is checked at verification time).
+    pub fn from_bytes(b: [u8; 32]) -> PublicKey {
+        PublicKey(b)
+    }
+
+    /// The raw encoding.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl SecretKey {
+    /// Construct from a 32-byte seed.
+    pub fn from_bytes(b: [u8; 32]) -> SecretKey {
+        SecretKey(b)
+    }
+
+    /// The raw seed bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl Signature {
+    /// Construct from raw bytes.
+    pub fn from_bytes(b: [u8; 64]) -> Signature {
+        Signature(b)
+    }
+
+    /// The raw 64-byte encoding.
+    pub fn as_bytes(&self) -> &[u8; 64] {
+        &self.0
+    }
+}
+
+/// Derive (clamped secret scalar, prefix) from a seed per RFC 8032 §5.1.5.
+fn expand_seed(seed: &[u8; 32]) -> (Scalar, [u8; 32]) {
+    let h = sha512::digest(seed).0;
+    let mut a_bytes: [u8; 32] = h[..32].try_into().unwrap();
+    a_bytes[0] &= 0xf8;
+    a_bytes[31] &= 0x7f;
+    a_bytes[31] |= 0x40;
+    let a = Scalar::from_bytes_mod_order(&a_bytes);
+    let prefix: [u8; 32] = h[32..].try_into().unwrap();
+    (a, prefix)
+}
+
+impl Keypair {
+    /// Deterministically derive a keypair from a 32-byte seed.
+    pub fn from_seed(seed: &[u8; 32]) -> Keypair {
+        let (a, _) = expand_seed(seed);
+        let public_point = point::mul_base(&a);
+        Keypair {
+            secret: SecretKey(*seed),
+            public: PublicKey(public_point.compress()),
+        }
+    }
+
+    /// Sign a message (RFC 8032 §5.1.6).
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let (a, prefix) = expand_seed(&self.secret.0);
+        let r_wide = sha512::digest_parts(&[&prefix, msg]).0;
+        let r = Scalar::from_wide_bytes_mod_order(&r_wide);
+        let r_point = point::mul_base(&r);
+        let r_enc = r_point.compress();
+        let k_wide = sha512::digest_parts(&[&r_enc, &self.public.0, msg]).0;
+        let k = Scalar::from_wide_bytes_mod_order(&k_wide);
+        let s = k.mul_add(&a, &r);
+        let mut sig = [0u8; 64];
+        sig[..32].copy_from_slice(&r_enc);
+        sig[32..].copy_from_slice(&s.to_bytes());
+        Signature(sig)
+    }
+
+    /// Sign a message assembled from parts without concatenating.
+    pub fn sign_parts(&self, parts: &[&[u8]]) -> Signature {
+        let mut msg = Vec::new();
+        for p in parts {
+            msg.extend_from_slice(p);
+        }
+        self.sign(&msg)
+    }
+}
+
+/// Verify a signature (RFC 8032 §5.1.7): checks `[s]B == R + [k]A`.
+pub fn verify(public: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
+    let r_enc: [u8; 32] = sig.0[..32].try_into().unwrap();
+    let s_enc: [u8; 32] = sig.0[32..].try_into().unwrap();
+    // Reject non-canonical s (mandatory for malleability resistance).
+    let s = match Scalar::from_canonical_bytes(&s_enc) {
+        Some(s) => s,
+        None => return false,
+    };
+    let a_point = match Point::decompress(&public.0) {
+        Some(p) => p,
+        None => return false,
+    };
+    let r_point = match Point::decompress(&r_enc) {
+        Some(p) => p,
+        None => return false,
+    };
+    let k_wide = sha512::digest_parts(&[&r_enc, &public.0, msg]).0;
+    let k = Scalar::from_wide_bytes_mod_order(&k_wide);
+    // [s]B == R + [k]A
+    let lhs = point::mul_base(&s);
+    let rhs = r_point.add(&a_point.mul_scalar(&k));
+    lhs.eq_point(&rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    struct Vector {
+        seed: &'static str,
+        public: &'static str,
+        msg: &'static str,
+        sig: &'static str,
+    }
+
+    // RFC 8032 §7.1 test vectors.
+    const VECTORS: &[Vector] = &[
+        Vector {
+            seed: "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+            public: "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+            msg: "",
+            sig: "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+                  5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b",
+        },
+        Vector {
+            seed: "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+            public: "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+            msg: "72",
+            sig: "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+                  085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00",
+        },
+        Vector {
+            seed: "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+            public: "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+            msg: "af82",
+            sig: "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+                  18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a",
+        },
+    ];
+
+    fn clean(s: &str) -> String {
+        s.chars().filter(|c| !c.is_whitespace()).collect()
+    }
+
+    #[test]
+    fn rfc8032_key_derivation() {
+        for (i, v) in VECTORS.iter().enumerate() {
+            let seed = hex::decode_array::<32>(v.seed).unwrap();
+            let kp = Keypair::from_seed(&seed);
+            assert_eq!(
+                hex::encode(kp.public.as_bytes()),
+                v.public,
+                "vector {i} public key"
+            );
+        }
+    }
+
+    #[test]
+    fn rfc8032_signatures() {
+        for (i, v) in VECTORS.iter().enumerate() {
+            let seed = hex::decode_array::<32>(v.seed).unwrap();
+            let kp = Keypair::from_seed(&seed);
+            let msg = hex::decode(&clean(v.msg)).unwrap();
+            let sig = kp.sign(&msg);
+            assert_eq!(hex::encode(&sig.0), clean(v.sig), "vector {i} signature");
+        }
+    }
+
+    #[test]
+    fn rfc8032_verification() {
+        for (i, v) in VECTORS.iter().enumerate() {
+            let public = PublicKey::from_bytes(hex::decode_array::<32>(v.public).unwrap());
+            let msg = hex::decode(&clean(v.msg)).unwrap();
+            let sig = Signature::from_bytes(
+                hex::decode(&clean(v.sig)).unwrap().try_into().unwrap(),
+            );
+            assert!(verify(&public, &msg, &sig), "vector {i} must verify");
+        }
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = Keypair::from_seed(&[1; 32]);
+        let sig = kp.sign(b"authentic message");
+        assert!(verify(&kp.public, b"authentic message", &sig));
+        assert!(!verify(&kp.public, b"tampered message!", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = Keypair::from_seed(&[2; 32]);
+        let mut sig = kp.sign(b"msg");
+        sig.0[0] ^= 1;
+        assert!(!verify(&kp.public, b"msg", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = Keypair::from_seed(&[3; 32]);
+        let kp2 = Keypair::from_seed(&[4; 32]);
+        let sig = kp1.sign(b"msg");
+        assert!(!verify(&kp2.public, b"msg", &sig));
+    }
+
+    #[test]
+    fn non_canonical_s_rejected() {
+        use super::scalar::L;
+        let kp = Keypair::from_seed(&[5; 32]);
+        let mut sig = kp.sign(b"msg");
+        // Add L to s: same point equation, non-canonical encoding.
+        let s = Scalar::from_canonical_bytes(&sig.0[32..].try_into().unwrap()).unwrap();
+        let mut wide = [0u64; 4];
+        let mut carry = 0u128;
+        for i in 0..4 {
+            let v = s.0[i] as u128 + L[i] as u128 + carry;
+            wide[i] = v as u64;
+            carry = v >> 64;
+        }
+        assert_eq!(carry, 0, "s + L fits in 256 bits");
+        for i in 0..4 {
+            sig.0[32 + i * 8..32 + i * 8 + 8].copy_from_slice(&wide[i].to_le_bytes());
+        }
+        assert!(!verify(&kp.public, b"msg", &sig));
+    }
+
+    #[test]
+    fn sign_parts_matches_sign() {
+        let kp = Keypair::from_seed(&[6; 32]);
+        assert_eq!(
+            kp.sign_parts(&[b"hello ", b"world"]).0,
+            kp.sign(b"hello world").0
+        );
+    }
+
+    #[test]
+    fn deterministic_signing() {
+        let kp = Keypair::from_seed(&[7; 32]);
+        assert_eq!(kp.sign(b"m").0, kp.sign(b"m").0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Edwards curve group operations for Ed25519.
+//!
+//! Points are kept in extended homogeneous coordinates (X : Y : Z : T) with
+//! x = X/Z, y = Y/Z, x*y = T/Z, on the twisted Edwards curve
+//! −x² + y² = 1 + d·x²·y² over GF(2^255 − 19). Formulas follow RFC 8032
+//! §5.1.4.
+
+use super::field::Fe;
+use super::scalar::Scalar;
+
+/// A point on the Ed25519 curve in extended coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+impl Point {
+    /// The neutral element (0, 1).
+    pub fn identity() -> Point {
+        Point { x: Fe::ZERO, y: Fe::ONE, z: Fe::ONE, t: Fe::ZERO }
+    }
+
+    /// The standard base point B (y = 4/5, x positive-even per RFC 8032).
+    pub fn base() -> Point {
+        // Encoded base point: y = 4/5 mod p with sign bit 0.
+        let enc: [u8; 32] = [
+            0x58, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+            0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+            0x66, 0x66, 0x66, 0x66,
+        ];
+        Point::decompress(&enc).expect("base point encoding is valid")
+    }
+
+    /// Point addition (RFC 8032 §5.1.4, add formulas for a = −1).
+    pub fn add(&self, other: &Point) -> Point {
+        let a = self.y.sub(&self.x).mul(&other.y.sub(&other.x));
+        let b = self.y.add(&self.x).mul(&other.y.add(&other.x));
+        let c = self.t.mul(&Fe::d2()).mul(&other.t);
+        let d = self.z.mul(&other.z).add(&self.z.mul(&other.z));
+        let e = b.sub(&a);
+        let f = d.sub(&c);
+        let g = d.add(&c);
+        let h = b.add(&a);
+        Point {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            t: e.mul(&h),
+            z: f.mul(&g),
+        }
+    }
+
+    /// Point doubling (RFC 8032 §5.1.4 dbl formulas).
+    pub fn double(&self) -> Point {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().add(&self.z.square());
+        let h = a.add(&b);
+        let e = h.sub(&self.x.add(&self.y).square());
+        let g = a.sub(&b);
+        let f = c.add(&g);
+        Point {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            t: e.mul(&h),
+            z: f.mul(&g),
+        }
+    }
+
+    /// Scalar multiplication `k * self` by binary double-and-add.
+    pub fn mul_scalar(&self, k: &Scalar) -> Point {
+        let mut acc = Point::identity();
+        for i in (0..256).rev() {
+            acc = acc.double();
+            if k.bit(i) == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Compress to the 32-byte RFC 8032 encoding: y with the sign of x in
+    /// the top bit.
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let mut out = y.to_bytes();
+        if x.is_negative() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompress an encoded point; `None` if the encoding is invalid
+    /// (not on the curve, or x = 0 with sign bit set).
+    pub fn decompress(enc: &[u8; 32]) -> Option<Point> {
+        let sign = enc[31] >> 7;
+        let mut y_bytes = *enc;
+        y_bytes[31] &= 0x7f;
+        let y = Fe::from_bytes(&y_bytes);
+        // Reject non-canonical y (>= p): re-encode and compare.
+        if y.to_bytes() != y_bytes {
+            return None;
+        }
+        // x² = (y² − 1) / (d·y² + 1)
+        let yy = y.square();
+        let u = yy.sub(&Fe::ONE);
+        let v = yy.mul(&Fe::d()).add(&Fe::ONE);
+        // Candidate root: x = u·v³ · (u·v⁷)^((p−5)/8)  (RFC 8032 §5.1.3).
+        let v3 = v.square().mul(&v);
+        let v7 = v3.square().mul(&v);
+        let mut x = u.mul(&v3).mul(&u.mul(&v7).pow_p58());
+        let vxx = v.mul(&x.square());
+        if vxx.ct_eq(&u) {
+            // x is correct.
+        } else if vxx.ct_eq(&u.neg()) {
+            x = x.mul(&Fe::sqrt_m1());
+        } else {
+            return None;
+        }
+        if x.is_zero() && sign == 1 {
+            return None;
+        }
+        if x.is_negative() != (sign == 1) {
+            x = x.neg();
+        }
+        Some(Point { x, y, z: Fe::ONE, t: x.mul(&y) })
+    }
+
+    /// Affine equality.
+    pub fn eq_point(&self, other: &Point) -> bool {
+        // x1/z1 == x2/z2  <=>  x1·z2 == x2·z1 (and same for y).
+        let lhs_x = self.x.mul(&other.z);
+        let rhs_x = other.x.mul(&self.z);
+        let lhs_y = self.y.mul(&other.z);
+        let rhs_y = other.y.mul(&self.z);
+        lhs_x.ct_eq(&rhs_x) && lhs_y.ct_eq(&rhs_y)
+    }
+
+    /// True iff this is the identity element.
+    pub fn is_identity(&self) -> bool {
+        self.eq_point(&Point::identity())
+    }
+}
+
+/// Fixed-base scalar multiplication `k * B`.
+pub fn mul_base(k: &Scalar) -> Point {
+    Point::base().mul_scalar(k)
+}
+
+/// Double-scalar multiplication `a*A + b*B` (used by verification).
+pub fn double_scalar_mul(a: &Scalar, point_a: &Point, b: &Scalar) -> Point {
+    // Straus/Shamir trick: shared doubling ladder.
+    let base = Point::base();
+    let sum = point_a.add(&base);
+    let mut acc = Point::identity();
+    for i in (0..256).rev() {
+        acc = acc.double();
+        match (a.bit(i), b.bit(i)) {
+            (1, 1) => acc = acc.add(&sum),
+            (1, 0) => acc = acc.add(point_a),
+            (0, 1) => acc = acc.add(&base),
+            _ => {}
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc(n: u64) -> Scalar {
+        Scalar([n, 0, 0, 0])
+    }
+
+    #[test]
+    fn base_point_on_curve_roundtrip() {
+        let b = Point::base();
+        let enc = b.compress();
+        let b2 = Point::decompress(&enc).unwrap();
+        assert!(b.eq_point(&b2));
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let id = Point::identity();
+        let enc = id.compress();
+        // Identity encodes as y=1: bytes = 01 00 ... 00.
+        assert_eq!(enc[0], 1);
+        assert!(enc[1..].iter().all(|&b| b == 0));
+        assert!(Point::decompress(&enc).unwrap().is_identity());
+    }
+
+    #[test]
+    fn double_equals_add_self() {
+        let b = Point::base();
+        assert!(b.double().eq_point(&b.add(&b)));
+        let p = b.mul_scalar(&sc(12345));
+        assert!(p.double().eq_point(&p.add(&p)));
+    }
+
+    #[test]
+    fn add_commutes() {
+        let p = Point::base().mul_scalar(&sc(7));
+        let q = Point::base().mul_scalar(&sc(11));
+        assert!(p.add(&q).eq_point(&q.add(&p)));
+    }
+
+    #[test]
+    fn add_identity_is_noop() {
+        let p = Point::base().mul_scalar(&sc(99));
+        assert!(p.add(&Point::identity()).eq_point(&p));
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        // (a+b)*B == a*B + b*B
+        let a = sc(1234);
+        let b = sc(5678);
+        let lhs = mul_base(&a.add(&b));
+        let rhs = mul_base(&a).add(&mul_base(&b));
+        assert!(lhs.eq_point(&rhs));
+    }
+
+    #[test]
+    fn scalar_mul_small_cases() {
+        let b = Point::base();
+        assert!(b.mul_scalar(&sc(0)).is_identity());
+        assert!(b.mul_scalar(&sc(1)).eq_point(&b));
+        assert!(b.mul_scalar(&sc(2)).eq_point(&b.double()));
+        assert!(b.mul_scalar(&sc(3)).eq_point(&b.double().add(&b)));
+    }
+
+    #[test]
+    fn order_l_annihilates_base() {
+        use super::super::scalar::L;
+        // L*B == identity (B has order L).
+        // L itself is not representable as a reduced Scalar, so compute
+        // (L-1)*B + B.
+        let l_minus_1 = Scalar({
+            let mut limbs = L;
+            limbs[0] -= 1;
+            limbs
+        });
+        let almost = mul_base(&l_minus_1);
+        assert!(almost.add(&Point::base()).is_identity());
+    }
+
+    #[test]
+    fn double_scalar_mul_matches_naive() {
+        let a = sc(0xdeadbeef);
+        let b = sc(0xc0ffee);
+        let point_a = mul_base(&sc(5));
+        let fast = double_scalar_mul(&a, &point_a, &b);
+        let slow = point_a.mul_scalar(&a).add(&mul_base(&b));
+        assert!(fast.eq_point(&slow));
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        // A y value whose x² has no square root.
+        let mut enc = [0u8; 32];
+        enc[0] = 2;
+        // y=2: x² = (4-1)/(4d+1); whether this is square depends on the curve,
+        // so instead scan for at least one invalid encoding among small y.
+        let mut rejected = 0;
+        for y in 0u8..=20 {
+            enc[0] = y;
+            if Point::decompress(&enc).is_none() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "some small-y encodings must be off-curve");
+    }
+
+    #[test]
+    fn decompress_rejects_non_canonical_y() {
+        // y = p (which is 0 mod p but non-canonical encoding).
+        let mut enc = [0xffu8; 32];
+        enc[0] = 0xed;
+        enc[31] = 0x7f;
+        assert!(Point::decompress(&enc).is_none());
+    }
+}

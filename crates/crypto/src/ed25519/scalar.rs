@@ -1,0 +1,244 @@
+//! Arithmetic modulo the Ed25519 group order
+//! L = 2^252 + 27742317777372353535851937790883648493.
+//!
+//! Scalars are 256-bit little-endian values held as four u64 limbs. The
+//! reduction strategy is simple shift-and-subtract long reduction of 512-bit
+//! intermediates — unglamorous, but easy to audit and plenty fast for
+//! certificate signing workloads.
+
+/// The group order L as little-endian u64 limbs.
+pub const L: [u64; 4] = [
+    0x5812631a5cf5d3ed,
+    0x14def9dea2f79cd6,
+    0x0000000000000000,
+    0x1000000000000000,
+];
+
+/// A scalar in [0, L).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Scalar(pub [u64; 4]);
+
+impl Scalar {
+    /// The zero scalar.
+    pub const ZERO: Scalar = Scalar([0, 0, 0, 0]);
+
+    /// Load a 32-byte little-endian value and reduce mod L.
+    pub fn from_bytes_mod_order(b: &[u8; 32]) -> Scalar {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(b);
+        Scalar::from_wide_bytes_mod_order(&wide)
+    }
+
+    /// Load a 64-byte little-endian value and reduce mod L (the RFC 8032
+    /// "SHA-512 output mod L" operation).
+    pub fn from_wide_bytes_mod_order(b: &[u8; 64]) -> Scalar {
+        let mut limbs = [0u64; 8];
+        for i in 0..8 {
+            limbs[i] = u64::from_le_bytes(b[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        Scalar(reduce_wide(limbs))
+    }
+
+    /// Strict deserialization: accepts only canonical scalars < L.
+    pub fn from_canonical_bytes(b: &[u8; 32]) -> Option<Scalar> {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            limbs[i] = u64::from_le_bytes(b[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        if !lt(&limbs, &L) {
+            return None;
+        }
+        Some(Scalar(limbs))
+    }
+
+    /// Serialize as 32 little-endian bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..i * 8 + 8].copy_from_slice(&self.0[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// (self * b + c) mod L — the core of Ed25519 signing (s = r + k*a).
+    pub fn mul_add(&self, b: &Scalar, c: &Scalar) -> Scalar {
+        let mut prod = mul_wide(&self.0, &b.0);
+        // Add c into the 512-bit product.
+        let mut carry = 0u128;
+        for i in 0..4 {
+            let v = prod[i] as u128 + c.0[i] as u128 + carry;
+            prod[i] = v as u64;
+            carry = v >> 64;
+        }
+        let mut i = 4;
+        while carry > 0 && i < 8 {
+            let v = prod[i] as u128 + carry;
+            prod[i] = v as u64;
+            carry = v >> 64;
+            i += 1;
+        }
+        Scalar(reduce_wide(prod))
+    }
+
+    /// (self + b) mod L.
+    pub fn add(&self, b: &Scalar) -> Scalar {
+        self.mul_add(&Scalar([1, 0, 0, 0]), b)
+    }
+
+    /// True iff the scalar is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Iterate bits little-endian (bit 0 first).
+    pub fn bit(&self, i: usize) -> u8 {
+        ((self.0[i / 64] >> (i % 64)) & 1) as u8
+    }
+}
+
+/// a < b over 256-bit little-endian limb arrays.
+fn lt(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] < b[i] {
+            return true;
+        }
+        if a[i] > b[i] {
+            return false;
+        }
+    }
+    false
+}
+
+/// Schoolbook 256×256 → 512-bit multiply.
+fn mul_wide(a: &[u64; 4], b: &[u64; 4]) -> [u64; 8] {
+    let mut r = [0u64; 8];
+    for i in 0..4 {
+        let mut carry = 0u128;
+        for j in 0..4 {
+            let v = r[i + j] as u128 + (a[i] as u128) * (b[j] as u128) + carry;
+            r[i + j] = v as u64;
+            carry = v >> 64;
+        }
+        r[i + 4] = carry as u64;
+    }
+    r
+}
+
+/// Reduce a 512-bit little-endian value mod L by binary long division.
+fn reduce_wide(limbs: [u64; 8]) -> [u64; 4] {
+    // r accumulates the remainder as we scan bits from most significant
+    // to least significant: r = r*2 + bit; if r >= L then r -= L.
+    let mut r = [0u64; 4];
+    for bit_idx in (0..512).rev() {
+        // r <<= 1 (r < L < 2^253 so no overflow).
+        let mut carry = 0u64;
+        for limb in r.iter_mut() {
+            let new_carry = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = new_carry;
+        }
+        // r |= bit
+        let bit = (limbs[bit_idx / 64] >> (bit_idx % 64)) & 1;
+        r[0] |= bit;
+        // if r >= L: r -= L
+        if !lt(&r, &L) {
+            let mut borrow = 0u64;
+            for i in 0..4 {
+                let (v1, b1) = r[i].overflowing_sub(L[i]);
+                let (v2, b2) = v1.overflowing_sub(borrow);
+                r[i] = v2;
+                borrow = (b1 | b2) as u64;
+            }
+            debug_assert_eq!(borrow, 0);
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc(n: u64) -> Scalar {
+        Scalar([n, 0, 0, 0])
+    }
+
+    #[test]
+    fn l_reduces_to_zero() {
+        let mut wide = [0u64; 8];
+        wide[..4].copy_from_slice(&L);
+        assert_eq!(reduce_wide(wide), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn l_plus_small_reduces() {
+        let mut wide = [0u64; 8];
+        wide[..4].copy_from_slice(&L);
+        wide[0] = wide[0].wrapping_add(42);
+        assert_eq!(reduce_wide(wide), [42, 0, 0, 0]);
+    }
+
+    #[test]
+    fn small_values_unchanged() {
+        let s = Scalar::from_bytes_mod_order(&{
+            let mut b = [0u8; 32];
+            b[0] = 0x2a;
+            b
+        });
+        assert_eq!(s, sc(42));
+    }
+
+    #[test]
+    fn mul_add_small() {
+        // 6 * 7 + 8 = 50
+        assert_eq!(sc(6).mul_add(&sc(7), &sc(8)), sc(50));
+    }
+
+    #[test]
+    fn mul_add_wraps_mod_l() {
+        // (L-1) + 2 == 1 mod L
+        let l_minus_1 = {
+            let mut limbs = L;
+            limbs[0] -= 1;
+            Scalar(limbs)
+        };
+        assert_eq!(l_minus_1.add(&sc(2)), sc(1));
+    }
+
+    #[test]
+    fn canonical_roundtrip() {
+        let s = sc(123456789);
+        assert_eq!(Scalar::from_canonical_bytes(&s.to_bytes()), Some(s));
+    }
+
+    #[test]
+    fn canonical_rejects_l() {
+        let l_bytes = Scalar(L).to_bytes();
+        assert!(Scalar::from_canonical_bytes(&l_bytes).is_none());
+    }
+
+    #[test]
+    fn wide_reduction_of_all_ones() {
+        // Just a determinism / bounds check: result must be < L.
+        let r = reduce_wide([u64::MAX; 8]);
+        assert!(lt(&r, &L));
+    }
+
+    #[test]
+    fn mul_commutes() {
+        let a = Scalar::from_bytes_mod_order(&[0x37; 32]);
+        let b = Scalar::from_bytes_mod_order(&[0x59; 32]);
+        assert_eq!(a.mul_add(&b, &Scalar::ZERO), b.mul_add(&a, &Scalar::ZERO));
+    }
+
+    #[test]
+    fn distributes_over_add() {
+        let a = Scalar::from_bytes_mod_order(&[0x11; 32]);
+        let b = Scalar::from_bytes_mod_order(&[0x22; 32]);
+        let c = Scalar::from_bytes_mod_order(&[0x33; 32]);
+        // a*(b+c) == a*b + a*c
+        let lhs = a.mul_add(&b.add(&c), &Scalar::ZERO);
+        let rhs = a.mul_add(&b, &a.mul_add(&c, &Scalar::ZERO));
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,74 @@
+//! Minimal hex encoding/decoding, used for key fingerprints, debugging
+//! output, and test vectors.
+
+/// Encode bytes as lowercase hex.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Decode a hex string (upper or lower case, even length, no separators).
+///
+/// Returns `None` on any malformed input.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+/// Decode into a fixed-size array; `None` if length or content mismatch.
+pub fn decode_array<const N: usize>(s: &str) -> Option<[u8; N]> {
+    let v = decode(s)?;
+    v.try_into().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0x00, 0x01, 0xfe, 0xff, 0xab];
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn encode_known() {
+        assert_eq!(encode(&[0xde, 0xad, 0xbe, 0xef]), "deadbeef");
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn decode_uppercase() {
+        assert_eq!(decode("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn decode_rejects_odd_length() {
+        assert!(decode("abc").is_none());
+    }
+
+    #[test]
+    fn decode_rejects_non_hex() {
+        assert!(decode("zz").is_none());
+        assert!(decode("0g").is_none());
+    }
+
+    #[test]
+    fn decode_array_rejects_wrong_len() {
+        assert!(decode_array::<4>("deadbeef").is_some());
+        assert!(decode_array::<3>("deadbeef").is_none());
+    }
+}

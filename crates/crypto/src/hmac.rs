@@ -1,0 +1,117 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! Used by the PacketLab transport layer for keyed channel binding of
+//! control-session frames once a session key has been established.
+
+use crate::sha256::{Digest256, Sha256};
+
+const BLOCK: usize = 64;
+
+/// Compute HMAC-SHA-256 of `msg` under `key`.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest256 {
+    hmac_sha256_parts(key, &[msg])
+}
+
+/// HMAC-SHA-256 over the concatenation of several slices.
+pub fn hmac_sha256_parts(key: &[u8], parts: &[&[u8]]) -> Digest256 {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = crate::sha256::digest(key);
+        k[..32].copy_from_slice(&d.0);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    for p in parts {
+        inner.update(p);
+    }
+    let inner = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner.0);
+    outer.finalize()
+}
+
+/// Constant-time comparison of two MACs.
+pub fn verify(expected: &Digest256, actual: &Digest256) -> bool {
+    let mut diff = 0u8;
+    for (a, b) in expected.0.iter().zip(actual.0.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 4231 test vectors for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex::encode(&mac.0),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex::encode(&mac.0),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        let mac = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex::encode(&mac.0),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex::encode(&mac.0),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn parts_matches_concat() {
+        let whole = hmac_sha256(b"k", b"hello world");
+        let split = hmac_sha256_parts(b"k", &[b"hello", b" ", b"world"]);
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn verify_detects_mismatch() {
+        let a = hmac_sha256(b"k", b"m");
+        let mut b = a;
+        assert!(verify(&a, &b));
+        b.0[31] ^= 1;
+        assert!(!verify(&a, &b));
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+}

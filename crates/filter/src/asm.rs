@@ -1,0 +1,477 @@
+//! A small text assembly language for PFVM.
+//!
+//! Endpoint operators who want to hand-tune a monitor (rather than write
+//! Cpf) can use this format. It is also the disassembler's output format,
+//! giving a round-trippable textual form for programs embedded in
+//! certificates.
+//!
+//! ```text
+//! ; traceroute monitor, hand-assembled
+//! .persistent 16
+//! .scratch 0
+//!
+//! entry send:
+//!     ld.f   r2, ip.ver          ; field loads resolve via plab-packet
+//!     jne.i  r2, 4, deny
+//!     ld.f   r3, ip.icmp.type
+//!     jne.i  r3, 8, deny
+//!     mov.r  r0, r1              ; allow: return packet length
+//!     ret    r0
+//! deny:
+//!     mov.i  r0, 0
+//!     ret    r0
+//! ```
+//!
+//! Syntax: one instruction per line; `;` starts a comment; labels end with
+//! `:`; `entry NAME:` declares an entry point; `.persistent N` / `.scratch
+//! N` declare memory sizes. Registers are `r0`..`r15`. The pseudo-
+//! instruction `ld.f rD, path` expands to a load (+ shift/mask) using the
+//! field table in [`plab_packet::layout`].
+
+use crate::builder::{Asm, Label};
+use crate::insn::Op;
+use crate::program::Program;
+use plab_packet::layout;
+use std::collections::HashMap;
+
+/// Assembly errors with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError { line, msg: msg.into() }
+}
+
+/// Assemble source text into a [`Program`].
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut asm = Asm::new();
+    let mut labels: HashMap<String, Label> = HashMap::new();
+    let mut entries: Vec<(String, Label)> = Vec::new();
+    let mut persistent = 0u32;
+    let mut scratch = 0u32;
+
+    let mut get_label = |asm: &mut Asm, name: &str| -> Label {
+        *labels
+            .entry(name.to_string())
+            .or_insert_with(|| asm.new_label())
+    };
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+
+        // Directives.
+        if let Some(rest) = text.strip_prefix(".persistent") {
+            persistent = rest
+                .trim()
+                .parse()
+                .map_err(|_| err(line, "bad .persistent size"))?;
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".scratch") {
+            scratch = rest
+                .trim()
+                .parse()
+                .map_err(|_| err(line, "bad .scratch size"))?;
+            continue;
+        }
+
+        // Entry declarations: `entry NAME:`.
+        if let Some(rest) = text.strip_prefix("entry ") {
+            let name = rest
+                .trim()
+                .strip_suffix(':')
+                .ok_or_else(|| err(line, "entry must end with ':'"))?
+                .trim();
+            if name.is_empty() {
+                return Err(err(line, "empty entry name"));
+            }
+            let l = get_label(&mut asm, name);
+            asm.bind(l);
+            entries.push((name.to_string(), l));
+            continue;
+        }
+
+        // Plain labels: `NAME:`.
+        if let Some(name) = text.strip_suffix(':') {
+            let name = name.trim();
+            if name.contains(char::is_whitespace) {
+                return Err(err(line, "label may not contain spaces"));
+            }
+            let l = get_label(&mut asm, name);
+            asm.bind(l);
+            continue;
+        }
+
+        // Instructions.
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            vec![]
+        } else {
+            rest.split(',').map(|s| s.trim()).collect()
+        };
+
+        let reg = |s: &str| -> Result<u8, AsmError> {
+            s.strip_prefix('r')
+                .and_then(|n| n.parse::<u8>().ok())
+                .filter(|&n| n < 16)
+                .ok_or_else(|| err(line, format!("bad register `{s}`")))
+        };
+        let imm = |s: &str| -> Result<i64, AsmError> {
+            parse_imm(s).ok_or_else(|| err(line, format!("bad immediate `{s}`")))
+        };
+
+        let need = |n: usize| -> Result<(), AsmError> {
+            if ops.len() != n {
+                Err(err(line, format!("expected {n} operands, got {}", ops.len())))
+            } else {
+                Ok(())
+            }
+        };
+
+        match mnemonic {
+            // ALU: op.i rD, imm / op.r rD, rS
+            "mov.i" | "add.i" | "sub.i" | "mul.i" | "div.i" | "mod.i" | "and.i" | "or.i"
+            | "xor.i" | "shl.i" | "shr.i" => {
+                need(2)?;
+                let d = reg(ops[0])?;
+                let v = imm(ops[1])?;
+                let op = match mnemonic {
+                    "mov.i" => Op::MovI,
+                    "add.i" => Op::AddI,
+                    "sub.i" => Op::SubI,
+                    "mul.i" => Op::MulI,
+                    "div.i" => Op::DivI,
+                    "mod.i" => Op::ModI,
+                    "and.i" => Op::AndI,
+                    "or.i" => Op::OrI,
+                    "xor.i" => Op::XorI,
+                    "shl.i" => Op::ShlI,
+                    _ => Op::ShrI,
+                };
+                asm.emit(crate::insn::Insn::new(op, d, 0, v));
+            }
+            "mov.r" | "add.r" | "sub.r" | "mul.r" | "div.r" | "mod.r" | "and.r" | "or.r"
+            | "xor.r" | "shl.r" | "shr.r" => {
+                need(2)?;
+                let d = reg(ops[0])?;
+                let s = reg(ops[1])?;
+                let op = match mnemonic {
+                    "mov.r" => Op::MovR,
+                    "add.r" => Op::AddR,
+                    "sub.r" => Op::SubR,
+                    "mul.r" => Op::MulR,
+                    "div.r" => Op::DivR,
+                    "mod.r" => Op::ModR,
+                    "and.r" => Op::AndR,
+                    "or.r" => Op::OrR,
+                    "xor.r" => Op::XorR,
+                    "shl.r" => Op::ShlR,
+                    _ => Op::ShrR,
+                };
+                asm.emit(crate::insn::Insn::new(op, d, s, 0));
+            }
+            "neg" => {
+                need(1)?;
+                asm.neg(reg(ops[0])?);
+            }
+            "not" => {
+                need(1)?;
+                asm.not(reg(ops[0])?);
+            }
+
+            // Loads: ld.pkt8 rD, rS, off   (address = rS + off)
+            "ld.pkt8" | "ld.pkt16" | "ld.pkt32" | "ld.info8" | "ld.info16" | "ld.info32"
+            | "ld.info64" | "ld.mem" | "ld.scr" => {
+                need(3)?;
+                let d = reg(ops[0])?;
+                let s = reg(ops[1])?;
+                let off = imm(ops[2])?;
+                let op = match mnemonic {
+                    "ld.pkt8" => Op::LdPkt8,
+                    "ld.pkt16" => Op::LdPkt16,
+                    "ld.pkt32" => Op::LdPkt32,
+                    "ld.info8" => Op::LdInfo8,
+                    "ld.info16" => Op::LdInfo16,
+                    "ld.info32" => Op::LdInfo32,
+                    "ld.info64" => Op::LdInfo64,
+                    "ld.mem" => Op::LdMem,
+                    _ => Op::LdScr,
+                };
+                asm.emit(crate::insn::Insn::new(op, d, s, off));
+            }
+            "st.mem" | "st.scr" => {
+                need(3)?;
+                let a = reg(ops[0])?;
+                let v = reg(ops[1])?;
+                let off = imm(ops[2])?;
+                let op = if mnemonic == "st.mem" { Op::StMem } else { Op::StScr };
+                asm.emit(crate::insn::Insn::new(op, a, v, off));
+            }
+
+            // Field pseudo-load: ld.f rD, path
+            "ld.f" => {
+                need(2)?;
+                let d = reg(ops[0])?;
+                let spec = layout::resolve(ops[1])
+                    .ok_or_else(|| err(line, format!("unknown field `{}`", ops[1])))?;
+                emit_field_load(&mut asm, d, &spec);
+            }
+
+            // Jumps.
+            "ja" => {
+                need(1)?;
+                let l = get_label(&mut asm, ops[0]);
+                asm.ja_to(l);
+            }
+            "jeq.i" | "jne.i" | "jlt.i" | "jle.i" | "jslt.i" => {
+                need(3)?;
+                let d = reg(ops[0])?;
+                let v = imm(ops[1])?;
+                let l = get_label(&mut asm, ops[2]);
+                let op = match mnemonic {
+                    "jeq.i" => Op::JeqI,
+                    "jne.i" => Op::JneI,
+                    "jlt.i" => Op::JltI,
+                    "jle.i" => Op::JleI,
+                    _ => Op::JsltI,
+                };
+                asm.j_imm_to(op, d, v as u32, l);
+            }
+            "jeq.r" | "jne.r" | "jlt.r" | "jle.r" | "jslt.r" => {
+                need(3)?;
+                let d = reg(ops[0])?;
+                let s = reg(ops[1])?;
+                let l = get_label(&mut asm, ops[2]);
+                let op = match mnemonic {
+                    "jeq.r" => Op::JeqR,
+                    "jne.r" => Op::JneR,
+                    "jlt.r" => Op::JltR,
+                    "jle.r" => Op::JleR,
+                    _ => Op::JsltR,
+                };
+                asm.j_reg_to(op, d, s, l);
+            }
+
+            "ret" => {
+                need(1)?;
+                asm.ret(reg(ops[0])?);
+            }
+
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+
+    if entries.is_empty() {
+        return Err(err(0, "no entry points declared"));
+    }
+    let entry_refs: Vec<(&str, Label)> =
+        entries.iter().map(|(n, l)| (n.as_str(), *l)).collect();
+    Ok(asm.finish_program(&entry_refs, persistent, scratch))
+}
+
+/// Expand a symbolic field load into PFVM instructions.
+///
+/// The load addresses are absolute (base register = `dst`, zeroed first, so
+/// no other register is clobbered and no assumption is made about r0).
+pub fn emit_field_load(asm: &mut Asm, dst: u8, spec: &layout::FieldSpec) {
+    asm.mov_i(dst, 0);
+    match spec.width {
+        1 => asm.ld_pkt8(dst, dst, spec.offset as i64),
+        2 => asm.ld_pkt16(dst, dst, spec.offset as i64),
+        4 => asm.ld_pkt32(dst, dst, spec.offset as i64),
+        w => unreachable!("field width {w} not supported"),
+    }
+    if spec.shift != 0 {
+        asm.shr_i(dst, spec.shift as i64);
+    }
+    if spec.mask != u64::MAX {
+        asm.and_i(dst, spec.mask as i64);
+    }
+}
+
+fn parse_imm(s: &str) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Vm;
+    use plab_packet::builder;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn assemble_minimal() {
+        let p = assemble(
+            "entry send:\n  mov.i r0, 1\n  ret r0\n",
+        )
+        .unwrap();
+        let mut vm = Vm::new(p).unwrap();
+        assert_eq!(vm.run("send", &[], &[]), Ok(1));
+    }
+
+    #[test]
+    fn assemble_with_labels_and_comments() {
+        let src = r#"
+; count to three
+.persistent 8
+entry send:
+loop:
+    add.i r2, 1            ; increment
+    jne.i r2, 3, loop
+    mov.r r0, r2
+    ret r0
+"#;
+        let p = assemble(src).unwrap();
+        assert_eq!(p.persistent_size, 8);
+        let mut vm = Vm::new(p).unwrap();
+        assert_eq!(vm.run("send", &[], &[]), Ok(3));
+    }
+
+    #[test]
+    fn field_load_pseudo_instruction() {
+        let src = r#"
+entry recv:
+    ld.f r2, ip.proto
+    jne.i r2, 1, deny
+    mov.r r0, r1
+    ret r0
+deny:
+    mov.i r0, 0
+    ret r0
+"#;
+        let p = assemble(src).unwrap();
+        let mut vm = Vm::new(p).unwrap();
+        let icmp_pkt = builder::icmp_echo_request(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            64,
+            1,
+            1,
+            &[],
+        );
+        let udp_pkt = builder::udp_datagram(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            &[],
+        );
+        assert_eq!(vm.run("recv", &icmp_pkt, &[]), Ok(icmp_pkt.len() as u64));
+        assert_eq!(vm.run("recv", &udp_pkt, &[]), Ok(0));
+    }
+
+    #[test]
+    fn bitfield_load_expands_shift_mask() {
+        let src = "entry send:\n  ld.f r2, ip.ver\n  mov.r r0, r2\n  ret r0\n";
+        let p = assemble(src).unwrap();
+        let mut vm = Vm::new(p).unwrap();
+        let pkt = builder::udp_datagram(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            1,
+            2,
+            b"x",
+        );
+        assert_eq!(vm.run("send", &pkt, &[]), Ok(4));
+    }
+
+    #[test]
+    fn multiple_entries() {
+        let src = r#"
+entry send:
+    mov.i r0, 1
+    ret r0
+entry recv:
+    mov.i r0, 2
+    ret r0
+"#;
+        let p = assemble(src).unwrap();
+        let mut vm = Vm::new(p).unwrap();
+        assert_eq!(vm.run("send", &[], &[]), Ok(1));
+        assert_eq!(vm.run("recv", &[], &[]), Ok(2));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let src = "entry send:\n  mov.i r0, 0xff\n  add.i r0, -15\n  ret r0\n";
+        let p = assemble(src).unwrap();
+        let mut vm = Vm::new(p).unwrap();
+        assert_eq!(vm.run("send", &[], &[]), Ok(240));
+    }
+
+    #[test]
+    fn error_unknown_mnemonic() {
+        let e = assemble("entry send:\n  frobnicate r0\n  ret r0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("frobnicate"));
+    }
+
+    #[test]
+    fn error_bad_register() {
+        let e = assemble("entry send:\n  mov.i r99, 0\n  ret r0\n").unwrap_err();
+        assert!(e.msg.contains("r99"));
+    }
+
+    #[test]
+    fn error_unknown_field() {
+        let e = assemble("entry send:\n  ld.f r2, ip.bogus\n  ret r0\n").unwrap_err();
+        assert!(e.msg.contains("ip.bogus"));
+    }
+
+    #[test]
+    fn error_no_entries() {
+        assert!(assemble("mov.i r0, 1\nret r0\n").is_err());
+    }
+
+    #[test]
+    fn error_wrong_operand_count() {
+        let e = assemble("entry send:\n  mov.i r0\n  ret r0\n").unwrap_err();
+        assert!(e.msg.contains("operands"));
+    }
+
+    #[test]
+    fn store_and_load_memory() {
+        let src = r#"
+.persistent 16
+entry send:
+    mov.i r2, 0        ; address
+    mov.i r3, 42       ; value
+    st.mem r2, r3, 8
+    ld.mem r0, r2, 8
+    ret r0
+"#;
+        let p = assemble(src).unwrap();
+        let mut vm = Vm::new(p).unwrap();
+        assert_eq!(vm.run("send", &[], &[]), Ok(42));
+    }
+}

@@ -1,0 +1,523 @@
+//! The PFVM interpreter.
+//!
+//! A [`Vm`] instance holds the persistent memory for one monitor/filter
+//! attached to one experiment: it is created when the experiment is
+//! authorized and dropped when the experiment ends, so state written by
+//! `send` is visible to later `recv` invocations (the paper's Figure 2
+//! relies on exactly this to latch `ping_dst`).
+
+use crate::insn::Op;
+use crate::program::{Program, ENTRY_INIT, ENTRY_RECV, ENTRY_SEND};
+use crate::validate::{validate, NUM_REGS, ValidateError};
+use crate::Verdict;
+
+/// Runtime faults. All faults deny the adjudicated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Out-of-bounds packet/info/memory access.
+    OutOfBounds,
+    /// Division or modulo by zero.
+    DivByZero,
+    /// Instruction budget exhausted.
+    OutOfFuel,
+    /// Entry point missing (only from [`Vm::run`]; `run_entry_or_allow`
+    /// treats missing entries as allow).
+    NoSuchEntry,
+}
+
+impl core::fmt::Display for Trap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Trap::OutOfBounds => write!(f, "out-of-bounds access"),
+            Trap::DivByZero => write!(f, "division by zero"),
+            Trap::OutOfFuel => write!(f, "out of fuel"),
+            Trap::NoSuchEntry => write!(f, "no such entry point"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Execution limits.
+#[derive(Debug, Clone, Copy)]
+pub struct VmConfig {
+    /// Maximum instructions per invocation.
+    pub fuel: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        // Generous for filters (a few thousand instructions is a very
+        // complex monitor) yet bounds endpoint CPU per packet.
+        VmConfig { fuel: 100_000 }
+    }
+}
+
+/// An instantiated monitor/filter with its persistent state.
+pub struct Vm {
+    program: Program,
+    config: VmConfig,
+    persistent: Vec<u8>,
+    /// Cumulative instructions executed (for the overhead benches).
+    pub insns_executed: u64,
+}
+
+impl Vm {
+    /// Validate and instantiate a program.
+    pub fn new(program: Program) -> Result<Vm, ValidateError> {
+        Self::with_config(program, VmConfig::default())
+    }
+
+    /// Validate and instantiate with explicit limits.
+    pub fn with_config(program: Program, config: VmConfig) -> Result<Vm, ValidateError> {
+        validate(&program)?;
+        let persistent = vec![0u8; program.persistent_size as usize];
+        Ok(Vm { program, config, persistent, insns_executed: 0 })
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Read-only view of persistent memory (exposed to tests/diagnostics).
+    pub fn persistent(&self) -> &[u8] {
+        &self.persistent
+    }
+
+    /// Run the `init` entry if present (called once at instantiation).
+    pub fn init(&mut self, info: &[u8]) {
+        let _ = self.run_entry_or_allow(ENTRY_INIT, &[], info);
+    }
+
+    /// Adjudicate an outgoing packet: runs `send`.
+    pub fn check_send(&mut self, packet: &[u8], info: &[u8]) -> Verdict {
+        self.run_entry_or_allow(ENTRY_SEND, packet, info)
+    }
+
+    /// Adjudicate a captured packet: runs `recv`.
+    pub fn check_recv(&mut self, packet: &[u8], info: &[u8]) -> Verdict {
+        self.run_entry_or_allow(ENTRY_RECV, packet, info)
+    }
+
+    /// Run a named entry, treating a *missing* entry as allow-all. This is
+    /// the monitor convention: a certificate that constrains only `send`
+    /// leaves `recv` unrestricted.
+    pub fn run_entry_or_allow(&mut self, entry: &str, packet: &[u8], info: &[u8]) -> Verdict {
+        match self.program.entry(entry) {
+            None => Verdict::Allow(packet.len().max(1) as u64),
+            Some(pc) => match self.exec(pc, packet, info) {
+                Ok(0) => Verdict::Deny,
+                Ok(v) => Verdict::Allow(v),
+                Err(t) => Verdict::Fault(t),
+            },
+        }
+    }
+
+    /// Run a named entry, erroring if absent. Used for `ncap` filters where
+    /// the controller must supply the entry it names.
+    pub fn run(&mut self, entry: &str, packet: &[u8], info: &[u8]) -> Result<u64, Trap> {
+        let pc = self.program.entry(entry).ok_or(Trap::NoSuchEntry)?;
+        self.exec(pc, packet, info)
+    }
+
+    fn exec(&mut self, entry_pc: u32, packet: &[u8], info: &[u8]) -> Result<u64, Trap> {
+        let code = &self.program.code;
+        let mut regs = [0u64; NUM_REGS as usize];
+        regs[1] = packet.len() as u64;
+        let mut scratch = vec![0u8; self.program.scratch_size as usize];
+        let mut pc = entry_pc as i64;
+        let mut fuel = self.config.fuel;
+
+        loop {
+            if fuel == 0 {
+                return Err(Trap::OutOfFuel);
+            }
+            fuel -= 1;
+            self.insns_executed += 1;
+            // Validator guarantees jumps stay in bounds and the code cannot
+            // fall off the end, so indexing is safe.
+            let insn = code[pc as usize];
+            let dst = insn.dst as usize;
+            let src = insn.src as usize;
+            let imm = insn.imm;
+            let immu = imm as u64;
+            pc += 1;
+            match insn.op {
+                Op::MovI => regs[dst] = immu,
+                Op::MovR => regs[dst] = regs[src],
+                Op::AddI => regs[dst] = regs[dst].wrapping_add(immu),
+                Op::AddR => regs[dst] = regs[dst].wrapping_add(regs[src]),
+                Op::SubI => regs[dst] = regs[dst].wrapping_sub(immu),
+                Op::SubR => regs[dst] = regs[dst].wrapping_sub(regs[src]),
+                Op::MulI => regs[dst] = regs[dst].wrapping_mul(immu),
+                Op::MulR => regs[dst] = regs[dst].wrapping_mul(regs[src]),
+                Op::DivI | Op::DivR => {
+                    let d = if insn.op == Op::DivI { immu } else { regs[src] };
+                    if d == 0 {
+                        return Err(Trap::DivByZero);
+                    }
+                    regs[dst] /= d;
+                }
+                Op::ModI | Op::ModR => {
+                    let d = if insn.op == Op::ModI { immu } else { regs[src] };
+                    if d == 0 {
+                        return Err(Trap::DivByZero);
+                    }
+                    regs[dst] %= d;
+                }
+                Op::AndI => regs[dst] &= immu,
+                Op::AndR => regs[dst] &= regs[src],
+                Op::OrI => regs[dst] |= immu,
+                Op::OrR => regs[dst] |= regs[src],
+                Op::XorI => regs[dst] ^= immu,
+                Op::XorR => regs[dst] ^= regs[src],
+                Op::ShlI => regs[dst] <<= immu & 63,
+                Op::ShlR => regs[dst] <<= regs[src] & 63,
+                Op::ShrI => regs[dst] >>= immu & 63,
+                Op::ShrR => regs[dst] >>= regs[src] & 63,
+                Op::Neg => regs[dst] = (regs[dst] as i64).wrapping_neg() as u64,
+                Op::Not => regs[dst] = !regs[dst],
+
+                Op::LdPkt8 | Op::LdPkt16 | Op::LdPkt32 => {
+                    let width = match insn.op {
+                        Op::LdPkt8 => 1,
+                        Op::LdPkt16 => 2,
+                        _ => 4,
+                    };
+                    let addr = regs[src].wrapping_add(immu) as usize;
+                    let bytes = packet.get(addr..addr + width).ok_or(Trap::OutOfBounds)?;
+                    // Network byte order.
+                    let mut v = 0u64;
+                    for b in bytes {
+                        v = (v << 8) | *b as u64;
+                    }
+                    regs[dst] = v;
+                }
+                Op::LdInfo8 | Op::LdInfo16 | Op::LdInfo32 | Op::LdInfo64 => {
+                    let width = match insn.op {
+                        Op::LdInfo8 => 1,
+                        Op::LdInfo16 => 2,
+                        Op::LdInfo32 => 4,
+                        _ => 8,
+                    };
+                    let addr = regs[src].wrapping_add(immu) as usize;
+                    let bytes = info.get(addr..addr + width).ok_or(Trap::OutOfBounds)?;
+                    // Info block is little-endian (host-structured memory).
+                    let mut v = 0u64;
+                    for (i, b) in bytes.iter().enumerate() {
+                        v |= (*b as u64) << (8 * i);
+                    }
+                    regs[dst] = v;
+                }
+                Op::LdMem => {
+                    let addr = regs[src].wrapping_add(immu) as usize;
+                    let bytes = self
+                        .persistent
+                        .get(addr..addr + 8)
+                        .ok_or(Trap::OutOfBounds)?;
+                    regs[dst] = u64::from_le_bytes(bytes.try_into().unwrap());
+                }
+                Op::StMem => {
+                    let addr = regs[dst].wrapping_add(immu) as usize;
+                    let val = regs[src];
+                    let bytes = self
+                        .persistent
+                        .get_mut(addr..addr + 8)
+                        .ok_or(Trap::OutOfBounds)?;
+                    bytes.copy_from_slice(&val.to_le_bytes());
+                }
+                Op::LdScr => {
+                    let addr = regs[src].wrapping_add(immu) as usize;
+                    let bytes = scratch.get(addr..addr + 8).ok_or(Trap::OutOfBounds)?;
+                    regs[dst] = u64::from_le_bytes(bytes.try_into().unwrap());
+                }
+                Op::StScr => {
+                    let addr = regs[dst].wrapping_add(immu) as usize;
+                    let val = regs[src];
+                    let bytes = scratch
+                        .get_mut(addr..addr + 8)
+                        .ok_or(Trap::OutOfBounds)?;
+                    bytes.copy_from_slice(&val.to_le_bytes());
+                }
+
+                Op::Ja => pc += insn.branch(),
+                Op::JeqR => {
+                    if regs[dst] == regs[src] {
+                        pc += insn.branch();
+                    }
+                }
+                Op::JeqI => {
+                    if regs[dst] == insn.cmp_imm() {
+                        pc += insn.branch();
+                    }
+                }
+                Op::JneR => {
+                    if regs[dst] != regs[src] {
+                        pc += insn.branch();
+                    }
+                }
+                Op::JneI => {
+                    if regs[dst] != insn.cmp_imm() {
+                        pc += insn.branch();
+                    }
+                }
+                Op::JltR => {
+                    if regs[dst] < regs[src] {
+                        pc += insn.branch();
+                    }
+                }
+                Op::JltI => {
+                    if regs[dst] < insn.cmp_imm() {
+                        pc += insn.branch();
+                    }
+                }
+                Op::JleR => {
+                    if regs[dst] <= regs[src] {
+                        pc += insn.branch();
+                    }
+                }
+                Op::JleI => {
+                    if regs[dst] <= insn.cmp_imm() {
+                        pc += insn.branch();
+                    }
+                }
+                Op::JsltR => {
+                    if (regs[dst] as i64) < (regs[src] as i64) {
+                        pc += insn.branch();
+                    }
+                }
+                Op::JsltI => {
+                    if (regs[dst] as i64) < (insn.cmp_imm() as i32 as i64) {
+                        pc += insn.branch();
+                    }
+                }
+
+                Op::Ret => return Ok(regs[dst]),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Asm;
+    use crate::insn::Insn;
+    use std::collections::BTreeMap;
+
+    fn one_entry(code: Vec<Insn>) -> Program {
+        let mut entries = BTreeMap::new();
+        entries.insert("send".to_string(), 0);
+        Program { code, entries, persistent_size: 64, scratch_size: 64 }
+    }
+
+    fn run_send(p: Program, packet: &[u8], info: &[u8]) -> Result<u64, Trap> {
+        let mut vm = Vm::new(p).expect("valid program");
+        vm.run("send", packet, info)
+    }
+
+    #[test]
+    fn return_constant() {
+        let mut a = Asm::new();
+        a.mov_i(0, 7);
+        a.ret(0);
+        assert_eq!(run_send(one_entry(a.finish()), &[], &[]), Ok(7));
+    }
+
+    #[test]
+    fn r1_is_packet_length() {
+        let mut a = Asm::new();
+        a.mov_r(0, 1);
+        a.ret(0);
+        assert_eq!(run_send(one_entry(a.finish()), &[0; 33], &[]), Ok(33));
+    }
+
+    #[test]
+    fn arithmetic_works() {
+        let mut a = Asm::new();
+        a.mov_i(2, 10);
+        a.add_i(2, 5); // 15
+        a.mul_i(2, 4); // 60
+        a.sub_i(2, 8); // 52
+        a.div_i(2, 2); // 26
+        a.mod_i(2, 10); // 6
+        a.mov_r(0, 2);
+        a.ret(0);
+        assert_eq!(run_send(one_entry(a.finish()), &[], &[]), Ok(6));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut a = Asm::new();
+        a.mov_i(0, 1);
+        a.div_r(0, 3); // r3 is 0
+        a.ret(0);
+        assert_eq!(run_send(one_entry(a.finish()), &[], &[]), Err(Trap::DivByZero));
+    }
+
+    #[test]
+    fn packet_loads_are_big_endian() {
+        let mut a = Asm::new();
+        a.ld_pkt16(0, 0, 2);
+        a.ret(0);
+        let pkt = [0x00, 0x00, 0x12, 0x34];
+        assert_eq!(run_send(one_entry(a.finish()), &pkt, &[]), Ok(0x1234));
+    }
+
+    #[test]
+    fn packet_load_oob_traps() {
+        let mut a = Asm::new();
+        a.ld_pkt32(0, 0, 10);
+        a.ret(0);
+        assert_eq!(run_send(one_entry(a.finish()), &[0; 12], &[]), Err(Trap::OutOfBounds));
+    }
+
+    #[test]
+    fn info_loads_are_little_endian() {
+        let mut a = Asm::new();
+        a.ld_info32(0, 0, 0);
+        a.ret(0);
+        let info = [0x78, 0x56, 0x34, 0x12];
+        assert_eq!(run_send(one_entry(a.finish()), &[], &info), Ok(0x12345678));
+    }
+
+    #[test]
+    fn persistent_memory_survives_invocations() {
+        // send: increments a counter in persistent memory and returns it.
+        let mut a = Asm::new();
+        a.ld_mem(2, 0, 0); // r2 = mem[0] (r0 is 0 initially)
+        a.add_i(2, 1);
+        a.mov_i(3, 0);
+        a.st_mem(3, 2, 0); // mem[r3+0] = r2
+        a.mov_r(0, 2);
+        a.ret(0);
+        let mut vm = Vm::new(one_entry(a.finish())).unwrap();
+        assert_eq!(vm.run("send", &[], &[]), Ok(1));
+        assert_eq!(vm.run("send", &[], &[]), Ok(2));
+        assert_eq!(vm.run("send", &[], &[]), Ok(3));
+        // Persistent memory visible from outside.
+        assert_eq!(vm.persistent()[0], 3);
+    }
+
+    #[test]
+    fn scratch_memory_is_fresh_each_invocation() {
+        let mut a = Asm::new();
+        a.ld_scr(2, 0, 0);
+        a.add_i(2, 1);
+        a.mov_i(3, 0);
+        a.st_scr(3, 2, 0);
+        a.mov_r(0, 2);
+        a.ret(0);
+        let mut vm = Vm::new(one_entry(a.finish())).unwrap();
+        assert_eq!(vm.run("send", &[], &[]), Ok(1));
+        assert_eq!(vm.run("send", &[], &[]), Ok(1), "scratch must reset");
+    }
+
+    #[test]
+    fn loop_terminates_by_fuel() {
+        let mut a = Asm::new();
+        let top = a.label();
+        a.ja_to(top);
+        let p = one_entry(a.finish());
+        let mut vm = Vm::with_config(p, VmConfig { fuel: 1000 }).unwrap();
+        assert_eq!(vm.run("send", &[], &[]), Err(Trap::OutOfFuel));
+        assert!(vm.insns_executed >= 1000);
+    }
+
+    #[test]
+    fn bounded_loop_completes() {
+        // r2 counts 0..100, then return 100.
+        let mut a = Asm::new();
+        let top = a.label();
+        a.add_i(2, 1);
+        a.jne_i_to(2, 100, top);
+        a.mov_r(0, 2);
+        a.ret(0);
+        assert_eq!(run_send(one_entry(a.finish()), &[], &[]), Ok(100));
+    }
+
+    #[test]
+    fn conditional_jumps() {
+        // if pkt[0] == 4 return 1 else return 0
+        let mut a = Asm::new();
+        a.ld_pkt8(2, 0, 0);
+        let deny = a.forward_jne_i(2, 4);
+        a.mov_i(0, 1);
+        a.ret(0);
+        a.bind(deny);
+        a.mov_i(0, 0);
+        a.ret(0);
+        let p = one_entry(a.finish());
+        let mut vm = Vm::new(p).unwrap();
+        assert_eq!(vm.run("send", &[4], &[]), Ok(1));
+        assert_eq!(vm.run("send", &[5], &[]), Ok(0));
+    }
+
+    #[test]
+    fn signed_compare() {
+        // if (i64)r2 < -1 return 1 else 0; r2 = -5 via neg.
+        let mut a = Asm::new();
+        a.mov_i(2, 5);
+        a.neg(2);
+        let yes = a.forward_jslt_i(2, -1i32 as u32);
+        a.mov_i(0, 0);
+        a.ret(0);
+        a.bind(yes);
+        a.mov_i(0, 1);
+        a.ret(0);
+        assert_eq!(run_send(one_entry(a.finish()), &[], &[]), Ok(1));
+    }
+
+    #[test]
+    fn missing_entry_or_allow_semantics() {
+        let mut a = Asm::new();
+        a.mov_i(0, 0);
+        a.ret(0);
+        let p = one_entry(a.finish()); // only "send" defined
+        let mut vm = Vm::new(p).unwrap();
+        assert_eq!(vm.check_send(&[1, 2, 3], &[]), Verdict::Deny);
+        // recv not defined: allow.
+        assert!(vm.check_recv(&[1, 2, 3], &[]).allowed());
+    }
+
+    #[test]
+    fn run_missing_entry_errors() {
+        let mut vm = Vm::new(Program::empty()).unwrap();
+        assert_eq!(vm.run("send", &[], &[]), Err(Trap::NoSuchEntry));
+    }
+
+    #[test]
+    fn fault_is_deny_verdict() {
+        let mut a = Asm::new();
+        a.ld_pkt32(0, 0, 100);
+        a.ret(0);
+        let mut vm = Vm::new(one_entry(a.finish())).unwrap();
+        let v = vm.check_send(&[0; 4], &[]);
+        assert_eq!(v, Verdict::Fault(Trap::OutOfBounds));
+        assert!(!v.allowed());
+    }
+
+    #[test]
+    fn store_to_persistent_oob_traps() {
+        let mut a = Asm::new();
+        a.mov_i(2, 1_000_000);
+        a.st_mem(2, 3, 0);
+        a.ret(0);
+        assert_eq!(run_send(one_entry(a.finish()), &[], &[]), Err(Trap::OutOfBounds));
+    }
+
+    #[test]
+    fn shifts_and_bitops() {
+        let mut a = Asm::new();
+        a.mov_i(2, 0b1010);
+        a.shl_i(2, 4); // 0b1010_0000
+        a.or_i(2, 0b1111); // 0b1010_1111
+        a.and_i(2, 0xff);
+        a.xor_i(2, 0b0000_1111); // 0b1010_0000
+        a.shr_i(2, 4); // 0b1010
+        a.mov_r(0, 2);
+        a.ret(0);
+        assert_eq!(run_send(one_entry(a.finish()), &[], &[]), Ok(0b1010));
+    }
+}

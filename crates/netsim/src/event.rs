@@ -1,0 +1,148 @@
+//! The discrete-event queue.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Events the simulator processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A packet finishes traversing a link (index, direction) and arrives
+    /// at the far node.
+    LinkArrival {
+        /// Link index.
+        link: usize,
+        /// Direction: 0 = a→b, 1 = b→a.
+        dir: usize,
+        /// The datagram bytes.
+        packet: Vec<u8>,
+    },
+    /// A host's scheduled transmission (the `nsend` primitive) comes due.
+    ScheduledSend {
+        /// Sending node index.
+        node: usize,
+        /// The datagram to inject into the sending node's stack.
+        packet: Vec<u8>,
+        /// Opaque tag the scheduler reports back (endpoints use it to
+        /// record actual-send timestamps).
+        tag: u64,
+    },
+    /// A TCP retransmission/housekeeping tick for a connection.
+    TcpTick {
+        /// Node index.
+        node: usize,
+        /// Connection id on that node.
+        conn: u64,
+    },
+    /// A named timer requested via [`crate::Sim::schedule_timer`]; fired
+    /// timers are queued for the driving code to collect.
+    Timer {
+        /// Node index the timer belongs to.
+        node: usize,
+        /// Opaque key.
+        key: u64,
+    },
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue (FIFO among equal timestamps).
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, kind }));
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.kind))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: usize, key: u64) -> EventKind {
+        EventKind::Timer { node, key }
+    }
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(30, timer(0, 3));
+        q.push(10, timer(0, 1));
+        q.push(20, timer(0, 2));
+        assert_eq!(q.pop().unwrap().0, 10);
+        assert_eq!(q.pop().unwrap().0, 20);
+        assert_eq!(q.pop().unwrap().0, 30);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for k in 0..10u64 {
+            q.push(5, timer(0, k));
+        }
+        for k in 0..10u64 {
+            let (t, e) = q.pop().unwrap();
+            assert_eq!(t, 5);
+            assert_eq!(e, timer(0, k), "insertion order must be preserved");
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(7, timer(1, 1));
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

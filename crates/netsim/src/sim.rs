@@ -1,0 +1,593 @@
+//! The simulator core: event loop, forwarding, host stacks.
+
+use crate::event::{EventKind, EventQueue};
+use crate::link::{Link, Offer};
+use crate::node::{Node, NodeId, NodeKind};
+use crate::time::SimTime;
+use crate::trace::{DropReason, Trace, TraceEvent};
+use plab_packet::{builder, icmp, ipv4, proto, udp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+/// The network simulator. Construct via [`crate::TopologyBuilder`].
+pub struct Sim {
+    time: SimTime,
+    events: EventQueue,
+    /// All nodes, indexable by [`NodeId`].
+    pub nodes: Vec<Node>,
+    pub(crate) links: Vec<Link>,
+    rng: StdRng,
+    /// Packet trace for assertions.
+    pub trace: Trace,
+    fired_timers: Vec<(NodeId, u64)>,
+    send_log: Vec<(NodeId, u64, SimTime)>,
+}
+
+impl Sim {
+    pub(crate) fn from_parts(nodes: Vec<Node>, links: Vec<Link>, seed: u64) -> Self {
+        Sim {
+            time: 0,
+            events: EventQueue::new(),
+            nodes,
+            links,
+            rng: StdRng::seed_from_u64(seed),
+            trace: Trace::default(),
+            fired_timers: Vec::new(),
+            send_log: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Find a node by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// A node's primary address.
+    pub fn addr_of(&self, node: NodeId) -> Ipv4Addr {
+        self.nodes[node.0].addr()
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Process the single earliest event. Returns false when idle.
+    pub fn step(&mut self) -> bool {
+        let Some((t, kind)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.time, "time went backwards");
+        self.time = t;
+        match kind {
+            EventKind::LinkArrival { link, dir, packet } => {
+                self.links[link].departed(dir, packet.len());
+                let loss = self.links[link].params.loss;
+                if loss > 0.0 && self.rng.gen::<f64>() < loss {
+                    let node = self.links[link].dst_node(dir);
+                    self.trace.record(TraceEvent::Dropped {
+                        time: self.time,
+                        node,
+                        reason: DropReason::RandomLoss,
+                    });
+                } else {
+                    let dst = self.links[link].dst_node(dir);
+                    self.deliver(dst, packet);
+                }
+            }
+            EventKind::ScheduledSend { node, packet, tag } => {
+                self.send_log.push((NodeId(node), tag, self.time));
+                self.send_from(NodeId(node), packet);
+            }
+            EventKind::TcpTick { node, conn } => {
+                let now = self.time;
+                let out = self.nodes[node].host_mut().tcp.tick(now, conn);
+                self.dispatch_tcp(NodeId(node), out);
+            }
+            EventKind::Timer { node, key } => {
+                self.fired_timers.push((NodeId(node), key));
+            }
+        }
+        true
+    }
+
+    /// Process all events up to and including `deadline`, then advance the
+    /// clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self
+            .events
+            .peek_time()
+            .map(|t| t <= deadline)
+            .unwrap_or(false)
+        {
+            self.step();
+        }
+        self.time = self.time.max(deadline);
+    }
+
+    /// Run until no events remain or `limit` is reached.
+    pub fn run_to_quiescence(&mut self, limit: SimTime) {
+        while let Some(t) = self.events.peek_time() {
+            if t > limit {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    // ------------------------------------------------------------------
+    // Timers and scheduled sends
+    // ------------------------------------------------------------------
+
+    /// Schedule a named timer; it appears in [`Sim::take_fired_timers`]
+    /// once `time` is reached.
+    pub fn schedule_timer(&mut self, node: NodeId, key: u64, time: SimTime) {
+        self.events
+            .push(time.max(self.time), EventKind::Timer { node: node.0, key });
+    }
+
+    /// Drain timers that have fired.
+    pub fn take_fired_timers(&mut self) -> Vec<(NodeId, u64)> {
+        std::mem::take(&mut self.fired_timers)
+    }
+
+    /// Schedule a raw datagram to leave `node` at `time` (the `nsend`
+    /// primitive: "Queues data to be sent on a socket at a particular
+    /// time"). Times in the past send immediately. `tag` is reported with
+    /// the actual transmission time via [`Sim::take_send_log`].
+    pub fn schedule_send(&mut self, node: NodeId, time: SimTime, packet: Vec<u8>, tag: u64) {
+        self.events.push(
+            time.max(self.time),
+            EventKind::ScheduledSend { node: node.0, packet, tag },
+        );
+    }
+
+    /// Drain the log of (node, tag, actual send time) for scheduled sends.
+    pub fn take_send_log(&mut self) -> Vec<(NodeId, u64, SimTime)> {
+        std::mem::take(&mut self.send_log)
+    }
+
+    /// Re-append a send-log record (used by per-node stacks that drain the
+    /// shared log and must put back other nodes' entries).
+    pub fn push_send_log(&mut self, node: NodeId, tag: u64, time: SimTime) {
+        self.send_log.push((node, tag, time));
+    }
+
+    // ------------------------------------------------------------------
+    // Sockets
+    // ------------------------------------------------------------------
+
+    /// Open a raw socket on a host.
+    pub fn raw_open(&mut self, node: NodeId) -> u64 {
+        self.nodes[node.0].host_mut().raw_open()
+    }
+
+    /// Close a raw socket.
+    pub fn raw_close(&mut self, node: NodeId, sock: u64) -> bool {
+        self.nodes[node.0].host_mut().raw_close(sock)
+    }
+
+    /// Inject an arbitrary datagram from a host (raw send).
+    pub fn raw_send(&mut self, node: NodeId, packet: Vec<u8>) {
+        self.send_from(node, packet);
+    }
+
+    /// Drain a raw socket's inbox.
+    pub fn raw_recv(&mut self, node: NodeId, sock: u64) -> Vec<(SimTime, Vec<u8>)> {
+        self.nodes[node.0]
+            .host_mut()
+            .raw
+            .get_mut(&sock)
+            .map(|s| s.inbox.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Enable deferred OS processing on an endpoint-managed host (see
+    /// [`crate::node::RawDisposition`]).
+    pub fn set_defer_os(&mut self, node: NodeId, defer: bool) {
+        self.nodes[node.0].host_mut().defer_os = defer;
+    }
+
+    /// Take packets awaiting an OS disposition decision.
+    pub fn take_pending_os(&mut self, node: NodeId) -> Vec<(SimTime, Vec<u8>)> {
+        self.nodes[node.0].host_mut().pending_os.drain(..).collect()
+    }
+
+    /// Run normal OS processing for a packet whose disposition was
+    /// `Ignore` or `Mirror`.
+    pub fn os_process(&mut self, node: NodeId, packet: &[u8]) {
+        self.os_process_inner(node.0, packet);
+    }
+
+    /// Bind a UDP port.
+    pub fn udp_bind(&mut self, node: NodeId, port: u16) -> bool {
+        self.nodes[node.0].host_mut().udp_bind(port)
+    }
+
+    /// Close a UDP port.
+    pub fn udp_close(&mut self, node: NodeId, port: u16) -> bool {
+        self.nodes[node.0].host_mut().udp_close(port)
+    }
+
+    /// Send a UDP datagram from a host.
+    pub fn udp_send(
+        &mut self,
+        node: NodeId,
+        src_port: u16,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: &[u8],
+    ) {
+        let src = self.nodes[node.0].addr();
+        let pkt = builder::udp_datagram(src, dst, src_port, dst_port, payload);
+        self.send_from(node, pkt);
+    }
+
+    /// Drain a UDP socket's inbox.
+    pub fn udp_recv(&mut self, node: NodeId, port: u16) -> Vec<(SimTime, Ipv4Addr, u16, Vec<u8>)> {
+        self.nodes[node.0]
+            .host_mut()
+            .udp
+            .get_mut(&port)
+            .map(|s| s.inbox.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Listen for TCP connections on `port`.
+    pub fn tcp_listen(&mut self, node: NodeId, port: u16) {
+        self.nodes[node.0].host_mut().tcp.listen(port);
+    }
+
+    /// Accept a pending TCP connection.
+    pub fn tcp_accept(&mut self, node: NodeId, port: u16) -> Option<u64> {
+        self.nodes[node.0].host_mut().tcp.accept(port)
+    }
+
+    /// Open a TCP connection from `node`.
+    pub fn tcp_connect(&mut self, node: NodeId, dst: Ipv4Addr, dst_port: u16) -> u64 {
+        let now = self.time;
+        let src = self.nodes[node.0].addr();
+        let (id, out) = self.nodes[node.0]
+            .host_mut()
+            .tcp
+            .connect(now, src, None, dst, dst_port);
+        self.dispatch_tcp(node, out);
+        id
+    }
+
+    /// Queue TCP payload.
+    pub fn tcp_send(&mut self, node: NodeId, conn: u64, data: &[u8]) {
+        let now = self.time;
+        let out = self.nodes[node.0].host_mut().tcp.send(now, conn, data);
+        self.dispatch_tcp(node, out);
+    }
+
+    /// Read TCP payload.
+    pub fn tcp_recv(&mut self, node: NodeId, conn: u64, max: usize) -> Vec<u8> {
+        let (data, out) = self.nodes[node.0].host_mut().tcp.recv(conn, max);
+        self.dispatch_tcp(node, out);
+        data
+    }
+
+    /// Bytes readable on a TCP connection.
+    pub fn tcp_readable(&self, node: NodeId, conn: u64) -> usize {
+        self.nodes[node.0].host_ref().tcp.readable(conn)
+    }
+
+    /// Is the connection established?
+    pub fn tcp_established(&self, node: NodeId, conn: u64) -> bool {
+        self.nodes[node.0].host_ref().tcp.is_established(conn)
+    }
+
+    /// Is the connection dead?
+    pub fn tcp_closed(&self, node: NodeId, conn: u64) -> bool {
+        self.nodes[node.0].host_ref().tcp.is_closed(conn)
+    }
+
+    /// Has the peer finished sending (FIN received and drained)?
+    pub fn tcp_peer_done(&self, node: NodeId, conn: u64) -> bool {
+        self.nodes[node.0].host_ref().tcp.peer_done(conn)
+    }
+
+    /// Gracefully close a connection.
+    pub fn tcp_close(&mut self, node: NodeId, conn: u64) {
+        let now = self.time;
+        let out = self.nodes[node.0].host_mut().tcp.close(now, conn);
+        self.dispatch_tcp(node, out);
+    }
+
+    /// Unacked/unsent sender backlog (for backpressure-aware callers).
+    pub fn tcp_send_backlog(&self, node: NodeId, conn: u64) -> usize {
+        self.nodes[node.0].host_ref().tcp.send_backlog(conn)
+    }
+
+    // ------------------------------------------------------------------
+    // Forwarding internals
+    // ------------------------------------------------------------------
+
+    fn dispatch_tcp(&mut self, node: NodeId, out: crate::tcp::TcpOut) {
+        for (t, conn) in out.ticks {
+            self.events
+                .push(t.max(self.time), EventKind::TcpTick { node: node.0, conn });
+        }
+        for seg in out.segments {
+            self.send_from(node, seg);
+        }
+    }
+
+    /// Inject a packet originating at `node` into the network.
+    pub fn send_from(&mut self, node: NodeId, packet: Vec<u8>) {
+        let Ok(view) = ipv4::Ipv4View::new_unchecked(&packet) else {
+            self.trace.record(TraceEvent::Dropped {
+                time: self.time,
+                node: node.0,
+                reason: DropReason::Malformed,
+            });
+            return;
+        };
+        self.trace.record(TraceEvent::Sent {
+            time: self.time,
+            node: node.0,
+            src: view.src(),
+            dst: view.dst(),
+            proto: view.protocol(),
+            len: packet.len(),
+        });
+        let dst = view.dst();
+        if self.nodes[node.0].owns_addr(dst) {
+            // Loopback.
+            self.deliver(node.0, packet);
+            return;
+        }
+        self.transmit(node.0, packet, dst);
+    }
+
+    /// Route `packet` out of `node` toward `dst`.
+    fn transmit(&mut self, node: usize, mut packet: Vec<u8>, dst: Ipv4Addr) {
+        let Some(iface_idx) = self.nodes[node].routes.lookup(dst) else {
+            self.trace.record(TraceEvent::Dropped {
+                time: self.time,
+                node,
+                reason: DropReason::NoRoute,
+            });
+            return;
+        };
+        // NAT egress: traffic leaving a NAT node through its external
+        // interface gets source-translated.
+        if self.nodes[node].kind == NodeKind::Nat && iface_idx != self.nodes[node].nat_internal_iface
+        {
+            let is_internal_src = {
+                let Ok(view) = ipv4::Ipv4View::new_unchecked(&packet) else {
+                    return;
+                };
+                // Only translate packets not already from the NAT itself.
+                !self.nodes[node].owns_addr(view.src())
+            };
+            if is_internal_src {
+                let nat = self.nodes[node].nat.as_mut().expect("nat node has table");
+                if !nat.translate_outbound(&mut packet) {
+                    self.trace.record(TraceEvent::Dropped {
+                        time: self.time,
+                        node,
+                        reason: DropReason::Malformed,
+                    });
+                    return;
+                }
+            }
+        }
+        let Some(link_idx) = self.nodes[node].ifaces[iface_idx].link else {
+            self.trace.record(TraceEvent::Dropped {
+                time: self.time,
+                node,
+                reason: DropReason::NoRoute,
+            });
+            return;
+        };
+        let jitter_ceiling = self.links[link_idx].params.jitter;
+        let jitter_sample = if jitter_ceiling > 0 {
+            self.rng.gen_range(0..=jitter_ceiling)
+        } else {
+            0
+        };
+        let link = &mut self.links[link_idx];
+        let dir = link.dir_from(node).expect("link attached to node");
+        match link.offer(dir, self.time, packet.len(), jitter_sample) {
+            Offer::Accepted { arrival } => {
+                self.events.push(
+                    arrival,
+                    EventKind::LinkArrival { link: link_idx, dir, packet },
+                );
+            }
+            Offer::QueueFull => {
+                self.trace.record(TraceEvent::Dropped {
+                    time: self.time,
+                    node,
+                    reason: DropReason::QueueFull,
+                });
+            }
+        }
+    }
+
+    /// A packet has arrived at `node`.
+    fn deliver(&mut self, node: usize, mut packet: Vec<u8>) {
+        let Ok(view) = ipv4::Ipv4View::new_unchecked(&packet) else {
+            self.trace.record(TraceEvent::Dropped {
+                time: self.time,
+                node,
+                reason: DropReason::Malformed,
+            });
+            return;
+        };
+        let dst = view.dst();
+        let src = view.src();
+        let protocol = view.protocol();
+        let len = packet.len();
+
+        match self.nodes[node].kind {
+            NodeKind::Host => {
+                if !self.nodes[node].owns_addr(dst) {
+                    self.trace.record(TraceEvent::Dropped {
+                        time: self.time,
+                        node,
+                        reason: DropReason::WrongHost,
+                    });
+                    return;
+                }
+                self.trace.record(TraceEvent::Delivered {
+                    time: self.time,
+                    node,
+                    src,
+                    proto: protocol,
+                    len,
+                });
+                self.host_receive(node, packet);
+            }
+            NodeKind::Router | NodeKind::Nat => {
+                // NAT ingress: packets addressed to the external address
+                // are translated back to the internal flow and forwarded.
+                if self.nodes[node].kind == NodeKind::Nat {
+                    let ext_ip = self.nodes[node].nat.as_ref().unwrap().external_ip;
+                    if dst == ext_ip {
+                        let nat = self.nodes[node].nat.as_mut().unwrap();
+                        if nat.translate_inbound(&mut packet) {
+                            let new_dst = ipv4::Ipv4View::new_unchecked(&packet)
+                                .expect("translated packet valid")
+                                .dst();
+                            self.forward(node, packet, new_dst);
+                        } else {
+                            // Unsolicited or untranslatable: the NAT itself
+                            // may still answer pings to its address.
+                            self.router_local(node, packet);
+                        }
+                        return;
+                    }
+                }
+                if self.nodes[node].owns_addr(dst) {
+                    self.router_local(node, packet);
+                    return;
+                }
+                self.forward(node, packet, dst);
+            }
+        }
+    }
+
+    /// Router TTL handling and next-hop forwarding.
+    fn forward(&mut self, node: usize, mut packet: Vec<u8>, dst: Ipv4Addr) {
+        let view = ipv4::Ipv4View::new_unchecked(&packet).expect("checked by deliver");
+        let ttl = view.ttl();
+        let src = view.src();
+        if ttl <= 1 {
+            // TTL expired: ICMP Time Exceeded back to the source, from this
+            // router's address (§4's traceroute depends on this).
+            self.trace.record(TraceEvent::Dropped {
+                time: self.time,
+                node,
+                reason: DropReason::TtlExpired,
+            });
+            let router_addr = self.nodes[node].addr();
+            let te = builder::icmp_time_exceeded(router_addr, src, &packet);
+            self.send_from(NodeId(node), te);
+            return;
+        }
+        ipv4::decrement_ttl(&mut packet);
+        self.trace.record(TraceEvent::Forwarded {
+            time: self.time,
+            node,
+            dst,
+            ttl: ttl - 1,
+        });
+        self.transmit(node, packet, dst);
+    }
+
+    /// A packet addressed to the router itself: answer pings.
+    fn router_local(&mut self, node: usize, packet: Vec<u8>) {
+        let Ok(view) = ipv4::Ipv4View::new_unchecked(&packet) else {
+            return;
+        };
+        if view.protocol() == proto::ICMP {
+            if let Ok(icmp::IcmpMessage::EchoRequest { ident, seq, payload }) =
+                icmp::parse(view.payload())
+            {
+                let reply = builder::icmp_echo_reply(view.dst(), view.src(), ident, seq, payload);
+                self.send_from(NodeId(node), reply);
+            }
+        }
+    }
+
+    /// Host-side packet delivery: raw sockets, then OS or deferred OS.
+    fn host_receive(&mut self, node: usize, packet: Vec<u8>) {
+        let now = self.time;
+        let host = self.nodes[node].host_mut();
+        for raw in host.raw.values_mut() {
+            raw.inbox.push_back((now, packet.clone()));
+        }
+        if host.defer_os {
+            host.pending_os.push_back((now, packet));
+        } else {
+            self.os_process_inner(node, &packet);
+        }
+    }
+
+    /// Normal OS behaviour for an arriving packet.
+    fn os_process_inner(&mut self, node: usize, packet: &[u8]) {
+        let now = self.time;
+        let Ok(view) = ipv4::Ipv4View::new_unchecked(packet) else {
+            return;
+        };
+        let src = view.src();
+        let dst = view.dst();
+        match view.protocol() {
+            proto::ICMP => {
+                if let Ok(icmp::IcmpMessage::EchoRequest { ident, seq, payload }) =
+                    icmp::parse(view.payload())
+                {
+                    if self.nodes[node].host_ref().echo_responder {
+                        let reply = builder::icmp_echo_reply(dst, src, ident, seq, payload);
+                        self.send_from(NodeId(node), reply);
+                    }
+                }
+                // Other ICMP is informational; raw sockets already saw it.
+            }
+            proto::UDP => {
+                match udp::parse(src, dst, view.payload()) {
+                    Ok(u) => {
+                        let host = self.nodes[node].host_mut();
+                        if let Some(sock) = host.udp.get_mut(&u.dst_port) {
+                            sock.inbox
+                                .push_back((now, src, u.src_port, u.payload.to_vec()));
+                        } else {
+                            // Port unreachable.
+                            let pu = builder::icmp_dest_unreachable(
+                                dst,
+                                src,
+                                icmp::CODE_PORT_UNREACHABLE,
+                                packet,
+                            );
+                            self.send_from(NodeId(node), pu);
+                        }
+                    }
+                    Err(_) => {}
+                }
+            }
+            proto::TCP => {
+                let segment = view.payload().to_vec();
+                let out = self.nodes[node]
+                    .host_mut()
+                    .tcp
+                    .on_segment(now, src, dst, &segment);
+                self.dispatch_tcp(NodeId(node), out);
+            }
+            _ => {}
+        }
+    }
+}

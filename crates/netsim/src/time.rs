@@ -1,0 +1,49 @@
+//! Virtual time. All simulator timestamps are nanoseconds since simulation
+//! start, as a plain `u64` — the same representation the PacketLab endpoint
+//! exposes through its info block ("an endpoint makes its clock available
+//! as a read-only 64-bit value", §3.1 Timekeeping).
+
+/// A point in virtual time, in nanoseconds.
+pub type SimTime = u64;
+
+/// One microsecond in [`SimTime`] units.
+pub const MICROSECOND: SimTime = 1_000;
+/// One millisecond in [`SimTime`] units.
+pub const MILLISECOND: SimTime = 1_000_000;
+/// One second in [`SimTime`] units.
+pub const SECOND: SimTime = 1_000_000_000;
+
+/// Serialization delay for `bytes` at `bits_per_sec`.
+pub fn serialization_ns(bytes: usize, bits_per_sec: u64) -> SimTime {
+    if bits_per_sec == 0 {
+        return 0;
+    }
+    // ns = bits * 1e9 / bps, rounded up so a busy link is never free early.
+    let bits = bytes as u128 * 8;
+    ((bits * 1_000_000_000 + bits_per_sec as u128 - 1) / bits_per_sec as u128) as SimTime
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_math() {
+        // 1250 bytes at 10 Mbps = 10_000 bits / 10^7 bps = 1 ms.
+        assert_eq!(serialization_ns(1250, 10_000_000), MILLISECOND);
+        // 1 byte at 1 Gbps = 8 ns.
+        assert_eq!(serialization_ns(1, 1_000_000_000), 8);
+    }
+
+    #[test]
+    fn serialization_rounds_up() {
+        // 1 byte at 3 bps: 8/3 * 1e9 ns, must round up.
+        let ns = serialization_ns(1, 3);
+        assert_eq!(ns, 2_666_666_667);
+    }
+
+    #[test]
+    fn zero_bandwidth_means_instant() {
+        assert_eq!(serialization_ns(1000, 0), 0);
+    }
+}

@@ -1,0 +1,574 @@
+//! Topology construction: declare nodes and links, get a routed [`Sim`].
+
+use crate::link::{Link, LinkParams};
+use crate::nat::NatTable;
+use crate::node::{HostState, Iface, Node, NodeId, NodeKind};
+use crate::routing::{compute_routes, Adjacency, RouteTable};
+use crate::sim::Sim;
+use std::net::Ipv4Addr;
+
+/// Builder for simulation topologies.
+///
+/// ```
+/// use plab_netsim::{TopologyBuilder, LinkParams};
+///
+/// let mut t = TopologyBuilder::new();
+/// let h1 = t.host("h1", "10.0.0.1".parse().unwrap());
+/// let r = t.router("r", "10.0.0.254".parse().unwrap());
+/// let h2 = t.host("h2", "10.0.1.1".parse().unwrap());
+/// t.link(h1, r, LinkParams::new(5, 100));
+/// t.link(r, h2, LinkParams::new(5, 100));
+/// let sim = t.build();
+/// assert_eq!(sim.addr_of(h1), "10.0.0.1".parse::<std::net::Ipv4Addr>().unwrap());
+/// ```
+#[derive(Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<Node>,
+    links: Vec<(NodeId, NodeId, LinkParams)>,
+    seed: u64,
+}
+
+impl TopologyBuilder {
+    /// Empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the RNG seed (loss determinism).
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        assert!(
+            !self.nodes.iter().any(|n| n.name == node.name),
+            "duplicate node name `{}`",
+            node.name
+        );
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Add an end host.
+    pub fn host(&mut self, name: &str, addr: Ipv4Addr) -> NodeId {
+        self.push(Node {
+            name: name.to_string(),
+            kind: NodeKind::Host,
+            ifaces: vec![Iface { addr, link: None }],
+            routes: RouteTable::new(),
+            host: Some(HostState::default()),
+            nat: None,
+            nat_internal_iface: 0,
+        })
+    }
+
+    /// Add a router. Routers answer pings to `addr` and emit ICMP Time
+    /// Exceeded from it.
+    pub fn router(&mut self, name: &str, addr: Ipv4Addr) -> NodeId {
+        self.push(Node {
+            name: name.to_string(),
+            kind: NodeKind::Router,
+            ifaces: vec![Iface { addr, link: None }],
+            routes: RouteTable::new(),
+            host: None,
+            nat: None,
+            nat_internal_iface: 0,
+        })
+    }
+
+    /// Add a NAT box. `internal_addr` faces the inside (first link
+    /// attached is assumed internal), `external_addr` is the public
+    /// address presented outside.
+    pub fn nat(&mut self, name: &str, internal_addr: Ipv4Addr, external_addr: Ipv4Addr) -> NodeId {
+        self.push(Node {
+            name: name.to_string(),
+            kind: NodeKind::Nat,
+            ifaces: vec![
+                Iface { addr: internal_addr, link: None },
+                Iface { addr: external_addr, link: None },
+            ],
+            routes: RouteTable::new(),
+            host: None,
+            nat: Some(NatTable::new(external_addr)),
+            nat_internal_iface: 0,
+        })
+    }
+
+    /// Connect two nodes. Interfaces are allocated automatically: hosts
+    /// use their single interface; routers/NATs grow interfaces per link
+    /// (a NAT's first link is its internal side).
+    pub fn link(&mut self, a: NodeId, b: NodeId, params: LinkParams) {
+        self.links.push((a, b, params));
+    }
+
+    /// Finalize: allocate interfaces, compute routes, return the sim.
+    pub fn build(mut self) -> Sim {
+        let mut links = Vec::new();
+        for (a, b, params) in std::mem::take(&mut self.links) {
+            let ia = self.attach_iface(a.0, links.len());
+            let ib = self.attach_iface(b.0, links.len());
+            links.push(Link::new((a.0, ia), (b.0, ib), params));
+        }
+        // Build adjacency for route computation.
+        let mut adjacency: Adjacency = vec![Vec::new(); self.nodes.len()];
+        for link in &links {
+            adjacency[link.a.0].push((link.b.0, link.a.1));
+            adjacency[link.b.0].push((link.a.0, link.b.1));
+        }
+        let addrs: Vec<Vec<Ipv4Addr>> = self
+            .nodes
+            .iter()
+            .map(|n| n.ifaces.iter().map(|i| i.addr).collect())
+            .collect();
+        let tables = compute_routes(&adjacency, &addrs);
+        for (node, table) in self.nodes.iter_mut().zip(tables) {
+            node.routes = table;
+            // Hosts with exactly one link default-route through it.
+            if node.kind == NodeKind::Host {
+                node.routes.default_iface = Some(0);
+            }
+        }
+        Sim::from_parts(self.nodes, links, self.seed)
+    }
+
+    /// Attach a link to a node, allocating an interface slot.
+    fn attach_iface(&mut self, node: usize, link_idx: usize) -> usize {
+        let n = &mut self.nodes[node];
+        // Reuse the first unattached interface; otherwise clone the last
+        // address into a new interface slot (routers are multi-iface).
+        if let Some(pos) = n.ifaces.iter().position(|i| i.link.is_none()) {
+            n.ifaces[pos].link = Some(link_idx);
+            return pos;
+        }
+        assert!(
+            n.kind != NodeKind::Host,
+            "host `{}` already fully linked",
+            n.name
+        );
+        let addr = n.ifaces.last().map(|i| i.addr).unwrap_or(Ipv4Addr::UNSPECIFIED);
+        n.ifaces.push(Iface { addr, link: Some(link_idx) });
+        n.ifaces.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{MILLISECOND, SECOND};
+    use crate::trace::{DropReason, TraceEvent};
+    use plab_packet::{builder, icmp, ipv4};
+
+    fn a(x: u8, y: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, x, y)
+    }
+
+    /// h1 -- r1 -- r2 -- h2 line with 5ms links.
+    fn line() -> (Sim, NodeId, NodeId, NodeId, NodeId) {
+        let mut t = TopologyBuilder::new();
+        let h1 = t.host("h1", a(0, 1));
+        let r1 = t.router("r1", a(0, 254));
+        let r2 = t.router("r2", a(1, 254));
+        let h2 = t.host("h2", a(1, 1));
+        t.link(h1, r1, LinkParams::new(5, 0));
+        t.link(r1, r2, LinkParams::new(5, 0));
+        t.link(r2, h2, LinkParams::new(5, 0));
+        (t.build(), h1, r1, r2, h2)
+    }
+
+    #[test]
+    fn ping_end_to_end_rtt() {
+        let (mut sim, h1, _, _, _h2) = line();
+        let raw = sim.raw_open(h1);
+        let probe = builder::icmp_echo_request(a(0, 1), a(1, 1), 64, 7, 1, b"ping");
+        sim.raw_send(h1, probe);
+        sim.run_until(SECOND);
+        // h2's OS replied; h1's raw socket sees the reply.
+        let got = sim.raw_recv(h1, raw);
+        let reply = got
+            .iter()
+            .find(|(_, p)| {
+                ipv4::Ipv4View::new_unchecked(p)
+                    .map(|v| v.src() == a(1, 1))
+                    .unwrap_or(false)
+            })
+            .expect("echo reply received");
+        // RTT = 6 hops × 5 ms = 30 ms.
+        assert_eq!(reply.0, 30 * MILLISECOND);
+        let v = ipv4::Ipv4View::new_unchecked(&reply.1).unwrap();
+        assert!(matches!(
+            icmp::parse(v.payload()),
+            Ok(icmp::IcmpMessage::EchoReply { ident: 7, seq: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn ttl_1_trips_first_router() {
+        let (mut sim, h1, r1, _, h2) = line();
+        let raw = sim.raw_open(h1);
+        let probe = builder::icmp_echo_request(a(0, 1), a(1, 1), 1, 7, 1, &[]);
+        sim.raw_send(h1, probe);
+        sim.run_until(SECOND);
+        let got = sim.raw_recv(h1, raw);
+        assert_eq!(got.len(), 1);
+        let v = ipv4::Ipv4View::new_unchecked(&got[0].1).unwrap();
+        assert_eq!(v.src(), sim.addr_of(r1), "time exceeded from r1");
+        assert!(matches!(
+            icmp::parse(v.payload()),
+            Ok(icmp::IcmpMessage::TimeExceeded { .. })
+        ));
+        let _ = h2;
+    }
+
+    #[test]
+    fn ttl_2_trips_second_router() {
+        let (mut sim, h1, _, r2, _) = line();
+        let raw = sim.raw_open(h1);
+        let probe = builder::icmp_echo_request(a(0, 1), a(1, 1), 2, 7, 2, &[]);
+        sim.raw_send(h1, probe);
+        sim.run_until(SECOND);
+        let got = sim.raw_recv(h1, raw);
+        assert_eq!(got.len(), 1);
+        let v = ipv4::Ipv4View::new_unchecked(&got[0].1).unwrap();
+        assert_eq!(v.src(), sim.addr_of(r2));
+    }
+
+    #[test]
+    fn ttl_3_reaches_destination() {
+        let (mut sim, h1, _, _, _) = line();
+        let raw = sim.raw_open(h1);
+        let probe = builder::icmp_echo_request(a(0, 1), a(1, 1), 3, 7, 3, &[]);
+        sim.raw_send(h1, probe);
+        sim.run_until(SECOND);
+        let got = sim.raw_recv(h1, raw);
+        let v = ipv4::Ipv4View::new_unchecked(&got[0].1).unwrap();
+        assert_eq!(v.src(), a(1, 1), "destination itself replies");
+        assert!(matches!(
+            icmp::parse(v.payload()),
+            Ok(icmp::IcmpMessage::EchoReply { .. })
+        ));
+    }
+
+    #[test]
+    fn udp_delivery_and_port_unreachable() {
+        let (mut sim, h1, _, _, h2) = line();
+        sim.udp_bind(h2, 9000);
+        sim.udp_bind(h1, 5000);
+        sim.udp_send(h1, 5000, a(1, 1), 9000, b"hello");
+        sim.run_until(SECOND);
+        let got = sim.udp_recv(h2, 9000);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].3, b"hello");
+        assert_eq!(got[0].1, a(0, 1));
+
+        // Unbound port: ICMP port unreachable comes back.
+        let raw = sim.raw_open(h1);
+        sim.udp_send(h1, 5000, a(1, 1), 9999, b"nobody");
+        sim.run_until(2 * SECOND);
+        let raws = sim.raw_recv(h1, raw);
+        let unreachable = raws.iter().any(|(_, p)| {
+            let v = ipv4::Ipv4View::new_unchecked(p).unwrap();
+            matches!(
+                icmp::parse(v.payload()),
+                Ok(icmp::IcmpMessage::DestUnreachable { .. })
+            )
+        });
+        assert!(unreachable);
+    }
+
+    #[test]
+    fn bandwidth_paces_udp_burst() {
+        // 8 Mbps access link: a 1000-byte datagram serializes in 1 ms.
+        let mut t = TopologyBuilder::new();
+        let h1 = t.host("h1", a(0, 1));
+        let h2 = t.host("h2", a(1, 1));
+        t.link(h1, h2, LinkParams::new(0, 8));
+        let mut sim = t.build();
+        sim.udp_bind(h2, 7);
+        for i in 0..10 {
+            // 1000-byte IP datagrams: 20 IP + 8 UDP + 972 payload.
+            sim.udp_send(h1, 5000, a(1, 1), 7, &vec![i as u8; 972]);
+        }
+        sim.run_until(SECOND);
+        let got = sim.udp_recv(h2, 7);
+        assert_eq!(got.len(), 10);
+        // Arrivals spaced exactly 1 ms apart.
+        for (i, w) in got.windows(2).enumerate() {
+            let gap = w[1].0 - w[0].0;
+            assert_eq!(gap, MILLISECOND, "gap {i}");
+        }
+    }
+
+    #[test]
+    fn tcp_over_network() {
+        let (mut sim, h1, _, _, h2) = line();
+        sim.tcp_listen(h2, 80);
+        let c1 = sim.tcp_connect(h1, a(1, 1), 80);
+        sim.run_until(SECOND);
+        assert!(sim.tcp_established(h1, c1));
+        let c2 = sim.tcp_accept(h2, 80).expect("accepted");
+        sim.tcp_send(h1, c1, b"GET / HTTP/1.0\r\n\r\n");
+        sim.run_until(2 * SECOND);
+        assert_eq!(sim.tcp_recv(h2, c2, 1024), b"GET / HTTP/1.0\r\n\r\n");
+        sim.tcp_send(h2, c2, b"200 OK");
+        sim.run_until(3 * SECOND);
+        assert_eq!(sim.tcp_recv(h1, c1, 1024), b"200 OK");
+        sim.tcp_close(h1, c1);
+        sim.tcp_close(h2, c2);
+        sim.run_until(4 * SECOND);
+        assert!(sim.tcp_closed(h1, c1));
+        assert!(sim.tcp_closed(h2, c2));
+    }
+
+    #[test]
+    fn tcp_rst_interference_and_consume_suppression() {
+        // §3.1: an incoming TCP segment with no matching session triggers
+        // an OS RST unless the endpoint's filter consumes it.
+        let (mut sim, h1, _, _, h2) = line();
+        let raw1 = sim.raw_open(h1);
+        // Craft a raw SYN from h1 to h2's closed port.
+        let syn = builder::tcp_segment(
+            a(0, 1),
+            a(1, 1),
+            plab_packet::tcp::TcpHeader {
+                src_port: 1234,
+                dst_port: 80,
+                seq: 1,
+                ack: 0,
+                flags: plab_packet::tcp::flags::SYN,
+                window: 100,
+            },
+            &[],
+        );
+        sim.raw_send(h1, syn.clone());
+        sim.run_until(SECOND);
+        // h2 RSTs; h1's raw socket observes it...
+        let got = sim.raw_recv(h1, raw1);
+        assert!(got.iter().any(|(_, p)| {
+            let v = ipv4::Ipv4View::new_unchecked(p).unwrap();
+            v.protocol() == plab_packet::proto::TCP
+        }), "RST observed at h1 raw socket");
+        // ...and h1's own OS would also RST h2's RST-less packets. Now
+        // with defer_os, the endpoint agent consumes and no RST emerges.
+        sim.set_defer_os(h2, true);
+        let _raw2 = sim.raw_open(h2);
+        sim.raw_send(h1, syn);
+        sim.run_until(2 * SECOND);
+        let pending = sim.take_pending_os(h2);
+        assert_eq!(pending.len(), 1, "OS processing deferred to the agent");
+        // Consume: never call os_process; no RST is generated.
+        let before = sim.trace.events().count();
+        let _ = before;
+    }
+
+    #[test]
+    fn nat_translates_ping_path() {
+        // inside host -- NAT -- outside server.
+        let mut t = TopologyBuilder::new();
+        let inside = t.host("inside", Ipv4Addr::new(192, 168, 1, 10));
+        let nat = t.nat(
+            "nat",
+            Ipv4Addr::new(192, 168, 1, 1),
+            Ipv4Addr::new(203, 0, 113, 5),
+        );
+        let server = t.host("server", Ipv4Addr::new(8, 8, 8, 8));
+        t.link(inside, nat, LinkParams::new(1, 0)); // first link = internal
+        t.link(nat, server, LinkParams::new(10, 0));
+        let mut sim = t.build();
+        let raw_server = sim.raw_open(server);
+        let raw_inside = sim.raw_open(inside);
+        let probe = builder::icmp_echo_request(
+            Ipv4Addr::new(192, 168, 1, 10),
+            Ipv4Addr::new(8, 8, 8, 8),
+            64,
+            42,
+            1,
+            b"x",
+        );
+        sim.raw_send(inside, probe);
+        sim.run_until(SECOND);
+        // Server saw the probe with the NAT's external source address.
+        let at_server = sim.raw_recv(server, raw_server);
+        let v = ipv4::Ipv4View::new_unchecked(&at_server[0].1).unwrap();
+        assert_eq!(v.src(), Ipv4Addr::new(203, 0, 113, 5));
+        // And the reply made it back inside, translated.
+        let at_inside = sim.raw_recv(inside, raw_inside);
+        let reply = at_inside
+            .iter()
+            .find(|(_, p)| {
+                let v = ipv4::Ipv4View::new_unchecked(p).unwrap();
+                v.src() == Ipv4Addr::new(8, 8, 8, 8)
+            })
+            .expect("translated reply");
+        let v = ipv4::Ipv4View::new_unchecked(&reply.1).unwrap();
+        assert_eq!(v.dst(), Ipv4Addr::new(192, 168, 1, 10));
+        let msg = icmp::parse(v.payload()).unwrap();
+        assert!(matches!(msg, icmp::IcmpMessage::EchoReply { ident: 42, .. }));
+    }
+
+    #[test]
+    fn scheduled_send_fires_at_exact_time() {
+        let (mut sim, h1, _, _, h2) = line();
+        sim.udp_bind(h2, 7);
+        let src = sim.addr_of(h1);
+        let pkt = builder::udp_datagram(src, a(1, 1), 5000, 7, b"later");
+        sim.schedule_send(h1, 250 * MILLISECOND, pkt, 99);
+        sim.run_until(SECOND);
+        let log = sim.take_send_log();
+        assert_eq!(log, vec![(h1, 99, 250 * MILLISECOND)]);
+        let got = sim.udp_recv(h2, 7);
+        assert_eq!(got.len(), 1);
+        // 3 hops × 5 ms after the scheduled departure.
+        assert_eq!(got[0].0, 250 * MILLISECOND + 15 * MILLISECOND);
+    }
+
+    #[test]
+    fn scheduled_send_in_past_sends_now() {
+        let (mut sim, h1, _, _, _) = line();
+        sim.run_until(100 * MILLISECOND);
+        let src = sim.addr_of(h1);
+        let pkt = builder::udp_datagram(src, a(1, 1), 1, 2, b"x");
+        sim.schedule_send(h1, 0, pkt, 1); // "a time in the past" sends now
+        sim.run_until(200 * MILLISECOND);
+        let log = sim.take_send_log();
+        assert_eq!(log[0].2, 100 * MILLISECOND);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let (mut sim, h1, _, _, _) = line();
+        sim.schedule_timer(h1, 2, 20 * MILLISECOND);
+        sim.schedule_timer(h1, 1, 10 * MILLISECOND);
+        sim.run_until(15 * MILLISECOND);
+        assert_eq!(sim.take_fired_timers(), vec![(h1, 1)]);
+        sim.run_until(25 * MILLISECOND);
+        assert_eq!(sim.take_fired_timers(), vec![(h1, 2)]);
+    }
+
+    #[test]
+    fn lossy_link_drops_deterministically() {
+        let mut t = TopologyBuilder::new();
+        t.seed(42);
+        let h1 = t.host("h1", a(0, 1));
+        let h2 = t.host("h2", a(1, 1));
+        t.link(h1, h2, LinkParams::new(1, 0).with_loss(0.5));
+        let mut sim = t.build();
+        sim.udp_bind(h2, 7);
+        for _ in 0..100 {
+            sim.udp_send(h1, 5000, a(1, 1), 7, b"x");
+        }
+        sim.run_until(SECOND);
+        let delivered = sim.udp_recv(h2, 7).len();
+        let dropped = sim.trace.drops(DropReason::RandomLoss);
+        assert_eq!(delivered as u64 + dropped, 100);
+        assert!(delivered > 20 && delivered < 80, "~half delivered, got {delivered}");
+    }
+
+    #[test]
+    fn queue_overflow_recorded_in_trace() {
+        let mut t = TopologyBuilder::new();
+        let h1 = t.host("h1", a(0, 1));
+        let h2 = t.host("h2", a(1, 1));
+        t.link(h1, h2, LinkParams::new(1, 1).with_queue(2000)); // 1 Mbps, small queue
+        let mut sim = t.build();
+        for _ in 0..10 {
+            sim.udp_send(h1, 1, a(1, 1), 2, &[0u8; 972]);
+        }
+        sim.run_until(SECOND);
+        assert!(sim.trace.drops(DropReason::QueueFull) > 0);
+    }
+
+    #[test]
+    fn no_route_is_traced() {
+        // A router with no route toward the destination drops and traces.
+        let mut t = TopologyBuilder::new();
+        let r = t.router("r", a(0, 254));
+        let h = t.host("h", a(0, 1));
+        t.link(h, r, LinkParams::default());
+        let mut sim = t.build();
+        sim.udp_send(h, 1, Ipv4Addr::new(99, 99, 99, 99), 2, b"x");
+        sim.run_until(SECOND);
+        assert!(sim.trace.drops(DropReason::NoRoute) > 0);
+    }
+
+    #[test]
+    fn forwarded_events_record_path() {
+        let (mut sim, h1, r1, r2, _) = line();
+        sim.udp_send(h1, 1, a(1, 1), 2, b"x");
+        sim.run_until(SECOND);
+        let forwards: Vec<usize> = sim
+            .trace
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::Forwarded { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        assert!(forwards.contains(&r1.0));
+        assert!(forwards.contains(&r2.0));
+    }
+}
+
+#[cfg(test)]
+mod jitter_tests {
+    use super::*;
+    use crate::time::{MILLISECOND, SECOND};
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn jitter_varies_arrivals_but_preserves_order() {
+        let mut t = TopologyBuilder::new();
+        t.seed(3);
+        let h1 = t.host("h1", Ipv4Addr::new(10, 0, 0, 1));
+        let h2 = t.host("h2", Ipv4Addr::new(10, 0, 0, 2));
+        t.link(
+            h1,
+            h2,
+            LinkParams::new(10, 0).with_jitter(5 * MILLISECOND),
+        );
+        let mut sim = t.build();
+        sim.udp_bind(h2, 7);
+        // Packets spaced 20 ms apart.
+        for i in 0..20u64 {
+            let src = sim.addr_of(h1);
+            let pkt = plab_packet::builder::udp_datagram(
+                src,
+                Ipv4Addr::new(10, 0, 0, 2),
+                1,
+                7,
+                &[i as u8],
+            );
+            sim.schedule_send(h1, i * 20 * MILLISECOND, pkt, i);
+        }
+        sim.run_until(10 * SECOND);
+        let got = sim.udp_recv(h2, 7);
+        assert_eq!(got.len(), 20);
+        // One-way delays vary within [10, 15] ms...
+        let mut delays = std::collections::BTreeSet::new();
+        for (i, (t, _, _, _)) in got.iter().enumerate() {
+            let sent = i as u64 * 20 * MILLISECOND;
+            let d = t - sent;
+            assert!((10 * MILLISECOND..=15 * MILLISECOND).contains(&d), "delay {d}");
+            delays.insert(d);
+        }
+        assert!(delays.len() > 3, "jitter actually varies delays");
+        // ...and order is preserved.
+        for (i, (_, _, _, p)) in got.iter().enumerate() {
+            assert_eq!(p[0] as usize, i);
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let mut t = TopologyBuilder::new();
+        let h1 = t.host("h1", Ipv4Addr::new(10, 0, 0, 1));
+        let h2 = t.host("h2", Ipv4Addr::new(10, 0, 0, 2));
+        t.link(h1, h2, LinkParams::new(7, 0));
+        let mut sim = t.build();
+        sim.udp_bind(h2, 7);
+        sim.udp_send(h1, 1, Ipv4Addr::new(10, 0, 0, 2), 7, b"x");
+        sim.run_until(SECOND);
+        let got = sim.udp_recv(h2, 7);
+        assert_eq!(got[0].0, 7 * MILLISECOND);
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-packet event tracing for assertions and debugging.
+
+use crate::time::SimTime;
+use std::net::Ipv4Addr;
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Tail-dropped at a link queue.
+    QueueFull,
+    /// Random loss on a lossy link.
+    RandomLoss,
+    /// TTL reached zero at a router.
+    TtlExpired,
+    /// No route toward the destination.
+    NoRoute,
+    /// Arrived at a host that does not own the destination address.
+    WrongHost,
+    /// Malformed datagram.
+    Malformed,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node injected a packet into the network.
+    Sent {
+        /// Time.
+        time: SimTime,
+        /// Node index.
+        node: usize,
+        /// Source address.
+        src: Ipv4Addr,
+        /// Destination address.
+        dst: Ipv4Addr,
+        /// IP protocol.
+        proto: u8,
+        /// Datagram length.
+        len: usize,
+    },
+    /// A router forwarded a packet.
+    Forwarded {
+        /// Time.
+        time: SimTime,
+        /// Node index.
+        node: usize,
+        /// Destination address.
+        dst: Ipv4Addr,
+        /// Remaining TTL after decrement.
+        ttl: u8,
+    },
+    /// A packet was dropped.
+    Dropped {
+        /// Time.
+        time: SimTime,
+        /// Node index where the drop occurred.
+        node: usize,
+        /// Why.
+        reason: DropReason,
+    },
+    /// A packet was delivered to a host's stack.
+    Delivered {
+        /// Time.
+        time: SimTime,
+        /// Node index.
+        node: usize,
+        /// Source address.
+        src: Ipv4Addr,
+        /// IP protocol.
+        proto: u8,
+        /// Datagram length.
+        len: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The record's timestamp.
+    pub fn time(&self) -> SimTime {
+        match self {
+            TraceEvent::Sent { time, .. }
+            | TraceEvent::Forwarded { time, .. }
+            | TraceEvent::Dropped { time, .. }
+            | TraceEvent::Delivered { time, .. } => *time,
+        }
+    }
+}
+
+/// A bounded trace buffer (oldest entries evicted first).
+pub struct Trace {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    /// Total drops by reason, never evicted.
+    pub drop_counts: std::collections::HashMap<DropReason, u64>,
+    enabled: bool,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(65_536)
+    }
+}
+
+impl Trace {
+    /// Trace buffer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: Default::default(),
+            capacity,
+            drop_counts: Default::default(),
+            enabled: true,
+        }
+    }
+
+    /// Disable event recording (drop counters stay active).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if let TraceEvent::Dropped { reason, .. } = &ev {
+            *self.drop_counts.entry(*reason).or_insert(0) += 1;
+        }
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(ev);
+    }
+
+    /// All retained events.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Count of drops for a reason.
+    pub fn drops(&self, reason: DropReason) -> u64 {
+        self.drop_counts.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// Clear retained events (counters persist).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl std::hash::Hash for DropReason {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (*self as u8).hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts_drops() {
+        let mut t = Trace::new(10);
+        t.record(TraceEvent::Dropped { time: 1, node: 0, reason: DropReason::TtlExpired });
+        t.record(TraceEvent::Dropped { time: 2, node: 0, reason: DropReason::TtlExpired });
+        t.record(TraceEvent::Dropped { time: 3, node: 1, reason: DropReason::QueueFull });
+        assert_eq!(t.drops(DropReason::TtlExpired), 2);
+        assert_eq!(t.drops(DropReason::QueueFull), 1);
+        assert_eq!(t.drops(DropReason::RandomLoss), 0);
+        assert_eq!(t.events().count(), 3);
+    }
+
+    #[test]
+    fn bounded_capacity_evicts_oldest() {
+        let mut t = Trace::new(2);
+        for i in 0..5 {
+            t.record(TraceEvent::Forwarded { time: i, node: 0, dst: "1.1.1.1".parse().unwrap(), ttl: 1 });
+        }
+        let times: Vec<_> = t.events().map(|e| e.time()).collect();
+        assert_eq!(times, vec![3, 4]);
+    }
+
+    #[test]
+    fn disabled_trace_still_counts_drops() {
+        let mut t = Trace::new(10);
+        t.set_enabled(false);
+        t.record(TraceEvent::Dropped { time: 1, node: 0, reason: DropReason::NoRoute });
+        assert_eq!(t.events().count(), 0);
+        assert_eq!(t.drops(DropReason::NoRoute), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Federation: the complete Figure 1 story with two *independent*
+//! endpoint operators sharing their endpoints with one outside
+//! experimenter through a community rendezvous server.
+//!
+//! ```text
+//! cargo run --example federation
+//! ```
+//!
+//! This is the paper's sharing pitch made concrete: each operator signs a
+//! single delegation certificate (with their own restrictions) and never
+//! hears about the experiment again; the experimenter publishes once and
+//! collects measurements from both operators' endpoints.
+
+use packetlab::cert::{CertPayload, Certificate, Restrictions};
+use packetlab::controller::{experiments, Controller, Credentials};
+use packetlab::descriptor::ExperimentDescriptor;
+use packetlab::endpoint::EndpointConfig;
+use packetlab::harness::{EndpointId, SimChannel, SimNet};
+use packetlab::rendezvous::RendezvousServer;
+use plab_crypto::{Keypair, KeyHash};
+use plab_netsim::{LinkParams, TopologyBuilder, MILLISECOND, SECOND};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    // Principals.
+    let rv_operator = Keypair::from_seed(&[1; 32]);
+    let operator_a = Keypair::from_seed(&[2; 32]); // university testbed
+    let operator_b = Keypair::from_seed(&[3; 32]); // ISP measurement rack
+    let experimenter = Keypair::from_seed(&[4; 32]);
+
+    // Topology: the experimenter's controller, a rendezvous server, two
+    // endpoints in different networks, one shared target.
+    let mut t = TopologyBuilder::new();
+    let exp_host = t.host("experimenter", "10.9.0.1".parse().unwrap());
+    let rv_host = t.host("rendezvous", "10.8.0.1".parse().unwrap());
+    let core = t.router("core", "10.0.0.254".parse().unwrap());
+    let ep_a = t.host("endpoint-a", "10.1.0.1".parse().unwrap());
+    let ep_b = t.host("endpoint-b", "10.2.0.1".parse().unwrap());
+    let target = t.host("target", "10.3.0.1".parse().unwrap());
+    t.link(exp_host, core, LinkParams::new(5, 0));
+    t.link(rv_host, core, LinkParams::new(5, 0));
+    t.link(ep_a, core, LinkParams::new(12, 0));
+    t.link(ep_b, core, LinkParams::new(25, 0));
+    t.link(target, core, LinkParams::new(8, 0));
+    let sim = t.build();
+
+    let mut net = SimNet::new(sim);
+    net.add_rendezvous(
+        rv_host,
+        RendezvousServer::new(vec![KeyHash::of(&rv_operator.public)], 1_700_000_000),
+    );
+    let a_id = net.add_endpoint(
+        ep_a,
+        EndpointConfig {
+            trusted_keys: vec![KeyHash::of(&operator_a.public)],
+            ..Default::default()
+        },
+    );
+    let b_id = net.add_endpoint(
+        ep_b,
+        EndpointConfig {
+            trusted_keys: vec![KeyHash::of(&operator_b.public)],
+            ..Default::default()
+        },
+    );
+
+    // ➊ Rendezvous operator authorizes the experimenter to publish.
+    let rv_deleg = Certificate::sign(
+        &rv_operator,
+        CertPayload::Delegation(KeyHash::of(&experimenter.public)),
+        Restrictions::none(),
+    );
+    // ➋–➌ Each endpoint operator delegates, with their own restrictions.
+    let deleg_a = Certificate::sign(
+        &operator_a,
+        CertPayload::Delegation(KeyHash::of(&experimenter.public)),
+        Restrictions { max_priority: Some(20), ..Default::default() },
+    );
+    let deleg_b = Certificate::sign(
+        &operator_b,
+        CertPayload::Delegation(KeyHash::of(&experimenter.public)),
+        Restrictions {
+            max_priority: Some(10),
+            max_buffer_bytes: Some(256 * 1024),
+            ..Default::default()
+        },
+    );
+    // ➍ One experiment certificate for the campaign.
+    let descriptor = ExperimentDescriptor {
+        name: "federated-ping".into(),
+        controller_addr: "10.9.0.1:7000".into(),
+        info_url: "https://example.org/federated".into(),
+        experimenter: KeyHash::of(&experimenter.public),
+    };
+    let exp_cert = Certificate::sign(
+        &experimenter,
+        CertPayload::Experiment(descriptor.hash()),
+        Restrictions::none(),
+    );
+
+    // Endpoints subscribe to their operators' channels; announcements make
+    // them dial the controller.
+    net.controller_listen(exp_host, 7000);
+    net.endpoint_subscribe(a_id, "10.8.0.1".parse().unwrap(), true);
+    net.endpoint_subscribe(b_id, "10.8.0.1".parse().unwrap(), true);
+
+    // ➎–➏ One publish carries the full certificate set.
+    net.publish_experiment(
+        exp_host,
+        "10.8.0.1".parse().unwrap(),
+        descriptor.encode(),
+        vec![
+            rv_deleg.encode(),
+            deleg_a.encode(),
+            deleg_b.encode(),
+            exp_cert.encode(),
+        ],
+        vec![
+            *rv_operator.public.as_bytes(),
+            *operator_a.public.as_bytes(),
+            *operator_b.public.as_bytes(),
+            *experimenter.public.as_bytes(),
+        ],
+    );
+    net.run_until(10 * SECOND);
+    println!(
+        "rendezvous: endpoint-a announcements = {}, endpoint-b announcements = {}",
+        net.endpoint_announcements(a_id).len(),
+        net.endpoint_announcements(b_id).len()
+    );
+    assert_eq!(net.endpoint_dialed(a_id).len(), 1);
+    assert_eq!(net.endpoint_dialed(b_id).len(), 1);
+
+    // ➐–➑ Both endpoints dialed in; run the same experiment on each with
+    // the per-operator chain.
+    let net = Rc::new(RefCell::new(net));
+    let mut sessions = Vec::new();
+    loop {
+        let conn = net.borrow_mut().controller_accept(exp_host, 7000);
+        match conn {
+            Some(c) => sessions.push(c),
+            None => break,
+        }
+    }
+    assert_eq!(sessions.len(), 2, "both endpoints connected");
+
+    println!("\nfederated ping campaign toward 10.3.0.1:");
+    for conn in sessions {
+        // We don't know which endpoint dialed this connection; try chains
+        // until one authenticates — exactly what a real controller holding
+        // several operators' delegations would do... here the first Hello
+        // reveals nothing, so just try A then B.
+        let chan = SimChannel::from_accepted(&net, exp_host, conn);
+        let creds_a = Credentials {
+            descriptor: descriptor.clone(),
+            chain: vec![deleg_a.clone(), exp_cert.clone()],
+            keys: vec![operator_a.public, experimenter.public],
+            signing_key: experimenter.clone(),
+            priority: 5,
+        };
+        let mut ctrl = match Controller::connect(chan, &creds_a) {
+            Ok(c) => c,
+            Err(_) => {
+                // Not operator A's endpoint: retry with B's chain on a
+                // fresh session is not possible on the same conn — accept
+                // failure handling is endpoint-side; reconnect via dialing
+                // would be the real flow. For the demo, connect directly.
+                let creds_b = Credentials {
+                    descriptor: descriptor.clone(),
+                    chain: vec![deleg_b.clone(), exp_cert.clone()],
+                    keys: vec![operator_b.public, experimenter.public],
+                    signing_key: experimenter.clone(),
+                    priority: 5,
+                };
+                let chan = SimChannel::connect(&net, exp_host, "10.2.0.1".parse().unwrap());
+                Controller::connect(chan, &creds_b).expect("operator B chain")
+            }
+        };
+        let addr = ctrl.endpoint_addr().unwrap();
+        let stats = experiments::ping(
+            &mut ctrl,
+            "10.3.0.1".parse().unwrap(),
+            4,
+            50 * MILLISECOND,
+            16,
+        )
+        .expect("ping");
+        println!(
+            "  vantage {addr}: {}/{} replies, mean rtt {:.1} ms",
+            stats.replies.len(),
+            stats.sent,
+            stats.mean_rtt().unwrap_or(0) as f64 / 1e6
+        );
+        ctrl.yield_endpoint().unwrap();
+    }
+
+    let _ = EndpointId::first();
+    println!("\nfederation complete: two operators, one interface, zero per-experiment operator work.");
+}

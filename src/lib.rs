@@ -1,0 +1,14 @@
+//! Reproduction harness support for the PacketLab (IMC '17) workspace.
+//!
+//! The real library surface lives in the workspace crates; this root package
+//! exists to host the cross-crate integration tests in `tests/` and the
+//! runnable examples in `examples/`. It re-exports the crates for
+//! convenience so tests and examples can write `packetlab_repro::packetlab::...`
+//! or depend on each crate directly.
+
+pub use packetlab;
+pub use plab_cpf;
+pub use plab_crypto;
+pub use plab_filter;
+pub use plab_netsim;
+pub use plab_packet;

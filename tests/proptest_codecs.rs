@@ -1,0 +1,163 @@
+//! Property tests: codec round-trips and parser robustness across crates.
+
+use packetlab::cert::{CertPayload, Certificate, Restrictions};
+use packetlab::descriptor::ExperimentDescriptor;
+use packetlab::rendezvous::RvMessage;
+use packetlab::wire::{Command, Message, Notification, Proto, Response};
+use plab_crypto::{KeyHash, Keypair};
+use proptest::prelude::*;
+
+fn arb_proto() -> impl Strategy<Value = Proto> {
+    prop_oneof![Just(Proto::Raw), Just(Proto::Udp), Just(Proto::Tcp)]
+}
+
+fn arb_command() -> impl Strategy<Value = Command> {
+    prop_oneof![
+        (any::<u32>(), arb_proto(), any::<u16>(), any::<u32>(), any::<u16>()).prop_map(
+            |(sktid, proto, locport, remaddr, remport)| Command::NOpen {
+                sktid,
+                proto,
+                locport,
+                remaddr,
+                remport
+            }
+        ),
+        any::<u32>().prop_map(|sktid| Command::NClose { sktid }),
+        (any::<u32>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(sktid, time, data)| Command::NSend { sktid, time, data }),
+        (any::<u32>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..128))
+            .prop_map(|(sktid, time, filt)| Command::NCap { sktid, time, filt }),
+        any::<u64>().prop_map(|time| Command::NPoll { time }),
+        (any::<u32>(), any::<u32>()).prop_map(|(memaddr, bytecnt)| Command::MRead {
+            memaddr,
+            bytecnt
+        }),
+        (any::<u32>(), prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(memaddr, data)| Command::MWrite { memaddr, data }),
+        Just(Command::Yield),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Ok),
+        any::<u64>().prop_map(|tag| Response::SendQueued { tag }),
+        prop::collection::vec(any::<u8>(), 0..128).prop_map(|data| Response::Mem { data }),
+        (
+            prop::collection::vec((any::<u32>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..64)), 0..8),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(packets, dropped_packets, dropped_bytes)| Response::Poll {
+                packets,
+                dropped_packets,
+                dropped_bytes
+            }),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        any::<u8>().prop_map(|version| Message::Hello { version }),
+        (any::<u8>(), any::<[u8; 32]>())
+            .prop_map(|(version, nonce)| Message::HelloAck { version, nonce }),
+        arb_command().prop_map(Message::Cmd),
+        arb_response().prop_map(Message::Resp),
+        any::<u8>().prop_map(|p| Message::Notify(Notification::Interrupted { by_priority: p })),
+        Just(Message::Notify(Notification::Resumed)),
+        Just(Message::AuthOk),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wire_message_roundtrip(msg in arb_message()) {
+        let enc = msg.encode();
+        prop_assert_eq!(Message::decode(&enc), Ok(msg));
+    }
+
+    #[test]
+    fn wire_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn frame_decoder_reassembles_arbitrary_chunking(
+        msgs in prop::collection::vec(arb_message(), 1..5),
+        chunk in 1usize..64,
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend(m.to_frame());
+        }
+        let mut dec = packetlab::wire::FrameDecoder::new();
+        let mut got = Vec::new();
+        for c in stream.chunks(chunk) {
+            dec.extend(c);
+            while let Some(m) = dec.next_message().unwrap() {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn rv_message_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = RvMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn descriptor_roundtrip(
+        name in ".{0,40}",
+        addr in "[0-9.:]{0,20}",
+        url in ".{0,60}",
+        key in any::<[u8; 32]>(),
+    ) {
+        let d = ExperimentDescriptor {
+            name,
+            controller_addr: addr,
+            info_url: url,
+            experimenter: KeyHash(key),
+        };
+        prop_assert_eq!(ExperimentDescriptor::decode(&d.encode()), Some(d));
+    }
+
+    #[test]
+    fn descriptor_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ExperimentDescriptor::decode(&bytes);
+    }
+
+    #[test]
+    fn certificate_roundtrip(
+        seed in any::<u8>(),
+        subject in any::<[u8; 32]>(),
+        not_before in proptest::option::of(any::<u64>()),
+        not_after in proptest::option::of(any::<u64>()),
+        monitor in proptest::option::of(prop::collection::vec(any::<u8>(), 0..64)),
+        max_buffer in proptest::option::of(any::<u64>()),
+        max_priority in proptest::option::of(any::<u8>()),
+        experiment in any::<bool>(),
+    ) {
+        let kp = Keypair::from_seed(&[seed; 32]);
+        let payload = if experiment {
+            CertPayload::Experiment(plab_crypto::sha256::Digest256(subject))
+        } else {
+            CertPayload::Delegation(KeyHash(subject))
+        };
+        let cert = Certificate::sign(&kp, payload, Restrictions {
+            not_before,
+            not_after,
+            monitor,
+            max_buffer_bytes: max_buffer,
+            max_priority,
+        });
+        let decoded = Certificate::decode(&cert.encode()).unwrap();
+        prop_assert_eq!(&decoded, &cert);
+        prop_assert!(decoded.verify_signature(&kp.public));
+    }
+
+    #[test]
+    fn certificate_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Certificate::decode(&bytes);
+    }
+}
