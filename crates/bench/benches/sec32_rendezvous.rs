@@ -7,7 +7,10 @@ use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::rendezvous::{RendezvousServer, RvMessage};
 use plab_crypto::{KeyHash, Keypair};
 
-fn setup(n_subs: u64) -> (RendezvousServer, Vec<u8>, Vec<Vec<u8>>, Vec<[u8; 32]>) {
+/// (server, descriptor bytes, cert chain, endpoint keys) ready to publish.
+type Setup = (RendezvousServer, Vec<u8>, Vec<Vec<u8>>, Vec<[u8; 32]>);
+
+fn setup(n_subs: u64) -> Setup {
     let rv_op = Keypair::from_seed(&[1; 32]);
     let exp = Keypair::from_seed(&[2; 32]);
     let mut server = RendezvousServer::new(vec![KeyHash::of(&rv_op.public)], 1_700_000_000);

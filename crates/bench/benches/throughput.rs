@@ -1,0 +1,114 @@
+//! Hot-path throughput: monitor adjudications per second for 1/2/4-monitor
+//! chains, and simulator events per second on a multi-hop topology.
+//!
+//! These are the numbers `repro_throughput` snapshots into
+//! `BENCH_throughput.json`; run them with `cargo bench --bench throughput`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use packetlab::monitor::MonitorSet;
+use plab_netsim::{LinkParams, Sim, TopologyBuilder};
+use plab_packet::{builder, layout};
+use std::net::Ipv4Addr;
+
+fn addrs() -> (Ipv4Addr, Ipv4Addr) {
+    ("10.0.0.1".parse().unwrap(), "10.0.99.1".parse().unwrap())
+}
+
+/// The Figure 2 monitor, replicated `n` times — the paper's chain case
+/// where endpoint operator, delegate, and experimenter each attach one.
+fn chain(n: usize, info: &[u8]) -> MonitorSet {
+    let encoded = plab_cpf::compile(plab_bench::FIGURE2_MONITOR)
+        .expect("Figure 2 compiles")
+        .encode();
+    let programs: Vec<Vec<u8>> = (0..n).map(|_| encoded.clone()).collect();
+    MonitorSet::instantiate(&programs, info).expect("monitors instantiate")
+}
+
+fn info_block(me: Ipv4Addr) -> Vec<u8> {
+    let mut info = vec![0u8; layout::INFO_SIZE];
+    layout::resolve_info("addr.ip")
+        .unwrap()
+        .write_le(&mut info, u32::from(me) as u64);
+    info
+}
+
+fn bench_monitor_chains(c: &mut Criterion) {
+    let (me, target) = addrs();
+    let info = info_block(me);
+    let probe = builder::icmp_echo_request(me, target, 5, 1, 1, &[0, 1]);
+    let reply = builder::icmp_echo_reply(target, me, 1, 1, &[0, 1]);
+
+    let mut g = c.benchmark_group("throughput");
+    g.throughput(Throughput::Elements(1));
+    for n in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("monitor_chain_send", n), &n, |b, &n| {
+            let mut set = chain(n, &info);
+            // Latch ping_dst so recv paths in the program stay warm.
+            assert!(set.allow_send(&probe, &info));
+            b.iter(|| set.allow_send(&probe, &info));
+        });
+        g.bench_with_input(BenchmarkId::new("monitor_chain_recv", n), &n, |b, &n| {
+            let mut set = chain(n, &info);
+            assert!(set.allow_send(&probe, &info));
+            assert!(set.allow_recv(&reply, &info));
+            b.iter(|| set.allow_recv(&reply, &info));
+        });
+    }
+    g.finish();
+}
+
+/// h -- r1 -- r2 -- r3 -- r4 -- target line, zero-latency links so the
+/// event loop (not virtual time) is what's measured.
+fn multihop() -> (Sim, plab_netsim::NodeId, Ipv4Addr, Ipv4Addr) {
+    let mut t = TopologyBuilder::new();
+    let src: Ipv4Addr = "10.0.0.1".parse().unwrap();
+    let dst: Ipv4Addr = "10.0.99.1".parse().unwrap();
+    let h = t.host("h", src);
+    let mut prev = h;
+    for i in 0..4 {
+        let r = t.router(&format!("r{i}"), format!("10.0.{}.254", i + 1).parse().unwrap());
+        t.link(prev, r, LinkParams::new(0, 0));
+        prev = r;
+    }
+    let target = t.host("target", dst);
+    t.link(prev, target, LinkParams::new(0, 0));
+    (t.build(), h, src, dst)
+}
+
+/// One round: 64 echo requests with cycling TTLs (1..=8), so the workload
+/// mixes router Time Exceeded generation with end-host echo replies.
+/// Returns the number of simulator events processed.
+fn pump_round(sim: &mut Sim, h: plab_netsim::NodeId, src: Ipv4Addr, dst: Ipv4Addr) -> u64 {
+    let sock = sim.raw_open(h);
+    for i in 0..64u16 {
+        let ttl = (i % 8) as u8 + 1;
+        sim.raw_send(h, builder::icmp_echo_request(src, dst, ttl, 7, i, &[0, 1]));
+    }
+    let mut events = 0u64;
+    while sim.step() {
+        events += 1;
+    }
+    let got = sim.raw_recv(h, sock);
+    assert!(!got.is_empty(), "replies observed");
+    events
+}
+
+fn bench_netsim_events(c: &mut Criterion) {
+    // Calibrate: events per round is deterministic, so measure it once and
+    // report per-event throughput.
+    let (mut sim, h, src, dst) = multihop();
+    let events_per_round = pump_round(&mut sim, h, src, dst);
+
+    let mut g = c.benchmark_group("throughput");
+    g.throughput(Throughput::Elements(events_per_round));
+    g.bench_function("netsim_multihop_round", |b| {
+        b.iter(|| {
+            let (mut sim, h, src, dst) = multihop();
+            pump_round(&mut sim, h, src, dst)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_monitor_chains, bench_netsim_events);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Throughput snapshot: adjudications/sec for Figure-2 monitor chains and
+//! simulator events/sec on a multi-hop topology, written to
+//! `BENCH_throughput.json` so successive revisions have a perf trajectory.
+//!
+//! Set `REPRO_THROUGHPUT_SECS` to stretch or shrink the per-measurement
+//! budget (default 0.5 s; CI smoke uses 0.05).
+
+use packetlab::monitor::MonitorSet;
+use plab_netsim::{LinkParams, NodeId, Sim, TopologyBuilder};
+use plab_packet::{builder, layout};
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+fn info_block(me: Ipv4Addr) -> Vec<u8> {
+    let mut info = vec![0u8; layout::INFO_SIZE];
+    layout::resolve_info("addr.ip")
+        .unwrap()
+        .write_le(&mut info, u32::from(me) as u64);
+    info
+}
+
+fn chain(n: usize, info: &[u8]) -> MonitorSet {
+    let encoded = plab_cpf::compile(plab_bench::FIGURE2_MONITOR)
+        .expect("Figure 2 compiles")
+        .encode();
+    let programs: Vec<Vec<u8>> = (0..n).map(|_| encoded.clone()).collect();
+    MonitorSet::instantiate(&programs, info).expect("monitors instantiate")
+}
+
+/// Run `op` repeatedly for roughly `budget`, returning ops/sec.
+fn measure(budget: Duration, mut op: impl FnMut() -> u64) -> (f64, u64) {
+    // Warm up and estimate per-op cost.
+    let mut acc = 0u64;
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while calls < 16 || start.elapsed() < budget / 8 {
+        acc = acc.wrapping_add(op());
+        calls += 1;
+    }
+    let per_call = start.elapsed() / calls as u32;
+    let batch = (budget.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 50_000_000) as u64;
+    let start = Instant::now();
+    for _ in 0..batch {
+        acc = acc.wrapping_add(op());
+    }
+    let elapsed = start.elapsed();
+    (batch as f64 / elapsed.as_secs_f64(), std::hint::black_box(acc))
+}
+
+fn multihop() -> (Sim, NodeId, Ipv4Addr, Ipv4Addr) {
+    let mut t = TopologyBuilder::new();
+    let src: Ipv4Addr = "10.0.0.1".parse().unwrap();
+    let dst: Ipv4Addr = "10.0.99.1".parse().unwrap();
+    let h = t.host("h", src);
+    let mut prev = h;
+    for i in 0..4 {
+        let r = t.router(&format!("r{i}"), format!("10.0.{}.254", i + 1).parse().unwrap());
+        t.link(prev, r, LinkParams::new(0, 0));
+        prev = r;
+    }
+    let target = t.host("target", dst);
+    t.link(prev, target, LinkParams::new(0, 0));
+    (t.build(), h, src, dst)
+}
+
+fn pump_round(sim: &mut Sim, h: NodeId, src: Ipv4Addr, dst: Ipv4Addr) -> u64 {
+    let sock = sim.raw_open(h);
+    for i in 0..64u16 {
+        let ttl = (i % 8) as u8 + 1;
+        sim.raw_send(h, builder::icmp_echo_request(src, dst, ttl, 7, i, &[0, 1]));
+    }
+    let mut events = 0u64;
+    while sim.step() {
+        events += 1;
+    }
+    let got = sim.raw_recv(h, sock);
+    assert!(!got.is_empty(), "replies observed");
+    events
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() { format!("{v:.1}") } else { "null".to_string() }
+}
+
+fn main() {
+    let budget = std::env::var("REPRO_THROUGHPUT_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Duration::from_secs_f64)
+        .unwrap_or(Duration::from_millis(500));
+
+    let me: Ipv4Addr = "10.0.0.1".parse().unwrap();
+    let target: Ipv4Addr = "10.0.99.1".parse().unwrap();
+    let info = info_block(me);
+    let probe = builder::icmp_echo_request(me, target, 5, 1, 1, &[0, 1]);
+    let reply = builder::icmp_echo_reply(target, me, 1, 1, &[0, 1]);
+
+    println!(
+        "throughput snapshot ({} ms per measurement)\n",
+        budget.as_millis()
+    );
+
+    // Monitor chains: adjudications per second, send and recv entries.
+    let mut send_rates = Vec::new();
+    let mut recv_rates = Vec::new();
+    let mut insns = Vec::new();
+    for n in [1usize, 2, 4] {
+        let mut set = chain(n, &info);
+        assert!(set.allow_send(&probe, &info), "probe allowed");
+        let (send_rate, _) = measure(budget, || u64::from(set.allow_send(&probe, &info)));
+        assert!(set.allow_recv(&reply, &info), "reply allowed");
+        let (recv_rate, _) = measure(budget, || u64::from(set.allow_recv(&reply, &info)));
+        println!(
+            "monitor chain x{n}: {:.2} M send adjudications/s, {:.2} M recv adjudications/s",
+            send_rate / 1e6,
+            recv_rate / 1e6
+        );
+        send_rates.push((n, send_rate));
+        recv_rates.push((n, recv_rate));
+        insns.push((n, set.insns_executed()));
+    }
+
+    // Simulator: events per second across a 4-router line, mixed TTLs.
+    let (mut cal, h, src, dst) = multihop();
+    let events_per_round = pump_round(&mut cal, h, src, dst);
+    let (rounds_per_sec, _) = measure(budget, || {
+        let (mut sim, h, src, dst) = multihop();
+        pump_round(&mut sim, h, src, dst)
+    });
+    let events_per_sec = rounds_per_sec * events_per_round as f64;
+    println!(
+        "netsim multihop: {events_per_round} events/round, {:.2} M events/s \
+         (pool: {} taken, {} recycled after calibration round)",
+        events_per_sec / 1e6,
+        cal.pool().taken(),
+        cal.pool().recycled()
+    );
+
+    let mut out = String::from("{\n  \"bench\": \"throughput\",\n");
+    out.push_str(&format!(
+        "  \"budget_ms\": {},\n  \"monitor_chains\": [\n",
+        budget.as_millis()
+    ));
+    for (i, &(n, send)) in send_rates.iter().enumerate() {
+        let recv = recv_rates[i].1;
+        let ins = insns[i].1;
+        out.push_str(&format!(
+            "    {{\"monitors\": {n}, \"send_adjudications_per_sec\": {}, \
+             \"recv_adjudications_per_sec\": {}, \"insns_executed\": {ins}}}{}\n",
+            json_f(send),
+            json_f(recv),
+            if i + 1 < send_rates.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"netsim\": {\n");
+    out.push_str(&format!(
+        "    \"events_per_round\": {events_per_round},\n    \"events_per_sec\": {},\n",
+        json_f(events_per_sec)
+    ));
+    out.push_str(&format!(
+        "    \"pool_taken\": {},\n    \"pool_recycled\": {}\n  }}\n}}\n",
+        cal.pool().taken(),
+        cal.pool().recycled()
+    ));
+    std::fs::write("BENCH_throughput.json", &out).expect("write BENCH_throughput.json");
+    println!("\nwrote BENCH_throughput.json");
+}

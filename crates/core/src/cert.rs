@@ -277,7 +277,7 @@ impl EffectiveRestrictions {
 
     /// Is `t` (wall seconds) inside the validity window?
     pub fn valid_at(&self, t: u64) -> bool {
-        self.not_before.map_or(true, |nb| t >= nb) && self.not_after.map_or(true, |na| t <= na)
+        self.not_before.is_none_or(|nb| t >= nb) && self.not_after.is_none_or(|na| t <= na)
     }
 }
 

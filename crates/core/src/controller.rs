@@ -160,19 +160,17 @@ impl<C: ControlChannel> Controller<C> {
     pub fn connect(mut chan: C, creds: &Credentials) -> Result<Self, ControllerError> {
         chan.send(&Message::Hello { version: crate::PROTOCOL_VERSION });
         let deadline = chan.now() + 30_000_000_000;
-        let nonce = loop {
-            match chan.recv(Some(deadline)) {
-                Some(Message::HelloAck { version, nonce }) => {
-                    if version != crate::PROTOCOL_VERSION {
-                        return Err(ControllerError::Protocol("version mismatch".into()));
-                    }
-                    break nonce;
+        let nonce = match chan.recv(Some(deadline)) {
+            Some(Message::HelloAck { version, nonce }) => {
+                if version != crate::PROTOCOL_VERSION {
+                    return Err(ControllerError::Protocol("version mismatch".into()));
                 }
-                Some(other) => {
-                    return Err(ControllerError::Protocol(format!("expected HelloAck, got {other:?}")))
-                }
-                None => return Err(ControllerError::Timeout),
+                nonce
             }
+            Some(other) => {
+                return Err(ControllerError::Protocol(format!("expected HelloAck, got {other:?}")))
+            }
+            None => return Err(ControllerError::Timeout),
         };
         chan.send(&creds.auth_message(&nonce));
         let deadline = chan.now() + 30_000_000_000;
@@ -434,7 +432,7 @@ impl<C: ControlChannel> Controller<C> {
             // The endpoint read the clock roughly mid-flight.
             let midpoint = t0 as i128 + (rtt / 2) as i128;
             let offset = endpoint_clock as i128 - midpoint;
-            if best.map_or(true, |(r, _)| rtt < r) {
+            if best.is_none_or(|(r, _)| rtt < r) {
                 best = Some((rtt, offset));
             }
         }

@@ -301,10 +301,10 @@ pub fn traceroute<C: ControlChannel>(
                             answered.entry(seq).or_insert((view.src(), *trcv, false));
                         }
                     }
-                    Ok(icmp::IcmpMessage::EchoReply { ident, seq, .. }) => {
-                        if ident == PING_IDENT && view.src() == dst {
-                            answered.entry(seq).or_insert((view.src(), *trcv, true));
-                        }
+                    Ok(icmp::IcmpMessage::EchoReply { ident, seq, .. })
+                        if ident == PING_IDENT && view.src() == dst =>
+                    {
+                        answered.entry(seq).or_insert((view.src(), *trcv, true));
                     }
                     _ => {}
                 }

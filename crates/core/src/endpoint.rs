@@ -74,8 +74,11 @@ enum SocketBinding {
 }
 
 /// Capture buffer with the §3.1 drop accounting.
+/// One captured packet: (socket id, capture time, payload).
+type CaptureEntry = (u32, u64, Vec<u8>);
+
 struct CaptureBuffer {
-    entries: VecDeque<(u32, u64, Vec<u8>)>,
+    entries: VecDeque<CaptureEntry>,
     bytes: usize,
     capacity: usize,
     dropped_packets: u64,
@@ -108,7 +111,7 @@ impl CaptureBuffer {
         true
     }
 
-    fn drain(&mut self) -> (Vec<(u32, u64, Vec<u8>)>, u64, u64) {
+    fn drain(&mut self) -> (Vec<CaptureEntry>, u64, u64) {
         let entries: Vec<_> = self.entries.drain(..).collect();
         self.bytes = 0;
         let dp = std::mem::take(&mut self.dropped_packets);
@@ -378,8 +381,7 @@ impl EndpointAgent {
         // Instantiate monitors against the current info block.
         let info_snapshot = {
             let s = self.sessions.get_mut(&sid).unwrap();
-            Self::refresh_info(s, stack);
-            s.memory.info().to_vec()
+            Self::info_snapshot(s, stack)
         };
         let monitors = match MonitorSet::instantiate(&effective.monitors, &info_snapshot) {
             Ok(m) => m,
@@ -591,8 +593,7 @@ impl EndpointAgent {
             if s.sockets.contains_key(&sktid) {
                 return err(ErrCode::BadSocket, "socket id in use");
             }
-            Self::refresh_info(s, stack);
-            s.memory.info().to_vec()
+            Self::info_snapshot(s, stack)
         };
         let proto_num = match proto {
             Proto::Raw => 0u8,
@@ -659,8 +660,7 @@ impl EndpointAgent {
     ) -> Message {
         let info = {
             let s = self.sessions.get_mut(&sid).unwrap();
-            Self::refresh_info(s, stack);
-            s.memory.info().to_vec()
+            Self::info_snapshot(s, stack)
         };
         let s = self.sessions.get_mut(&sid).unwrap();
         let tag = s.next_tag;
@@ -761,11 +761,10 @@ impl EndpointAgent {
         let now = stack.clock();
         let sids: Vec<u64> = self.sessions.keys().copied().collect();
         for sid in sids {
-            // Snapshot info per session (refreshed lazily).
+            // Snapshot info per session (refreshed lazily, on the stack).
             let info = {
                 let s = self.sessions.get_mut(&sid).unwrap();
-                Self::refresh_info(s, stack);
-                s.memory.info().to_vec()
+                Self::info_snapshot(s, stack)
             };
             let s = self.sessions.get_mut(&sid).unwrap();
             let mut captured_here: Vec<u32> = Vec::new();
@@ -781,11 +780,11 @@ impl EndpointAgent {
                     *filter = None;
                     continue;
                 }
-                match vm.run(plab_filter::ENTRY_RECV, packet, &info) {
+                match vm.run_entry(plab_filter::EntryPoint::Recv, packet, &info) {
                     Ok(0) | Err(_) => {}
                     Ok(_) => {
                         captured_here.push(*sktid);
-                        let mirrors = match vm.run("mirror", packet, &info) {
+                        let mirrors = match vm.run_entry(plab_filter::EntryPoint::Mirror, packet, &info) {
                             Ok(v) => v != 0,
                             Err(_) => false,
                         };
@@ -938,6 +937,14 @@ impl EndpointAgent {
             ));
         }
         out
+    }
+
+    /// Refresh the session's info block and return a stack-resident copy
+    /// for adjudication (avoids a heap allocation on every nsend/nopen and
+    /// every captured packet).
+    fn info_snapshot(s: &mut Session, stack: &mut dyn NetStack) -> [u8; layout::INFO_SIZE] {
+        Self::refresh_info(s, stack);
+        s.memory.info().try_into().expect("info block is INFO_SIZE bytes")
     }
 
     fn refresh_info(s: &mut Session, stack: &mut dyn NetStack) {

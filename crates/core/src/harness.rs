@@ -546,7 +546,7 @@ impl SimChannel {
             // establishes or a generous deadline passes.
             let deadline = n.sim.now() + 10 * plab_netsim::SECOND;
             while !n.sim.tcp_established(node, conn)
-                && n.sim.next_event_time().map_or(false, |t| t <= deadline)
+                && n.sim.next_event_time().is_some_and(|t| t <= deadline)
             {
                 n.step();
             }

@@ -14,7 +14,7 @@
 //! persists for the duration of the experiment that is not accessible to
 //! the controller via the mread command."
 
-use plab_filter::{Program, Verdict, Vm};
+use plab_filter::{EntryPoint, Program, Vm};
 
 /// The set of monitors guarding one experiment session.
 pub struct MonitorSet {
@@ -79,31 +79,43 @@ impl MonitorSet {
         self.vms.is_empty()
     }
 
-    /// May this packet be sent? All monitors must allow.
+    /// May this packet be sent? All monitors must allow. Allocation-free:
+    /// each VM runs its pre-resolved `send` entry.
     pub fn allow_send(&mut self, packet: &[u8], info: &[u8]) -> bool {
-        self.vms.iter_mut().all(|vm| vm.check_send(packet, info).allowed())
+        self.allow_entry(EntryPoint::Send, packet, info)
     }
 
     /// May this captured packet be returned to the controller?
     pub fn allow_recv(&mut self, packet: &[u8], info: &[u8]) -> bool {
-        self.vms.iter_mut().all(|vm| vm.check_recv(packet, info).allowed())
+        self.allow_entry(EntryPoint::Recv, packet, info)
     }
 
     /// May this `nopen` proceed? Consults the optional `open` entry with a
-    /// pseudo-packet describing the request: `[proto, locport_hi,
-    /// locport_lo, remaddr(4), remport_hi, remport_lo]`.
+    /// 9-byte pseudo-packet describing the request, all fields in network
+    /// byte order:
+    ///
+    /// | offset | size | field                         |
+    /// |--------|------|-------------------------------|
+    /// | 0      | 1    | `proto`                       |
+    /// | 1      | 2    | `locport` (big-endian)        |
+    /// | 3      | 4    | `remaddr` (big-endian)        |
+    /// | 7      | 2    | `remport` (big-endian)        |
     pub fn allow_open(&mut self, proto: u8, locport: u16, remaddr: u32, remport: u16, info: &[u8]) -> bool {
-        let mut pseudo = Vec::with_capacity(9);
-        pseudo.push(proto);
-        pseudo.extend_from_slice(&locport.to_be_bytes());
-        pseudo.extend_from_slice(&remaddr.to_be_bytes());
-        pseudo.extend_from_slice(&remport.to_be_bytes());
+        let mut pseudo = [0u8; 9];
+        pseudo[0] = proto;
+        pseudo[1..3].copy_from_slice(&locport.to_be_bytes());
+        pseudo[3..7].copy_from_slice(&remaddr.to_be_bytes());
+        pseudo[7..9].copy_from_slice(&remport.to_be_bytes());
+        self.allow_entry(EntryPoint::Open, &pseudo, info)
+    }
+
+    /// Shared adjudication fast path: every monitor's pre-resolved entry
+    /// must allow (missing entries allow by convention).
+    #[inline]
+    fn allow_entry(&mut self, entry: EntryPoint, packet: &[u8], info: &[u8]) -> bool {
         self.vms
             .iter_mut()
-            .all(|vm| match vm.run_entry_or_allow(plab_filter::ENTRY_OPEN, &pseudo, info) {
-                Verdict::Allow(_) => true,
-                _ => false,
-            })
+            .all(|vm| vm.check_entry(entry, packet, info).allowed())
     }
 
     /// Total PFVM instructions executed so far (overhead accounting).

@@ -53,6 +53,9 @@ pub enum RvMessage {
     },
 }
 
+/// Wire-decoded experiment bundle: (descriptor, cert chain, endpoint keys).
+type DecodedBundle = (Vec<u8>, Vec<Vec<u8>>, Vec<[u8; 32]>);
+
 impl RvMessage {
     /// Encode to a frame payload.
     pub fn encode(&self) -> Vec<u8> {
@@ -114,7 +117,7 @@ impl RvMessage {
             }
             Some(take(r, len)?.to_vec())
         }
-        fn take_bundle(r: &mut &[u8]) -> Option<(Vec<u8>, Vec<Vec<u8>>, Vec<[u8; 32]>)> {
+        fn take_bundle(r: &mut &[u8]) -> Option<DecodedBundle> {
             let descriptor = take_bytes(r)?;
             let n = u16::from_le_bytes(take(r, 2)?.try_into().ok()?) as usize;
             let mut chain = Vec::with_capacity(n.min(64));

@@ -237,7 +237,7 @@ fn suspended_experiment_keeps_capturing() {
     // captures the echo request into its buffer.
     {
         let mut n = world.net.borrow_mut();
-        let ep = n.sim.node_by_name("ep").unwrap();
+        let _ep = n.sim.node_by_name("ep").unwrap();
         let c2 = world.c2;
         let ping = plab_packet::builder::icmp_echo_request(
             n.sim.addr_of(c2),

@@ -77,6 +77,34 @@ pub fn generate(unit: &CheckedUnit) -> Program {
     asm.finish_program(&entry_refs, persistent_size, scratch_size)
 }
 
+/// Comparison operators that compile to a single PFVM conditional jump.
+fn cmp_has_jump(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+    )
+}
+
+/// Jump op and operand order implementing "jump when (`ra` <op> `rb`) ==
+/// `jump_on`". PFVM has no `>`/`>=`/inverse forms, so those come from
+/// swapping operands of the unsigned `<`/`<=` jumps.
+fn cmp_jump(op: BinOp, ra: u8, rb: u8, jump_on: bool) -> (plab_filter::Op, u8, u8) {
+    use plab_filter::Op;
+    match (op, jump_on) {
+        (BinOp::Eq, true) | (BinOp::Ne, false) => (Op::JeqR, ra, rb),
+        (BinOp::Ne, true) | (BinOp::Eq, false) => (Op::JneR, ra, rb),
+        (BinOp::Lt, true) => (Op::JltR, ra, rb),
+        (BinOp::Lt, false) => (Op::JleR, rb, ra),
+        (BinOp::Le, true) => (Op::JleR, ra, rb),
+        (BinOp::Le, false) => (Op::JltR, rb, ra),
+        (BinOp::Gt, true) => (Op::JltR, rb, ra),
+        (BinOp::Gt, false) => (Op::JleR, ra, rb),
+        (BinOp::Ge, true) => (Op::JleR, rb, ra),
+        (BinOp::Ge, false) => (Op::JltR, ra, rb),
+        _ => unreachable!("cmp_jump on non-comparison {op:?}"),
+    }
+}
+
 fn emit_global_inits(asm: &mut Asm, inits: &[u64]) {
     for (i, &v) in inits.iter().enumerate() {
         if v != 0 {
@@ -144,15 +172,15 @@ impl<'a> FnGen<'a> {
                 }
             }
             Stmt::If { cond, then, els } => {
-                self.expr(cond, 0);
-                let creg = self.operand(0, 14);
                 let l_else = self.asm.new_label();
                 let l_end = self.asm.new_label();
-                self.asm.jeq_i_to(creg, 0, l_else);
+                self.cond_branch(cond, l_else, false);
                 for s in then {
                     self.stmt(s);
                 }
-                self.asm.ja_to(l_end);
+                if !els.is_empty() {
+                    self.asm.ja_to(l_end);
+                }
                 self.asm.bind(l_else);
                 for s in els {
                     self.stmt(s);
@@ -162,9 +190,7 @@ impl<'a> FnGen<'a> {
             Stmt::While { cond, body } => {
                 let l_top = self.asm.label();
                 let l_end = self.asm.new_label();
-                self.expr(cond, 0);
-                let creg = self.operand(0, 14);
-                self.asm.jeq_i_to(creg, 0, l_end);
+                self.cond_branch(cond, l_end, false);
                 self.loops.push((l_top, l_end));
                 for s in body {
                     self.stmt(s);
@@ -181,9 +207,7 @@ impl<'a> FnGen<'a> {
                 let l_end = self.asm.new_label();
                 let l_step = self.asm.new_label();
                 if let Some(c) = cond {
-                    self.expr(c, 0);
-                    let creg = self.operand(0, 14);
-                    self.asm.jeq_i_to(creg, 0, l_end);
+                    self.cond_branch(c, l_end, false);
                 }
                 // `continue` must run the step, not re-test the condition.
                 self.loops.push((l_step, l_end));
@@ -265,7 +289,15 @@ impl<'a> FnGen<'a> {
                         if spec.shift != 0 {
                             self.asm.shr_i(w, spec.shift as i64);
                         }
-                        if spec.mask != u64::MAX {
+                        // Elide masks already implied by the load width
+                        // (mirrors `emit_field_load` for packet fields).
+                        let live_bits = 8 * spec.width as u32 - spec.shift;
+                        let live = if live_bits >= 64 {
+                            u64::MAX
+                        } else {
+                            (1u64 << live_bits) - 1
+                        };
+                        if spec.mask & live != live {
                             self.asm.and_i(w, spec.mask as i64);
                         }
                     }
@@ -356,6 +388,101 @@ impl<'a> FnGen<'a> {
         self.asm.bind(l_true);
         self.asm.mov_i(ra, 1);
         self.asm.bind(l_end);
+    }
+
+    /// Compile condition `e` as a branch: jump to `target` when `e`'s truth
+    /// value equals `jump_on`, fall through otherwise. Statement contexts
+    /// (`if`/`while`/`for`) use this instead of materializing a 0/1 value
+    /// and re-testing it — comparisons become a single conditional jump and
+    /// `&&`/`||` become short-circuit chains, which roughly halves the
+    /// instruction count of branchy monitors. Only valid at statement level
+    /// (evaluates operands at depths 0 and 1).
+    fn cond_branch(&mut self, e: &Expr, target: Label, jump_on: bool) {
+        match e {
+            Expr::Binary { op: BinOp::LogAnd, lhs, rhs, .. } => {
+                if jump_on {
+                    // Jump iff both true: bail past the whole test when the
+                    // lhs is false, then the rhs decides.
+                    let l_out = self.asm.new_label();
+                    self.cond_branch(lhs, l_out, false);
+                    self.cond_branch(rhs, target, true);
+                    self.asm.bind(l_out);
+                } else {
+                    self.cond_branch(lhs, target, false);
+                    self.cond_branch(rhs, target, false);
+                }
+            }
+            Expr::Binary { op: BinOp::LogOr, lhs, rhs, .. } => {
+                if jump_on {
+                    self.cond_branch(lhs, target, true);
+                    self.cond_branch(rhs, target, true);
+                } else {
+                    let l_out = self.asm.new_label();
+                    self.cond_branch(lhs, l_out, true);
+                    self.cond_branch(rhs, target, false);
+                    self.asm.bind(l_out);
+                }
+            }
+            Expr::Binary { op, lhs, rhs, .. } if cmp_has_jump(*op) => {
+                // Equality against a small constant (literal or named) uses
+                // the compare-immediate jump forms, skipping the constant
+                // materialization. Eq/Ne are symmetric, so either side works.
+                if matches!(op, BinOp::Eq | BinOp::Ne) {
+                    let (reg_side, imm) = match (self.const_val(lhs), self.const_val(rhs)) {
+                        (_, Some(v)) if v <= u32::MAX as u64 => (&**lhs, Some(v)),
+                        (Some(v), _) if v <= u32::MAX as u64 => (&**rhs, Some(v)),
+                        _ => (&**lhs, None),
+                    };
+                    if let Some(value) = imm {
+                        self.expr(reg_side, 0);
+                        let ra = self.operand(0, 14);
+                        let eq_jump = (*op == BinOp::Eq) == jump_on;
+                        if eq_jump {
+                            self.asm.jeq_i_to(ra, value as u32, target);
+                        } else {
+                            self.asm.jne_i_to(ra, value as u32, target);
+                        }
+                        return;
+                    }
+                }
+                self.expr(lhs, 0);
+                self.expr(rhs, 1);
+                let ra = self.operand(0, 14);
+                let rb = self.operand(1, 15);
+                let (jop, x, y) = cmp_jump(*op, ra, rb, jump_on);
+                self.asm.j_reg_to(jop, x, y, target);
+            }
+            Expr::Unary { op: UnOp::Not, expr, .. } => {
+                self.cond_branch(expr, target, !jump_on);
+            }
+            Expr::Int { value, .. } => {
+                if (*value != 0) == jump_on {
+                    self.asm.ja_to(target);
+                }
+            }
+            _ => {
+                self.expr(e, 0);
+                let r = self.operand(0, 14);
+                if jump_on {
+                    self.asm.jne_i_to(r, 0, target);
+                } else {
+                    self.asm.jeq_i_to(r, 0, target);
+                }
+            }
+        }
+    }
+
+    /// Compile-time value of `e`, if it is an integer literal or a named
+    /// constant.
+    fn const_val(&self, e: &Expr) -> Option<u64> {
+        match e {
+            Expr::Int { value, .. } => Some(*value),
+            Expr::Var { name, .. } => match self.func.bindings.get(name.as_str()) {
+                Some(Binding::Constant(v)) => Some(*v),
+                _ => None,
+            },
+            _ => None,
+        }
     }
 
     /// Short-circuit `&&` / `||` producing 0/1 at depth `d`.

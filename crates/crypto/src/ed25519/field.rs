@@ -108,8 +108,8 @@ impl Fe {
     /// a + b.
     pub fn add(&self, other: &Fe) -> Fe {
         let mut r = [0u64; 5];
-        for i in 0..5 {
-            r[i] = self.0[i] + other.0[i];
+        for (i, limb) in r.iter_mut().enumerate() {
+            *limb = self.0[i] + other.0[i];
         }
         Fe(carry(r))
     }

@@ -272,14 +272,14 @@ mod tests {
         let s = Scalar::from_canonical_bytes(&sig.0[32..].try_into().unwrap()).unwrap();
         let mut wide = [0u64; 4];
         let mut carry = 0u128;
-        for i in 0..4 {
+        for (i, w) in wide.iter_mut().enumerate().take(4) {
             let v = s.0[i] as u128 + L[i] as u128 + carry;
-            wide[i] = v as u64;
+            *w = v as u64;
             carry = v >> 64;
         }
         assert_eq!(carry, 0, "s + L fits in 256 bits");
-        for i in 0..4 {
-            sig.0[32 + i * 8..32 + i * 8 + 8].copy_from_slice(&wide[i].to_le_bytes());
+        for (i, w) in wide.iter().enumerate().take(4) {
+            sig.0[32 + i * 8..32 + i * 8 + 8].copy_from_slice(&w.to_le_bytes());
         }
         assert!(!verify(&kp.public, b"msg", &sig));
     }

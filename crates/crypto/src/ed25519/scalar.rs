@@ -65,9 +65,9 @@ impl Scalar {
         let mut prod = mul_wide(&self.0, &b.0);
         // Add c into the 512-bit product.
         let mut carry = 0u128;
-        for i in 0..4 {
-            let v = prod[i] as u128 + c.0[i] as u128 + carry;
-            prod[i] = v as u64;
+        for (p, &cv) in prod.iter_mut().zip(c.0.iter()) {
+            let v = *p as u128 + cv as u128 + carry;
+            *p = v as u64;
             carry = v >> 64;
         }
         let mut i = 4;

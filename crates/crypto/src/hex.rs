@@ -15,7 +15,7 @@ pub fn encode(bytes: &[u8]) -> String {
 ///
 /// Returns `None` on any malformed input.
 pub fn decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(s.len() / 2);

@@ -304,7 +304,12 @@ pub fn emit_field_load(asm: &mut Asm, dst: u8, spec: &layout::FieldSpec) {
     if spec.shift != 0 {
         asm.shr_i(dst, spec.shift as i64);
     }
-    if spec.mask != u64::MAX {
+    // After an N-byte load shifted right by `shift`, only the low
+    // `8*N - shift` bits can be set; a mask covering all of them is a
+    // no-op and gets elided.
+    let live_bits = 8 * spec.width as u32 - spec.shift;
+    let live = if live_bits >= 64 { u64::MAX } else { (1u64 << live_bits) - 1 };
+    if spec.mask & live != live {
         asm.and_i(dst, spec.mask as i64);
     }
 }

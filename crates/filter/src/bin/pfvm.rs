@@ -18,7 +18,7 @@ fn usage() -> ExitCode {
 }
 
 fn read_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len())

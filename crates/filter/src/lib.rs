@@ -44,7 +44,7 @@ pub mod validate;
 pub mod vm;
 
 pub use insn::{Insn, Op};
-pub use program::{Program, ENTRY_INIT, ENTRY_OPEN, ENTRY_RECV, ENTRY_SEND};
+pub use program::{EntryPoint, Program, ENTRY_INIT, ENTRY_MIRROR, ENTRY_OPEN, ENTRY_RECV, ENTRY_SEND};
 pub use validate::{validate, ValidateError};
 pub use vm::{Trap, Vm, VmConfig};
 

@@ -15,6 +15,64 @@ pub const ENTRY_SEND: &str = "send";
 pub const ENTRY_RECV: &str = "recv";
 /// Well-known entry point: adjudicate an `nopen` call (extension).
 pub const ENTRY_OPEN: &str = "open";
+/// Well-known entry point: select packets for capture mirroring (used by
+/// the endpoint's `ncap` path).
+pub const ENTRY_MIRROR: &str = "mirror";
+
+/// Well-known entry points, resolvable to program counters once at VM
+/// instantiation so per-packet adjudication never does a string-keyed map
+/// lookup. The discriminant indexes the VM's pre-resolved PC table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum EntryPoint {
+    /// [`ENTRY_INIT`]: run once when the monitor is instantiated.
+    Init = 0,
+    /// [`ENTRY_SEND`]: adjudicate an outgoing packet.
+    Send = 1,
+    /// [`ENTRY_RECV`]: adjudicate a captured packet.
+    Recv = 2,
+    /// [`ENTRY_OPEN`]: adjudicate an `nopen` call.
+    Open = 3,
+    /// [`ENTRY_MIRROR`]: select packets for capture mirroring.
+    Mirror = 4,
+}
+
+impl EntryPoint {
+    /// Number of well-known entry points (size of the PC table).
+    pub const COUNT: usize = 5;
+
+    /// All well-known entry points, in discriminant order.
+    pub const ALL: [EntryPoint; EntryPoint::COUNT] = [
+        EntryPoint::Init,
+        EntryPoint::Send,
+        EntryPoint::Recv,
+        EntryPoint::Open,
+        EntryPoint::Mirror,
+    ];
+
+    /// The entry's name as it appears in a program's entry map.
+    pub fn name(self) -> &'static str {
+        match self {
+            EntryPoint::Init => ENTRY_INIT,
+            EntryPoint::Send => ENTRY_SEND,
+            EntryPoint::Recv => ENTRY_RECV,
+            EntryPoint::Open => ENTRY_OPEN,
+            EntryPoint::Mirror => ENTRY_MIRROR,
+        }
+    }
+
+    /// Map a name to its well-known entry, if any.
+    pub fn from_name(name: &str) -> Option<EntryPoint> {
+        match name {
+            ENTRY_INIT => Some(EntryPoint::Init),
+            ENTRY_SEND => Some(EntryPoint::Send),
+            ENTRY_RECV => Some(EntryPoint::Recv),
+            ENTRY_OPEN => Some(EntryPoint::Open),
+            ENTRY_MIRROR => Some(EntryPoint::Mirror),
+            _ => None,
+        }
+    }
+}
 
 /// Serialization magic.
 const MAGIC: &[u8; 4] = b"PFVM";

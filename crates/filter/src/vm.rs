@@ -5,9 +5,27 @@
 //! authorized and dropped when the experiment ends, so state written by
 //! `send` is visible to later `recv` invocations (the paper's Figure 2
 //! relies on exactly this to latch `ping_dst`).
+//!
+//! # Hot-path invariants
+//!
+//! Adjudication runs on *every* packet the endpoint sends or captures
+//! (§3.4), so `check_send`/`check_recv` are the endpoint's per-packet tax
+//! and are kept allocation-free and lookup-free:
+//!
+//! - Well-known entry points are resolved to program counters **once**, at
+//!   [`Vm::with_config`], into an [`EntryPoint`]-indexed table — no
+//!   string-keyed map lookup per invocation.
+//! - The scratch region is a buffer owned by the `Vm`, zeroed with
+//!   `fill(0)` per invocation instead of reallocated (a debug assertion
+//!   verifies its capacity never changes during execution).
+//! - Packet/info loads use fixed-width `from_be_bytes`/`from_le_bytes`
+//!   reads rather than byte-at-a-time accumulation.
+//! - Fuel is tracked in a register-allocated local and the cumulative
+//!   `insns_executed` counter is settled once per invocation, not once per
+//!   instruction.
 
 use crate::insn::Op;
-use crate::program::{Program, ENTRY_INIT, ENTRY_RECV, ENTRY_SEND};
+use crate::program::{EntryPoint, Program};
 use crate::validate::{validate, NUM_REGS, ValidateError};
 use crate::Verdict;
 
@@ -58,6 +76,11 @@ pub struct Vm {
     program: Program,
     config: VmConfig,
     persistent: Vec<u8>,
+    /// Reusable scratch buffer: zeroed (not reallocated) per invocation.
+    scratch: Vec<u8>,
+    /// Entry-point PCs resolved once at instantiation, indexed by
+    /// [`EntryPoint`].
+    entry_pcs: [Option<u32>; EntryPoint::COUNT],
     /// Cumulative instructions executed (for the overhead benches).
     pub insns_executed: u64,
 }
@@ -72,7 +95,12 @@ impl Vm {
     pub fn with_config(program: Program, config: VmConfig) -> Result<Vm, ValidateError> {
         validate(&program)?;
         let persistent = vec![0u8; program.persistent_size as usize];
-        Ok(Vm { program, config, persistent, insns_executed: 0 })
+        let scratch = vec![0u8; program.scratch_size as usize];
+        let mut entry_pcs = [None; EntryPoint::COUNT];
+        for ep in EntryPoint::ALL {
+            entry_pcs[ep as usize] = program.entry(ep.name());
+        }
+        Ok(Vm { program, config, persistent, scratch, entry_pcs, insns_executed: 0 })
     }
 
     /// The underlying program.
@@ -87,23 +115,53 @@ impl Vm {
 
     /// Run the `init` entry if present (called once at instantiation).
     pub fn init(&mut self, info: &[u8]) {
-        let _ = self.run_entry_or_allow(ENTRY_INIT, &[], info);
+        let _ = self.check_entry(EntryPoint::Init, &[], info);
     }
 
     /// Adjudicate an outgoing packet: runs `send`.
+    #[inline]
     pub fn check_send(&mut self, packet: &[u8], info: &[u8]) -> Verdict {
-        self.run_entry_or_allow(ENTRY_SEND, packet, info)
+        self.check_entry(EntryPoint::Send, packet, info)
     }
 
     /// Adjudicate a captured packet: runs `recv`.
+    #[inline]
     pub fn check_recv(&mut self, packet: &[u8], info: &[u8]) -> Verdict {
-        self.run_entry_or_allow(ENTRY_RECV, packet, info)
+        self.check_entry(EntryPoint::Recv, packet, info)
     }
 
-    /// Run a named entry, treating a *missing* entry as allow-all. This is
-    /// the monitor convention: a certificate that constrains only `send`
-    /// leaves `recv` unrestricted.
+    /// Adjudicate a well-known entry, treating a *missing* entry as
+    /// allow-all (the monitor convention: a certificate that constrains
+    /// only `send` leaves `recv` unrestricted). This is the allocation-free
+    /// fast path: no string lookup, no per-invocation buffers.
+    #[inline]
+    pub fn check_entry(&mut self, entry: EntryPoint, packet: &[u8], info: &[u8]) -> Verdict {
+        match self.entry_pcs[entry as usize] {
+            None => Verdict::Allow(packet.len().max(1) as u64),
+            Some(pc) => match self.exec(pc, packet, info) {
+                Ok(0) => Verdict::Deny,
+                Ok(v) => Verdict::Allow(v),
+                Err(t) => Verdict::Fault(t),
+            },
+        }
+    }
+
+    /// Run a well-known entry, erroring if absent. Used for `ncap` filters
+    /// where the controller must supply the entry it names.
+    #[inline]
+    pub fn run_entry(&mut self, entry: EntryPoint, packet: &[u8], info: &[u8]) -> Result<u64, Trap> {
+        let pc = self.entry_pcs[entry as usize].ok_or(Trap::NoSuchEntry)?;
+        self.exec(pc, packet, info)
+    }
+
+    /// Run a named entry, treating a *missing* entry as allow-all. Prefer
+    /// [`Vm::check_entry`] for well-known entries — this form is kept for
+    /// callers holding only a name; well-known names still take the
+    /// pre-resolved path.
     pub fn run_entry_or_allow(&mut self, entry: &str, packet: &[u8], info: &[u8]) -> Verdict {
+        if let Some(ep) = EntryPoint::from_name(entry) {
+            return self.check_entry(ep, packet, info);
+        }
         match self.program.entry(entry) {
             None => Verdict::Allow(packet.len().max(1) as u64),
             Some(pc) => match self.exec(pc, packet, info) {
@@ -114,35 +172,69 @@ impl Vm {
         }
     }
 
-    /// Run a named entry, erroring if absent. Used for `ncap` filters where
-    /// the controller must supply the entry it names.
+    /// Run a named entry, erroring if absent. Well-known names take the
+    /// pre-resolved path; other names fall back to the program's entry map.
     pub fn run(&mut self, entry: &str, packet: &[u8], info: &[u8]) -> Result<u64, Trap> {
+        if let Some(ep) = EntryPoint::from_name(entry) {
+            return self.run_entry(ep, packet, info);
+        }
         let pc = self.program.entry(entry).ok_or(Trap::NoSuchEntry)?;
         self.exec(pc, packet, info)
     }
 
     fn exec(&mut self, entry_pc: u32, packet: &[u8], info: &[u8]) -> Result<u64, Trap> {
-        let code = &self.program.code;
+        // Split borrows: code, persistent, and scratch are disjoint fields.
+        let Vm { program, persistent, scratch, config, insns_executed, .. } = self;
+        let code = program.code.as_slice();
+        #[cfg(debug_assertions)]
+        let scratch_cap = scratch.capacity();
+        // Scratch is semantically fresh per invocation; zeroing the owned
+        // buffer preserves that without a heap allocation. The empty-scratch
+        // guard matters: `fill` on a zero-length Vec still calls memset on
+        // the dangling sentinel pointer, and that unmapped address costs a
+        // TLB walk (~100 ns) on every invocation.
+        if !scratch.is_empty() {
+            scratch.fill(0);
+        }
         let mut regs = [0u64; NUM_REGS as usize];
         regs[1] = packet.len() as u64;
-        let mut scratch = vec![0u8; self.program.scratch_size as usize];
         let mut pc = entry_pc as i64;
-        let mut fuel = self.config.fuel;
+        let mut fuel = config.fuel;
 
-        loop {
+        let result = 'vm: loop {
             if fuel == 0 {
-                return Err(Trap::OutOfFuel);
+                break 'vm Err(Trap::OutOfFuel);
             }
             fuel -= 1;
-            self.insns_executed += 1;
             // Validator guarantees jumps stay in bounds and the code cannot
             // fall off the end, so indexing is safe.
             let insn = code[pc as usize];
-            let dst = insn.dst as usize;
-            let src = insn.src as usize;
+            // Mask to the register-file size: the validator already
+            // guarantees indices < NUM_REGS, so the mask is a no-op that
+            // lets the compiler drop per-access bounds checks on `regs`.
+            let dst = (insn.dst & (NUM_REGS - 1)) as usize;
+            let src = (insn.src & (NUM_REGS - 1)) as usize;
             let imm = insn.imm;
             let immu = imm as u64;
             pc += 1;
+
+            /// Bounds-checked fixed-width load from a byte region.
+            macro_rules! load {
+                ($region:expr, $addr:expr, $ty:ty, $conv:ident) => {{
+                    const W: usize = core::mem::size_of::<$ty>();
+                    let addr = $addr;
+                    match addr
+                        .checked_add(W)
+                        .and_then(|end| $region.get(addr..end))
+                    {
+                        Some(bytes) => {
+                            <$ty>::$conv(bytes.try_into().unwrap()) as u64
+                        }
+                        None => break 'vm Err(Trap::OutOfBounds),
+                    }
+                }};
+            }
+
             match insn.op {
                 Op::MovI => regs[dst] = immu,
                 Op::MovR => regs[dst] = regs[src],
@@ -155,14 +247,14 @@ impl Vm {
                 Op::DivI | Op::DivR => {
                     let d = if insn.op == Op::DivI { immu } else { regs[src] };
                     if d == 0 {
-                        return Err(Trap::DivByZero);
+                        break 'vm Err(Trap::DivByZero);
                     }
                     regs[dst] /= d;
                 }
                 Op::ModI | Op::ModR => {
                     let d = if insn.op == Op::ModI { immu } else { regs[src] };
                     if d == 0 {
-                        return Err(Trap::DivByZero);
+                        break 'vm Err(Trap::DivByZero);
                     }
                     regs[dst] %= d;
                 }
@@ -179,66 +271,65 @@ impl Vm {
                 Op::Neg => regs[dst] = (regs[dst] as i64).wrapping_neg() as u64,
                 Op::Not => regs[dst] = !regs[dst],
 
-                Op::LdPkt8 | Op::LdPkt16 | Op::LdPkt32 => {
-                    let width = match insn.op {
-                        Op::LdPkt8 => 1,
-                        Op::LdPkt16 => 2,
-                        _ => 4,
-                    };
+                // Packet loads: network byte order, fixed-width reads.
+                Op::LdPkt8 => {
                     let addr = regs[src].wrapping_add(immu) as usize;
-                    let bytes = packet.get(addr..addr + width).ok_or(Trap::OutOfBounds)?;
-                    // Network byte order.
-                    let mut v = 0u64;
-                    for b in bytes {
-                        v = (v << 8) | *b as u64;
+                    match packet.get(addr) {
+                        Some(b) => regs[dst] = *b as u64,
+                        None => break 'vm Err(Trap::OutOfBounds),
                     }
-                    regs[dst] = v;
                 }
-                Op::LdInfo8 | Op::LdInfo16 | Op::LdInfo32 | Op::LdInfo64 => {
-                    let width = match insn.op {
-                        Op::LdInfo8 => 1,
-                        Op::LdInfo16 => 2,
-                        Op::LdInfo32 => 4,
-                        _ => 8,
-                    };
+                Op::LdPkt16 => {
+                    regs[dst] =
+                        load!(packet, regs[src].wrapping_add(immu) as usize, u16, from_be_bytes);
+                }
+                Op::LdPkt32 => {
+                    regs[dst] =
+                        load!(packet, regs[src].wrapping_add(immu) as usize, u32, from_be_bytes);
+                }
+                // Info loads: little-endian (host-structured memory).
+                Op::LdInfo8 => {
                     let addr = regs[src].wrapping_add(immu) as usize;
-                    let bytes = info.get(addr..addr + width).ok_or(Trap::OutOfBounds)?;
-                    // Info block is little-endian (host-structured memory).
-                    let mut v = 0u64;
-                    for (i, b) in bytes.iter().enumerate() {
-                        v |= (*b as u64) << (8 * i);
+                    match info.get(addr) {
+                        Some(b) => regs[dst] = *b as u64,
+                        None => break 'vm Err(Trap::OutOfBounds),
                     }
-                    regs[dst] = v;
+                }
+                Op::LdInfo16 => {
+                    regs[dst] =
+                        load!(info, regs[src].wrapping_add(immu) as usize, u16, from_le_bytes);
+                }
+                Op::LdInfo32 => {
+                    regs[dst] =
+                        load!(info, regs[src].wrapping_add(immu) as usize, u32, from_le_bytes);
+                }
+                Op::LdInfo64 => {
+                    regs[dst] =
+                        load!(info, regs[src].wrapping_add(immu) as usize, u64, from_le_bytes);
                 }
                 Op::LdMem => {
-                    let addr = regs[src].wrapping_add(immu) as usize;
-                    let bytes = self
-                        .persistent
-                        .get(addr..addr + 8)
-                        .ok_or(Trap::OutOfBounds)?;
-                    regs[dst] = u64::from_le_bytes(bytes.try_into().unwrap());
+                    regs[dst] =
+                        load!(persistent, regs[src].wrapping_add(immu) as usize, u64, from_le_bytes);
                 }
                 Op::StMem => {
                     let addr = regs[dst].wrapping_add(immu) as usize;
                     let val = regs[src];
-                    let bytes = self
-                        .persistent
-                        .get_mut(addr..addr + 8)
-                        .ok_or(Trap::OutOfBounds)?;
-                    bytes.copy_from_slice(&val.to_le_bytes());
+                    match addr.checked_add(8).and_then(|end| persistent.get_mut(addr..end)) {
+                        Some(bytes) => bytes.copy_from_slice(&val.to_le_bytes()),
+                        None => break 'vm Err(Trap::OutOfBounds),
+                    }
                 }
                 Op::LdScr => {
-                    let addr = regs[src].wrapping_add(immu) as usize;
-                    let bytes = scratch.get(addr..addr + 8).ok_or(Trap::OutOfBounds)?;
-                    regs[dst] = u64::from_le_bytes(bytes.try_into().unwrap());
+                    regs[dst] =
+                        load!(scratch, regs[src].wrapping_add(immu) as usize, u64, from_le_bytes);
                 }
                 Op::StScr => {
                     let addr = regs[dst].wrapping_add(immu) as usize;
                     let val = regs[src];
-                    let bytes = scratch
-                        .get_mut(addr..addr + 8)
-                        .ok_or(Trap::OutOfBounds)?;
-                    bytes.copy_from_slice(&val.to_le_bytes());
+                    match addr.checked_add(8).and_then(|end| scratch.get_mut(addr..end)) {
+                        Some(bytes) => bytes.copy_from_slice(&val.to_le_bytes()),
+                        None => break 'vm Err(Trap::OutOfBounds),
+                    }
                 }
 
                 Op::Ja => pc += insn.branch(),
@@ -293,9 +384,20 @@ impl Vm {
                     }
                 }
 
-                Op::Ret => return Ok(regs[dst]),
+                Op::Ret => break 'vm Ok(regs[dst]),
             }
-        }
+        };
+        // Batched accounting: one counter update per invocation instead of
+        // one per instruction. `config.fuel - fuel` is exactly the number
+        // of instructions fetched (the pre-change per-instruction count).
+        *insns_executed += config.fuel - fuel;
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            scratch.capacity(),
+            scratch_cap,
+            "adjudication must not reallocate the scratch buffer"
+        );
+        result
     }
 }
 
@@ -374,6 +476,17 @@ mod tests {
     }
 
     #[test]
+    fn packet_load_address_overflow_traps() {
+        // reg[src] + imm wraps near u64::MAX: must trap, not panic.
+        let mut a = Asm::new();
+        a.mov_i(2, 0);
+        a.not(2); // r2 = u64::MAX
+        a.ld_pkt32(0, 2, 0);
+        a.ret(0);
+        assert_eq!(run_send(one_entry(a.finish()), &[0; 12], &[]), Err(Trap::OutOfBounds));
+    }
+
+    #[test]
     fn info_loads_are_little_endian() {
         let mut a = Asm::new();
         a.ld_info32(0, 0, 0);
@@ -438,6 +551,20 @@ mod tests {
     }
 
     #[test]
+    fn insns_executed_counts_exactly() {
+        // Straight-line program: 3 instructions per invocation.
+        let mut a = Asm::new();
+        a.mov_i(2, 1);
+        a.mov_r(0, 2);
+        a.ret(0);
+        let mut vm = Vm::new(one_entry(a.finish())).unwrap();
+        vm.run("send", &[], &[]).unwrap();
+        assert_eq!(vm.insns_executed, 3);
+        vm.run("send", &[], &[]).unwrap();
+        assert_eq!(vm.insns_executed, 6);
+    }
+
+    #[test]
     fn conditional_jumps() {
         // if pkt[0] == 4 return 1 else return 0
         let mut a = Asm::new();
@@ -485,6 +612,21 @@ mod tests {
     fn run_missing_entry_errors() {
         let mut vm = Vm::new(Program::empty()).unwrap();
         assert_eq!(vm.run("send", &[], &[]), Err(Trap::NoSuchEntry));
+        assert_eq!(vm.run("unheard-of", &[], &[]), Err(Trap::NoSuchEntry));
+    }
+
+    #[test]
+    fn non_well_known_entries_still_run() {
+        // Entries outside the pre-resolved table fall back to the map.
+        let mut a = Asm::new();
+        a.mov_i(0, 9);
+        a.ret(0);
+        let mut entries = BTreeMap::new();
+        entries.insert("custom".to_string(), 0);
+        let p = Program { code: a.finish(), entries, persistent_size: 0, scratch_size: 0 };
+        let mut vm = Vm::new(p).unwrap();
+        assert_eq!(vm.run("custom", &[], &[]), Ok(9));
+        assert!(matches!(vm.run_entry_or_allow("custom", &[], &[]), Verdict::Allow(9)));
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod event;
 pub mod link;
 pub mod nat;
 pub mod node;
+pub mod pool;
 pub mod routing;
 pub mod sim;
 pub mod tcp;
@@ -46,6 +47,7 @@ pub mod trace;
 
 pub use link::LinkParams;
 pub use node::{NodeId, RawDisposition};
+pub use pool::BufPool;
 pub use sim::Sim;
-pub use time::{SimTime, MILLISECOND, MICROSECOND, SECOND};
+pub use time::{SimTime, MICROSECOND, MILLISECOND, SECOND};
 pub use topology::TopologyBuilder;

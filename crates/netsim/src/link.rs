@@ -134,7 +134,12 @@ pub enum Offer {
 impl Link {
     /// Create a link.
     pub fn new(a: (usize, usize), b: (usize, usize), params: LinkParams) -> Self {
-        Link { a, b, params, dirs: [Direction::default(), Direction::default()] }
+        Link {
+            a,
+            b,
+            params,
+            dirs: [Direction::default(), Direction::default()],
+        }
     }
 
     /// The far node for a given direction.
@@ -194,7 +199,14 @@ mod tests {
 
     #[test]
     fn latency_only() {
-        let mut l = link(LinkParams { latency: 5 * MILLISECOND, bandwidth_ab_bps: 0, bandwidth_ba_bps: 0, queue_bytes: 1000, loss: 0.0, jitter: 0 });
+        let mut l = link(LinkParams {
+            latency: 5 * MILLISECOND,
+            bandwidth_ab_bps: 0,
+            bandwidth_ba_bps: 0,
+            queue_bytes: 1000,
+            loss: 0.0,
+            jitter: 0,
+        });
         match l.offer(0, 100, 500, 0) {
             Offer::Accepted { arrival } => assert_eq!(arrival, 100 + 5 * MILLISECOND),
             other => panic!("{other:?}"),
@@ -219,13 +231,16 @@ mod tests {
                 other => panic!("{other:?}"),
             }
         }
-        assert_eq!(arrivals, vec![
-            MILLISECOND,
-            2 * MILLISECOND,
-            3 * MILLISECOND,
-            4 * MILLISECOND,
-            5 * MILLISECOND
-        ]);
+        assert_eq!(
+            arrivals,
+            vec![
+                MILLISECOND,
+                2 * MILLISECOND,
+                3 * MILLISECOND,
+                4 * MILLISECOND,
+                5 * MILLISECOND
+            ]
+        );
     }
 
     #[test]
@@ -257,8 +272,12 @@ mod tests {
             loss: 0.0,
             jitter: 0,
         });
-        let Offer::Accepted { arrival: a0 } = l.offer(0, 0, 1250, 0) else { panic!() };
-        let Offer::Accepted { arrival: a1 } = l.offer(1, 0, 1250, 0) else { panic!() };
+        let Offer::Accepted { arrival: a0 } = l.offer(0, 0, 1250, 0) else {
+            panic!()
+        };
+        let Offer::Accepted { arrival: a1 } = l.offer(1, 0, 1250, 0) else {
+            panic!()
+        };
         // Same timing in both directions; neither blocks the other.
         assert_eq!(a0, a1);
     }
@@ -273,11 +292,15 @@ mod tests {
             loss: 0.0,
             jitter: 0,
         });
-        let Offer::Accepted { arrival: first } = l.offer(0, 0, 1250, 0) else { panic!() };
+        let Offer::Accepted { arrival: first } = l.offer(0, 0, 1250, 0) else {
+            panic!()
+        };
         assert_eq!(first, MILLISECOND);
         l.departed(0, 1250);
         // Offer long after the link went idle: serialization starts at now.
-        let Offer::Accepted { arrival } = l.offer(0, 100 * MILLISECOND, 1250, 0) else { panic!() };
+        let Offer::Accepted { arrival } = l.offer(0, 100 * MILLISECOND, 1250, 0) else {
+            panic!()
+        };
         assert_eq!(arrival, 101 * MILLISECOND);
     }
 
@@ -301,8 +324,12 @@ mod asymmetric_tests {
     fn asymmetric_directions_pace_differently() {
         // a→b 10 Mbps (1250 B = 1 ms), b→a 1 Mbps (1250 B = 10 ms).
         let mut l = Link::new((0, 0), (1, 0), LinkParams::asymmetric(0, 10, 1));
-        let Offer::Accepted { arrival: down } = l.offer(0, 0, 1250, 0) else { panic!() };
-        let Offer::Accepted { arrival: up } = l.offer(1, 0, 1250, 0) else { panic!() };
+        let Offer::Accepted { arrival: down } = l.offer(0, 0, 1250, 0) else {
+            panic!()
+        };
+        let Offer::Accepted { arrival: up } = l.offer(1, 0, 1250, 0) else {
+            panic!()
+        };
         assert_eq!(down, MILLISECOND);
         assert_eq!(up, 10 * MILLISECOND);
     }

@@ -151,30 +151,24 @@ fn fix_transport_checksum(pkt: &mut [u8]) {
     let protocol = view.protocol();
     let end = (view.total_len() as usize).min(pkt.len());
     match protocol {
-        proto::UDP => {
-            if pkt.len() >= hlen + 8 {
-                pkt[hlen + 6] = 0;
-                pkt[hlen + 7] = 0;
-                let ck = checksum::transport_checksum(src, dst, proto::UDP, &pkt[hlen..end]);
-                let ck = if ck == 0 { 0xffff } else { ck };
-                pkt[hlen + 6..hlen + 8].copy_from_slice(&ck.to_be_bytes());
-            }
+        proto::UDP if pkt.len() >= hlen + 8 => {
+            pkt[hlen + 6] = 0;
+            pkt[hlen + 7] = 0;
+            let ck = checksum::transport_checksum(src, dst, proto::UDP, &pkt[hlen..end]);
+            let ck = if ck == 0 { 0xffff } else { ck };
+            pkt[hlen + 6..hlen + 8].copy_from_slice(&ck.to_be_bytes());
         }
-        proto::TCP => {
-            if pkt.len() >= hlen + 20 {
-                pkt[hlen + 16] = 0;
-                pkt[hlen + 17] = 0;
-                let ck = checksum::transport_checksum(src, dst, proto::TCP, &pkt[hlen..end]);
-                pkt[hlen + 16..hlen + 18].copy_from_slice(&ck.to_be_bytes());
-            }
+        proto::TCP if pkt.len() >= hlen + 20 => {
+            pkt[hlen + 16] = 0;
+            pkt[hlen + 17] = 0;
+            let ck = checksum::transport_checksum(src, dst, proto::TCP, &pkt[hlen..end]);
+            pkt[hlen + 16..hlen + 18].copy_from_slice(&ck.to_be_bytes());
         }
-        proto::ICMP => {
-            if pkt.len() >= hlen + icmp::HEADER_LEN {
-                pkt[hlen + 2] = 0;
-                pkt[hlen + 3] = 0;
-                let ck = checksum::checksum(&pkt[hlen..end]);
-                pkt[hlen + 2..hlen + 4].copy_from_slice(&ck.to_be_bytes());
-            }
+        proto::ICMP if pkt.len() >= hlen + icmp::HEADER_LEN => {
+            pkt[hlen + 2] = 0;
+            pkt[hlen + 3] = 0;
+            let ck = checksum::checksum(&pkt[hlen..end]);
+            pkt[hlen + 2..hlen + 4].copy_from_slice(&ck.to_be_bytes());
         }
         _ => {}
     }

@@ -148,7 +148,10 @@ impl Node {
 
     /// The node's primary address (first interface).
     pub fn addr(&self) -> Ipv4Addr {
-        self.ifaces.first().map(|i| i.addr).unwrap_or(Ipv4Addr::UNSPECIFIED)
+        self.ifaces
+            .first()
+            .map(|i| i.addr)
+            .unwrap_or(Ipv4Addr::UNSPECIFIED)
     }
 
     /// Mutable host state; panics if not a host (caller bug).
@@ -170,7 +173,10 @@ mod tests {
         Node {
             name: "h".into(),
             kind: NodeKind::Host,
-            ifaces: vec![Iface { addr: Ipv4Addr::new(10, 0, 0, 1), link: None }],
+            ifaces: vec![Iface {
+                addr: Ipv4Addr::new(10, 0, 0, 1),
+                link: None,
+            }],
             routes: RouteTable::new(),
             host: Some(HostState::default()),
             nat: None,

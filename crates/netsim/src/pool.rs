@@ -1,0 +1,107 @@
+//! Packet-buffer recycling.
+//!
+//! Every hop through the simulator used to allocate a fresh `Vec<u8>` —
+//! per link arrival, per raw-socket copy, per ICMP reply. At simulated
+//! line rate that allocation dominates the event loop, so the simulator
+//! keeps a free-list of retired packet buffers and draws from it at every
+//! site that would otherwise allocate. Buffers return to the pool at
+//! packet end-of-life (drops, post-delivery processing); live copies that
+//! escape to user-visible inboxes keep their buffer.
+
+/// A free-list of packet buffers.
+///
+/// `take*` hands out an empty (cleared, capacity-preserving) buffer;
+/// [`BufPool::put`] returns one at end-of-life. The list is capped so a
+/// burst cannot pin unbounded memory.
+#[derive(Debug, Default)]
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+    taken: u64,
+    recycled: u64,
+}
+
+/// Cap on retained buffers; beyond this, returned buffers are dropped.
+const MAX_FREE: usize = 1024;
+
+impl BufPool {
+    /// An empty pool.
+    pub fn new() -> BufPool {
+        BufPool::default()
+    }
+
+    /// Take a cleared buffer, reusing a retired one when available.
+    pub fn take(&mut self) -> Vec<u8> {
+        self.taken += 1;
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Take a buffer holding a copy of `bytes`.
+    pub fn take_copy(&mut self, bytes: &[u8]) -> Vec<u8> {
+        let mut buf = self.take();
+        buf.extend_from_slice(bytes);
+        buf
+    }
+
+    /// Return a buffer at end-of-life. Zero-capacity buffers and overflow
+    /// beyond the retention cap are dropped.
+    pub fn put(&mut self, buf: Vec<u8>) {
+        if buf.capacity() > 0 && self.free.len() < MAX_FREE {
+            self.recycled += 1;
+            self.free.push(buf);
+        }
+    }
+
+    /// Buffers currently available for reuse.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total `take*` calls (pool hits + misses).
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// Total buffers returned for reuse.
+    pub fn recycled(&self) -> u64 {
+        self.recycled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_returned_capacity() {
+        let mut pool = BufPool::new();
+        let mut a = pool.take();
+        a.extend_from_slice(&[1, 2, 3, 4]);
+        let cap = a.capacity();
+        let ptr = a.as_ptr();
+        pool.put(a);
+        assert_eq!(pool.available(), 1);
+        let b = pool.take();
+        assert!(b.is_empty(), "recycled buffer must come back cleared");
+        assert_eq!(b.capacity(), cap);
+        assert_eq!(b.as_ptr(), ptr, "same allocation reused");
+        assert_eq!(pool.recycled(), 1);
+        assert_eq!(pool.taken(), 2);
+    }
+
+    #[test]
+    fn take_copy_copies() {
+        let mut pool = BufPool::new();
+        let b = pool.take_copy(&[9, 8, 7]);
+        assert_eq!(b, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn zero_capacity_not_retained() {
+        let mut pool = BufPool::new();
+        pool.put(Vec::new());
+        assert_eq!(pool.available(), 0);
+        assert_eq!(pool.recycled(), 0);
+    }
+}

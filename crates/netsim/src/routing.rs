@@ -115,11 +115,7 @@ mod tests {
     fn line3() -> (Adjacency, Vec<Vec<Ipv4Addr>>) {
         // node 0: iface0 -> node1; node1: iface0 -> node0, iface1 -> node2;
         // node 2: iface0 -> node1.
-        let adjacency = vec![
-            vec![(1, 0)],
-            vec![(0, 0), (2, 1)],
-            vec![(1, 0)],
-        ];
+        let adjacency = vec![vec![(1, 0)], vec![(0, 0), (2, 1)], vec![(1, 0)]];
         let addrs = vec![vec![a(1)], vec![a(2), a(3)], vec![a(4)]];
         (adjacency, addrs)
     }

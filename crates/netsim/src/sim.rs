@@ -3,11 +3,13 @@
 use crate::event::{EventKind, EventQueue};
 use crate::link::{Link, Offer};
 use crate::node::{Node, NodeId, NodeKind};
+use crate::pool::BufPool;
 use crate::time::SimTime;
 use crate::trace::{DropReason, Trace, TraceEvent};
 use plab_packet::{builder, icmp, ipv4, proto, udp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// The network simulator. Construct via [`crate::TopologyBuilder`].
@@ -22,10 +24,19 @@ pub struct Sim {
     pub trace: Trace,
     fired_timers: Vec<(NodeId, u64)>,
     send_log: Vec<(NodeId, u64, SimTime)>,
+    /// Name → node index, built once at construction.
+    name_index: HashMap<String, usize>,
+    /// Recycled packet buffers (see [`crate::pool`]).
+    pool: BufPool,
 }
 
 impl Sim {
     pub(crate) fn from_parts(nodes: Vec<Node>, links: Vec<Link>, seed: u64) -> Self {
+        let name_index = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.name.clone(), i))
+            .collect();
         Sim {
             time: 0,
             events: EventQueue::new(),
@@ -35,6 +46,8 @@ impl Sim {
             trace: Trace::default(),
             fired_timers: Vec::new(),
             send_log: Vec::new(),
+            name_index,
+            pool: BufPool::new(),
         }
     }
 
@@ -43,9 +56,15 @@ impl Sim {
         self.time
     }
 
-    /// Find a node by name.
+    /// Find a node by name. O(1): backed by an index built at
+    /// construction (node names are fixed once the topology is built).
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+        self.name_index.get(name).copied().map(NodeId)
+    }
+
+    /// Buffer-pool statistics (reuse counters for the perf harness).
+    pub fn pool(&self) -> &BufPool {
+        &self.pool
     }
 
     /// A node's primary address.
@@ -75,6 +94,7 @@ impl Sim {
                         node,
                         reason: DropReason::RandomLoss,
                     });
+                    self.pool.put(packet);
                 } else {
                     let dst = self.links[link].dst_node(dir);
                     self.deliver(dst, packet);
@@ -148,7 +168,11 @@ impl Sim {
     pub fn schedule_send(&mut self, node: NodeId, time: SimTime, packet: Vec<u8>, tag: u64) {
         self.events.push(
             time.max(self.time),
-            EventKind::ScheduledSend { node: node.0, packet, tag },
+            EventKind::ScheduledSend {
+                node: node.0,
+                packet,
+                tag,
+            },
         );
     }
 
@@ -229,7 +253,8 @@ impl Sim {
         payload: &[u8],
     ) {
         let src = self.nodes[node.0].addr();
-        let pkt = builder::udp_datagram(src, dst, src_port, dst_port, payload);
+        let mut pkt = self.pool.take();
+        builder::udp_datagram_into(src, dst, src_port, dst_port, payload, &mut pkt);
         self.send_from(node, pkt);
     }
 
@@ -333,6 +358,7 @@ impl Sim {
                 node: node.0,
                 reason: DropReason::Malformed,
             });
+            self.pool.put(packet);
             return;
         };
         self.trace.record(TraceEvent::Sent {
@@ -360,14 +386,17 @@ impl Sim {
                 node,
                 reason: DropReason::NoRoute,
             });
+            self.pool.put(packet);
             return;
         };
         // NAT egress: traffic leaving a NAT node through its external
         // interface gets source-translated.
-        if self.nodes[node].kind == NodeKind::Nat && iface_idx != self.nodes[node].nat_internal_iface
+        if self.nodes[node].kind == NodeKind::Nat
+            && iface_idx != self.nodes[node].nat_internal_iface
         {
             let is_internal_src = {
                 let Ok(view) = ipv4::Ipv4View::new_unchecked(&packet) else {
+                    self.pool.put(packet);
                     return;
                 };
                 // Only translate packets not already from the NAT itself.
@@ -381,6 +410,7 @@ impl Sim {
                         node,
                         reason: DropReason::Malformed,
                     });
+                    self.pool.put(packet);
                     return;
                 }
             }
@@ -391,6 +421,7 @@ impl Sim {
                 node,
                 reason: DropReason::NoRoute,
             });
+            self.pool.put(packet);
             return;
         };
         let jitter_ceiling = self.links[link_idx].params.jitter;
@@ -405,7 +436,11 @@ impl Sim {
             Offer::Accepted { arrival } => {
                 self.events.push(
                     arrival,
-                    EventKind::LinkArrival { link: link_idx, dir, packet },
+                    EventKind::LinkArrival {
+                        link: link_idx,
+                        dir,
+                        packet,
+                    },
                 );
             }
             Offer::QueueFull => {
@@ -414,6 +449,7 @@ impl Sim {
                     node,
                     reason: DropReason::QueueFull,
                 });
+                self.pool.put(packet);
             }
         }
     }
@@ -426,6 +462,7 @@ impl Sim {
                 node,
                 reason: DropReason::Malformed,
             });
+            self.pool.put(packet);
             return;
         };
         let dst = view.dst();
@@ -441,6 +478,7 @@ impl Sim {
                         node,
                         reason: DropReason::WrongHost,
                     });
+                    self.pool.put(packet);
                     return;
                 }
                 self.trace.record(TraceEvent::Delivered {
@@ -495,7 +533,9 @@ impl Sim {
                 reason: DropReason::TtlExpired,
             });
             let router_addr = self.nodes[node].addr();
-            let te = builder::icmp_time_exceeded(router_addr, src, &packet);
+            let mut te = self.pool.take();
+            builder::icmp_time_exceeded_into(router_addr, src, &packet, &mut te);
+            self.pool.put(packet);
             self.send_from(NodeId(node), te);
             return;
         }
@@ -509,32 +549,52 @@ impl Sim {
         self.transmit(node, packet, dst);
     }
 
-    /// A packet addressed to the router itself: answer pings.
+    /// A packet addressed to the router itself: answer pings. Consumes the
+    /// packet (its buffer returns to the pool).
     fn router_local(&mut self, node: usize, packet: Vec<u8>) {
-        let Ok(view) = ipv4::Ipv4View::new_unchecked(&packet) else {
-            return;
-        };
-        if view.protocol() == proto::ICMP {
-            if let Ok(icmp::IcmpMessage::EchoRequest { ident, seq, payload }) =
-                icmp::parse(view.payload())
-            {
-                let reply = builder::icmp_echo_reply(view.dst(), view.src(), ident, seq, payload);
-                self.send_from(NodeId(node), reply);
+        let mut reply = None;
+        if let Ok(view) = ipv4::Ipv4View::new_unchecked(&packet) {
+            if view.protocol() == proto::ICMP {
+                if let Ok(icmp::IcmpMessage::EchoRequest {
+                    ident,
+                    seq,
+                    payload,
+                }) = icmp::parse(view.payload())
+                {
+                    let mut buf = self.pool.take();
+                    builder::icmp_echo_reply_into(
+                        view.dst(),
+                        view.src(),
+                        ident,
+                        seq,
+                        payload,
+                        &mut buf,
+                    );
+                    reply = Some(buf);
+                }
             }
+        }
+        self.pool.put(packet);
+        if let Some(reply) = reply {
+            self.send_from(NodeId(node), reply);
         }
     }
 
     /// Host-side packet delivery: raw sockets, then OS or deferred OS.
     fn host_receive(&mut self, node: usize, packet: Vec<u8>) {
         let now = self.time;
+        let pool = &mut self.pool;
         let host = self.nodes[node].host_mut();
         for raw in host.raw.values_mut() {
-            raw.inbox.push_back((now, packet.clone()));
+            // Per-socket copies drawn from the pool (they escape to the
+            // socket inbox, so the original can still be recycled below).
+            raw.inbox.push_back((now, pool.take_copy(&packet)));
         }
         if host.defer_os {
             host.pending_os.push_back((now, packet));
         } else {
             self.os_process_inner(node, &packet);
+            self.pool.put(packet);
         }
     }
 
@@ -548,43 +608,48 @@ impl Sim {
         let dst = view.dst();
         match view.protocol() {
             proto::ICMP => {
-                if let Ok(icmp::IcmpMessage::EchoRequest { ident, seq, payload }) =
-                    icmp::parse(view.payload())
+                if let Ok(icmp::IcmpMessage::EchoRequest {
+                    ident,
+                    seq,
+                    payload,
+                }) = icmp::parse(view.payload())
                 {
                     if self.nodes[node].host_ref().echo_responder {
-                        let reply = builder::icmp_echo_reply(dst, src, ident, seq, payload);
+                        let mut reply = self.pool.take();
+                        builder::icmp_echo_reply_into(dst, src, ident, seq, payload, &mut reply);
                         self.send_from(NodeId(node), reply);
                     }
                 }
                 // Other ICMP is informational; raw sockets already saw it.
             }
             proto::UDP => {
-                match udp::parse(src, dst, view.payload()) {
-                    Ok(u) => {
-                        let host = self.nodes[node].host_mut();
-                        if let Some(sock) = host.udp.get_mut(&u.dst_port) {
-                            sock.inbox
-                                .push_back((now, src, u.src_port, u.payload.to_vec()));
-                        } else {
-                            // Port unreachable.
-                            let pu = builder::icmp_dest_unreachable(
-                                dst,
-                                src,
-                                icmp::CODE_PORT_UNREACHABLE,
-                                packet,
-                            );
-                            self.send_from(NodeId(node), pu);
-                        }
+                if let Ok(u) = udp::parse(src, dst, view.payload()) {
+                    let pool = &mut self.pool;
+                    let host = self.nodes[node].host_mut();
+                    if let Some(sock) = host.udp.get_mut(&u.dst_port) {
+                        sock.inbox
+                            .push_back((now, src, u.src_port, pool.take_copy(u.payload)));
+                    } else {
+                        // Port unreachable.
+                        let mut pu = pool.take();
+                        builder::icmp_dest_unreachable_into(
+                            dst,
+                            src,
+                            icmp::CODE_PORT_UNREACHABLE,
+                            packet,
+                            &mut pu,
+                        );
+                        self.send_from(NodeId(node), pu);
                     }
-                    Err(_) => {}
                 }
             }
             proto::TCP => {
-                let segment = view.payload().to_vec();
+                let segment = self.pool.take_copy(view.payload());
                 let out = self.nodes[node]
                     .host_mut()
                     .tcp
                     .on_segment(now, src, dst, &segment);
+                self.pool.put(segment);
                 self.dispatch_tcp(NodeId(node), out);
             }
             _ => {}

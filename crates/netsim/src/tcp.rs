@@ -140,12 +140,22 @@ impl Conn {
     }
 
     fn datagram(&self, flags: u8, seq: u32, payload: &[u8]) -> Vec<u8> {
-        builder::tcp_segment(self.local_ip, self.remote_ip, self.header(flags, seq), payload)
+        builder::tcp_segment(
+            self.local_ip,
+            self.remote_ip,
+            self.header(flags, seq),
+            payload,
+        )
     }
 
     /// Collect bytes `[offset, offset+len)` of send_buf as a Vec.
     fn payload_at(&self, offset: usize, len: usize) -> Vec<u8> {
-        self.send_buf.iter().skip(offset).take(len).copied().collect()
+        self.send_buf
+            .iter()
+            .skip(offset)
+            .take(len)
+            .copied()
+            .collect()
     }
 }
 
@@ -374,36 +384,37 @@ impl TcpHost {
 
         let Some(id) = conn_id else {
             // New connection to a listener?
-            if h.flags & flags::SYN != 0 && h.flags & flags::ACK == 0 {
-                if self.listeners.contains_key(&h.dst_port) {
-                    let iss = self.next_iss();
-                    let conn = Conn {
-                        state: TcpState::SynRcvd,
-                        local_ip: dst_ip,
-                        local_port: h.dst_port,
-                        remote_ip: src_ip,
-                        remote_port: h.src_port,
-                        snd_una: iss,
-                        snd_nxt: iss.wrapping_add(1),
-                        send_buf: VecDeque::new(),
-                        rcv_nxt: h.seq.wrapping_add(1),
-                        recv_buf: VecDeque::new(),
-                        recv_capacity: DEFAULT_RECV_CAPACITY,
-                        peer_window: h.window as u32,
-                        rto: INITIAL_RTO,
-                        retries: 0,
-                        tick_armed: false,
-                        fin_queued: false,
-                        fin_sent: false,
-                        peer_fin: false,
-                    };
-                    let id = self.alloc_conn(conn);
-                    let c = self.conns.get_mut(&id).unwrap();
-                    out.segments
-                        .push(c.datagram(flags::SYN | flags::ACK, iss, &[]));
-                    arm(c, id, now, &mut out);
-                    return out;
-                }
+            if h.flags & flags::SYN != 0
+                && h.flags & flags::ACK == 0
+                && self.listeners.contains_key(&h.dst_port)
+            {
+                let iss = self.next_iss();
+                let conn = Conn {
+                    state: TcpState::SynRcvd,
+                    local_ip: dst_ip,
+                    local_port: h.dst_port,
+                    remote_ip: src_ip,
+                    remote_port: h.src_port,
+                    snd_una: iss,
+                    snd_nxt: iss.wrapping_add(1),
+                    send_buf: VecDeque::new(),
+                    rcv_nxt: h.seq.wrapping_add(1),
+                    recv_buf: VecDeque::new(),
+                    recv_capacity: DEFAULT_RECV_CAPACITY,
+                    peer_window: h.window as u32,
+                    rto: INITIAL_RTO,
+                    retries: 0,
+                    tick_armed: false,
+                    fin_queued: false,
+                    fin_sent: false,
+                    peer_fin: false,
+                };
+                let id = self.alloc_conn(conn);
+                let c = self.conns.get_mut(&id).unwrap();
+                out.segments
+                    .push(c.datagram(flags::SYN | flags::ACK, iss, &[]));
+                arm(c, id, now, &mut out);
+                return out;
             }
             // No listener / no connection: RST (the §3.1 interference that
             // raw-socket experiments must suppress with `consume`).
@@ -471,7 +482,11 @@ impl TcpHost {
                     acked = acked.saturating_sub(1);
                     match c.state {
                         TcpState::FinWait1 => {
-                            c.state = if c.peer_fin { TcpState::Closed } else { TcpState::FinWait2 }
+                            c.state = if c.peer_fin {
+                                TcpState::Closed
+                            } else {
+                                TcpState::FinWait2
+                            }
                         }
                         TcpState::LastAck => c.state = TcpState::Closed,
                         _ => {}
@@ -484,15 +499,30 @@ impl TcpHost {
                 c.rto = INITIAL_RTO;
             }
             if h.flags & flags::ACK != 0 {
+                let had_window = c.peer_window > 0;
                 c.peer_window = h.window as u32;
+                // A zero-window probe consumed one sequence slot but was
+                // rejected (the ack still names snd_una). When the window
+                // reopens, reclaim that slot immediately: otherwise
+                // pump_send would emit new data beyond the rejected byte,
+                // leaving a hole that only the backed-off retransmission
+                // timer repairs.
+                if !had_window
+                    && c.peer_window > 0
+                    && h.ack == c.snd_una
+                    && c.inflight() == 1
+                    && !c.fin_sent
+                {
+                    c.snd_nxt = c.snd_una;
+                    c.retries = 0;
+                    c.rto = INITIAL_RTO;
+                }
             }
 
             // Data processing (in-order only; FIFO links don't reorder).
             let mut should_ack = false;
             if !seg.payload.is_empty() {
-                if h.seq == c.rcv_nxt
-                    && c.recv_buf.len() + seg.payload.len() <= c.recv_capacity
-                {
+                if h.seq == c.rcv_nxt && c.recv_buf.len() + seg.payload.len() <= c.recv_capacity {
                     c.recv_buf.extend(seg.payload.iter().copied());
                     c.rcv_nxt = c.rcv_nxt.wrapping_add(seg.payload.len() as u32);
                 }
@@ -631,7 +661,8 @@ impl TcpHost {
                 TcpState::CloseWait => TcpState::LastAck,
                 _ => TcpState::FinWait1,
             };
-            out.segments.push(c.datagram(flags::FIN | flags::ACK, seq, &[]));
+            out.segments
+                .push(c.datagram(flags::FIN | flags::ACK, seq, &[]));
         }
         if c.inflight() > 0 && !c.tick_armed {
             arm(c, id, now, out);

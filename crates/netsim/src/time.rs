@@ -20,7 +20,7 @@ pub fn serialization_ns(bytes: usize, bits_per_sec: u64) -> SimTime {
     }
     // ns = bits * 1e9 / bps, rounded up so a busy link is never free early.
     let bits = bytes as u128 * 8;
-    ((bits * 1_000_000_000 + bits_per_sec as u128 - 1) / bits_per_sec as u128) as SimTime
+    (bits * 1_000_000_000).div_ceil(bits_per_sec as u128) as SimTime
 }
 
 #[cfg(test)]

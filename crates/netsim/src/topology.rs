@@ -85,8 +85,14 @@ impl TopologyBuilder {
             name: name.to_string(),
             kind: NodeKind::Nat,
             ifaces: vec![
-                Iface { addr: internal_addr, link: None },
-                Iface { addr: external_addr, link: None },
+                Iface {
+                    addr: internal_addr,
+                    link: None,
+                },
+                Iface {
+                    addr: external_addr,
+                    link: None,
+                },
             ],
             routes: RouteTable::new(),
             host: None,
@@ -146,8 +152,15 @@ impl TopologyBuilder {
             "host `{}` already fully linked",
             n.name
         );
-        let addr = n.ifaces.last().map(|i| i.addr).unwrap_or(Ipv4Addr::UNSPECIFIED);
-        n.ifaces.push(Iface { addr, link: Some(link_idx) });
+        let addr = n
+            .ifaces
+            .last()
+            .map(|i| i.addr)
+            .unwrap_or(Ipv4Addr::UNSPECIFIED);
+        n.ifaces.push(Iface {
+            addr,
+            link: Some(link_idx),
+        });
         n.ifaces.len() - 1
     }
 }
@@ -198,7 +211,11 @@ mod tests {
         let v = ipv4::Ipv4View::new_unchecked(&reply.1).unwrap();
         assert!(matches!(
             icmp::parse(v.payload()),
-            Ok(icmp::IcmpMessage::EchoReply { ident: 7, seq: 1, .. })
+            Ok(icmp::IcmpMessage::EchoReply {
+                ident: 7,
+                seq: 1,
+                ..
+            })
         ));
     }
 
@@ -344,10 +361,13 @@ mod tests {
         sim.run_until(SECOND);
         // h2 RSTs; h1's raw socket observes it...
         let got = sim.raw_recv(h1, raw1);
-        assert!(got.iter().any(|(_, p)| {
-            let v = ipv4::Ipv4View::new_unchecked(p).unwrap();
-            v.protocol() == plab_packet::proto::TCP
-        }), "RST observed at h1 raw socket");
+        assert!(
+            got.iter().any(|(_, p)| {
+                let v = ipv4::Ipv4View::new_unchecked(p).unwrap();
+                v.protocol() == plab_packet::proto::TCP
+            }),
+            "RST observed at h1 raw socket"
+        );
         // ...and h1's own OS would also RST h2's RST-less packets. Now
         // with defer_os, the endpoint agent consumes and no RST emerges.
         sim.set_defer_os(h2, true);
@@ -403,7 +423,10 @@ mod tests {
         let v = ipv4::Ipv4View::new_unchecked(&reply.1).unwrap();
         assert_eq!(v.dst(), Ipv4Addr::new(192, 168, 1, 10));
         let msg = icmp::parse(v.payload()).unwrap();
-        assert!(matches!(msg, icmp::IcmpMessage::EchoReply { ident: 42, .. }));
+        assert!(matches!(
+            msg,
+            icmp::IcmpMessage::EchoReply { ident: 42, .. }
+        ));
     }
 
     #[test]
@@ -461,7 +484,10 @@ mod tests {
         let delivered = sim.udp_recv(h2, 7).len();
         let dropped = sim.trace.drops(DropReason::RandomLoss);
         assert_eq!(delivered as u64 + dropped, 100);
-        assert!(delivered > 20 && delivered < 80, "~half delivered, got {delivered}");
+        assert!(
+            delivered > 20 && delivered < 80,
+            "~half delivered, got {delivered}"
+        );
     }
 
     #[test]
@@ -521,11 +547,7 @@ mod jitter_tests {
         t.seed(3);
         let h1 = t.host("h1", Ipv4Addr::new(10, 0, 0, 1));
         let h2 = t.host("h2", Ipv4Addr::new(10, 0, 0, 2));
-        t.link(
-            h1,
-            h2,
-            LinkParams::new(10, 0).with_jitter(5 * MILLISECOND),
-        );
+        t.link(h1, h2, LinkParams::new(10, 0).with_jitter(5 * MILLISECOND));
         let mut sim = t.build();
         sim.udp_bind(h2, 7);
         // Packets spaced 20 ms apart.
@@ -548,7 +570,10 @@ mod jitter_tests {
         for (i, (t, _, _, _)) in got.iter().enumerate() {
             let sent = i as u64 * 20 * MILLISECOND;
             let d = t - sent;
-            assert!((10 * MILLISECOND..=15 * MILLISECOND).contains(&d), "delay {d}");
+            assert!(
+                (10 * MILLISECOND..=15 * MILLISECOND).contains(&d),
+                "delay {d}"
+            );
             delays.insert(d);
         }
         assert!(delays.len() > 3, "jitter actually varies delays");

@@ -159,9 +159,21 @@ mod tests {
     #[test]
     fn records_and_counts_drops() {
         let mut t = Trace::new(10);
-        t.record(TraceEvent::Dropped { time: 1, node: 0, reason: DropReason::TtlExpired });
-        t.record(TraceEvent::Dropped { time: 2, node: 0, reason: DropReason::TtlExpired });
-        t.record(TraceEvent::Dropped { time: 3, node: 1, reason: DropReason::QueueFull });
+        t.record(TraceEvent::Dropped {
+            time: 1,
+            node: 0,
+            reason: DropReason::TtlExpired,
+        });
+        t.record(TraceEvent::Dropped {
+            time: 2,
+            node: 0,
+            reason: DropReason::TtlExpired,
+        });
+        t.record(TraceEvent::Dropped {
+            time: 3,
+            node: 1,
+            reason: DropReason::QueueFull,
+        });
         assert_eq!(t.drops(DropReason::TtlExpired), 2);
         assert_eq!(t.drops(DropReason::QueueFull), 1);
         assert_eq!(t.drops(DropReason::RandomLoss), 0);
@@ -172,7 +184,12 @@ mod tests {
     fn bounded_capacity_evicts_oldest() {
         let mut t = Trace::new(2);
         for i in 0..5 {
-            t.record(TraceEvent::Forwarded { time: i, node: 0, dst: "1.1.1.1".parse().unwrap(), ttl: 1 });
+            t.record(TraceEvent::Forwarded {
+                time: i,
+                node: 0,
+                dst: "1.1.1.1".parse().unwrap(),
+                ttl: 1,
+            });
         }
         let times: Vec<_> = t.events().map(|e| e.time()).collect();
         assert_eq!(times, vec![3, 4]);
@@ -182,7 +199,11 @@ mod tests {
     fn disabled_trace_still_counts_drops() {
         let mut t = Trace::new(10);
         t.set_enabled(false);
-        t.record(TraceEvent::Dropped { time: 1, node: 0, reason: DropReason::NoRoute });
+        t.record(TraceEvent::Dropped {
+            time: 1,
+            node: 0,
+            reason: DropReason::NoRoute,
+        });
         assert_eq!(t.events().count(), 0);
         assert_eq!(t.drops(DropReason::NoRoute), 1);
     }

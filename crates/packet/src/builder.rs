@@ -30,23 +30,65 @@ pub fn icmp_echo_reply(
     seq: u16,
     payload: &[u8],
 ) -> Vec<u8> {
+    let mut buf = Vec::new();
+    icmp_echo_reply_into(src, dst, ident, seq, payload, &mut buf);
+    buf
+}
+
+/// [`icmp_echo_reply`] writing into a reusable buffer (cleared first).
+pub fn icmp_echo_reply_into(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    ident: u16,
+    seq: u16,
+    payload: &[u8],
+    buf: &mut Vec<u8>,
+) {
     let hdr = Ipv4Header::new(src, dst, proto::ICMP);
-    hdr.build(&icmp::build_echo_reply(ident, seq, payload))
+    hdr.build_into(&icmp::build_echo_reply(ident, seq, payload), buf)
 }
 
 /// Build a complete ICMP time-exceeded datagram quoting `original`.
 pub fn icmp_time_exceeded(src: Ipv4Addr, dst: Ipv4Addr, original: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    icmp_time_exceeded_into(src, dst, original, &mut buf);
+    buf
+}
+
+/// [`icmp_time_exceeded`] writing into a reusable buffer (cleared first).
+pub fn icmp_time_exceeded_into(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    original: &[u8],
+    buf: &mut Vec<u8>,
+) {
     let hdr = Ipv4Header::new(src, dst, proto::ICMP);
-    hdr.build(&icmp::build_time_exceeded(
-        icmp::CODE_TTL_EXPIRED,
-        icmp::quote_original(original),
-    ))
+    hdr.build_into(
+        &icmp::build_time_exceeded(icmp::CODE_TTL_EXPIRED, icmp::quote_original(original)),
+        buf,
+    )
 }
 
 /// Build a complete ICMP destination-unreachable datagram.
 pub fn icmp_dest_unreachable(src: Ipv4Addr, dst: Ipv4Addr, code: u8, original: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    icmp_dest_unreachable_into(src, dst, code, original, &mut buf);
+    buf
+}
+
+/// [`icmp_dest_unreachable`] writing into a reusable buffer (cleared first).
+pub fn icmp_dest_unreachable_into(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    code: u8,
+    original: &[u8],
+    buf: &mut Vec<u8>,
+) {
     let hdr = Ipv4Header::new(src, dst, proto::ICMP);
-    hdr.build(&icmp::build_dest_unreachable(code, icmp::quote_original(original)))
+    hdr.build_into(
+        &icmp::build_dest_unreachable(code, icmp::quote_original(original)),
+        buf,
+    )
 }
 
 /// Build a complete UDP datagram.
@@ -57,8 +99,22 @@ pub fn udp_datagram(
     dst_port: u16,
     payload: &[u8],
 ) -> Vec<u8> {
+    let mut buf = Vec::new();
+    udp_datagram_into(src, dst, src_port, dst_port, payload, &mut buf);
+    buf
+}
+
+/// [`udp_datagram`] writing into a reusable buffer (cleared first).
+pub fn udp_datagram_into(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+    buf: &mut Vec<u8>,
+) {
     let hdr = Ipv4Header::new(src, dst, proto::UDP);
-    hdr.build(&udp::build(src, dst, src_port, dst_port, payload))
+    hdr.build_into(&udp::build(src, dst, src_port, dst_port, payload), buf)
 }
 
 /// Build a complete TCP segment datagram.

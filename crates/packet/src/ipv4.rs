@@ -53,9 +53,18 @@ impl Ipv4Header {
     /// Serialize the header (20 bytes, checksum filled in) followed by
     /// `payload` into a fresh datagram. `total_len` is recomputed.
     pub fn build(&self, payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.build_into(payload, &mut buf);
+        buf
+    }
+
+    /// Like [`Ipv4Header::build`], but writes into `buf` (cleared first) so
+    /// callers can reuse pooled buffers instead of allocating per datagram.
+    pub fn build_into(&self, payload: &[u8], buf: &mut Vec<u8>) {
         let total = MIN_HEADER_LEN + payload.len();
         assert!(total <= u16::MAX as usize, "datagram too large");
-        let mut buf = vec![0u8; total];
+        buf.clear();
+        buf.resize(total, 0);
         buf[0] = 0x45; // version 4, IHL 5
         buf[1] = self.tos;
         buf[2..4].copy_from_slice(&(total as u16).to_be_bytes());
@@ -70,7 +79,6 @@ impl Ipv4Header {
         let ck = checksum::checksum(&buf[..MIN_HEADER_LEN]);
         buf[10..12].copy_from_slice(&ck.to_be_bytes());
         buf[MIN_HEADER_LEN..].copy_from_slice(payload);
-        buf
     }
 }
 

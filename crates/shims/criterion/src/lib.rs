@@ -1,0 +1,291 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API
+//! this workspace uses (the build environment cannot reach crates.io).
+//!
+//! Measurement model: per benchmark, a short calibration run sizes a batch
+//! so one sample takes ~`SAMPLE_TARGET`, then `sample_size` samples are
+//! timed and the median per-iteration time is reported (plus derived
+//! throughput when configured). Under `cargo test` (which runs
+//! `harness = false` bench targets with `--test`) every benchmark body
+//! executes exactly once as a smoke test, so benches stay cheap in CI.
+
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(30);
+const SAMPLE_TARGET: Duration = Duration::from_millis(12);
+const DEFAULT_SAMPLES: usize = 25;
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark id (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+/// Something that can name a benchmark.
+pub trait IntoBenchmarkName {
+    /// The display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo test` runs harness=false bench targets with `--test`;
+        // `cargo bench` passes `--bench`. In test mode each body runs once.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl IntoBenchmarkName, f: F) {
+        let test_mode = self.test_mode;
+        run_one(&name.into_name(), None, test_mode, f);
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl IntoBenchmarkName, f: F) {
+        let full = format!("{}/{}", self.name, name.into_name());
+        run_one_sampled(
+            &full,
+            self.throughput,
+            self.criterion.test_mode,
+            self.sample_size,
+            f,
+        );
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` times the supplied routine.
+pub struct Bencher {
+    mode: BencherMode,
+    /// Measured median ns/iteration, filled by `iter`.
+    median_ns: f64,
+}
+
+enum BencherMode {
+    /// Run the routine once (smoke test under `cargo test`).
+    Once,
+    /// Calibrate then time `samples` samples.
+    Measure { samples: usize },
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BencherMode::Once => {
+                black_box(routine());
+                self.median_ns = f64::NAN;
+            }
+            BencherMode::Measure { samples } => {
+                // Warm up and calibrate the batch size.
+                let warm_start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while warm_start.elapsed() < WARMUP {
+                    black_box(routine());
+                    warm_iters += 1;
+                }
+                let per = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+                let batch = ((SAMPLE_TARGET.as_nanos() as f64 / per.max(1.0)) as u64).max(1);
+                let mut medians: Vec<f64> = Vec::with_capacity(samples);
+                for _ in 0..samples {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    medians.push(t.elapsed().as_nanos() as f64 / batch as f64);
+                }
+                medians.sort_by(|a, b| a.total_cmp(b));
+                self.median_ns = medians[medians.len() / 2];
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, test_mode: bool, f: F) {
+    run_one_sampled(name, throughput, test_mode, DEFAULT_SAMPLES, f)
+}
+
+fn run_one_sampled<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    samples: usize,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        mode: if test_mode {
+            BencherMode::Once
+        } else {
+            BencherMode::Measure { samples }
+        },
+        median_ns: f64::NAN,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{name:<50} ok (smoke)");
+        return;
+    }
+    let ns = b.median_ns;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            format!("  {:>12.3} Melem/s", n as f64 * 1e3 / ns)
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            format!("  {:>12.3} MiB/s", n as f64 * 1e9 / ns / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("{name:<50} time: {}{rate}", format_ns(ns));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a (no iter() call)".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:>10.2} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:>10.2} µs/iter", ns / 1e3)
+    } else {
+        format!("{:>10.2} ms/iter", ns / 1e6)
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion { test_mode: false };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut ran = 0u64;
+        g.bench_function("count", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0u64;
+        c.bench_function("once", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("depth", 4).into_name(), "depth/4");
+    }
+}
