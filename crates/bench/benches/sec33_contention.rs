@@ -2,7 +2,7 @@
 //! second session authenticating against a busy endpoint.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use packetlab::controller::Controller;
+use packetlab::controller::{ControlPlane, Controller};
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{SimChannel, SimNet};
 use plab_bench::credentials;

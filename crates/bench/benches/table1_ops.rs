@@ -3,7 +3,7 @@
 //! agent, wire codec, simulated TCP, and simulated network.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use packetlab::controller::experiments;
+use packetlab::controller::{experiments, ControlPlane};
 use plab_bench::{build_world, connect};
 
 fn bench_ops(c: &mut Criterion) {

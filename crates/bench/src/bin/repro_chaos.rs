@@ -1,0 +1,124 @@
+//! F/chaos: the control plane under deterministic fault injection.
+//!
+//! Replays the §4 experiments (traceroute, uplink bandwidth) and a Table 1
+//! conformance sweep against seeded fault schedules (link flaps, burst
+//! loss, delay changes, partitions, TCP resets, endpoint crash/restart),
+//! and reports each run's verdict, observables digest, and retry counters.
+//!
+//! Usage:
+//!   repro_chaos                         # fixed-seed corpus (same as CI)
+//!   repro_chaos --scenario traceroute --seed 0x5eed0000
+//!                                       # replay one failing seed
+//!   repro_chaos --sweep 25 --base 1234  # randomized sweep from a base seed
+//!
+//! Every line echoes the seed: paste it back with --seed to reproduce a
+//! run bit-for-bit.
+
+use packetlab::chaos::{self, ChaosVerdict, Scenario};
+
+fn parse_seed(s: &str) -> u64 {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).expect("bad hex seed")
+    } else {
+        s.parse().expect("bad seed")
+    }
+}
+
+fn scenario_by_name(name: &str) -> Scenario {
+    Scenario::all()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .unwrap_or_else(|| panic!("unknown scenario {name:?} (traceroute|bandwidth|conformance)"))
+}
+
+/// Run a seed twice (determinism is part of the contract), print its
+/// report, and return (completed, deterministic).
+fn run_one(scenario: Scenario, seed: u64) -> (bool, bool) {
+    let out = chaos::run(scenario, seed);
+    let again = chaos::run(scenario, seed);
+    let deterministic = out == again;
+    let status = match (&out.verdict, deterministic) {
+        (_, false) => "NONDETERMINISTIC",
+        (ChaosVerdict::Completed, _) => "ok",
+        (ChaosVerdict::Aborted(_), _) => "aborted",
+    };
+    println!("{status:>16}  {}", out.report());
+    (matches!(out.verdict, ChaosVerdict::Completed), deterministic)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario: Option<Scenario> = None;
+    let mut seed: Option<u64> = None;
+    let mut sweep: Option<u64> = None;
+    let mut base: u64 = 0x5eed_0000;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scenario" => {
+                scenario = Some(scenario_by_name(&args[i + 1]));
+                i += 2;
+            }
+            "--seed" => {
+                seed = Some(parse_seed(&args[i + 1]));
+                i += 2;
+            }
+            "--sweep" => {
+                sweep = Some(parse_seed(&args[i + 1]));
+                i += 2;
+            }
+            "--base" => {
+                base = parse_seed(&args[i + 1]);
+                i += 2;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    println!("F/chaos: control plane under deterministic fault schedules\n");
+    let mut all_deterministic = true;
+    let mut completed = 0u32;
+    let mut aborted = 0u32;
+
+    let runs: Vec<(Scenario, u64)> = match (scenario, seed, sweep) {
+        (s, Some(seed), _) => {
+            // Single-seed replay (all scenarios unless one is named).
+            match s {
+                Some(s) => vec![(s, seed)],
+                None => Scenario::all().into_iter().map(|s| (s, seed)).collect(),
+            }
+        }
+        (_, None, Some(n)) => {
+            // Randomized sweep: n derived seeds per scenario, from `base`
+            // (CI passes a fresh base and logs it; any failure names the
+            // exact derived seed to replay).
+            println!("sweep of {n} seeds per scenario from base {base:#x}\n");
+            let mut runs = Vec::new();
+            for s in Scenario::all() {
+                for k in 0..n {
+                    runs.push((s, base.wrapping_add(k.wrapping_mul(0x9e37_79b9))));
+                }
+            }
+            runs
+        }
+        (Some(s), None, None) => chaos::corpus().into_iter().filter(|(c, _)| *c == s).collect(),
+        (None, None, None) => chaos::corpus(),
+    };
+
+    for (s, seed) in runs {
+        let (done, deterministic) = run_one(s, seed);
+        if done {
+            completed += 1;
+        } else {
+            aborted += 1;
+        }
+        all_deterministic &= deterministic;
+    }
+
+    println!("\n{completed} completed, {aborted} aborted cleanly, 0 hung (by construction)");
+    if !all_deterministic {
+        println!("NONDETERMINISM DETECTED — see lines above for seeds");
+        std::process::exit(1);
+    }
+}

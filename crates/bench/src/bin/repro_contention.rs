@@ -2,7 +2,7 @@
 //! sharing one endpoint under priority preemption.
 
 use packetlab::cert::Restrictions;
-use packetlab::controller::{Controller, Credentials};
+use packetlab::controller::{ControlPlane, Controller, Credentials};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{SimChannel, SimNet};

@@ -13,6 +13,7 @@
 //!   endpoint → controller decides → endpoint → response), and
 //! - the timing error of a *pre-scheduled* send (|actual − requested|).
 
+use packetlab::controller::ControlPlane;
 use plab_bench::{build_world, connect, reactive_response_time, scheduled_send_error};
 
 fn main() {

@@ -2,7 +2,7 @@
 //! full stack and report per-operation control-channel cost (virtual
 //! round trips) and wall-clock implementation cost.
 
-use packetlab::controller::experiments;
+use packetlab::controller::{experiments, ControlPlane};
 use plab_bench::{build_world, connect};
 use std::time::Instant;
 

@@ -6,7 +6,7 @@
 //! holds the world-building helpers they share.
 
 use packetlab::cert::Restrictions;
-use packetlab::controller::{Controller, Credentials};
+use packetlab::controller::{ControlPlane, Controller, Credentials};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{SimChannel, SimNet};

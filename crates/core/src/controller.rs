@@ -22,6 +22,7 @@ use std::net::Ipv4Addr;
 
 pub mod compat;
 pub mod experiments;
+pub mod robust;
 
 /// A reliable, framed, ordered channel to one endpoint.
 pub trait ControlChannel {
@@ -108,6 +109,13 @@ pub enum ControllerError {
     Endpoint(ErrCode, String),
     /// Protocol violation.
     Protocol(String),
+    /// The endpoint stayed unreachable past the retry budget: the
+    /// experiment aborts cleanly, with whatever partial results the caller
+    /// already holds (see [`robust::RobustController`]).
+    Unreachable {
+        /// Time spent retrying before giving up, controller-clock ns.
+        elapsed_ns: u64,
+    },
 }
 
 impl core::fmt::Display for ControllerError {
@@ -116,6 +124,9 @@ impl core::fmt::Display for ControllerError {
             ControllerError::Timeout => write!(f, "timed out"),
             ControllerError::Endpoint(c, m) => write!(f, "endpoint error {c:?}: {m}"),
             ControllerError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ControllerError::Unreachable { elapsed_ns } => {
+                write!(f, "endpoint unreachable after {} ms of retries", elapsed_ns / 1_000_000)
+            }
         }
     }
 }
@@ -146,117 +157,76 @@ impl ClockSync {
     }
 }
 
-/// An authenticated control session with one endpoint.
-pub struct Controller<C: ControlChannel> {
-    chan: C,
-    /// Asynchronous notifications collected while waiting for responses
-    /// (`Interrupted` / `Resumed`, §3.3).
-    pub notifications: Vec<Notification>,
-    request_timeout: u64,
-}
-
-impl<C: ControlChannel> Controller<C> {
-    /// Connect: Hello → HelloAck → Auth → AuthOk.
-    pub fn connect(mut chan: C, creds: &Credentials) -> Result<Self, ControllerError> {
-        chan.send(&Message::Hello { version: crate::PROTOCOL_VERSION });
-        let deadline = chan.now() + 30_000_000_000;
-        let nonce = match chan.recv(Some(deadline)) {
-            Some(Message::HelloAck { version, nonce }) => {
-                if version != crate::PROTOCOL_VERSION {
-                    return Err(ControllerError::Protocol("version mismatch".into()));
-                }
-                nonce
+/// Run the Hello → HelloAck → Auth → AuthOk handshake over an established
+/// channel. Shared by [`Controller::connect`] and the reconnect path of
+/// [`robust::RobustController`].
+pub fn handshake<C: ControlChannel>(
+    chan: &mut C,
+    creds: &Credentials,
+    timeout_ns: u64,
+) -> Result<(), ControllerError> {
+    chan.send(&Message::Hello { version: crate::PROTOCOL_VERSION });
+    let deadline = chan.now() + timeout_ns;
+    let nonce = match chan.recv(Some(deadline)) {
+        Some(Message::HelloAck { version, nonce }) => {
+            if version != crate::PROTOCOL_VERSION {
+                return Err(ControllerError::Protocol("version mismatch".into()));
             }
+            nonce
+        }
+        Some(other) => {
+            return Err(ControllerError::Protocol(format!("expected HelloAck, got {other:?}")))
+        }
+        None => return Err(ControllerError::Timeout),
+    };
+    chan.send(&creds.auth_message(&nonce));
+    let deadline = chan.now() + timeout_ns;
+    loop {
+        match chan.recv(Some(deadline)) {
+            Some(Message::AuthOk) => return Ok(()),
+            Some(Message::Resp(Response::Err { code, msg })) => {
+                return Err(ControllerError::Endpoint(code, msg))
+            }
+            Some(Message::Notify(_)) => continue,
             Some(other) => {
-                return Err(ControllerError::Protocol(format!("expected HelloAck, got {other:?}")))
+                return Err(ControllerError::Protocol(format!("expected AuthOk, got {other:?}")))
             }
             None => return Err(ControllerError::Timeout),
-        };
-        chan.send(&creds.auth_message(&nonce));
-        let deadline = chan.now() + 30_000_000_000;
-        loop {
-            match chan.recv(Some(deadline)) {
-                Some(Message::AuthOk) => {
-                    return Ok(Controller {
-                        chan,
-                        notifications: Vec::new(),
-                        request_timeout: 60_000_000_000,
-                    })
-                }
-                Some(Message::Resp(Response::Err { code, msg })) => {
-                    return Err(ControllerError::Endpoint(code, msg))
-                }
-                Some(Message::Notify(_)) => continue,
-                Some(other) => {
-                    return Err(ControllerError::Protocol(format!("expected AuthOk, got {other:?}")))
-                }
-                None => return Err(ControllerError::Timeout),
-            }
         }
     }
+}
 
-    /// Set the per-request timeout (controller-clock ns). Defaults to 60
-    /// virtual seconds — generous for simulation; real deployments tune it
-    /// to a few control RTTs.
-    pub fn set_request_timeout(&mut self, timeout_ns: u64) {
-        self.request_timeout = timeout_ns;
-    }
-
-    /// Access the underlying channel (e.g. for its clock).
-    pub fn channel(&mut self) -> &mut C {
-        &mut self.chan
-    }
-
-    /// Controller-clock now.
-    pub fn now(&self) -> u64 {
-        self.chan.now()
-    }
-
+/// The experiment-facing control surface: issue Table 1 commands against
+/// one endpoint and get typed results.
+///
+/// Experiment code (the [`experiments`] library, bench binaries, tests) is
+/// written against this trait, so the same measurement logic runs over a
+/// plain [`Controller`] — one connection, fail on first loss — or a
+/// [`robust::RobustController`] that reconnects, replays, and aborts with
+/// [`ControllerError::Unreachable`] only after its retry budget.
+///
+/// Only [`ControlPlane::request`], [`ControlPlane::request_until`], and
+/// [`ControlPlane::now`] are required; the Table 1 helpers and derived
+/// operations are provided in terms of them.
+pub trait ControlPlane {
     /// Issue a command and wait for its response.
-    pub fn request(&mut self, cmd: Command) -> Result<Response, ControllerError> {
-        self.chan.send(&Message::Cmd(cmd));
-        self.wait_response(self.request_timeout)
-    }
-
-    /// Issue many commands pipelined: all commands are sent back-to-back,
-    /// then all responses collected in order. This keeps command delivery
-    /// off the critical path of scheduled sends — e.g. the §4 bandwidth
-    /// experiment schedules its whole burst in ~one round trip instead of
-    /// one RTT per datagram.
-    pub fn request_batch(&mut self, cmds: Vec<Command>) -> Result<Vec<Response>, ControllerError> {
-        let n = cmds.len();
-        for cmd in cmds {
-            self.chan.send(&Message::Cmd(cmd));
-        }
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.wait_response(self.request_timeout)?);
-        }
-        Ok(out)
-    }
+    fn request(&mut self, cmd: Command) -> Result<Response, ControllerError>;
 
     /// Issue a command whose response may take until `deadline`
     /// (endpoint-paced commands like `npoll`).
-    pub fn request_until(&mut self, cmd: Command, deadline: u64) -> Result<Response, ControllerError> {
-        self.chan.send(&Message::Cmd(cmd));
-        let budget = deadline.saturating_sub(self.chan.now()) + self.request_timeout;
-        self.wait_response(budget)
+    fn request_until(&mut self, cmd: Command, deadline: u64) -> Result<Response, ControllerError>;
+
+    /// Controller-clock now, ns.
+    fn now(&self) -> u64;
+
+    /// Issue many commands and collect their responses in order.
+    /// Implementations that can pipeline (send all, then read all) should
+    /// override this — the default is sequential.
+    fn request_batch(&mut self, cmds: Vec<Command>) -> Result<Vec<Response>, ControllerError> {
+        cmds.into_iter().map(|c| self.request(c)).collect()
     }
 
-    fn wait_response(&mut self, budget: u64) -> Result<Response, ControllerError> {
-        let deadline = self.chan.now() + budget;
-        loop {
-            match self.chan.recv(Some(deadline)) {
-                Some(Message::Resp(r)) => return Ok(r),
-                Some(Message::Notify(n)) => self.notifications.push(n),
-                Some(other) => {
-                    return Err(ControllerError::Protocol(format!("unexpected {other:?}")))
-                }
-                None => return Err(ControllerError::Timeout),
-            }
-        }
-    }
-
+    /// Issue a command and require `Response::Ok`.
     fn expect_ok(&mut self, cmd: Command) -> Result<(), ControllerError> {
         match self.request(cmd)? {
             Response::Ok => Ok(()),
@@ -270,7 +240,7 @@ impl<C: ControlChannel> Controller<C> {
     // ------------------------------------------------------------------
 
     /// `nopen(sktid, raw)`.
-    pub fn nopen_raw(&mut self, sktid: u32) -> Result<(), ControllerError> {
+    fn nopen_raw(&mut self, sktid: u32) -> Result<(), ControllerError> {
         self.expect_ok(Command::NOpen {
             sktid,
             proto: Proto::Raw,
@@ -281,7 +251,7 @@ impl<C: ControlChannel> Controller<C> {
     }
 
     /// `nopen(sktid, udp, locport, remaddr, remport)`.
-    pub fn nopen_udp(
+    fn nopen_udp(
         &mut self,
         sktid: u32,
         locport: u16,
@@ -298,7 +268,7 @@ impl<C: ControlChannel> Controller<C> {
     }
 
     /// `nopen(sktid, tcp, locport, remaddr, remport)`.
-    pub fn nopen_tcp(
+    fn nopen_tcp(
         &mut self,
         sktid: u32,
         locport: u16,
@@ -315,12 +285,12 @@ impl<C: ControlChannel> Controller<C> {
     }
 
     /// `nclose(sktid)`.
-    pub fn nclose(&mut self, sktid: u32) -> Result<(), ControllerError> {
+    fn nclose(&mut self, sktid: u32) -> Result<(), ControllerError> {
         self.expect_ok(Command::NClose { sktid })
     }
 
     /// `nsend(sktid, time, data)` → send-log tag.
-    pub fn nsend(&mut self, sktid: u32, time: u64, data: Vec<u8>) -> Result<u64, ControllerError> {
+    fn nsend(&mut self, sktid: u32, time: u64, data: Vec<u8>) -> Result<u64, ControllerError> {
         match self.request(Command::NSend { sktid, time, data })? {
             Response::SendQueued { tag } => Ok(tag),
             Response::Err { code, msg } => Err(ControllerError::Endpoint(code, msg)),
@@ -329,19 +299,19 @@ impl<C: ControlChannel> Controller<C> {
     }
 
     /// `ncap(sktid, time, filt)` with an already-encoded PFVM program.
-    pub fn ncap(&mut self, sktid: u32, time: u64, filt: Vec<u8>) -> Result<(), ControllerError> {
+    fn ncap(&mut self, sktid: u32, time: u64, filt: Vec<u8>) -> Result<(), ControllerError> {
         self.expect_ok(Command::NCap { sktid, time, filt })
     }
 
     /// `ncap` with a Cpf source filter, compiled client-side.
-    pub fn ncap_cpf(&mut self, sktid: u32, time: u64, source: &str) -> Result<(), ControllerError> {
+    fn ncap_cpf(&mut self, sktid: u32, time: u64, source: &str) -> Result<(), ControllerError> {
         let program = plab_cpf::compile(source)
             .map_err(|e| ControllerError::Protocol(format!("cpf: {e}")))?;
         self.ncap(sktid, time, program.encode())
     }
 
     /// `npoll(time)`.
-    pub fn npoll(&mut self, until_endpoint_time: u64) -> Result<PollResult, ControllerError> {
+    fn npoll(&mut self, until_endpoint_time: u64) -> Result<PollResult, ControllerError> {
         match self.request_until(Command::NPoll { time: until_endpoint_time }, until_endpoint_time)? {
             Response::Poll { packets, dropped_packets, dropped_bytes } => Ok(PollResult {
                 packets,
@@ -354,7 +324,7 @@ impl<C: ControlChannel> Controller<C> {
     }
 
     /// `mread(memaddr, bytecnt)`.
-    pub fn mread(&mut self, memaddr: u32, bytecnt: u32) -> Result<Vec<u8>, ControllerError> {
+    fn mread(&mut self, memaddr: u32, bytecnt: u32) -> Result<Vec<u8>, ControllerError> {
         match self.request(Command::MRead { memaddr, bytecnt })? {
             Response::Mem { data } => Ok(data),
             Response::Err { code, msg } => Err(ControllerError::Endpoint(code, msg)),
@@ -363,13 +333,13 @@ impl<C: ControlChannel> Controller<C> {
     }
 
     /// `mwrite(memaddr, data)`.
-    pub fn mwrite(&mut self, memaddr: u32, data: Vec<u8>) -> Result<(), ControllerError> {
+    fn mwrite(&mut self, memaddr: u32, data: Vec<u8>) -> Result<(), ControllerError> {
         self.expect_ok(Command::MWrite { memaddr, data })
     }
 
     /// Yield the endpoint (ends our control; resumes a suspended
     /// experiment if any).
-    pub fn yield_endpoint(&mut self) -> Result<(), ControllerError> {
+    fn yield_endpoint(&mut self) -> Result<(), ControllerError> {
         self.expect_ok(Command::Yield)
     }
 
@@ -378,7 +348,7 @@ impl<C: ControlChannel> Controller<C> {
     // ------------------------------------------------------------------
 
     /// Read the endpoint's 64-bit clock (info offset 0).
-    pub fn read_clock(&mut self) -> Result<u64, ControllerError> {
+    fn read_clock(&mut self) -> Result<u64, ControllerError> {
         let data = self.mread(0, 8)?;
         Ok(u64::from_le_bytes(data.try_into().map_err(|_| {
             ControllerError::Protocol("short clock read".into())
@@ -386,7 +356,7 @@ impl<C: ControlChannel> Controller<C> {
     }
 
     /// Read an info field by name.
-    pub fn read_info(&mut self, field: &str) -> Result<u64, ControllerError> {
+    fn read_info(&mut self, field: &str) -> Result<u64, ControllerError> {
         let spec = plab_packet::layout::resolve_info(field)
             .ok_or_else(|| ControllerError::Protocol(format!("unknown info field {field}")))?;
         let data = self.mread(spec.offset as u32, spec.width as u32)?;
@@ -400,7 +370,7 @@ impl<C: ControlChannel> Controller<C> {
     /// The endpoint's internal IPv4 address ("to craft a valid IP packet
     /// in raw mode, a controller needs to know the endpoint's internal IP
     /// address").
-    pub fn endpoint_addr(&mut self) -> Result<Ipv4Addr, ControllerError> {
+    fn endpoint_addr(&mut self) -> Result<Ipv4Addr, ControllerError> {
         Ok(Ipv4Addr::from(self.read_info("addr.ip")? as u32))
     }
 
@@ -408,7 +378,7 @@ impl<C: ControlChannel> Controller<C> {
     /// endpoint then attempts to send the data at the specified time,
     /// recording the time it was actually sent; an endpoint can retrieve
     /// this timestamp using the mread command").
-    pub fn read_send_time(&mut self, tag: u64) -> Result<Option<u64>, ControllerError> {
+    fn read_send_time(&mut self, tag: u64) -> Result<Option<u64>, ControllerError> {
         let slot = EndpointMemory::sendlog_slot(tag);
         let data = self.mread(slot, crate::memory::SENDLOG_ENTRY as u32)?;
         match EndpointMemory::parse_sendlog_entry(&data) {
@@ -422,12 +392,12 @@ impl<C: ControlChannel> Controller<C> {
     /// respect to the endpoint using a clock synchronization algorithm
     /// such as NTP"). Takes `samples` round trips and keeps the
     /// minimum-RTT estimate.
-    pub fn sync_clock(&mut self, samples: u32) -> Result<ClockSync, ControllerError> {
+    fn sync_clock(&mut self, samples: u32) -> Result<ClockSync, ControllerError> {
         let mut best: Option<(u64, i128)> = None;
         for _ in 0..samples.max(1) {
-            let t0 = self.chan.now();
+            let t0 = self.now();
             let endpoint_clock = self.read_clock()?;
-            let t1 = self.chan.now();
+            let t1 = self.now();
             let rtt = t1.saturating_sub(t0);
             // The endpoint read the clock roughly mid-flight.
             let midpoint = t0 as i128 + (rtt / 2) as i128;
@@ -438,6 +408,122 @@ impl<C: ControlChannel> Controller<C> {
         }
         let (min_rtt, offset) = best.expect("at least one sample");
         Ok(ClockSync { offset, min_rtt, samples })
+    }
+}
+
+/// Controller-host sockets an experiment may need beyond the control
+/// channel: the §4 bandwidth measurement sinks the endpoint's UDP burst on
+/// the controller's own host. Implemented by control planes whose
+/// underlying transport can expose local sockets (the simulation harness;
+/// a real deployment would back this with OS sockets).
+pub trait SinkHost {
+    /// The controller host's address (for descriptors and UDP sinks).
+    fn sink_addr(&self) -> Ipv4Addr;
+    /// Bind a UDP port on the controller host.
+    fn sink_bind(&mut self, port: u16) -> bool;
+    /// Drain UDP arrivals: (arrival time, source, source port, payload
+    /// length).
+    fn sink_take(&mut self, port: u16) -> Vec<(u64, Ipv4Addr, u16, usize)>;
+    /// Advance (virtual or real) time to `time`, letting traffic drain.
+    fn wait_until(&mut self, time: u64);
+}
+
+/// An authenticated control session with one endpoint.
+pub struct Controller<C: ControlChannel> {
+    chan: C,
+    /// Asynchronous notifications collected while waiting for responses
+    /// (`Interrupted` / `Resumed`, §3.3).
+    pub notifications: Vec<Notification>,
+    request_timeout: u64,
+}
+
+impl<C: ControlChannel> Controller<C> {
+    /// Connect: Hello → HelloAck → Auth → AuthOk.
+    pub fn connect(mut chan: C, creds: &Credentials) -> Result<Self, ControllerError> {
+        handshake(&mut chan, creds, 30_000_000_000)?;
+        Ok(Controller {
+            chan,
+            notifications: Vec::new(),
+            request_timeout: 60_000_000_000,
+        })
+    }
+
+    /// Set the per-request timeout (controller-clock ns). Defaults to 60
+    /// virtual seconds — generous for simulation; real deployments tune it
+    /// to a few control RTTs.
+    pub fn set_request_timeout(&mut self, timeout_ns: u64) {
+        self.request_timeout = timeout_ns;
+    }
+
+    /// Access the underlying channel (e.g. for its clock).
+    pub fn channel(&mut self) -> &mut C {
+        &mut self.chan
+    }
+
+    fn wait_response(&mut self, budget: u64) -> Result<Response, ControllerError> {
+        let deadline = self.chan.now() + budget;
+        loop {
+            match self.chan.recv(Some(deadline)) {
+                Some(Message::Resp(r)) => return Ok(r),
+                Some(Message::Notify(n)) => self.notifications.push(n),
+                Some(other) => {
+                    return Err(ControllerError::Protocol(format!("unexpected {other:?}")))
+                }
+                None => return Err(ControllerError::Timeout),
+            }
+        }
+    }
+}
+
+impl<C: ControlChannel> ControlPlane for Controller<C> {
+    fn request(&mut self, cmd: Command) -> Result<Response, ControllerError> {
+        self.chan.send(&Message::Cmd(cmd));
+        self.wait_response(self.request_timeout)
+    }
+
+    /// Pipelined override: all commands are sent back-to-back, then all
+    /// responses collected in order. This keeps command delivery off the
+    /// critical path of scheduled sends — e.g. the §4 bandwidth experiment
+    /// schedules its whole burst in ~one round trip instead of one RTT per
+    /// datagram.
+    fn request_batch(&mut self, cmds: Vec<Command>) -> Result<Vec<Response>, ControllerError> {
+        let n = cmds.len();
+        for cmd in cmds {
+            self.chan.send(&Message::Cmd(cmd));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.wait_response(self.request_timeout)?);
+        }
+        Ok(out)
+    }
+
+    fn request_until(&mut self, cmd: Command, deadline: u64) -> Result<Response, ControllerError> {
+        self.chan.send(&Message::Cmd(cmd));
+        let budget = deadline.saturating_sub(self.chan.now()) + self.request_timeout;
+        self.wait_response(budget)
+    }
+
+    fn now(&self) -> u64 {
+        self.chan.now()
+    }
+}
+
+impl<C: ControlChannel + SinkHost> SinkHost for Controller<C> {
+    fn sink_addr(&self) -> Ipv4Addr {
+        self.chan.sink_addr()
+    }
+
+    fn sink_bind(&mut self, port: u16) -> bool {
+        self.chan.sink_bind(port)
+    }
+
+    fn sink_take(&mut self, port: u16) -> Vec<(u64, Ipv4Addr, u16, usize)> {
+        self.chan.sink_take(port)
+    }
+
+    fn wait_until(&mut self, time: u64) {
+        self.chan.wait_until(time)
     }
 }
 

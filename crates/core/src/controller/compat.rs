@@ -14,7 +14,7 @@
 //! mechanical: each blocking call costs a controller round trip, which is
 //! precisely what `repro_rtt_limitation` quantifies.
 
-use super::{ControlChannel, Controller, ControllerError};
+use super::{ControlChannel, ControlPlane, Controller, ControllerError};
 use crate::wire::Proto;
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;

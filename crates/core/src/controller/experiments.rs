@@ -9,8 +9,7 @@
 //! from the endpoint to the controller at time t0 + δ ... records their
 //! arrival times, and calculates the uplink bandwidth").
 
-use super::{ClockSync, ControlChannel, Controller, ControllerError};
-use crate::harness::SimChannel;
+use super::{ClockSync, ControlPlane, ControllerError, SinkHost};
 use plab_packet::{builder, icmp, ipv4};
 use std::net::Ipv4Addr;
 
@@ -164,8 +163,8 @@ mod stats_tests {
 /// from the endpoint's own timestamps (the paper's point that precise
 /// timestamps — not fast endpoint response — are what timing measurements
 /// need).
-pub fn ping<C: ControlChannel>(
-    ctrl: &mut Controller<C>,
+pub fn ping<P: ControlPlane>(
+    ctrl: &mut P,
     dst: Ipv4Addr,
     count: u32,
     interval: u64,
@@ -255,8 +254,8 @@ pub struct TracerouteResult {
 /// two-byte sequence number in the payload; RTT is `trcv − tsnd`, both on
 /// the endpoint clock; probing stops once the destination replies or TTL
 /// exceeds `max_ttl`.
-pub fn traceroute<C: ControlChannel>(
-    ctrl: &mut Controller<C>,
+pub fn traceroute<P: ControlPlane>(
+    ctrl: &mut P,
     dst: Ipv4Addr,
     max_ttl: u8,
 ) -> Result<TracerouteResult, ControllerError> {
@@ -367,15 +366,15 @@ pub struct BandwidthEstimate {
 /// parameter: "By scheduling data to be sent later, rather than sending it
 /// immediately, traffic between the endpoint and experiment controller
 /// does not affect the bandwidth measurement").
-pub fn measure_uplink_bandwidth_unscheduled(
-    ctrl: &mut Controller<SimChannel>,
+pub fn measure_uplink_bandwidth_unscheduled<P: ControlPlane + SinkHost>(
+    ctrl: &mut P,
     sink_port: u16,
     n_packets: u32,
     payload_len: usize,
 ) -> Result<BandwidthEstimate, ControllerError> {
     const SKT: u32 = 4;
-    let sink_addr = ctrl.channel().addr();
-    ctrl.channel().udp_bind(sink_port);
+    let sink_addr = ctrl.sink_addr();
+    ctrl.sink_bind(sink_port);
     ctrl.nopen_udp(SKT, 20_001, sink_addr, sink_port)?;
     // One command per datagram, each waiting for its response: the control
     // RTT paces the burst.
@@ -386,8 +385,8 @@ pub fn measure_uplink_bandwidth_unscheduled(
         ctrl.nsend(SKT, 0, payload)?;
     }
     let horizon = ctrl.now() + 2_000_000_000;
-    ctrl.channel().wait_until(horizon);
-    let arrivals = ctrl.channel().udp_take(sink_port);
+    ctrl.wait_until(horizon);
+    let arrivals = ctrl.sink_take(sink_port);
     ctrl.nclose(SKT)?;
     if arrivals.len() < 2 {
         return Ok(BandwidthEstimate {
@@ -423,8 +422,8 @@ pub fn measure_uplink_bandwidth_unscheduled(
 ///
 /// Runs over the simulation harness (the controller's UDP sink lives on
 /// its simulated host).
-pub fn measure_uplink_bandwidth(
-    ctrl: &mut Controller<SimChannel>,
+pub fn measure_uplink_bandwidth<P: ControlPlane + SinkHost>(
+    ctrl: &mut P,
     sink_port: u16,
     n_packets: u32,
     payload_len: usize,
@@ -451,8 +450,8 @@ pub fn measure_uplink_bandwidth(
 }
 
 /// One scheduled burst round of the §4 bandwidth experiment.
-fn burst_once(
-    ctrl: &mut Controller<SimChannel>,
+fn burst_once<P: ControlPlane + SinkHost>(
+    ctrl: &mut P,
     skt: u32,
     locport: u16,
     sink_port: u16,
@@ -460,10 +459,10 @@ fn burst_once(
     payload_len: usize,
     delay_ns: u64,
 ) -> Result<BandwidthEstimate, ControllerError> {
-    let sink_addr = ctrl.channel().addr();
-    ctrl.channel().udp_bind(sink_port);
+    let sink_addr = ctrl.sink_addr();
+    ctrl.sink_bind(sink_port);
     // Drain anything a previous round left in the sink.
-    let _ = ctrl.channel().udp_take(sink_port);
+    let _ = ctrl.sink_take(sink_port);
 
     // 1. Endpoint time.
     let t0 = ctrl.read_clock()?;
@@ -495,9 +494,9 @@ fn burst_once(
     // Generous horizon: burst duration at 1 Mbps plus slack.
     let ip_len = (payload_len + 28) as u64;
     let horizon = ctrl_burst_time + n_packets as u64 * ip_len * 8 * 1_000 + 5_000_000_000;
-    ctrl.channel().wait_until(horizon);
+    ctrl.wait_until(horizon);
 
-    let arrivals = ctrl.channel().udp_take(sink_port);
+    let arrivals = ctrl.sink_take(sink_port);
     ctrl.nclose(skt)?;
     if arrivals.len() < 2 {
         return Ok(BandwidthEstimate {

@@ -1,0 +1,318 @@
+//! Fault-tolerant control: reconnect with backoff, idempotent replay,
+//! bounded unreachability.
+//!
+//! The paper's interactive model (§3.2) assumes the control connection
+//! stays up for the life of an experiment; on the real Internet it will
+//! not. [`RobustController`] wraps the same [`ControlPlane`] surface the
+//! measurement library is written against, but sends every command as a
+//! sequenced [`Message::CmdSeq`], and on any per-operation timeout drops
+//! the channel, re-dials with exponential backoff plus deterministic
+//! jitter, re-authenticates (resuming the lingering endpoint session, see
+//! `EndpointConfig::session_linger_ns`), and replays the in-flight
+//! sequence number. The endpoint's per-session replay cache guarantees
+//! exactly-once execution; the controller guarantees bounded effort: once
+//! an operation has made no progress for the policy's unreachable budget,
+//! it fails with [`ControllerError::Unreachable`] so the experiment can
+//! abort cleanly with whatever partial results it already holds.
+
+use super::{
+    handshake, ControlChannel, ControlPlane, Controller, ControllerError, Credentials, SinkHost,
+};
+use crate::wire::{Command, Message, Notification, Response};
+use std::net::Ipv4Addr;
+
+/// Establishes control channels to one endpoint, on demand. The dialer is
+/// what survives a connection loss — it can always make another channel.
+pub trait Dialer {
+    /// The channel type produced.
+    type Chan: ControlChannel;
+    /// Attempt to establish a new control channel; `None` when the attempt
+    /// fails (endpoint unreachable, connection refused, handshake-layer
+    /// transport error).
+    fn dial(&mut self) -> Option<Self::Chan>;
+    /// Controller-clock now, ns.
+    fn now(&self) -> u64;
+    /// Let (virtual or real) time advance to `time` without a channel.
+    fn wait_until(&mut self, time: u64);
+}
+
+/// Retry/backoff policy for [`RobustController`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Per-attempt response timeout, ns: how long one send waits before
+    /// the channel is declared dead and redialed.
+    pub request_timeout: u64,
+    /// First reconnect backoff, ns; doubles per consecutive failure.
+    pub base_backoff: u64,
+    /// Backoff ceiling, ns.
+    pub max_backoff: u64,
+    /// Total time an operation may make no progress before it fails with
+    /// [`ControllerError::Unreachable`], ns. For deadline-bearing
+    /// operations (`npoll`) the budget extends past the deadline.
+    pub unreachable_budget: u64,
+    /// Seed for the deterministic backoff jitter (decorrelates reconnect
+    /// stampedes without sacrificing reproducibility).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            request_timeout: 5_000_000_000,
+            base_backoff: 100_000_000,
+            max_backoff: 5_000_000_000,
+            unreachable_budget: 60_000_000_000,
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// Counters for observing the retry machinery (asserted on in tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Successful (re)connections, including the initial one.
+    pub connects: u32,
+    /// Dial attempts that failed.
+    pub failed_dials: u32,
+    /// Per-attempt response timeouts that killed a channel.
+    pub timeouts: u32,
+    /// Commands re-sent after a reconnect (replay candidates).
+    pub replays: u32,
+}
+
+/// A [`ControlPlane`] that survives control-channel loss.
+pub struct RobustController<D: Dialer> {
+    dialer: D,
+    chan: Option<D::Chan>,
+    creds: Credentials,
+    policy: RetryPolicy,
+    /// xorshift64 state for backoff jitter.
+    jitter: u64,
+    next_seq: u64,
+    /// Asynchronous notifications collected while waiting for responses.
+    pub notifications: Vec<Notification>,
+    /// Observed retry behaviour.
+    pub stats: RetryStats,
+}
+
+impl<D: Dialer> RobustController<D> {
+    /// Establish the initial connection (retrying within the policy's
+    /// unreachable budget) and authenticate.
+    pub fn connect(
+        dialer: D,
+        creds: Credentials,
+        policy: RetryPolicy,
+    ) -> Result<Self, ControllerError> {
+        let mut rc = RobustController {
+            dialer,
+            chan: None,
+            creds,
+            policy,
+            jitter: policy.jitter_seed.max(1),
+            next_seq: 1,
+            notifications: Vec::new(),
+            stats: RetryStats::default(),
+        };
+        let start = rc.dialer.now();
+        let overall_end = start.saturating_add(policy.unreachable_budget);
+        rc.reconnect(start, overall_end)?;
+        Ok(rc)
+    }
+
+    /// The dialer (e.g. for host-side sockets or clocks in tests).
+    pub fn dialer(&mut self) -> &mut D {
+        &mut self.dialer
+    }
+
+    /// Whether a channel is currently established.
+    pub fn connected(&self) -> bool {
+        self.chan.is_some()
+    }
+
+    /// Drop the current channel, as if it had just failed. Next operation
+    /// reconnects. (Test hook; also lets callers force a fresh connection.)
+    pub fn kill_channel(&mut self) {
+        self.chan = None;
+    }
+
+    fn next_jitter(&mut self) -> u64 {
+        let mut x = self.jitter;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter = x;
+        x
+    }
+
+    /// Dial + handshake until success or `overall_end`. Backoff grows
+    /// exponentially from the policy base with equal-jitter randomization;
+    /// the first attempt is immediate.
+    fn reconnect(&mut self, op_start: u64, overall_end: u64) -> Result<(), ControllerError> {
+        let mut failures = 0u32;
+        loop {
+            let now = self.dialer.now();
+            if now >= overall_end {
+                return Err(ControllerError::Unreachable {
+                    elapsed_ns: now.saturating_sub(op_start),
+                });
+            }
+            if failures > 0 {
+                let exp = (failures - 1).min(20);
+                let ceiling = self
+                    .policy
+                    .base_backoff
+                    .saturating_mul(1u64 << exp)
+                    .min(self.policy.max_backoff)
+                    .max(1);
+                // Equal jitter: half fixed, half uniform-random.
+                let sleep = ceiling / 2 + self.next_jitter() % (ceiling / 2 + 1);
+                self.dialer.wait_until((now + sleep).min(overall_end));
+                if self.dialer.now() >= overall_end {
+                    return Err(ControllerError::Unreachable {
+                        elapsed_ns: self.dialer.now().saturating_sub(op_start),
+                    });
+                }
+            }
+            match self.dialer.dial() {
+                Some(mut chan) => {
+                    match handshake(&mut chan, &self.creds, self.policy.request_timeout) {
+                        Ok(()) => {
+                            self.stats.connects += 1;
+                            self.chan = Some(chan);
+                            return Ok(());
+                        }
+                        // The endpoint actively rejected our credentials:
+                        // retrying cannot help.
+                        Err(ControllerError::Endpoint(code, msg)) => {
+                            return Err(ControllerError::Endpoint(code, msg))
+                        }
+                        // Transport-level failure mid-handshake: transient.
+                        Err(_) => {
+                            self.stats.failed_dials += 1;
+                            failures += 1;
+                        }
+                    }
+                }
+                None => {
+                    self.stats.failed_dials += 1;
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    /// Issue `cmd` under sequence number discipline: send as `CmdSeq`,
+    /// wait for the matching `RespSeq`, and on timeout reconnect and
+    /// replay the same sequence number until the response arrives or the
+    /// unreachable budget is spent.
+    fn sequenced(
+        &mut self,
+        cmd: Command,
+        resp_deadline: Option<u64>,
+    ) -> Result<Response, ControllerError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let op_start = self.dialer.now();
+        // npoll may legitimately not answer until its deadline: the budget
+        // for declaring the endpoint unreachable starts there.
+        let overall_end = resp_deadline
+            .unwrap_or(op_start)
+            .max(op_start)
+            .saturating_add(self.policy.unreachable_budget);
+        let mut sent_before = false;
+        loop {
+            if self.chan.is_none() {
+                self.reconnect(op_start, overall_end)?;
+                if sent_before {
+                    self.stats.replays += 1;
+                }
+            }
+            let chan = self.chan.as_mut().expect("reconnect established a channel");
+            chan.send(&Message::CmdSeq { seq, cmd: cmd.clone() });
+            sent_before = true;
+            let wait_end = resp_deadline
+                .unwrap_or(0)
+                .max(chan.now())
+                .saturating_add(self.policy.request_timeout)
+                .min(overall_end.max(chan.now().saturating_add(self.policy.request_timeout)));
+            loop {
+                match chan.recv(Some(wait_end)) {
+                    Some(Message::RespSeq { seq: s, resp }) if s == seq => return Ok(resp),
+                    // A stale response to an earlier sequence number
+                    // (answered on a channel that died before we read it).
+                    Some(Message::RespSeq { .. }) => continue,
+                    Some(Message::Notify(n)) => {
+                        self.notifications.push(n);
+                        continue;
+                    }
+                    // An unsequenced response cannot belong to us.
+                    Some(Message::Resp(_)) => continue,
+                    Some(other) => {
+                        return Err(ControllerError::Protocol(format!("unexpected {other:?}")))
+                    }
+                    None => {
+                        // No response in time: the channel (or endpoint) is
+                        // gone. Kill it and retry through reconnection.
+                        self.stats.timeouts += 1;
+                        self.chan = None;
+                        break;
+                    }
+                }
+            }
+            let now = self.dialer.now();
+            if now >= overall_end {
+                return Err(ControllerError::Unreachable {
+                    elapsed_ns: now.saturating_sub(op_start),
+                });
+            }
+        }
+    }
+}
+
+impl<D: Dialer> ControlPlane for RobustController<D> {
+    fn request(&mut self, cmd: Command) -> Result<Response, ControllerError> {
+        self.sequenced(cmd, None)
+    }
+
+    fn request_until(&mut self, cmd: Command, deadline: u64) -> Result<Response, ControllerError> {
+        self.sequenced(cmd, Some(deadline))
+    }
+
+    fn now(&self) -> u64 {
+        self.dialer.now()
+    }
+
+    // request_batch: the sequential default is what we want — replay of a
+    // pipelined window would need per-command bookkeeping for no
+    // measurable gain under faults.
+}
+
+impl<D: Dialer + SinkHost> SinkHost for RobustController<D> {
+    fn sink_addr(&self) -> Ipv4Addr {
+        self.dialer.sink_addr()
+    }
+
+    fn sink_bind(&mut self, port: u16) -> bool {
+        self.dialer.sink_bind(port)
+    }
+
+    fn sink_take(&mut self, port: u16) -> Vec<(u64, Ipv4Addr, u16, usize)> {
+        self.dialer.sink_take(port)
+    }
+
+    fn wait_until(&mut self, time: u64) {
+        SinkHost::wait_until(&mut self.dialer, time)
+    }
+}
+
+/// Convenience: a plain [`Controller`] can also be built from a dialer
+/// (one shot, no retries) — used by tests comparing behaviours.
+pub fn connect_once<D: Dialer>(
+    dialer: &mut D,
+    creds: &Credentials,
+) -> Result<Controller<D::Chan>, ControllerError> {
+    let chan = dialer
+        .dial()
+        .ok_or(ControllerError::Timeout)?;
+    Controller::connect(chan, creds)
+}

@@ -41,6 +41,13 @@ pub struct EndpointConfig {
     pub default_buffer_bytes: u64,
     /// Maximum concurrent sessions (active + suspended).
     pub max_sessions: usize,
+    /// How long (endpoint clock, ns) an authenticated session survives its
+    /// control connection: within this window a controller that
+    /// re-authenticates with the same experiment resumes the old session —
+    /// sockets, capture buffer, memory, and replay cache intact. 0 (the
+    /// default) disables lingering: sessions tear down the instant their
+    /// connection dies, the pre-fault-tolerance behaviour.
+    pub session_linger_ns: u64,
 }
 
 impl Default for EndpointConfig {
@@ -50,6 +57,7 @@ impl Default for EndpointConfig {
             wall_time: 1_700_000_000,
             default_buffer_bytes: 1 << 20,
             max_sessions: 8,
+            session_linger_ns: 0,
         }
     }
 }
@@ -133,6 +141,11 @@ enum SessionState {
     Ready,
 }
 
+/// Responses cached per session for idempotent replay after a control
+/// channel reconnect (bounds memory; a controller replays at most its
+/// in-flight window, which is far smaller).
+const REPLAY_CACHE: usize = 32;
+
 struct Session {
     sid: u64,
     state: SessionState,
@@ -148,8 +161,22 @@ struct Session {
     capture: CaptureBuffer,
     /// Outstanding `npoll` deadline (endpoint clock ns).
     pending_poll: Option<u64>,
+    /// Sequence number of the outstanding `npoll`, when it arrived as a
+    /// [`Message::CmdSeq`] (its eventual response is sequenced + cached).
+    pending_poll_seq: Option<u64>,
     next_tag: u64,
     experiment_name: String,
+    /// Identity for session resumption: (leaf signer, descriptor hash).
+    /// A reconnecting controller that re-authenticates with the same
+    /// experiment adopts this session's state.
+    experiment_id: Option<(KeyHash, [u8; 32])>,
+    /// Endpoint-clock time the control connection died, while the session
+    /// lingers awaiting resumption (see `EndpointConfig::session_linger_ns`).
+    detached_at: Option<u64>,
+    /// Highest sequence number executed via `CmdSeq`.
+    last_seq: u64,
+    /// Recent (seq, response) pairs for idempotent replay.
+    replay: VecDeque<(u64, Response)>,
 }
 
 impl Session {
@@ -166,8 +193,33 @@ impl Session {
             sockets: HashMap::new(),
             capture: CaptureBuffer::new(default_buffer),
             pending_poll: None,
+            pending_poll_seq: None,
             next_tag: 1,
             experiment_name: String::new(),
+            experiment_id: None,
+            detached_at: None,
+            last_seq: 0,
+            replay: VecDeque::new(),
+        }
+    }
+
+    fn cache_response(&mut self, seq: u64, resp: Response) {
+        self.replay.push_back((seq, resp));
+        while self.replay.len() > REPLAY_CACHE {
+            self.replay.pop_front();
+        }
+    }
+
+    /// Build the response message for a completing poll: sequenced (and
+    /// cached for replay) when the poll arrived as a `CmdSeq`.
+    fn poll_response(&mut self, packets: Vec<CaptureEntry>, dp: u64, db: u64) -> Message {
+        let resp = Response::Poll { packets, dropped_packets: dp, dropped_bytes: db };
+        match self.pending_poll_seq.take() {
+            Some(seq) => {
+                self.cache_response(seq, resp.clone());
+                Message::RespSeq { seq, resp }
+            }
+            None => Message::Resp(resp),
         }
     }
 }
@@ -239,8 +291,29 @@ impl EndpointAgent {
         }
     }
 
-    /// A control connection went away; tear down its experiment.
+    /// A control connection went away. With `session_linger_ns`
+    /// configured, an authenticated session *detaches* instead of tearing
+    /// down: sockets keep capturing, scheduled sends still fire, and a
+    /// controller re-authenticating with the same experiment within the
+    /// window resumes exactly where it left off (§3.2's interactive model
+    /// made to survive the control channel dropping). Otherwise — or once
+    /// the window expires, see [`EndpointAgent::service`] — the experiment
+    /// tears down.
     pub fn on_session_closed(&mut self, sid: u64, stack: &mut dyn NetStack) -> Out {
+        let resumable = self.config.session_linger_ns > 0
+            && self
+                .sessions
+                .get(&sid)
+                .is_some_and(|s| s.experiment_id.is_some() && matches!(s.state, SessionState::Ready));
+        if resumable {
+            let s = self.sessions.get_mut(&sid).unwrap();
+            s.detached_at = Some(stack.clock());
+            if self.active == Some(sid) {
+                self.active = None;
+                return self.resume_next_excluding(None);
+            }
+            return Vec::new();
+        }
         if let Some(mut s) = self.sessions.remove(&sid) {
             self.teardown_sockets(&mut s, stack);
             if self.active == Some(sid) {
@@ -295,9 +368,16 @@ impl EndpointAgent {
             Message::Cmd(cmd) => {
                 out.extend(self.handle_command(sid, cmd, stack));
             }
+            Message::CmdSeq { seq, cmd } => {
+                out.extend(self.handle_cmd_seq(sid, seq, cmd, stack));
+            }
             // Controller-bound message types arriving here are protocol
             // violations.
-            Message::HelloAck { .. } | Message::AuthOk | Message::Resp(_) | Message::Notify(_) => {
+            Message::HelloAck { .. }
+            | Message::AuthOk
+            | Message::Resp(_)
+            | Message::RespSeq { .. }
+            | Message::Notify(_) => {
                 out.push((sid, err(ErrCode::Malformed, "unexpected message")));
             }
         }
@@ -395,7 +475,45 @@ impl EndpointAgent {
             .max_buffer_bytes
             .unwrap_or(self.config.default_buffer_bytes)
             .min(self.config.default_buffer_bytes) as usize;
-        {
+        // Session resumption: if a *detached* session holds the same
+        // experiment identity (leaf signer + descriptor hash), this is the
+        // same controller reconnecting after a control-channel fault. Adopt
+        // that session's entire state — sockets, capture buffer, memory,
+        // replay cache — under the new connection. Authentication above was
+        // re-done in full, so resumption grants nothing auth didn't.
+        let exp_id = (leaf_signer, dhash.0);
+        let adopt = self
+            .sessions
+            .iter()
+            .find(|(osid, s)| {
+                **osid != sid && s.detached_at.is_some() && s.experiment_id == Some(exp_id)
+            })
+            .map(|(osid, _)| *osid);
+        if let Some(osid) = adopt {
+            let mut old = self.sessions.remove(&osid).unwrap();
+            old.sid = sid;
+            old.detached_at = None;
+            old.priority = priority;
+            old.monitors = monitors;
+            old.restrictions = effective;
+            old.capture.capacity = buffer;
+            old.suspended = true;
+            old.yielded = false;
+            old.memory.set_info("experiment.priority", priority as u64);
+            // Re-arm an outstanding deferred poll under the new session id
+            // (the stale wakeup keyed on `osid` fires into nothing).
+            if let Some(deadline) = old.pending_poll {
+                stack.schedule_wakeup(wake_key(WAKE_POLL, sid, 0), deadline);
+            }
+            // Scheduled TCP sends keep their wakeups (keyed by seq) but must
+            // resolve to the adopted session.
+            for pending in self.pending_tcp.values_mut() {
+                if pending.0 == osid {
+                    pending.0 = sid;
+                }
+            }
+            self.sessions.insert(sid, old);
+        } else {
             let s = self.sessions.get_mut(&sid).unwrap();
             s.state = SessionState::Ready;
             s.priority = priority;
@@ -403,6 +521,7 @@ impl EndpointAgent {
             s.restrictions = effective;
             s.capture = CaptureBuffer::new(buffer);
             s.experiment_name = desc.name.clone();
+            s.experiment_id = Some(exp_id);
             s.memory.set_info("experiment.priority", priority as u64);
         }
         out.push((sid, Message::AuthOk));
@@ -458,6 +577,7 @@ impl EndpointAgent {
             .filter(|s| {
                 s.suspended
                     && !s.yielded
+                    && s.detached_at.is_none()
                     && matches!(s.state, SessionState::Ready)
                     && Some(s.sid) != exclude
             })
@@ -468,6 +588,80 @@ impl EndpointAgent {
             self.sessions.get_mut(&sid).unwrap().suspended = false;
             out.push((sid, Message::Notify(Notification::Resumed)));
         }
+        out
+    }
+
+    /// A sequenced command: execute exactly once, cache the response so a
+    /// controller that lost the connection before reading it can replay the
+    /// same `seq` after reconnecting and get the identical answer.
+    fn handle_cmd_seq(&mut self, sid: u64, seq: u64, cmd: Command, stack: &mut dyn NetStack) -> Out {
+        let mut out = Out::new();
+        let Some(s) = self.sessions.get_mut(&sid) else {
+            return out;
+        };
+        // Replay of an already-answered command: return the cached response
+        // without re-executing (idempotence across reconnects).
+        if let Some((_, resp)) = s.replay.iter().find(|(q, _)| *q == seq) {
+            out.push((sid, Message::RespSeq { seq, resp: resp.clone() }));
+            return out;
+        }
+        if seq <= s.last_seq {
+            if s.pending_poll_seq == Some(seq) {
+                // The poll this seq named is still in flight; its sequenced
+                // response arrives when the deadline passes or data shows up.
+                return out;
+            }
+            let resp = Response::Err {
+                code: ErrCode::Limit,
+                msg: "response no longer cached".to_string(),
+            };
+            out.push((sid, Message::RespSeq { seq, resp }));
+            return out;
+        }
+        s.last_seq = seq;
+        if matches!(cmd, Command::NPoll { .. }) {
+            // Mark before dispatch so a deferred poll knows to emit a
+            // sequenced response on completion.
+            s.pending_poll_seq = Some(seq);
+        }
+        let mut inner = self.handle_command(sid, cmd, stack);
+        // Wrap the session's immediate response (if any) as `RespSeq` and
+        // cache it. Poll completions already arrive sequenced via
+        // `Session::poll_response`.
+        let mut answered = false;
+        for (to, m) in inner.iter_mut() {
+            if *to != sid {
+                continue;
+            }
+            match m {
+                Message::Resp(_) => {
+                    let Message::Resp(resp) = std::mem::replace(m, Message::AuthOk) else {
+                        unreachable!()
+                    };
+                    if let Some(s) = self.sessions.get_mut(&sid) {
+                        s.cache_response(seq, resp.clone());
+                    }
+                    *m = Message::RespSeq { seq, resp };
+                    answered = true;
+                    break;
+                }
+                Message::RespSeq { .. } => {
+                    answered = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if answered {
+            // The command resolved synchronously (possibly with an error):
+            // no deferred poll owns this seq after all.
+            if let Some(s) = self.sessions.get_mut(&sid) {
+                if s.pending_poll_seq == Some(seq) {
+                    s.pending_poll_seq = None;
+                }
+            }
+        }
+        out.extend(inner);
         out
     }
 
@@ -529,14 +723,8 @@ impl EndpointAgent {
                 let s = self.sessions.get_mut(&sid).unwrap();
                 if !s.capture.is_empty() || time <= stack.clock() {
                     let (packets, dp, db) = s.capture.drain();
-                    out.push((
-                        sid,
-                        Message::Resp(Response::Poll {
-                            packets,
-                            dropped_packets: dp,
-                            dropped_bytes: db,
-                        }),
-                    ));
+                    let msg = s.poll_response(packets, dp, db);
+                    out.push((sid, msg));
                 } else {
                     s.pending_poll = Some(time);
                     stack.schedule_wakeup(wake_key(WAKE_POLL, sid, 0), time);
@@ -825,18 +1013,17 @@ impl EndpointAgent {
         match kind {
             WAKE_POLL => {
                 if let Some(s) = self.sessions.get_mut(&sid) {
-                    if let Some(deadline) = s.pending_poll {
-                        if stack.clock() >= deadline {
-                            s.pending_poll = None;
-                            let (packets, dp, db) = s.capture.drain();
-                            out.push((
-                                sid,
-                                Message::Resp(Response::Poll {
-                                    packets,
-                                    dropped_packets: dp,
-                                    dropped_bytes: db,
-                                }),
-                            ));
+                    // A detached session holds its poll (and its captured
+                    // data) until the controller resumes it — draining now
+                    // would ship the response into a dead connection.
+                    if s.detached_at.is_none() {
+                        if let Some(deadline) = s.pending_poll {
+                            if stack.clock() >= deadline {
+                                s.pending_poll = None;
+                                let (packets, dp, db) = s.capture.drain();
+                                let msg = s.poll_response(packets, dp, db);
+                                out.push((sid, msg));
+                            }
                         }
                     }
                 }
@@ -863,6 +1050,26 @@ impl EndpointAgent {
         // Scheduled raw/UDP sends that actually left: record times.
         let send_log = stack.take_send_log();
         let now = stack.clock();
+        // Detached sessions whose linger window lapsed without a resumption
+        // tear down for real.
+        let expired: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| {
+                s.detached_at
+                    .is_some_and(|t| now.saturating_sub(t) > self.config.session_linger_ns)
+            })
+            .map(|(sid, _)| *sid)
+            .collect();
+        for sid in expired {
+            if let Some(mut s) = self.sessions.remove(&sid) {
+                self.teardown_sockets(&mut s, stack);
+                if self.active == Some(sid) {
+                    self.active = None;
+                    out.extend(self.resume_next_excluding(None));
+                }
+            }
+        }
         let sids: Vec<u64> = self.sessions.keys().copied().collect();
         for (tag, time) in &send_log {
             // Tags are per-session counters; a tag may collide across
@@ -924,17 +1131,11 @@ impl EndpointAgent {
 
     fn complete_poll_if_ready(s: &mut Session, _now: u64) -> Out {
         let mut out = Out::new();
-        if s.pending_poll.is_some() && !s.capture.is_empty() {
+        if s.detached_at.is_none() && s.pending_poll.is_some() && !s.capture.is_empty() {
             s.pending_poll = None;
             let (packets, dp, db) = s.capture.drain();
-            out.push((
-                s.sid,
-                Message::Resp(Response::Poll {
-                    packets,
-                    dropped_packets: dp,
-                    dropped_bytes: db,
-                }),
-            ));
+            let msg = s.poll_response(packets, dp, db);
+            out.push((s.sid, msg));
         }
         out
     }
@@ -1460,5 +1661,171 @@ mod tests {
                 && matches!(m, Message::Resp(Response::Err { code: ErrCode::Auth, .. }))),
             "replayed proof must fail: {out:?}"
         );
+    }
+
+    /// One deliverable response per sequence number: a replayed `CmdSeq`
+    /// returns the cached `RespSeq` without re-executing the command. The
+    /// probe is `NOpen`, which is *not* idempotent at the command level —
+    /// re-execution would answer with a socket-id conflict.
+    #[test]
+    fn cmd_seq_replay_returns_cached_response_without_reexecution() {
+        let mut a = agent();
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        let open = Command::NOpen {
+            sktid: 1,
+            proto: Proto::Raw,
+            locport: 0,
+            remaddr: 0,
+            remport: 0,
+        };
+        let out = a.on_message(1, Message::CmdSeq { seq: 1, cmd: open.clone() }, &mut s);
+        let first = out
+            .into_iter()
+            .find(|(sid, m)| *sid == 1 && matches!(m, Message::RespSeq { .. }))
+            .expect("sequenced command answers with RespSeq")
+            .1;
+        assert!(
+            matches!(&first, Message::RespSeq { seq: 1, resp: Response::Ok }),
+            "{first:?}"
+        );
+        // The controller never saw the response and resends. Same answer —
+        // not the conflict a re-execution would produce.
+        let out = a.on_message(1, Message::CmdSeq { seq: 1, cmd: open }, &mut s);
+        let replayed = out
+            .into_iter()
+            .find(|(sid, m)| *sid == 1 && matches!(m, Message::RespSeq { .. }))
+            .expect("replay answers from the cache")
+            .1;
+        assert_eq!(format!("{first:?}"), format!("{replayed:?}"));
+    }
+
+    /// A sequence number evicted from the bounded replay cache cannot be
+    /// answered twice: the endpoint refuses with a typed `Limit` error
+    /// rather than re-executing a possibly-non-idempotent command.
+    #[test]
+    fn cmd_seq_evicted_from_cache_is_refused_not_reexecuted() {
+        let mut a = agent();
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        // Fill the cache well past its bound with cheap commands.
+        for seq in 1..=40u64 {
+            let out = a.on_message(
+                1,
+                Message::CmdSeq { seq, cmd: Command::MRead { memaddr: 0, bytecnt: 1 } },
+                &mut s,
+            );
+            assert!(out.iter().any(|(_, m)| matches!(m, Message::RespSeq { .. })));
+        }
+        // Seq 1 is long evicted.
+        let out = a.on_message(
+            1,
+            Message::CmdSeq { seq: 1, cmd: Command::MRead { memaddr: 0, bytecnt: 1 } },
+            &mut s,
+        );
+        assert!(
+            out.iter().any(|(sid, m)| *sid == 1
+                && matches!(
+                    m,
+                    Message::RespSeq { seq: 1, resp: Response::Err { code: ErrCode::Limit, .. } }
+                )),
+            "evicted seq must yield a typed Limit error: {out:?}"
+        );
+    }
+
+    fn lingering_agent(linger_ns: u64) -> EndpointAgent {
+        EndpointAgent::new(EndpointConfig {
+            trusted_keys: vec![plab_crypto::KeyHash::of(&operator().public)],
+            session_linger_ns: linger_ns,
+            ..Default::default()
+        })
+    }
+
+    /// Control-channel loss with lingering enabled: the session detaches
+    /// instead of tearing down, and a re-authentication with the same
+    /// experiment (same leaf key, same descriptor) adopts it — sockets,
+    /// memory, and the replay cache all survive under the new session id.
+    #[test]
+    fn lingering_session_adopted_on_reauthentication() {
+        let mut a = lingering_agent(1_000_000_000);
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        // Experiment state: a raw socket and a scratch write.
+        let resp = cmd(&mut a, &mut s, 1, Command::NOpen {
+            sktid: 5,
+            proto: Proto::Raw,
+            locport: 0,
+            remaddr: 0,
+            remport: 0,
+        });
+        assert!(matches!(resp, Message::Resp(Response::Ok)));
+        let resp = cmd(&mut a, &mut s, 1, Command::MWrite {
+            memaddr: 0x40,
+            data: vec![9, 8, 7],
+        });
+        assert!(matches!(resp, Message::Resp(Response::Ok)));
+
+        // The control connection dies.
+        let out = a.on_session_closed(1, &mut s);
+        assert!(out.is_empty());
+        assert_eq!(a.session_count(), 1, "session lingers, not torn down");
+
+        // Reconnect under a fresh session id, same credentials.
+        authenticate(&mut a, &mut s, 2, 10);
+        assert_eq!(a.session_count(), 1, "detached session adopted, not duplicated");
+        // Socket 5 still exists: reopening it conflicts.
+        let resp = cmd(&mut a, &mut s, 2, Command::NOpen {
+            sktid: 5,
+            proto: Proto::Raw,
+            locport: 0,
+            remaddr: 0,
+            remport: 0,
+        });
+        assert!(
+            matches!(resp, Message::Resp(Response::Err { .. })),
+            "socket survived adoption: {resp:?}"
+        );
+        // Scratch memory survived too.
+        let resp = cmd(&mut a, &mut s, 2, Command::MRead { memaddr: 0x40, bytecnt: 3 });
+        let Message::Resp(Response::Mem { data }) = resp else {
+            panic!("{resp:?}");
+        };
+        assert_eq!(data, vec![9, 8, 7]);
+    }
+
+    /// A detached session whose linger window passes is reclaimed by
+    /// `service`: the next authentication starts from scratch.
+    #[test]
+    fn lingering_session_expires_after_window() {
+        let mut a = lingering_agent(1_000);
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        cmd(&mut a, &mut s, 1, Command::MWrite { memaddr: 0x40, data: vec![1] });
+        a.on_session_closed(1, &mut s);
+        assert_eq!(a.session_count(), 1);
+
+        // Linger window passes.
+        s.clock += 10_000;
+        let _ = a.service(&mut s);
+        assert_eq!(a.session_count(), 0, "expired detached session reclaimed");
+
+        // Fresh session: scratch memory is zeroed (default), not adopted.
+        authenticate(&mut a, &mut s, 2, 10);
+        let resp = cmd(&mut a, &mut s, 2, Command::MRead { memaddr: 0x40, bytecnt: 1 });
+        let Message::Resp(Response::Mem { data }) = resp else {
+            panic!("{resp:?}");
+        };
+        assert_ne!(data, vec![1], "state must not survive linger expiry");
+    }
+
+    /// Without lingering (the default), a closed session still tears down
+    /// immediately — the pre-existing behaviour is unchanged.
+    #[test]
+    fn default_config_tears_down_on_close() {
+        let mut a = agent();
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        a.on_session_closed(1, &mut s);
+        assert_eq!(a.session_count(), 0);
     }
 }

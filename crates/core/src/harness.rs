@@ -9,12 +9,13 @@
 //! endpoints — only the [`crate::controller::ControlChannel`]
 //! implementation differs.
 
-use crate::controller::ControlChannel;
+use crate::controller::robust::Dialer;
+use crate::controller::{ControlChannel, SinkHost};
 use crate::endpoint::{EndpointAgent, EndpointConfig};
 use crate::rendezvous::{RendezvousServer, RvMessage};
 use crate::netstack::SimStack;
 use crate::wire::{FrameDecoder, Message};
-use plab_netsim::{NodeId, RawDisposition, Sim};
+use plab_netsim::{NodeId, NodeTransition, RawDisposition, Sim};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -33,6 +34,9 @@ struct SessionConn {
 struct EndpointHost {
     node: NodeId,
     agent: EndpointAgent,
+    /// Operator configuration, kept so a crashed node reboots with a
+    /// fresh agent under the same policy.
+    config: EndpointConfig,
     port: u16,
     sessions: HashMap<u64, SessionConn>,
     next_sid: u64,
@@ -111,7 +115,8 @@ impl SimNet {
         self.sim.set_defer_os(node, true);
         self.endpoints.push(EndpointHost {
             node,
-            agent: EndpointAgent::new(config),
+            agent: EndpointAgent::new(config.clone()),
+            config,
             port: CONTROL_PORT,
             sessions: HashMap::new(),
             next_sid: 1,
@@ -247,6 +252,45 @@ impl SimNet {
 
     /// Service all agents until quiescent at the current instant.
     pub fn process(&mut self) {
+        // Crash/restart transitions: a crashed endpoint host loses its
+        // agent process with it; a restarted one boots a fresh agent (same
+        // operator config) and re-opens its control listener. Experiment
+        // state does NOT survive a crash — that is the distinction from a
+        // mere control-channel loss, which `session_linger_ns` rides out.
+        for tr in self.sim.take_node_transitions() {
+            match tr {
+                NodeTransition::Crashed(node) => {
+                    for ep in self.endpoints.iter_mut().filter(|e| e.node == node) {
+                        ep.agent = EndpointAgent::new(ep.config.clone());
+                        ep.sessions.clear();
+                        ep.rv_conn = None;
+                    }
+                }
+                NodeTransition::Restarted(node) => {
+                    let mut is_endpoint = false;
+                    for ep in self.endpoints.iter_mut().filter(|e| e.node == node) {
+                        ep.agent = EndpointAgent::new(ep.config.clone());
+                        ep.sessions.clear();
+                        ep.next_sid += 1000; // distance rebooted sids from pre-crash ones
+                        is_endpoint = true;
+                    }
+                    if is_endpoint {
+                        self.sim.tcp_listen(node, CONTROL_PORT);
+                        self.sim.set_defer_os(node, true);
+                    }
+                    for rv in self.rendezvous.iter_mut().filter(|r| r.node == node) {
+                        rv.sessions.clear();
+                        self.sim.tcp_listen(node, rv.port);
+                    }
+                    for (n, p, queue) in &mut self.listeners {
+                        if *n == node {
+                            queue.clear();
+                            self.sim.tcp_listen(node, *p);
+                        }
+                    }
+                }
+            }
+        }
         // Controller-side listener accepts.
         for (node, port, queue) in &mut self.listeners {
             while let Some(conn) = self.sim.tcp_accept(*node, *port) {
@@ -609,6 +653,99 @@ impl SimChannel {
     /// Advance virtual time (used by experiments waiting on wall-clock
     /// style conditions rather than control messages).
     pub fn wait_until(&self, time: u64) {
+        self.net.borrow_mut().run_until(time);
+    }
+
+    /// Whether the underlying TCP connection is currently established.
+    pub fn is_established(&self) -> bool {
+        self.net.borrow().sim.tcp_established(self.node, self.conn)
+    }
+}
+
+impl SinkHost for SimChannel {
+    fn sink_addr(&self) -> Ipv4Addr {
+        self.addr()
+    }
+
+    fn sink_bind(&mut self, port: u16) -> bool {
+        self.udp_bind(port)
+    }
+
+    fn sink_take(&mut self, port: u16) -> Vec<(u64, Ipv4Addr, u16, usize)> {
+        self.udp_take(port)
+    }
+
+    fn wait_until(&mut self, time: u64) {
+        SimChannel::wait_until(self, time)
+    }
+}
+
+/// A [`Dialer`] that connects to one endpoint's control port over the
+/// simulation, giving [`crate::controller::robust::RobustController`] the
+/// ability to re-establish its channel after faults.
+pub struct SimDialer {
+    net: Rc<RefCell<SimNet>>,
+    node: NodeId,
+    endpoint: Ipv4Addr,
+}
+
+impl SimDialer {
+    /// Dialer from controller host `node` to the endpoint at `endpoint`.
+    pub fn new(net: &Rc<RefCell<SimNet>>, node: NodeId, endpoint: Ipv4Addr) -> SimDialer {
+        SimDialer { net: Rc::clone(net), node, endpoint }
+    }
+
+    /// The harness handle.
+    pub fn net(&self) -> Rc<RefCell<SimNet>> {
+        Rc::clone(&self.net)
+    }
+}
+
+impl Dialer for SimDialer {
+    type Chan = SimChannel;
+
+    fn dial(&mut self) -> Option<SimChannel> {
+        let chan = SimChannel::connect(&self.net, self.node, self.endpoint);
+        // connect() pumps the handshake; if it did not establish (endpoint
+        // down, link cut), report failure — dropping the channel closes
+        // the half-open attempt.
+        if chan.is_established() {
+            Some(chan)
+        } else {
+            None
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.net.borrow().sim.now()
+    }
+
+    fn wait_until(&mut self, time: u64) {
+        self.net.borrow_mut().run_until(time);
+    }
+}
+
+impl SinkHost for SimDialer {
+    fn sink_addr(&self) -> Ipv4Addr {
+        let n = self.net.borrow();
+        n.sim.addr_of(self.node)
+    }
+
+    fn sink_bind(&mut self, port: u16) -> bool {
+        self.net.borrow_mut().sim.udp_bind(self.node, port)
+    }
+
+    fn sink_take(&mut self, port: u16) -> Vec<(u64, Ipv4Addr, u16, usize)> {
+        self.net
+            .borrow_mut()
+            .sim
+            .udp_recv(self.node, port)
+            .into_iter()
+            .map(|(t, a, p, d)| (t, a, p, d.len()))
+            .collect()
+    }
+
+    fn wait_until(&mut self, time: u64) {
         self.net.borrow_mut().run_until(time);
     }
 }

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod cert;
+pub mod chaos;
 pub mod controller;
 pub mod descriptor;
 pub mod endpoint;

@@ -256,6 +256,25 @@ pub enum Message {
     Resp(Response),
     /// Endpoint → controller async notification.
     Notify(Notification),
+    /// Controller → endpoint command carrying an idempotency sequence
+    /// number. The endpoint caches the response keyed by `seq`; a command
+    /// replayed after a control-channel reconnect returns the cached
+    /// response instead of re-executing, so ops are exactly-once even when
+    /// the response was lost in flight.
+    CmdSeq {
+        /// Monotone per-session sequence number.
+        seq: u64,
+        /// The command.
+        cmd: Command,
+    },
+    /// Endpoint → controller response to a [`Message::CmdSeq`], echoing
+    /// its sequence number.
+    RespSeq {
+        /// Sequence number of the command this answers.
+        seq: u64,
+        /// The response.
+        resp: Response,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -418,6 +437,16 @@ impl Message {
                     Notification::Resumed => b.put_u8(1),
                 }
             }
+            Message::CmdSeq { seq, cmd } => {
+                b.put_u8(7);
+                b.put_u64_le(*seq);
+                encode_command(&mut b, cmd);
+            }
+            Message::RespSeq { seq, resp } => {
+                b.put_u8(8);
+                b.put_u64_le(*seq);
+                encode_response(&mut b, resp);
+            }
         }
         b.to_vec()
     }
@@ -456,6 +485,8 @@ impl Message {
                 1 => Message::Notify(Notification::Resumed),
                 _ => return Err(WireError::BadTag),
             },
+            7 => Message::CmdSeq { seq: r.u64()?, cmd: decode_command(&mut r)? },
+            8 => Message::RespSeq { seq: r.u64()?, resp: decode_response(&mut r)? },
             _ => return Err(WireError::BadTag),
         };
         r.done()?;
@@ -718,6 +749,34 @@ mod tests {
     fn roundtrip_notifications() {
         roundtrip(Message::Notify(Notification::Interrupted { by_priority: 200 }));
         roundtrip(Message::Notify(Notification::Resumed));
+    }
+
+    #[test]
+    fn roundtrip_sequenced() {
+        roundtrip(Message::CmdSeq {
+            seq: u64::MAX,
+            cmd: Command::NPoll { time: 99 },
+        });
+        roundtrip(Message::RespSeq {
+            seq: 7,
+            resp: Response::Poll {
+                packets: vec![(1, 100, vec![1, 2])],
+                dropped_packets: 1,
+                dropped_bytes: 60,
+            },
+        });
+    }
+
+    #[test]
+    fn sequenced_truncation_rejected() {
+        let enc = Message::CmdSeq {
+            seq: 3,
+            cmd: Command::NSend { sktid: 1, time: 2, data: vec![1; 10] },
+        }
+        .encode();
+        for cut in 1..enc.len() {
+            assert!(Message::decode(&enc[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

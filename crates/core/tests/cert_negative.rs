@@ -1,0 +1,250 @@
+//! Negative-path authorization: the Figure 1 flow, sabotaged.
+//!
+//! The positive path (fig1_authorization.rs) shows a valid chain
+//! authenticating. These tests drive the same end-to-end flow — real
+//! harness, real endpoint agent, real handshake — with credentials that
+//! must be refused: an expired certificate, a violated restriction
+//! (priority above the delegation's ceiling), and a broken delegation
+//! (leaf signed by a key the chain never authorized). Each must fail with
+//! a typed endpoint error naming the cause, and must leave no session
+//! behind on the endpoint.
+
+use packetlab::cert::{CertPayload, Certificate, Restrictions};
+use packetlab::controller::{Controller, ControllerError, Credentials};
+use packetlab::descriptor::ExperimentDescriptor;
+use packetlab::endpoint::EndpointConfig;
+use packetlab::harness::{EndpointId, SimChannel, SimNet};
+use plab_crypto::{KeyHash, Keypair};
+use plab_netsim::{LinkParams, NodeId, TopologyBuilder};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// The endpoint's wall clock in these tests (EndpointConfig default).
+const WALL: u64 = 1_700_000_000;
+
+struct World {
+    net: Rc<RefCell<SimNet>>,
+    ctrl_node: NodeId,
+    ep_addr: Ipv4Addr,
+    operator: Keypair,
+}
+
+fn world() -> World {
+    let operator = Keypair::from_seed(&[3; 32]);
+    let mut t = TopologyBuilder::new();
+    let c = t.host("controller", "10.9.0.1".parse().unwrap());
+    let e = t.host("endpoint", "10.0.0.1".parse().unwrap());
+    t.link(c, e, LinkParams::new(5, 0));
+    let mut net = SimNet::new(t.build());
+    net.add_endpoint(
+        e,
+        EndpointConfig {
+            trusted_keys: vec![KeyHash::of(&operator.public)],
+            ..Default::default()
+        },
+    );
+    World {
+        net: Rc::new(RefCell::new(net)),
+        ctrl_node: c,
+        ep_addr: "10.0.0.1".parse().unwrap(),
+        operator,
+    }
+}
+
+fn descriptor(experimenter: &Keypair) -> ExperimentDescriptor {
+    ExperimentDescriptor {
+        name: "negative".into(),
+        controller_addr: "10.9.0.1:7000".into(),
+        info_url: String::new(),
+        experimenter: KeyHash::of(&experimenter.public),
+    }
+}
+
+fn agent(world: &World) -> impl Fn() -> usize + '_ {
+    let net = Rc::clone(&world.net);
+    move || {
+        net.borrow_mut().process();
+        let n = net.borrow();
+        agent_sessions(&n)
+    }
+}
+
+fn agent_sessions(net: &SimNet) -> usize {
+    net.endpoint_agent(EndpointId::first()).session_count()
+}
+
+/// Drive a connect attempt and return the refusal. Panics if the endpoint
+/// accepted.
+fn expect_rejection(world: &World, creds: Credentials) -> String {
+    let chan = SimChannel::connect(&world.net, world.ctrl_node, world.ep_addr);
+    match Controller::connect(chan, &creds) {
+        Err(ControllerError::Endpoint(_code, msg)) => msg,
+        Ok(_) => panic!("endpoint accepted credentials that must be refused"),
+        Err(other) => panic!("expected a typed endpoint refusal, got {other:?}"),
+    }
+}
+
+/// An otherwise-valid delegation whose validity window closed before the
+/// endpoint's wall clock: refused as expired.
+#[test]
+fn expired_certificate_is_refused() {
+    let w = world();
+    let experimenter = Keypair::from_seed(&[50; 32]);
+    let creds = Credentials::issue(
+        &w.operator,
+        &experimenter,
+        descriptor(&experimenter),
+        Restrictions {
+            not_after: Some(WALL - 1),
+            ..Restrictions::none()
+        },
+        10,
+    );
+    let msg = expect_rejection(&w, creds);
+    assert!(
+        msg.contains("expired"),
+        "refusal must name the expiry: {msg:?}"
+    );
+    assert_eq!(agent(&w)(), 0, "refused session must not linger");
+}
+
+/// A chain that only becomes valid in the future is equally refused (the
+/// same `valid_at` gate, other edge).
+#[test]
+fn not_yet_valid_certificate_is_refused() {
+    let w = world();
+    let experimenter = Keypair::from_seed(&[51; 32]);
+    let creds = Credentials::issue(
+        &w.operator,
+        &experimenter,
+        descriptor(&experimenter),
+        Restrictions {
+            not_before: Some(WALL + 1_000),
+            ..Restrictions::none()
+        },
+        10,
+    );
+    let msg = expect_rejection(&w, creds);
+    assert!(msg.contains("expired"), "refusal: {msg:?}");
+}
+
+/// Priority above the delegation's ceiling (§3.3: "this priority must not
+/// exceed the maximum priority specified in any certificate in the
+/// chain"): the chain verifies, but the session request violates its
+/// restrictions.
+#[test]
+fn priority_above_ceiling_is_refused() {
+    let w = world();
+    let experimenter = Keypair::from_seed(&[52; 32]);
+    let creds = Credentials::issue(
+        &w.operator,
+        &experimenter,
+        descriptor(&experimenter),
+        Restrictions {
+            max_priority: Some(5),
+            ..Restrictions::none()
+        },
+        9, // above the ceiling
+    );
+    let msg = expect_rejection(&w, creds);
+    assert!(
+        msg.contains("priority"),
+        "refusal must name the violated restriction: {msg:?}"
+    );
+    assert_eq!(agent(&w)(), 0);
+
+    // At the ceiling, the same chain authenticates: the restriction, not
+    // the chain, was the problem.
+    let creds_ok = Credentials::issue(
+        &w.operator,
+        &experimenter,
+        descriptor(&experimenter),
+        Restrictions {
+            max_priority: Some(5),
+            ..Restrictions::none()
+        },
+        5,
+    );
+    let chan = SimChannel::connect(&w.net, w.ctrl_node, w.ep_addr);
+    Controller::connect(chan, &creds_ok).expect("priority at ceiling authenticates");
+}
+
+/// A delegation naming key A, with the experiment certificate signed by
+/// key B: the chain is structurally broken and must be refused even
+/// though every signature verifies.
+#[test]
+fn broken_delegation_is_refused() {
+    let w = world();
+    let delegated = Keypair::from_seed(&[53; 32]);
+    let interloper = Keypair::from_seed(&[54; 32]);
+    let desc = descriptor(&interloper);
+
+    // Operator delegates to `delegated`…
+    let deleg = Certificate::sign(
+        &w.operator,
+        CertPayload::Delegation(KeyHash::of(&delegated.public)),
+        Restrictions::none(),
+    );
+    // …but the leaf is signed by `interloper`.
+    let leaf = Certificate::sign(
+        &interloper,
+        CertPayload::Experiment(desc.hash()),
+        Restrictions::none(),
+    );
+    let creds = Credentials {
+        descriptor: desc,
+        chain: vec![deleg, leaf],
+        keys: vec![w.operator.public, delegated.public, interloper.public],
+        signing_key: interloper,
+        priority: 10,
+    };
+    let msg = expect_rejection(&w, creds);
+    assert!(
+        msg.contains("broken chain"),
+        "refusal must name the chain break: {msg:?}"
+    );
+    assert_eq!(agent(&w)(), 0);
+}
+
+/// A chain rooted in a key the endpoint does not trust: refused, and the
+/// refusal does not leak which keys the endpoint would trust.
+#[test]
+fn untrusted_root_is_refused() {
+    let w = world();
+    let rogue_operator = Keypair::from_seed(&[55; 32]);
+    let experimenter = Keypair::from_seed(&[56; 32]);
+    let creds = Credentials::issue(
+        &rogue_operator,
+        &experimenter,
+        descriptor(&experimenter),
+        Restrictions::none(),
+        10,
+    );
+    let msg = expect_rejection(&w, creds);
+    assert!(msg.contains("no trusted signer"), "refusal: {msg:?}");
+}
+
+/// Credentials for one descriptor presented with a proof for another: the
+/// possession proof must bind the descriptor hash, so a swapped descriptor
+/// is refused even with a valid chain.
+#[test]
+fn descriptor_swap_is_refused() {
+    let w = world();
+    let experimenter = Keypair::from_seed(&[57; 32]);
+    let mut creds = Credentials::issue(
+        &w.operator,
+        &experimenter,
+        descriptor(&experimenter),
+        Restrictions::none(),
+        10,
+    );
+    // Tamper: the presented descriptor differs from the one the leaf
+    // certificate binds.
+    creds.descriptor.name = "swapped".into();
+    let msg = expect_rejection(&w, creds);
+    assert!(
+        msg.contains("descriptor") || msg.contains("broken chain"),
+        "refusal: {msg:?}"
+    );
+}

@@ -3,7 +3,7 @@
 
 use packetlab::cert::Restrictions;
 use packetlab::controller::compat::CompatSocket;
-use packetlab::controller::{Controller, Credentials};
+use packetlab::controller::{ControlPlane, Controller, Credentials};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{SimChannel, SimNet};

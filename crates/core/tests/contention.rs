@@ -9,7 +9,7 @@
 //! suspends it by yielding control of the endpoint."
 
 use packetlab::cert::Restrictions;
-use packetlab::controller::{Controller, ControllerError, Credentials};
+use packetlab::controller::{ControlPlane, Controller, ControllerError, Credentials};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{SimChannel, SimNet};

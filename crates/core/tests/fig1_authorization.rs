@@ -14,7 +14,7 @@
 //! to run on the endpoint (➑)."
 
 use packetlab::cert::{CertPayload, Certificate, Restrictions};
-use packetlab::controller::{Controller, Credentials};
+use packetlab::controller::{ControlPlane, Controller, Credentials};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{SimChannel, SimNet, RENDEZVOUS_PORT};

@@ -6,7 +6,7 @@
 //! experiment certificate it issues to an experimenter."
 
 use packetlab::cert::Restrictions;
-use packetlab::controller::{experiments, Controller, ControllerError, Credentials};
+use packetlab::controller::{experiments, ControlPlane, Controller, ControllerError, Credentials};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{SimChannel, SimNet};

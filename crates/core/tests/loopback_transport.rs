@@ -3,7 +3,7 @@
 //! loopback.
 
 use packetlab::cert::Restrictions;
-use packetlab::controller::{Controller, ControllerError, Credentials};
+use packetlab::controller::{ControlPlane, Controller, ControllerError, Credentials};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::transport::{EndpointServer, TcpChannel};

@@ -4,7 +4,7 @@
 //! external address.)"
 
 use packetlab::cert::Restrictions;
-use packetlab::controller::{experiments, Controller, Credentials};
+use packetlab::controller::{experiments, ControlPlane, Controller, Credentials};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{SimChannel, SimNet};

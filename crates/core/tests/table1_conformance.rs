@@ -11,7 +11,7 @@
 //! | `mread`/`mwrite` | info block, clock, scratch writes, RO enforcement |
 
 use packetlab::cert::Restrictions;
-use packetlab::controller::{experiments, Controller, ControllerError, Credentials};
+use packetlab::controller::{experiments, ControlPlane, Controller, ControllerError, Credentials};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{SimChannel, SimNet};
@@ -289,4 +289,142 @@ fn yield_releases_control() {
     // A yielded controller re-contends on its next command (nobody else
     // wants the endpoint, so it simply gets control back).
     assert!(ctrl.read_clock().is_ok());
+}
+
+/// Connect with a certificate-restricted capture buffer (the §3.3
+/// `max_buffer_bytes` restriction), for the drop-accounting tests.
+fn connect_with_buffer(world: &World, operator: &Keypair, cap: u64) -> Controller<SimChannel> {
+    let experimenter = kp(42);
+    let descriptor = ExperimentDescriptor {
+        name: "table1".into(),
+        controller_addr: "10.0.9.1:7000".into(),
+        info_url: String::new(),
+        experimenter: KeyHash::of(&experimenter.public),
+    };
+    let creds = Credentials::issue(
+        operator,
+        &experimenter,
+        descriptor,
+        Restrictions { max_buffer_bytes: Some(cap), ..Restrictions::none() },
+        1,
+    );
+    let chan = SimChannel::connect(&world.net, world.controller, world.endpoint_addr);
+    Controller::connect(chan, &creds).unwrap()
+}
+
+/// `npoll` drop accounting stays exact while the access link is lossy:
+/// replies that clear the (lossy) network but find the capture buffer full
+/// are counted — per packet and per byte — and the counters reset once
+/// reported ("the response also notes if any data was dropped due to
+/// insufficient buffer space").
+#[test]
+fn ncap_drop_accounting_exact_under_loss() {
+    let (world, operator) = build();
+    // Capacity fits exactly 3 echo replies (20 IP + 8 ICMP + 32 payload).
+    let reply_len = 60u64;
+    let mut ctrl = connect_with_buffer(&world, &operator, 3 * reply_len);
+    ctrl.nopen_raw(1).unwrap();
+    let src = ctrl.endpoint_addr().unwrap();
+    ctrl.ncap_cpf(1, u64::MAX, experiments::ICMP_CAPTURE_FILTER).unwrap();
+
+    // 25% uniform loss on the endpoint's access link, mid-experiment: the
+    // drop *accounting* must not be confused by network loss (lost replies
+    // are simply absent; only buffer rejections are counted).
+    let t0 = ctrl.read_clock().unwrap();
+    {
+        let mut n = world.net.borrow_mut();
+        let ep = n.sim.node_by_name("endpoint").unwrap();
+        let r = n.sim.node_by_name("r").unwrap();
+        let link = n.sim.link_between(ep, r).unwrap();
+        n.sim.schedule_fault(
+            t0 + 50 * MILLISECOND,
+            plab_netsim::FaultAction::SetLoss { link, loss: 0.25 },
+        );
+    }
+    // 12 probes, paced 20 ms apart, starting after the loss kicks in.
+    for i in 0..12u16 {
+        let probe = plab_packet::builder::icmp_echo_request(
+            src,
+            world.target_addr,
+            64,
+            7,
+            i,
+            &[0u8; 32],
+        );
+        ctrl.nsend(1, t0 + 100 * MILLISECOND + i as u64 * 20 * MILLISECOND, probe)
+            .unwrap();
+    }
+    let poll = ctrl.npoll(t0 + SECOND).unwrap();
+    // The buffer admitted at most its capacity…
+    let captured_bytes: u64 = poll.packets.iter().map(|(_, _, p)| p.len() as u64).sum();
+    assert!(captured_bytes <= 3 * reply_len, "buffer overran its certificate cap");
+    assert_eq!(poll.packets.len(), 3, "capacity admits exactly three replies");
+    // …and every rejected reply was counted, bytes consistent with the
+    // uniform reply size.
+    assert!(poll.dropped_packets >= 1, "loss left enough replies to overflow");
+    assert_eq!(
+        poll.dropped_bytes,
+        poll.dropped_packets * reply_len,
+        "byte accounting must match the uniform reply size",
+    );
+    // Counters are drained by the report: an immediate second poll sees
+    // a fresh window with nothing dropped (capacity was freed).
+    let t1 = ctrl.read_clock().unwrap();
+    let poll2 = ctrl.npoll(t1 + 100 * MILLISECOND).unwrap();
+    assert_eq!(poll2.dropped_packets, 0, "drop counters must not double-report");
+    assert_eq!(poll2.dropped_bytes, 0);
+}
+
+/// Filter expiry stays exact across a link flap that severs (and TCP
+/// retransmission then heals) both the control channel and the
+/// measurement path: a reply inside the window is captured, a reply lost
+/// to the outage is simply absent, and a reply after expiry is neither
+/// captured nor counted as a buffer drop.
+#[test]
+fn ncap_expiry_exact_across_link_flap() {
+    let (world, operator) = build();
+    let mut ctrl = connect(&world, &operator);
+    ctrl.nopen_raw(1).unwrap();
+    let src = ctrl.endpoint_addr().unwrap();
+    let t0 = ctrl.read_clock().unwrap();
+    // Filter expires at t0 + 1 s.
+    ctrl.ncap_cpf(1, t0 + SECOND, experiments::ICMP_CAPTURE_FILTER).unwrap();
+
+    // Flap the access link: down at +200 ms, back at +600 ms. The control
+    // connection rides it out on TCP retransmission (no session loss).
+    {
+        let mut n = world.net.borrow_mut();
+        let ep = n.sim.node_by_name("endpoint").unwrap();
+        let r = n.sim.node_by_name("r").unwrap();
+        let link = n.sim.link_between(ep, r).unwrap();
+        n.sim.schedule_fault(
+            t0 + 200 * MILLISECOND,
+            plab_netsim::FaultAction::LinkDown { link },
+        );
+        n.sim.schedule_fault(
+            t0 + 600 * MILLISECOND,
+            plab_netsim::FaultAction::LinkUp { link },
+        );
+    }
+
+    let probe = |seq: u16| {
+        plab_packet::builder::icmp_echo_request(src, world.target_addr, 64, 7, seq, &[])
+    };
+    // Probe 1: round trip completes before the flap — captured.
+    ctrl.nsend(1, t0 + 100 * MILLISECOND, probe(1)).unwrap();
+    // Probe 2: departs into the outage — lost on the wire, no reply.
+    ctrl.nsend(1, t0 + 300 * MILLISECOND, probe(2)).unwrap();
+    // Probe 3: departs after recovery but after expiry — its reply
+    // arrives with no filter installed.
+    ctrl.nsend(1, t0 + 1_100 * MILLISECOND, probe(3)).unwrap();
+
+    let poll = ctrl.npoll(t0 + 900 * MILLISECOND).unwrap();
+    assert_eq!(poll.packets.len(), 1, "only the pre-flap reply is captured");
+    assert_eq!(poll.dropped_packets, 0, "network loss is not a buffer drop");
+
+    // Wait out probe 3's reply window: nothing captured, nothing counted.
+    let poll = ctrl.npoll(t0 + 2 * SECOND).unwrap();
+    assert!(poll.packets.is_empty(), "filter expired before the last reply");
+    assert_eq!(poll.dropped_packets, 0, "post-expiry packets are filtered, not dropped");
+    assert_eq!(poll.dropped_bytes, 0);
 }

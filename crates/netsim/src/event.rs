@@ -1,11 +1,12 @@
 //! The discrete-event queue.
 
+use crate::fault::FaultAction;
 use crate::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Events the simulator processes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
     /// A packet finishes traversing a link (index, direction) and arrives
     /// at the far node.
@@ -42,14 +43,29 @@ pub enum EventKind {
         /// Opaque key.
         key: u64,
     },
+    /// A scheduled fault fires (see [`crate::fault`]).
+    Fault {
+        /// The fault to apply.
+        action: FaultAction,
+    },
 }
 
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug)]
 struct Entry {
     time: SimTime,
     seq: u64,
     kind: EventKind,
 }
+
+// Ordering uses (time, seq) only; seq is unique, so this Eq is consistent
+// with Ord even though EventKind itself is not Eq (fault probabilities).
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+
+impl Eq for Entry {}
 
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {

@@ -23,7 +23,10 @@
 //!   backpressure §3.1 relies on when capture buffers fill ([`tcp`]);
 //! - **scheduled transmission**: packets queued to leave a host at an exact
 //!   future virtual time, the primitive `nsend` maps onto;
-//! - **tracing** of per-packet events for test assertions ([`trace`]).
+//! - **tracing** of per-packet events for test assertions ([`trace`]);
+//! - **fault injection**: scheduled link flaps, Gilbert–Elliott burst
+//!   loss, and endpoint crash/restart, all replayable from a seed
+//!   ([`fault`]).
 //!
 //! The simulator is single-threaded and runs in lockstep with the code
 //! driving it: [`Sim::step`] processes one event, [`Sim::run_until`] pumps
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod nat;
 pub mod node;
@@ -45,9 +49,11 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use fault::{FaultAction, GilbertElliott, ScheduledFault};
 pub use link::LinkParams;
 pub use node::{NodeId, RawDisposition};
 pub use pool::BufPool;
-pub use sim::Sim;
+pub use sim::{NodeTransition, Sim};
 pub use time::{SimTime, MICROSECOND, MILLISECOND, SECOND};
 pub use topology::TopologyBuilder;
+pub use trace::DropReason;

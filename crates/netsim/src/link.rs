@@ -6,6 +6,7 @@
 //! paced by its access link's serialization delay, so the receiver-observed
 //! arrival rate estimates the bottleneck bandwidth.
 
+use crate::fault::{roll_below, GilbertElliott};
 use crate::time::{serialization_ns, SimTime};
 
 /// Link configuration.
@@ -104,6 +105,8 @@ pub struct Direction {
     pub drops: u64,
     /// Latest arrival time handed out (jitter clamp: preserves FIFO order).
     pub last_arrival: SimTime,
+    /// Gilbert–Elliott state: true while the channel is in the bad state.
+    pub ge_bad: bool,
 }
 
 /// A bidirectional link between two node interfaces.
@@ -117,6 +120,11 @@ pub struct Link {
     pub params: LinkParams,
     /// Per-direction state: `[0]` is a→b, `[1]` is b→a.
     pub dirs: [Direction; 2],
+    /// Administrative state; false while a fault holds the link down.
+    pub up: bool,
+    /// Optional burst-loss model (fault injection); directions share the
+    /// parameters but keep independent state.
+    pub ge: Option<GilbertElliott>,
 }
 
 /// Outcome of offering a packet to a link queue.
@@ -139,7 +147,33 @@ impl Link {
             b,
             params,
             dirs: [Direction::default(), Direction::default()],
+            up: true,
+            ge: None,
         }
+    }
+
+    /// Does arrival-time loss sampling need RNG rolls for this link?
+    pub fn lossy(&self) -> bool {
+        self.params.loss > 0.0 || self.ge.is_some()
+    }
+
+    /// Decide whether a packet arriving in `dir` is lost. `rolls` are two
+    /// independent uniform `u64` draws from the simulator's seeded RNG:
+    /// the first drives the Gilbert–Elliott state transition, the second
+    /// the loss decision itself. Pure integer threshold comparisons keep
+    /// the outcome bit-for-bit identical across platforms.
+    pub fn sample_loss(&mut self, dir: usize, rolls: [u64; 2]) -> bool {
+        let mut p = self.params.loss;
+        if let Some(ge) = self.ge {
+            let d = &mut self.dirs[dir];
+            let flip = if d.ge_bad { ge.p_exit_bad } else { ge.p_enter_bad };
+            if roll_below(rolls[0], flip) {
+                d.ge_bad = !d.ge_bad;
+            }
+            let burst = if d.ge_bad { ge.loss_bad } else { ge.loss_good };
+            p = p.max(burst);
+        }
+        p > 0.0 && roll_below(rolls[1], p)
     }
 
     /// The far node for a given direction.

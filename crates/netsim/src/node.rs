@@ -138,6 +138,9 @@ pub struct Node {
     pub nat: Option<NatTable>,
     /// For NAT nodes: the interface index facing the inside network.
     pub nat_internal_iface: usize,
+    /// True while fault injection holds this host down: deliveries drop
+    /// and the (freshly wiped) socket stack is unreachable.
+    pub crashed: bool,
 }
 
 impl Node {
@@ -181,6 +184,7 @@ mod tests {
             host: Some(HostState::default()),
             nat: None,
             nat_internal_iface: 0,
+            crashed: false,
         }
     }
 

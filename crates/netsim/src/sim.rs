@@ -1,6 +1,7 @@
 //! The simulator core: event loop, forwarding, host stacks.
 
 use crate::event::{EventKind, EventQueue};
+use crate::fault::FaultAction;
 use crate::link::{Link, Offer};
 use crate::node::{Node, NodeId, NodeKind};
 use crate::pool::BufPool;
@@ -8,9 +9,19 @@ use crate::time::SimTime;
 use crate::trace::{DropReason, Trace, TraceEvent};
 use plab_packet::{builder, icmp, ipv4, proto, udp};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+
+/// A host's up/down transition, observable by the driving harness (which
+/// must re-establish listeners after a restart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeTransition {
+    /// The node crashed: socket stack wiped.
+    Crashed(NodeId),
+    /// The node restarted with a fresh, empty stack.
+    Restarted(NodeId),
+}
 
 /// The network simulator. Construct via [`crate::TopologyBuilder`].
 pub struct Sim {
@@ -24,6 +35,7 @@ pub struct Sim {
     pub trace: Trace,
     fired_timers: Vec<(NodeId, u64)>,
     send_log: Vec<(NodeId, u64, SimTime)>,
+    node_transitions: Vec<NodeTransition>,
     /// Name → node index, built once at construction.
     name_index: HashMap<String, usize>,
     /// Recycled packet buffers (see [`crate::pool`]).
@@ -46,6 +58,7 @@ impl Sim {
             trace: Trace::default(),
             fired_timers: Vec::new(),
             send_log: Vec::new(),
+            node_transitions: Vec::new(),
             name_index,
             pool: BufPool::new(),
         }
@@ -86,8 +99,25 @@ impl Sim {
         match kind {
             EventKind::LinkArrival { link, dir, packet } => {
                 self.links[link].departed(dir, packet.len());
-                let loss = self.links[link].params.loss;
-                if loss > 0.0 && self.rng.gen::<f64>() < loss {
+                if !self.links[link].up {
+                    // A flap kills what is in flight on the wire.
+                    let node = self.links[link].dst_node(dir);
+                    self.trace.record(TraceEvent::Dropped {
+                        time: self.time,
+                        node,
+                        reason: DropReason::LinkDown,
+                    });
+                    self.pool.put(packet);
+                    return true;
+                }
+                // Loss decisions are integer comparisons on rolls drawn
+                // from the single seeded RNG — bit-for-bit reproducible
+                // across runs and platforms.
+                let lost = self.links[link].lossy() && {
+                    let rolls = [self.rng.next_u64(), self.rng.next_u64()];
+                    self.links[link].sample_loss(dir, rolls)
+                };
+                if lost {
                     let node = self.links[link].dst_node(dir);
                     self.trace.record(TraceEvent::Dropped {
                         time: self.time,
@@ -101,16 +131,31 @@ impl Sim {
                 }
             }
             EventKind::ScheduledSend { node, packet, tag } => {
+                if self.nodes[node].crashed {
+                    self.trace.record(TraceEvent::Dropped {
+                        time: self.time,
+                        node,
+                        reason: DropReason::NodeDown,
+                    });
+                    self.pool.put(packet);
+                    return true;
+                }
                 self.send_log.push((NodeId(node), tag, self.time));
                 self.send_from(NodeId(node), packet);
             }
             EventKind::TcpTick { node, conn } => {
+                if self.nodes[node].crashed {
+                    return true;
+                }
                 let now = self.time;
                 let out = self.nodes[node].host_mut().tcp.tick(now, conn);
                 self.dispatch_tcp(NodeId(node), out);
             }
             EventKind::Timer { node, key } => {
                 self.fired_timers.push((NodeId(node), key));
+            }
+            EventKind::Fault { action } => {
+                self.apply_fault(action);
             }
         }
         true
@@ -185,6 +230,81 @@ impl Sim {
     /// shared log and must put back other nodes' entries).
     pub fn push_send_log(&mut self, node: NodeId, tag: u64, time: SimTime) {
         self.send_log.push((node, tag, time));
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (see `crate::fault`)
+    // ------------------------------------------------------------------
+
+    /// Schedule `action` to fire at virtual time `at` (clamped to now).
+    pub fn schedule_fault(&mut self, at: SimTime, action: FaultAction) {
+        self.events
+            .push(at.max(self.time), EventKind::Fault { action });
+    }
+
+    /// Apply a fault immediately.
+    pub fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::LinkDown { link } => self.links[link].up = false,
+            FaultAction::LinkUp { link } => self.links[link].up = true,
+            FaultAction::SetLoss { link, loss } => self.links[link].params.loss = loss,
+            FaultAction::SetBurstLoss { link, model } => self.links[link].ge = model,
+            FaultAction::SetDelay { link, latency, jitter } => {
+                self.links[link].params.latency = latency;
+                self.links[link].params.jitter = jitter;
+            }
+            FaultAction::TcpReset { node } => {
+                let n = &mut self.nodes[node];
+                if let Some(host) = n.host.as_mut() {
+                    host.tcp.reset_conns();
+                }
+            }
+            FaultAction::NodeCrash { node } => self.crash_node(NodeId(node)),
+            FaultAction::NodeRestart { node } => self.restart_node(NodeId(node)),
+        }
+    }
+
+    /// Index of the link directly connecting `a` and `b`, if any.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        self.links.iter().position(|l| {
+            (l.a.0 == a.0 && l.b.0 == b.0) || (l.a.0 == b.0 && l.b.0 == a.0)
+        })
+    }
+
+    /// Is a link administratively up?
+    pub fn link_up(&self, link: usize) -> bool {
+        self.links[link].up
+    }
+
+    /// Crash a host: the socket stack (raw/UDP/TCP, pending OS packets) is
+    /// wiped and deliveries drop with [`DropReason::NodeDown`] until
+    /// [`Sim::restart_node`]. No-op on non-hosts or already-crashed nodes.
+    pub fn crash_node(&mut self, node: NodeId) {
+        let n = &mut self.nodes[node.0];
+        if n.host.is_none() || n.crashed {
+            return;
+        }
+        n.crashed = true;
+        n.host = Some(Default::default());
+        self.node_transitions.push(NodeTransition::Crashed(node));
+    }
+
+    /// Restart a crashed host with a fresh, empty socket stack. The
+    /// harness must re-establish listeners (see
+    /// [`Sim::take_node_transitions`]).
+    pub fn restart_node(&mut self, node: NodeId) {
+        let n = &mut self.nodes[node.0];
+        if n.host.is_none() || !n.crashed {
+            return;
+        }
+        n.crashed = false;
+        n.host = Some(Default::default());
+        self.node_transitions.push(NodeTransition::Restarted(node));
+    }
+
+    /// Drain crash/restart transitions that fired since the last call.
+    pub fn take_node_transitions(&mut self) -> Vec<NodeTransition> {
+        std::mem::take(&mut self.node_transitions)
     }
 
     // ------------------------------------------------------------------
@@ -424,6 +544,15 @@ impl Sim {
             self.pool.put(packet);
             return;
         };
+        if !self.links[link_idx].up {
+            self.trace.record(TraceEvent::Dropped {
+                time: self.time,
+                node,
+                reason: DropReason::LinkDown,
+            });
+            self.pool.put(packet);
+            return;
+        }
         let jitter_ceiling = self.links[link_idx].params.jitter;
         let jitter_sample = if jitter_ceiling > 0 {
             self.rng.gen_range(0..=jitter_ceiling)
@@ -456,6 +585,15 @@ impl Sim {
 
     /// A packet has arrived at `node`.
     fn deliver(&mut self, node: usize, mut packet: Vec<u8>) {
+        if self.nodes[node].crashed {
+            self.trace.record(TraceEvent::Dropped {
+                time: self.time,
+                node,
+                reason: DropReason::NodeDown,
+            });
+            self.pool.put(packet);
+            return;
+        }
         let Ok(view) = ipv4::Ipv4View::new_unchecked(&packet) else {
             self.trace.record(TraceEvent::Dropped {
                 time: self.time,

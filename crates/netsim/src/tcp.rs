@@ -213,6 +213,18 @@ impl TcpHost {
         self.listeners.get_mut(&port)?.pop_front()
     }
 
+    /// Silently discard every connection (and queued accepts), keeping
+    /// listening ports. Models a transport-layer fault — e.g. a middlebox
+    /// flushing its state table — as opposed to a host crash: the
+    /// application above survives with its state intact and peers learn of
+    /// the loss via RSTs to their next segment.
+    pub fn reset_conns(&mut self) {
+        self.conns.clear();
+        for queue in self.listeners.values_mut() {
+            queue.clear();
+        }
+    }
+
     /// Open a connection to `remote`; returns the id and the SYN to send.
     pub fn connect(
         &mut self,

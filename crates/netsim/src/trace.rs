@@ -18,6 +18,11 @@ pub enum DropReason {
     WrongHost,
     /// Malformed datagram.
     Malformed,
+    /// Offered to (or in flight on) a link that is administratively down
+    /// (fault injection: link flap or partition).
+    LinkDown,
+    /// Destined to, or sent from, a crashed host (fault injection).
+    NodeDown,
 }
 
 /// One trace record.

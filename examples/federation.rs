@@ -12,7 +12,7 @@
 //! collects measurements from both operators' endpoints.
 
 use packetlab::cert::{CertPayload, Certificate, Restrictions};
-use packetlab::controller::{experiments, Controller, Credentials};
+use packetlab::controller::{experiments, ControlPlane, Controller, Credentials};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{EndpointId, SimChannel, SimNet};

@@ -8,7 +8,7 @@
 //! ```
 
 use packetlab::cert::Restrictions;
-use packetlab::controller::{Controller, Credentials};
+use packetlab::controller::{ControlPlane, Controller, Credentials};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::transport::{EndpointServer, TcpChannel};

@@ -10,7 +10,7 @@
 //! measurement computed from endpoint-side timestamps.
 
 use packetlab::cert::Restrictions;
-use packetlab::controller::{experiments, Controller, Credentials};
+use packetlab::controller::{experiments, ControlPlane, Controller, Credentials};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{SimChannel, SimNet};

@@ -13,7 +13,7 @@
 //! traceroute-shaped traffic.
 
 use packetlab::cert::Restrictions;
-use packetlab::controller::{experiments, Controller, Credentials};
+use packetlab::controller::{experiments, ControlPlane, Controller, Credentials};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{SimChannel, SimNet};

@@ -3,7 +3,7 @@
 //! "global-scale Internet measurement" story in miniature.
 
 use packetlab::cert::{CertPayload, Certificate, Restrictions};
-use packetlab::controller::{experiments, Controller, Credentials};
+use packetlab::controller::{experiments, ControlPlane, Controller, Credentials};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{SimChannel, SimNet};

@@ -143,3 +143,23 @@ fn sim_now(stack: &SimStack) -> u64 {
     use packetlab::netstack::NetStack;
     stack.clock()
 }
+
+/// Triaged from `proptest_agent.proptest-regressions` (shrunk case
+/// `msgs = [(3, Hello { version: 2 })]`): a `Hello` arriving on a session
+/// id the harness never opened — sessions 1 and 2 exist, 3 does not. The
+/// agent must neither panic nor address a reply to the unknown session.
+/// Checked in as a plain test so the case runs on every `cargo test`, not
+/// only when proptest replays its seed file.
+#[test]
+fn hello_on_unknown_session_never_answers_it() {
+    let (mut sim, node, mut agent) = harness();
+    agent.on_session_open(1);
+    agent.on_session_open(2);
+    let mut stack = SimStack::new(&mut sim, node);
+    let out = agent.on_message(3, Message::Hello { version: 2 }, &mut stack);
+    for (to, _) in out {
+        assert!(to <= 2, "reply addressed to unknown session {to}");
+    }
+    // The known sessions are unharmed and still count.
+    assert_eq!(agent.session_count(), 2);
+}

@@ -3,7 +3,7 @@
 //! at a RIPE-Atlas-flavored (if miniature) population.
 
 use packetlab::cert::Restrictions;
-use packetlab::controller::{experiments, Controller, Credentials};
+use packetlab::controller::{experiments, ControlPlane, Controller, Credentials};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{SimChannel, SimNet};
