@@ -10,11 +10,18 @@
 //!   repro_chaos --scenario traceroute --seed 0x5eed0000
 //!                                       # replay one failing seed
 //!   repro_chaos --sweep 25 --base 1234  # randomized sweep from a base seed
+//!   repro_chaos --seed 0x5eed0000 --trace
+//!                                       # flight recorder on: runs twice,
+//!                                       # asserts the dumps byte-identical,
+//!                                       # prints the recorder tail on abort
+//!                                       # or divergence, writes artifacts
+//!   repro_chaos --json                  # machine-readable report on stdout
 //!
 //! Every line echoes the seed: paste it back with --seed to reproduce a
 //! run bit-for-bit.
 
-use packetlab::chaos::{self, ChaosVerdict, Scenario};
+use packetlab::chaos::{self, ChaosOutcome, ChaosVerdict, Scenario};
+use plab_obs::export::{fnv1a64, json_escape};
 
 fn parse_seed(s: &str) -> u64 {
     let s = s.trim();
@@ -32,19 +39,122 @@ fn scenario_by_name(name: &str) -> Scenario {
         .unwrap_or_else(|| panic!("unknown scenario {name:?} (traceroute|bandwidth|conformance)"))
 }
 
-/// Run a seed twice (determinism is part of the contract), print its
-/// report, and return (completed, deterministic).
-fn run_one(scenario: Scenario, seed: u64) -> (bool, bool) {
-    let out = chaos::run(scenario, seed);
-    let again = chaos::run(scenario, seed);
-    let deterministic = out == again;
+/// One run's result, as collected for reporting.
+struct Row {
+    outcome: ChaosOutcome,
+    deterministic: bool,
+    /// FNV-1a fingerprint of the flight-recorder text dump (trace mode).
+    trace_fnv: Option<u64>,
+}
+
+/// Print the last `n` lines of a flight-recorder text dump.
+fn print_tail(dump: &str, n: usize) {
+    let lines: Vec<&str> = dump.lines().collect();
+    let keep = lines.len().saturating_sub(n);
+    if keep > 0 {
+        println!("  ... ({keep} earlier events)");
+    }
+    for line in &lines[keep..] {
+        println!("  {line}");
+    }
+}
+
+/// Run a seed twice (determinism is part of the contract) and report.
+fn run_one(scenario: Scenario, seed: u64, trace: bool, quiet: bool) -> Row {
+    if !trace {
+        let out = chaos::run(scenario, seed);
+        let again = chaos::run(scenario, seed);
+        let deterministic = out == again;
+        if !quiet {
+            print_row(&out, deterministic);
+        }
+        return Row { outcome: out, deterministic, trace_fnv: None };
+    }
+
+    let first = chaos::run_traced(scenario, seed);
+    let again = chaos::run_traced(scenario, seed);
+    // The determinism contract in trace mode is stronger: not just the
+    // outcome but the rendered flight-recorder artifacts must be
+    // byte-identical across replays of the same seed.
+    let deterministic = first == again;
+    if !quiet {
+        print_row(&first.outcome, deterministic);
+    }
+    if !deterministic && !quiet {
+        println!("  TRACE DIVERGENCE — first run's recorder tail:");
+        print_tail(&first.text_dump, 30);
+        println!("  second run's recorder tail:");
+        print_tail(&again.text_dump, 30);
+    } else if matches!(first.outcome.verdict, ChaosVerdict::Aborted(_)) && !quiet {
+        println!("  flight-recorder tail at abort:");
+        print_tail(&first.text_dump, 30);
+    }
+
+    // Artifacts for the trace viewer and diffing.
+    let stem = format!("chaos_trace_{}_{seed:#018x}", scenario.name());
+    std::fs::write(format!("{stem}.txt"), &first.text_dump).expect("write trace text dump");
+    std::fs::write(format!("{stem}.json"), &first.chrome_json).expect("write chrome trace");
+    if !quiet {
+        println!("  wrote {stem}.txt and {stem}.json (chrome://tracing)");
+    }
+    Row {
+        outcome: first.outcome,
+        deterministic,
+        trace_fnv: Some(fnv1a64(first.text_dump.as_bytes())),
+    }
+}
+
+fn print_row(out: &ChaosOutcome, deterministic: bool) {
     let status = match (&out.verdict, deterministic) {
         (_, false) => "NONDETERMINISTIC",
         (ChaosVerdict::Completed, _) => "ok",
         (ChaosVerdict::Aborted(_), _) => "aborted",
     };
     println!("{status:>16}  {}", out.report());
-    (matches!(out.verdict, ChaosVerdict::Completed), deterministic)
+}
+
+fn json_report(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"chaos\",\n  \"runs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let o = &row.outcome;
+        let (verdict, abort) = match &o.verdict {
+            ChaosVerdict::Completed => ("completed", String::new()),
+            ChaosVerdict::Aborted(e) => {
+                ("aborted", format!(", \"abort\": \"{}\"", json_escape(e)))
+            }
+        };
+        let trace = match row.trace_fnv {
+            Some(f) => format!(", \"trace_fnv\": \"{f:#018x}\""),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"seed\": \"{:#018x}\", \"verdict\": \"{verdict}\", \
+             \"digest\": \"{:#018x}\", \"finished_at_ns\": {}, \"deterministic\": {}, \
+             \"connects\": {}, \"replays\": {}, \"timeouts\": {}, \"failed_dials\": {}, \
+             \"faults\": {}{abort}{trace}}}{}\n",
+            o.scenario.name(),
+            o.seed,
+            o.digest,
+            o.finished_at,
+            row.deterministic,
+            o.stats.connects,
+            o.stats.replays,
+            o.stats.timeouts,
+            o.stats.failed_dials,
+            o.fault_count,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    let completed = rows
+        .iter()
+        .filter(|r| matches!(r.outcome.verdict, ChaosVerdict::Completed))
+        .count();
+    out.push_str(&format!(
+        "  ],\n  \"completed\": {completed},\n  \"aborted\": {},\n  \"deterministic\": {}\n}}\n",
+        rows.len() - completed,
+        rows.iter().all(|r| r.deterministic)
+    ));
+    out
 }
 
 fn main() {
@@ -53,6 +163,8 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut sweep: Option<u64> = None;
     let mut base: u64 = 0x5eed_0000;
+    let mut trace = false;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -72,14 +184,21 @@ fn main() {
                 base = parse_seed(&args[i + 1]);
                 i += 2;
             }
+            "--trace" => {
+                trace = true;
+                i += 1;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
 
-    println!("F/chaos: control plane under deterministic fault schedules\n");
-    let mut all_deterministic = true;
-    let mut completed = 0u32;
-    let mut aborted = 0u32;
+    if !json {
+        println!("F/chaos: control plane under deterministic fault schedules\n");
+    }
 
     let runs: Vec<(Scenario, u64)> = match (scenario, seed, sweep) {
         (s, Some(seed), _) => {
@@ -93,7 +212,9 @@ fn main() {
             // Randomized sweep: n derived seeds per scenario, from `base`
             // (CI passes a fresh base and logs it; any failure names the
             // exact derived seed to replay).
-            println!("sweep of {n} seeds per scenario from base {base:#x}\n");
+            if !json {
+                println!("sweep of {n} seeds per scenario from base {base:#x}\n");
+            }
             let mut runs = Vec::new();
             for s in Scenario::all() {
                 for k in 0..n {
@@ -106,19 +227,28 @@ fn main() {
         (None, None, None) => chaos::corpus(),
     };
 
-    for (s, seed) in runs {
-        let (done, deterministic) = run_one(s, seed);
-        if done {
-            completed += 1;
-        } else {
-            aborted += 1;
-        }
-        all_deterministic &= deterministic;
-    }
+    let rows: Vec<Row> = runs
+        .into_iter()
+        .map(|(s, seed)| run_one(s, seed, trace, json))
+        .collect();
+    let all_deterministic = rows.iter().all(|r| r.deterministic);
+    let completed = rows
+        .iter()
+        .filter(|r| matches!(r.outcome.verdict, ChaosVerdict::Completed))
+        .count();
 
-    println!("\n{completed} completed, {aborted} aborted cleanly, 0 hung (by construction)");
+    if json {
+        print!("{}", json_report(&rows));
+    } else {
+        println!(
+            "\n{completed} completed, {} aborted cleanly, 0 hung (by construction)",
+            rows.len() - completed
+        );
+    }
     if !all_deterministic {
-        println!("NONDETERMINISM DETECTED — see lines above for seeds");
+        if !json {
+            println!("NONDETERMINISM DETECTED — see lines above for seeds");
+        }
         std::process::exit(1);
     }
 }

@@ -1,0 +1,171 @@
+//! Observability overhead guard: proves the *disabled* instrumentation
+//! path costs (effectively) nothing on the PFVM adjudication hot path —
+//! the PR-1 throughput numbers must survive the tracing subsystem.
+//!
+//! Method: with `plab-obs` disabled (the default), measure Figure-2
+//! monitor-chain send adjudications per second through the instrumented
+//! [`MonitorSet`], and through an *uninstrumented twin* — a hand-rolled
+//! loop over the same `plab_filter::Vm::check_entry` calls (plab-filter
+//! carries no instrumentation, so the twin is exactly the pre-obs hot
+//! path). Each path runs a fixed-size batch many times, alternating, and
+//! the guard statistic is the ratio of *minimum* batch times: scheduler
+//! and frequency interference only ever add time, so the minimum over
+//! enough batches converges on the true cost while throughput-over-wall
+//! -time estimates stay noisy. The guard fails if the min-time ratio
+//! falls below `OBS_GUARD_MIN_RATIO` (default 0.99, i.e. >1% overhead).
+//!
+//! `--json` prints a machine-readable report. `OBS_GUARD_SECS` stretches
+//! the per-round budget (default 0.2 s; CI uses more rounds instead).
+
+use packetlab::monitor::MonitorSet;
+use plab_filter::{EntryPoint, Program, Vm};
+use plab_packet::{builder, layout};
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+const CHAIN: usize = 1;
+const ROUNDS: usize = 24;
+
+fn info_block(me: Ipv4Addr) -> Vec<u8> {
+    let mut info = vec![0u8; layout::INFO_SIZE];
+    layout::resolve_info("addr.ip")
+        .unwrap()
+        .write_le(&mut info, u32::from(me) as u64);
+    info
+}
+
+fn monitor_bytes() -> Vec<u8> {
+    plab_cpf::compile(plab_bench::FIGURE2_MONITOR)
+        .expect("Figure 2 compiles")
+        .encode()
+}
+
+/// Wall time for `batch` calls of `op`.
+fn time_batch(batch: u64, op: &mut impl FnMut() -> u64) -> Duration {
+    let mut acc = 0u64;
+    let start = Instant::now();
+    for _ in 0..batch {
+        acc = acc.wrapping_add(op());
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(acc);
+    elapsed
+}
+
+/// Pick a batch size so one batch of `op` takes roughly `budget`.
+fn calibrate(budget: Duration, op: &mut impl FnMut() -> u64) -> u64 {
+    let mut acc = 0u64;
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while calls < 64 || start.elapsed() < budget / 8 {
+        acc = acc.wrapping_add(op());
+        calls += 1;
+    }
+    std::hint::black_box(acc);
+    let per_call = start.elapsed() / calls as u32;
+    (budget.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 50_000_000) as u64
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let budget = std::env::var("OBS_GUARD_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Duration::from_secs_f64)
+        .unwrap_or(Duration::from_millis(200));
+    let min_ratio = std::env::var("OBS_GUARD_MIN_RATIO")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.99);
+
+    assert!(!plab_obs::enabled(), "guard measures the disabled path");
+
+    let me: Ipv4Addr = "10.0.0.1".parse().unwrap();
+    let target: Ipv4Addr = "10.0.99.1".parse().unwrap();
+    let info = info_block(me);
+    let probe = builder::icmp_echo_request(me, target, 5, 1, 1, &[0, 1]);
+
+    // Instrumented path: MonitorSet with obs disabled (snapshot taken at
+    // instantiation — the production configuration).
+    let encoded = monitor_bytes();
+    let programs: Vec<Vec<u8>> = (0..CHAIN).map(|_| encoded.clone()).collect();
+    let mut set = MonitorSet::instantiate(&programs, &info).expect("monitors instantiate");
+    assert!(set.allow_send(&probe, &info), "probe allowed");
+
+    // Uninstrumented twin: the same VMs, adjudicated by a plain loop with
+    // no observability anywhere in the call path.
+    let mut twin: Vec<Vm> = (0..CHAIN)
+        .map(|_| {
+            let mut vm = Vm::new(Program::decode(&encoded).unwrap()).unwrap();
+            vm.init(&info);
+            vm
+        })
+        .collect();
+    assert!(
+        twin.iter_mut().all(|vm| vm.check_entry(EntryPoint::Send, &probe, &info).allowed()),
+        "twin allows probe"
+    );
+
+    if !json {
+        println!(
+            "obs overhead guard: x{CHAIN} Figure-2 chain, {} ms/round, {ROUNDS} rounds, \
+             min ratio {min_ratio}\n",
+            budget.as_millis()
+        );
+    }
+
+    let mut inst_op = || u64::from(set.allow_send(&probe, &info));
+    let batch = calibrate(budget, &mut inst_op);
+    let mut twin_op = || {
+        u64::from(
+            twin.iter_mut()
+                .all(|vm| vm.check_entry(EntryPoint::Send, &probe, &info).allowed()),
+        )
+    };
+
+    let mut min_inst = Duration::MAX;
+    let mut min_twin = Duration::MAX;
+    for round in 0..ROUNDS {
+        // Alternate which path goes first so neither systematically
+        // inherits the other's warm caches or a frequency ramp.
+        if round % 2 == 0 {
+            min_twin = min_twin.min(time_batch(batch, &mut twin_op));
+            min_inst = min_inst.min(time_batch(batch, &mut inst_op));
+        } else {
+            min_inst = min_inst.min(time_batch(batch, &mut inst_op));
+            min_twin = min_twin.min(time_batch(batch, &mut twin_op));
+        }
+    }
+
+    // rate ratio = twin_time / inst_time for equal batches.
+    let ratio = min_twin.as_secs_f64() / min_inst.as_secs_f64();
+    let inst_rate = batch as f64 / min_inst.as_secs_f64();
+    let twin_rate = batch as f64 / min_twin.as_secs_f64();
+    let pass = ratio >= min_ratio;
+    if json {
+        print!(
+            "{{\n  \"bench\": \"obs_guard\",\n  \"chain\": {CHAIN},\n  \"rounds\": {ROUNDS},\n  \
+             \"batch\": {batch},\n  \"instrumented_per_sec\": {inst_rate:.1},\n  \
+             \"uninstrumented_per_sec\": {twin_rate:.1},\n  \"ratio\": {ratio:.4},\n  \
+             \"min_ratio\": {min_ratio},\n  \"pass\": {pass}\n}}\n"
+        );
+    } else {
+        println!(
+            "min over {ROUNDS} batches of {batch}: instrumented {:.2} M/s, \
+             uninstrumented twin {:.2} M/s — ratio {ratio:.4}",
+            inst_rate / 1e6,
+            twin_rate / 1e6
+        );
+        println!(
+            "{}",
+            if pass {
+                "PASS: disabled-path instrumentation overhead within budget (<1%)"
+            } else {
+                "FAIL: disabled instrumentation costs more than the budget allows"
+            }
+        );
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

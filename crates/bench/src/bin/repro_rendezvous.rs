@@ -9,9 +9,13 @@ use plab_crypto::{Keypair, KeyHash};
 use std::time::Instant;
 
 fn main() {
-    println!("S1: §3.2 rendezvous server scaling\n");
+    let json = std::env::args().any(|a| a == "--json");
+    if !json {
+        println!("S1: §3.2 rendezvous server scaling\n");
+    }
     let rv_operator = Keypair::from_seed(&[1; 32]);
     let experimenter = Keypair::from_seed(&[2; 32]);
+    let mut scale_rows: Vec<(usize, u32, usize, f64)> = Vec::new();
 
     // One authorization chain reused across publishes.
     let deleg = Certificate::sign(
@@ -20,11 +24,13 @@ fn main() {
         Restrictions::none(),
     );
 
-    println!(
-        "{:>12} {:>12} {:>16} {:>18}",
-        "subscribers", "publishes", "fan-out msgs", "publish rate"
-    );
-    println!("{}", "-".repeat(62));
+    if !json {
+        println!(
+            "{:>12} {:>12} {:>16} {:>18}",
+            "subscribers", "publishes", "fan-out msgs", "publish rate"
+        );
+        println!("{}", "-".repeat(62));
+    }
     for n_subs in [10usize, 100, 1_000, 10_000] {
         let mut server =
             RendezvousServer::new(vec![KeyHash::of(&rv_operator.public)], 1_700_000_000);
@@ -61,18 +67,18 @@ fn main() {
             fanout += out.len() - 1; // minus the PublishOk
         }
         let elapsed = start.elapsed();
-        println!(
-            "{:>12} {:>12} {:>16} {:>13.1}/s",
-            n_subs,
-            publishes,
-            fanout,
-            publishes as f64 / elapsed.as_secs_f64()
-        );
+        let rate = publishes as f64 / elapsed.as_secs_f64();
+        if !json {
+            println!("{n_subs:>12} {publishes:>12} {fanout:>16} {rate:>13.1}/s");
+        }
         assert_eq!(fanout, n_subs * publishes as usize);
+        scale_rows.push((n_subs, publishes, fanout, rate));
     }
 
     // Late-subscriber replay cost.
-    println!("\nlate-subscriber replay (existing experiments resent on subscribe):");
+    if !json {
+        println!("\nlate-subscriber replay (existing experiments resent on subscribe):");
+    }
     let mut server = RendezvousServer::new(vec![KeyHash::of(&rv_operator.public)], 1_700_000_000);
     for i in 0..1_000u32 {
         let descriptor = ExperimentDescriptor {
@@ -100,12 +106,32 @@ fn main() {
         9_999_999,
         RvMessage::Subscribe { channels: vec![KeyHash::of(&rv_operator.public).0] },
     );
+    let replay_elapsed = start.elapsed();
+    assert_eq!(replay.len(), 1_000);
+
+    if json {
+        let mut out = String::from("{\n  \"bench\": \"rendezvous\",\n  \"scaling\": [\n");
+        for (i, (n_subs, publishes, fanout, rate)) in scale_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"subscribers\": {n_subs}, \"publishes\": {publishes}, \
+                 \"fanout_msgs\": {fanout}, \"publishes_per_sec\": {rate:.1}}}{}\n",
+                if i + 1 < scale_rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"late_subscriber_replay\": {{\"experiments\": {}, \"wall_ns\": {}}}\n}}\n",
+            replay.len(),
+            replay_elapsed.as_nanos()
+        ));
+        print!("{out}");
+        return;
+    }
+
     println!(
         "  {} retained experiments replayed in {:.2?}",
         replay.len(),
-        start.elapsed()
+        replay_elapsed
     );
-    assert_eq!(replay.len(), 1_000);
 
     println!(
         "\nShape check: fan-out is exactly subscribers × publishes and the\n\

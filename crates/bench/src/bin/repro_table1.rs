@@ -1,13 +1,18 @@
 //! T1 — Table 1 reproduction: exercise every endpoint operation over the
 //! full stack and report per-operation control-channel cost (virtual
 //! round trips) and wall-clock implementation cost.
+//!
+//! `--json` emits the same rows as a machine-readable object on stdout.
 
 use packetlab::controller::{experiments, ControlPlane};
 use plab_bench::{build_world, connect};
 use std::time::Instant;
 
 fn main() {
-    println!("T1: Table 1 endpoint operations, end-to-end\n");
+    let json = std::env::args().any(|a| a == "--json");
+    if !json {
+        println!("T1: Table 1 endpoint operations, end-to-end\n");
+    }
     let world = build_world(10, 0, 2);
     let mut ctrl = connect(&world);
     let src = ctrl.endpoint_addr().unwrap();
@@ -53,6 +58,21 @@ fn main() {
     let _ = ctrl.read_send_time(tag).unwrap();
     op!("nclose", ctrl.nclose(2).unwrap());
     op!("yield", ctrl.yield_endpoint().unwrap());
+
+    if json {
+        let mut out = String::from("{\n  \"bench\": \"table1\",\n  \"ops\": [\n");
+        for (i, (name, vms, wall)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"op\": \"{}\", \"virtual_ms\": {vms:.1}, \"wall_ns\": {}}}{}\n",
+                plab_obs::export::json_escape(name),
+                wall.as_nanos(),
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        print!("{out}");
+        return;
+    }
 
     println!(
         "{:<24} {:>16} {:>14}",

@@ -2,8 +2,9 @@
 //! simulator events/sec on a multi-hop topology, written to
 //! `BENCH_throughput.json` so successive revisions have a perf trajectory.
 //!
-//! Set `REPRO_THROUGHPUT_SECS` to stretch or shrink the per-measurement
-//! budget (default 0.5 s; CI smoke uses 0.05).
+//! `--json` prints the same JSON report on stdout (the file is still
+//! written). Set `REPRO_THROUGHPUT_SECS` to stretch or shrink the
+//! per-measurement budget (default 0.5 s; CI smoke uses 0.05).
 
 use packetlab::monitor::MonitorSet;
 use plab_netsim::{LinkParams, NodeId, Sim, TopologyBuilder};
@@ -83,6 +84,7 @@ fn json_f(v: f64) -> String {
 }
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let budget = std::env::var("REPRO_THROUGHPUT_SECS")
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
@@ -95,10 +97,12 @@ fn main() {
     let probe = builder::icmp_echo_request(me, target, 5, 1, 1, &[0, 1]);
     let reply = builder::icmp_echo_reply(target, me, 1, 1, &[0, 1]);
 
-    println!(
-        "throughput snapshot ({} ms per measurement)\n",
-        budget.as_millis()
-    );
+    if !json {
+        println!(
+            "throughput snapshot ({} ms per measurement)\n",
+            budget.as_millis()
+        );
+    }
 
     // Monitor chains: adjudications per second, send and recv entries.
     let mut send_rates = Vec::new();
@@ -110,11 +114,13 @@ fn main() {
         let (send_rate, _) = measure(budget, || u64::from(set.allow_send(&probe, &info)));
         assert!(set.allow_recv(&reply, &info), "reply allowed");
         let (recv_rate, _) = measure(budget, || u64::from(set.allow_recv(&reply, &info)));
-        println!(
-            "monitor chain x{n}: {:.2} M send adjudications/s, {:.2} M recv adjudications/s",
-            send_rate / 1e6,
-            recv_rate / 1e6
-        );
+        if !json {
+            println!(
+                "monitor chain x{n}: {:.2} M send adjudications/s, {:.2} M recv adjudications/s",
+                send_rate / 1e6,
+                recv_rate / 1e6
+            );
+        }
         send_rates.push((n, send_rate));
         recv_rates.push((n, recv_rate));
         insns.push((n, set.insns_executed()));
@@ -128,13 +134,15 @@ fn main() {
         pump_round(&mut sim, h, src, dst)
     });
     let events_per_sec = rounds_per_sec * events_per_round as f64;
-    println!(
-        "netsim multihop: {events_per_round} events/round, {:.2} M events/s \
-         (pool: {} taken, {} recycled after calibration round)",
-        events_per_sec / 1e6,
-        cal.pool().taken(),
-        cal.pool().recycled()
-    );
+    if !json {
+        println!(
+            "netsim multihop: {events_per_round} events/round, {:.2} M events/s \
+             (pool: {} taken, {} recycled after calibration round)",
+            events_per_sec / 1e6,
+            cal.pool().taken(),
+            cal.pool().recycled()
+        );
+    }
 
     let mut out = String::from("{\n  \"bench\": \"throughput\",\n");
     out.push_str(&format!(
@@ -163,5 +171,9 @@ fn main() {
         cal.pool().recycled()
     ));
     std::fs::write("BENCH_throughput.json", &out).expect("write BENCH_throughput.json");
-    println!("\nwrote BENCH_throughput.json");
+    if json {
+        print!("{out}");
+    } else {
+        println!("\nwrote BENCH_throughput.json");
+    }
 }

@@ -421,6 +421,51 @@ pub fn run(scenario: Scenario, seed: u64) -> ChaosOutcome {
     }
 }
 
+/// A chaos run plus its rendered flight-recorder artifacts.
+///
+/// Every field is a pure function of `(scenario, seed)`: the tracing
+/// clock is the netsim virtual clock and event sequence numbers restart
+/// at zero, so two [`run_traced`] calls with the same inputs produce
+/// byte-identical dumps — the property `repro_chaos --trace` asserts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedChaos {
+    /// The run's classification (identical to an untraced [`run`] except
+    /// that an abort's rendered error also carries the controller trace
+    /// tail).
+    pub outcome: ChaosOutcome,
+    /// Flight-recorder text dump ([`plab_obs::export::text_dump`]) of the
+    /// full event snapshot at the end of the run.
+    pub text_dump: String,
+    /// chrome://tracing JSON ([`plab_obs::export::chrome_trace`]) of the
+    /// same snapshot — load in `about:tracing` or Perfetto.
+    pub chrome_json: String,
+    /// Metrics snapshot, one aligned line per metric.
+    pub metrics_text: String,
+}
+
+/// [`run`], with the flight recorder on: enables `plab-obs` for the
+/// duration, resets recorded state so the run observes only itself, and
+/// renders the dump artifacts before restoring the previous tracing
+/// state.
+pub fn run_traced(scenario: Scenario, seed: u64) -> TracedChaos {
+    let was_enabled = plab_obs::enabled();
+    plab_obs::enable();
+    plab_obs::reset();
+    let outcome = run(scenario, seed);
+    let events = plab_obs::snapshot();
+    let traced = TracedChaos {
+        outcome,
+        text_dump: plab_obs::export::text_dump(&events),
+        chrome_json: plab_obs::export::chrome_trace(&events),
+        metrics_text: plab_obs::export::metrics_dump(),
+    };
+    plab_obs::reset();
+    if !was_enabled {
+        plab_obs::disable();
+    }
+    traced
+}
+
 fn run_traceroute(
     ctrl: &mut RobustController<SimDialer>,
     world: &ChaosWorld,

@@ -115,6 +115,16 @@ pub enum ControllerError {
     Unreachable {
         /// Time spent retrying before giving up, controller-clock ns.
         elapsed_ns: u64,
+        /// Reconnect attempts made before the abort.
+        connects: u64,
+        /// Dial attempts that never produced a channel.
+        failed_dials: u64,
+        /// Command timeouts observed over the session's lifetime.
+        timeouts: u64,
+        /// Tail of the controller's flight recorder at abort time
+        /// (pre-rendered, empty when tracing is disabled) — the last few
+        /// events leading up to the abort, for post-mortem context.
+        trace: Vec<String>,
     },
 }
 
@@ -124,8 +134,17 @@ impl core::fmt::Display for ControllerError {
             ControllerError::Timeout => write!(f, "timed out"),
             ControllerError::Endpoint(c, m) => write!(f, "endpoint error {c:?}: {m}"),
             ControllerError::Protocol(m) => write!(f, "protocol error: {m}"),
-            ControllerError::Unreachable { elapsed_ns } => {
-                write!(f, "endpoint unreachable after {} ms of retries", elapsed_ns / 1_000_000)
+            ControllerError::Unreachable { elapsed_ns, connects, failed_dials, timeouts, trace } => {
+                write!(
+                    f,
+                    "endpoint unreachable after {} ms of retries \
+                     ({connects} reconnects, {failed_dials} failed dials, {timeouts} timeouts)",
+                    elapsed_ns / 1_000_000
+                )?;
+                for line in trace {
+                    write!(f, "\n  trace: {line}")?;
+                }
+                Ok(())
             }
         }
     }

@@ -21,6 +21,19 @@ use super::{
 use crate::wire::{Command, Message, Notification, Response};
 use std::net::Ipv4Addr;
 
+static M_CONNECTS: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("controller.connects");
+static M_FAILED_DIALS: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("controller.failed_dials");
+static M_TIMEOUTS: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("controller.timeouts");
+static M_REPLAYS: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("controller.replays");
+static M_UNREACHABLE: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("controller.unreachable_aborts");
+static M_BACKOFF: plab_obs::metrics::Histogram =
+    plab_obs::metrics::Histogram::new("controller.backoff_ns");
+
 /// Establishes control channels to one endpoint, on demand. The dialer is
 /// what survives a connection loss — it can always make another channel.
 pub trait Dialer {
@@ -135,6 +148,35 @@ impl<D: Dialer> RobustController<D> {
         self.chan = None;
     }
 
+    /// Build the typed abort for a spent unreachable budget: retry
+    /// counters plus (when tracing is enabled) the tail of the
+    /// controller's flight recorder, so the abort's Display carries the
+    /// events leading up to it.
+    fn unreachable(&self, op_start: u64, now: u64) -> ControllerError {
+        let elapsed_ns = now.saturating_sub(op_start);
+        M_UNREACHABLE.inc();
+        plab_obs::obs_event!(
+            plab_obs::Component::Controller,
+            "abort.unreachable",
+            "elapsed_ns" = elapsed_ns
+        );
+        let trace = if plab_obs::enabled() {
+            plab_obs::tail_for(plab_obs::Component::Controller, 4)
+                .iter()
+                .map(|e| e.line())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ControllerError::Unreachable {
+            elapsed_ns,
+            connects: self.stats.connects as u64,
+            failed_dials: self.stats.failed_dials as u64,
+            timeouts: self.stats.timeouts as u64,
+            trace,
+        }
+    }
+
     fn next_jitter(&mut self) -> u64 {
         let mut x = self.jitter;
         x ^= x << 13;
@@ -152,9 +194,7 @@ impl<D: Dialer> RobustController<D> {
         loop {
             let now = self.dialer.now();
             if now >= overall_end {
-                return Err(ControllerError::Unreachable {
-                    elapsed_ns: now.saturating_sub(op_start),
-                });
+                return Err(self.unreachable(op_start, now));
             }
             if failures > 0 {
                 let exp = (failures - 1).min(20);
@@ -166,11 +206,16 @@ impl<D: Dialer> RobustController<D> {
                     .max(1);
                 // Equal jitter: half fixed, half uniform-random.
                 let sleep = ceiling / 2 + self.next_jitter() % (ceiling / 2 + 1);
+                M_BACKOFF.observe(sleep);
+                plab_obs::obs_event!(
+                    plab_obs::Component::Controller,
+                    "backoff",
+                    "sleep_ns" = sleep,
+                    "failures" = failures
+                );
                 self.dialer.wait_until((now + sleep).min(overall_end));
                 if self.dialer.now() >= overall_end {
-                    return Err(ControllerError::Unreachable {
-                        elapsed_ns: self.dialer.now().saturating_sub(op_start),
-                    });
+                    return Err(self.unreachable(op_start, self.dialer.now()));
                 }
             }
             match self.dialer.dial() {
@@ -178,6 +223,12 @@ impl<D: Dialer> RobustController<D> {
                     match handshake(&mut chan, &self.creds, self.policy.request_timeout) {
                         Ok(()) => {
                             self.stats.connects += 1;
+                            M_CONNECTS.inc();
+                            plab_obs::obs_event!(
+                                plab_obs::Component::Controller,
+                                "connect",
+                                "failures" = failures
+                            );
                             self.chan = Some(chan);
                             return Ok(());
                         }
@@ -189,12 +240,24 @@ impl<D: Dialer> RobustController<D> {
                         // Transport-level failure mid-handshake: transient.
                         Err(_) => {
                             self.stats.failed_dials += 1;
+                            M_FAILED_DIALS.inc();
+                            plab_obs::obs_event!(
+                                plab_obs::Component::Controller,
+                                "dial.fail",
+                                "failures" = failures
+                            );
                             failures += 1;
                         }
                     }
                 }
                 None => {
                     self.stats.failed_dials += 1;
+                    M_FAILED_DIALS.inc();
+                    plab_obs::obs_event!(
+                        plab_obs::Component::Controller,
+                        "dial.fail",
+                        "failures" = failures
+                    );
                     failures += 1;
                 }
             }
@@ -225,6 +288,12 @@ impl<D: Dialer> RobustController<D> {
                 self.reconnect(op_start, overall_end)?;
                 if sent_before {
                     self.stats.replays += 1;
+                    M_REPLAYS.inc();
+                    plab_obs::obs_event!(
+                        plab_obs::Component::Controller,
+                        "replay",
+                        "seq" = seq
+                    );
                 }
             }
             let chan = self.chan.as_mut().expect("reconnect established a channel");
@@ -254,6 +323,12 @@ impl<D: Dialer> RobustController<D> {
                         // No response in time: the channel (or endpoint) is
                         // gone. Kill it and retry through reconnection.
                         self.stats.timeouts += 1;
+                        M_TIMEOUTS.inc();
+                        plab_obs::obs_event!(
+                            plab_obs::Component::Controller,
+                            "timeout",
+                            "seq" = seq
+                        );
                         self.chan = None;
                         break;
                     }
@@ -261,9 +336,7 @@ impl<D: Dialer> RobustController<D> {
             }
             let now = self.dialer.now();
             if now >= overall_end {
-                return Err(ControllerError::Unreachable {
-                    elapsed_ns: now.saturating_sub(op_start),
-                });
+                return Err(self.unreachable(op_start, now));
             }
         }
     }

@@ -27,6 +27,40 @@ use std::net::Ipv4Addr;
 /// Frames the agent wants sent, tagged by control-session id.
 pub type Out = Vec<(u64, Message)>;
 
+// Observability: the endpoint's metrics, declared once and interned on
+// first touch. Every update is gated on `plab_obs::enabled()` inside
+// `plab-obs`, so the disabled path is a TLS load and a branch.
+static M_COMMANDS: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("endpoint.commands");
+static M_CAPTURED: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("endpoint.capture.packets");
+static M_CAP_DROP_PKTS: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("endpoint.capture.dropped_packets");
+static M_CAP_DROP_BYTES: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("endpoint.capture.dropped_bytes");
+static M_REPLAY_HITS: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("endpoint.replay.hits");
+static M_REPLAY_MISSES: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("endpoint.replay.misses");
+static M_DENIED_SENDS: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("endpoint.denied_sends");
+static M_LINGERING: plab_obs::metrics::Gauge =
+    plab_obs::metrics::Gauge::new("endpoint.sessions.lingering");
+
+/// Stable numeric opcode for command-dispatch trace events.
+fn cmd_opcode(cmd: &Command) -> u64 {
+    match cmd {
+        Command::NOpen { .. } => 1,
+        Command::NClose { .. } => 2,
+        Command::NSend { .. } => 3,
+        Command::NCap { .. } => 4,
+        Command::NPoll { .. } => 5,
+        Command::MRead { .. } => 6,
+        Command::MWrite { .. } => 7,
+        Command::Yield => 8,
+    }
+}
+
 /// Endpoint configuration, installed by the endpoint operator out-of-band
 /// ("This set of trusted keys is installed and managed out-of-band by the
 /// endpoint operator", §3.3).
@@ -112,10 +146,19 @@ impl CaptureBuffer {
         if data.len() > self.space() {
             self.dropped_packets += 1;
             self.dropped_bytes += data.len() as u64;
+            M_CAP_DROP_PKTS.inc();
+            M_CAP_DROP_BYTES.add(data.len() as u64);
+            plab_obs::obs_event!(
+                plab_obs::Component::Endpoint,
+                "capture.drop",
+                "sktid" = sktid,
+                "len" = data.len()
+            );
             return false;
         }
         self.bytes += data.len();
         self.entries.push_back((sktid, time, data));
+        M_CAPTURED.inc();
         true
     }
 
@@ -308,6 +351,8 @@ impl EndpointAgent {
         if resumable {
             let s = self.sessions.get_mut(&sid).unwrap();
             s.detached_at = Some(stack.clock());
+            M_LINGERING.add(1);
+            plab_obs::obs_event!(plab_obs::Component::Endpoint, "session.detach", "sid" = sid);
             if self.active == Some(sid) {
                 self.active = None;
                 return self.resume_next_excluding(None);
@@ -493,6 +538,13 @@ impl EndpointAgent {
             let mut old = self.sessions.remove(&osid).unwrap();
             old.sid = sid;
             old.detached_at = None;
+            M_LINGERING.sub(1);
+            plab_obs::obs_event!(
+                plab_obs::Component::Endpoint,
+                "session.resume",
+                "old_sid" = osid,
+                "sid" = sid
+            );
             old.priority = priority;
             old.monitors = monitors;
             old.restrictions = effective;
@@ -602,6 +654,13 @@ impl EndpointAgent {
         // Replay of an already-answered command: return the cached response
         // without re-executing (idempotence across reconnects).
         if let Some((_, resp)) = s.replay.iter().find(|(q, _)| *q == seq) {
+            M_REPLAY_HITS.inc();
+            plab_obs::obs_event!(
+                plab_obs::Component::Endpoint,
+                "replay.hit",
+                "sid" = sid,
+                "seq" = seq
+            );
             out.push((sid, Message::RespSeq { seq, resp: resp.clone() }));
             return out;
         }
@@ -611,6 +670,15 @@ impl EndpointAgent {
                 // response arrives when the deadline passes or data shows up.
                 return out;
             }
+            // A replayed seq whose response has been evicted from the
+            // bounded cache: a replay-cache miss, refused explicitly.
+            M_REPLAY_MISSES.inc();
+            plab_obs::obs_event!(
+                plab_obs::Component::Endpoint,
+                "replay.miss",
+                "sid" = sid,
+                "seq" = seq
+            );
             let resp = Response::Err {
                 code: ErrCode::Limit,
                 msg: "response no longer cached".to_string(),
@@ -666,6 +734,13 @@ impl EndpointAgent {
     }
 
     fn handle_command(&mut self, sid: u64, cmd: Command, stack: &mut dyn NetStack) -> Out {
+        M_COMMANDS.inc();
+        plab_obs::obs_event!(
+            plab_obs::Component::Endpoint,
+            "cmd",
+            "sid" = sid,
+            "op" = cmd_opcode(&cmd)
+        );
         let mut out = Out::new();
         // Session must be authenticated.
         if !matches!(
@@ -859,6 +934,7 @@ impl EndpointAgent {
                 // Monitors adjudicate the exact datagram.
                 if !s.monitors.allow_send(&data, &info) {
                     self.denied_sends += 1;
+                    M_DENIED_SENDS.inc();
                     return err(ErrCode::Denied, "monitor denied send");
                 }
                 s.next_tag += 1;
@@ -871,6 +947,7 @@ impl EndpointAgent {
                     plab_packet::builder::udp_datagram(local, remaddr, locport, remport, &data);
                 if !s.monitors.allow_send(&datagram, &info) {
                     self.denied_sends += 1;
+                    M_DENIED_SENDS.inc();
                     return err(ErrCode::Denied, "monitor denied send");
                 }
                 s.next_tag += 1;
@@ -897,6 +974,7 @@ impl EndpointAgent {
                 );
                 if !s.monitors.allow_send(&synth, &info) {
                     self.denied_sends += 1;
+                    M_DENIED_SENDS.inc();
                     return err(ErrCode::Denied, "monitor denied send");
                 }
                 s.next_tag += 1;
@@ -1064,6 +1142,8 @@ impl EndpointAgent {
         for sid in expired {
             if let Some(mut s) = self.sessions.remove(&sid) {
                 self.teardown_sockets(&mut s, stack);
+                M_LINGERING.sub(1);
+                plab_obs::obs_event!(plab_obs::Component::Endpoint, "session.expire", "sid" = sid);
                 if self.active == Some(sid) {
                     self.active = None;
                     out.extend(self.resume_next_excluding(None));

@@ -19,6 +19,11 @@ use plab_filter::{EntryPoint, Program, Vm};
 /// The set of monitors guarding one experiment session.
 pub struct MonitorSet {
     vms: Vec<Vm>,
+    /// Observability snapshot, taken once at instantiation so the
+    /// per-adjudication disabled path is a single register test (the
+    /// PR 1 hot path stays within the <1% overhead budget even against
+    /// a TLS flag load). Enable tracing *before* the session opens.
+    obs_on: bool,
 }
 
 impl core::fmt::Debug for MonitorSet {
@@ -61,12 +66,12 @@ impl MonitorSet {
             vm.init(info);
             vms.push(vm);
         }
-        Ok(MonitorSet { vms })
+        Ok(MonitorSet { vms, obs_on: plab_obs::enabled() })
     }
 
     /// An unrestricted monitor set (no certificates attached monitors).
     pub fn unrestricted() -> MonitorSet {
-        MonitorSet { vms: Vec::new() }
+        MonitorSet { vms: Vec::new(), obs_on: plab_obs::enabled() }
     }
 
     /// Number of monitors.
@@ -80,12 +85,16 @@ impl MonitorSet {
     }
 
     /// May this packet be sent? All monitors must allow. Allocation-free:
-    /// each VM runs its pre-resolved `send` entry.
+    /// each VM runs its pre-resolved `send` entry. `#[inline]` so callers
+    /// in other crates absorb the thin wrapper (and the disabled-path
+    /// `obs_on` test) instead of paying a nested call per packet.
+    #[inline]
     pub fn allow_send(&mut self, packet: &[u8], info: &[u8]) -> bool {
         self.allow_entry(EntryPoint::Send, packet, info)
     }
 
     /// May this captured packet be returned to the controller?
+    #[inline]
     pub fn allow_recv(&mut self, packet: &[u8], info: &[u8]) -> bool {
         self.allow_entry(EntryPoint::Recv, packet, info)
     }
@@ -113,9 +122,44 @@ impl MonitorSet {
     /// must allow (missing entries allow by convention).
     #[inline]
     fn allow_entry(&mut self, entry: EntryPoint, packet: &[u8], info: &[u8]) -> bool {
-        self.vms
+        if !self.obs_on {
+            return self
+                .vms
+                .iter_mut()
+                .all(|vm| vm.check_entry(entry, packet, info).allowed());
+        }
+        self.allow_entry_observed(entry, packet, info)
+    }
+
+    /// The instrumented twin of the adjudication loop: identical verdict
+    /// and fuel semantics (same short-circuit order), plus verdict/fuel
+    /// accounting into `plab-obs`. Kept out of line (and marked cold) so
+    /// its register pressure cannot leak into the disabled fast path.
+    #[cold]
+    #[inline(never)]
+    fn allow_entry_observed(&mut self, entry: EntryPoint, packet: &[u8], info: &[u8]) -> bool {
+        use plab_obs::metrics::{Counter, Histogram};
+        static ADJUDICATIONS: Counter = Counter::new("pfvm.adjudications");
+        static DENIALS: Counter = Counter::new("pfvm.denials");
+        static FUEL: Histogram = Histogram::new("pfvm.fuel_per_adjudication");
+        let before = self.insns_executed();
+        let allowed = self
+            .vms
             .iter_mut()
-            .all(|vm| vm.check_entry(entry, packet, info).allowed())
+            .all(|vm| vm.check_entry(entry, packet, info).allowed());
+        let fuel = self.insns_executed() - before;
+        ADJUDICATIONS.inc();
+        if !allowed {
+            DENIALS.inc();
+        }
+        FUEL.observe(fuel);
+        plab_obs::obs_event!(
+            plab_obs::Component::Pfvm,
+            "adjudicate",
+            "entry" = entry as u8,
+            "allowed" = allowed as u64
+        );
+        allowed
     }
 
     /// Total PFVM instructions executed so far (overhead accounting).

@@ -15,6 +15,17 @@ use crate::descriptor::ExperimentDescriptor;
 use plab_crypto::{KeyHash, PublicKey};
 use std::collections::HashMap;
 
+static M_PUBLISHES: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("rendezvous.publishes");
+static M_PUBLISH_REJECTS: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("rendezvous.publish_rejects");
+static M_ANNOUNCES: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("rendezvous.announces");
+static M_SUBSCRIBERS: plab_obs::metrics::Gauge =
+    plab_obs::metrics::Gauge::new("rendezvous.subscribers");
+static M_FANOUT: plab_obs::metrics::Histogram =
+    plab_obs::metrics::Histogram::new("rendezvous.fanout_per_publish");
+
 /// Rendezvous wire messages (own framing-compatible codec: these travel in
 /// the same length-prefixed frames as [`crate::wire::Message`], on the
 /// rendezvous port).
@@ -213,7 +224,10 @@ impl RendezvousServer {
 
     /// A subscriber connection closed.
     pub fn on_session_closed(&mut self, sid: u64) {
-        self.subscribers.remove(&sid);
+        if self.subscribers.remove(&sid).is_some() {
+            M_SUBSCRIBERS.sub(1);
+            plab_obs::obs_event!(plab_obs::Component::Rendezvous, "unsubscribe", "sid" = sid);
+        }
     }
 
     /// Handle one message from session `sid`, returning messages to send.
@@ -238,7 +252,16 @@ impl RendezvousServer {
                         ));
                     }
                 }
-                self.subscribers.insert(sid, channels);
+                if self.subscribers.insert(sid, channels).is_none() {
+                    M_SUBSCRIBERS.add(1);
+                }
+                plab_obs::obs_event!(
+                    plab_obs::Component::Rendezvous,
+                    "subscribe",
+                    "sid" = sid,
+                    "replayed" = out.len()
+                );
+                M_ANNOUNCES.add(out.len() as u64);
                 out
             }
             // Client-bound messages arriving at the server are ignored.
@@ -254,6 +277,8 @@ impl RendezvousServer {
         keys: Vec<[u8; 32]>,
     ) -> Vec<(u64, RvMessage)> {
         let reject = |reason: &str| {
+            M_PUBLISH_REJECTS.inc();
+            plab_obs::obs_event!(plab_obs::Component::Rendezvous, "publish.reject", "sid" = sid);
             vec![(sid, RvMessage::PublishErr { reason: reason.to_string() })]
         };
         let Some(desc) = ExperimentDescriptor::decode(&descriptor) else {
@@ -312,6 +337,16 @@ impl RendezvousServer {
                 ));
             }
         }
+        let fanout = (out.len() - 1) as u64;
+        M_PUBLISHES.inc();
+        M_ANNOUNCES.add(fanout);
+        M_FANOUT.observe(fanout);
+        plab_obs::obs_event!(
+            plab_obs::Component::Rendezvous,
+            "publish",
+            "sid" = sid,
+            "fanout" = fanout
+        );
         out
     }
 }

@@ -1,0 +1,100 @@
+//! Rendezvous subscriber churn: endpoints connect, receive the replay of
+//! retained experiments, and disconnect — over and over. The server must
+//! not leak subscriber slots across the churn, and the `plab-obs` view
+//! (subscriber gauge, announce counter, fan-out histogram) must agree
+//! with the server's own accounting at every step.
+
+use packetlab::cert::{CertPayload, Certificate, Restrictions};
+use packetlab::descriptor::ExperimentDescriptor;
+use packetlab::rendezvous::{RendezvousServer, RvMessage};
+use plab_crypto::{KeyHash, Keypair};
+use plab_obs::metrics::{counter, gauge, MetricValue};
+
+fn publish(
+    server: &mut RendezvousServer,
+    sid: u64,
+    name: &str,
+    rv_operator: &Keypair,
+    experimenter: &Keypair,
+) -> Vec<(u64, RvMessage)> {
+    let deleg = Certificate::sign(
+        rv_operator,
+        CertPayload::Delegation(KeyHash::of(&experimenter.public)),
+        Restrictions::none(),
+    );
+    let descriptor = ExperimentDescriptor {
+        name: name.into(),
+        controller_addr: "10.0.0.1:7000".into(),
+        info_url: String::new(),
+        experimenter: KeyHash::of(&experimenter.public),
+    };
+    let leaf = Certificate::sign(
+        experimenter,
+        CertPayload::Experiment(descriptor.hash()),
+        Restrictions::none(),
+    );
+    server.on_message(
+        sid,
+        RvMessage::Publish {
+            descriptor: descriptor.encode(),
+            chain: vec![deleg.encode(), leaf.encode()],
+            keys: vec![*rv_operator.public.as_bytes(), *experimenter.public.as_bytes()],
+        },
+    )
+}
+
+#[test]
+fn subscriber_churn_leaks_no_slots() {
+    plab_obs::enable();
+    plab_obs::reset();
+    let rv_operator = Keypair::from_seed(&[1; 32]);
+    let experimenter = Keypair::from_seed(&[2; 32]);
+    let channel = KeyHash::of(&rv_operator.public).0;
+    let mut server =
+        RendezvousServer::new(vec![KeyHash::of(&rv_operator.public)], 1_700_000_000);
+
+    // One retained experiment so every subscribe gets a replay; published
+    // into an empty room, so its fan-out is zero.
+    let out = publish(&mut server, 1, "churn", &rv_operator, &experimenter);
+    assert_eq!(out.len(), 1, "just the PublishOk — no subscribers yet");
+
+    // 1000 subscribe/unsubscribe cycles under fresh session ids, as
+    // reconnecting endpoints present. Slots and gauge return to baseline
+    // every cycle; a duplicate close must not underflow either.
+    for cycle in 0..1_000u64 {
+        let sid = 1_000 + cycle;
+        let replay = server.on_message(sid, RvMessage::Subscribe { channels: vec![channel] });
+        assert_eq!(replay.len(), 1, "retained experiment replayed on subscribe");
+        assert_eq!(server.subscriber_count(), 1);
+        assert_eq!(gauge("rendezvous.subscribers"), 1);
+        server.on_session_closed(sid);
+        server.on_session_closed(sid);
+        assert_eq!(server.subscriber_count(), 0, "slot leaked on cycle {cycle}");
+        assert_eq!(gauge("rendezvous.subscribers"), 0, "gauge leaked on cycle {cycle}");
+    }
+
+    // After the churn the room is empty again: a second publish fans out
+    // to nobody, exactly like the first.
+    let out = publish(&mut server, 2, "churn-after", &rv_operator, &experimenter);
+    assert_eq!(out.len(), 1, "no leaked subscriber receives the announce");
+
+    // The metric view agrees end to end: two publishes, both with zero
+    // fan-out, and every announce was a subscribe replay.
+    assert_eq!(counter("rendezvous.publishes"), 2);
+    assert_eq!(counter("rendezvous.publish_rejects"), 0);
+    assert_eq!(counter("rendezvous.announces"), 1_000, "one replay per subscribe");
+    let snap = plab_obs::metrics::snapshot();
+    let (_, fanout) = snap
+        .iter()
+        .find(|(n, _)| *n == "rendezvous.fanout_per_publish")
+        .expect("fan-out histogram registered");
+    match fanout {
+        MetricValue::Histogram { count, sum, buckets } => {
+            assert_eq!(*count, 2, "both publishes observed");
+            assert_eq!(*sum, 0, "fan-out stayed at the empty-room baseline");
+            assert_eq!(buckets.as_slice(), &[(0, 2)]);
+        }
+        other => panic!("expected histogram, got {other:?}"),
+    }
+    plab_obs::disable();
+}

@@ -11,11 +11,13 @@
 //! | `mread`/`mwrite` | info block, clock, scratch writes, RO enforcement |
 
 use packetlab::cert::Restrictions;
-use packetlab::controller::{experiments, ControlPlane, Controller, ControllerError, Credentials};
+use packetlab::controller::{
+    experiments, handshake, ControlChannel, ControlPlane, Controller, ControllerError, Credentials,
+};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{SimChannel, SimNet};
-use packetlab::wire::ErrCode;
+use packetlab::wire::{Command, ErrCode, Message, Response};
 use plab_crypto::{Keypair, KeyHash};
 use plab_netsim::{LinkParams, TopologyBuilder, MILLISECOND, SECOND};
 use std::cell::RefCell;
@@ -319,6 +321,12 @@ fn connect_with_buffer(world: &World, operator: &Keypair, cap: u64) -> Controlle
 /// insufficient buffer space").
 #[test]
 fn ncap_drop_accounting_exact_under_loss() {
+    // The same accounting is exported as plab-obs counters; enable
+    // recording so the end of the test can assert against the public
+    // metric names instead of endpoint internals (values are
+    // thread-local, so parallel tests observe only their own work).
+    plab_obs::enable();
+    plab_obs::reset();
     let (world, operator) = build();
     // Capacity fits exactly 3 echo replies (20 IP + 8 ICMP + 32 payload).
     let reply_len = 60u64;
@@ -373,6 +381,85 @@ fn ncap_drop_accounting_exact_under_loss() {
     let poll2 = ctrl.npoll(t1 + 100 * MILLISECOND).unwrap();
     assert_eq!(poll2.dropped_packets, 0, "drop counters must not double-report");
     assert_eq!(poll2.dropped_bytes, 0);
+    // The observability counters tell the same story: what npoll reported
+    // is exactly what the capture buffer counted. The admission counter is
+    // cumulative, so it also covers replies admitted into the capacity the
+    // first poll freed (drained by the second poll — all replies are back
+    // well before its deadline).
+    assert_eq!(
+        plab_obs::metrics::counter("endpoint.capture.packets"),
+        (poll.packets.len() + poll2.packets.len()) as u64,
+    );
+    assert_eq!(
+        plab_obs::metrics::counter("endpoint.capture.dropped_packets"),
+        poll.dropped_packets,
+    );
+    assert_eq!(
+        plab_obs::metrics::counter("endpoint.capture.dropped_bytes"),
+        poll.dropped_bytes,
+    );
+    plab_obs::disable();
+}
+
+/// Send a sequenced command over a raw channel and wait for its
+/// sequenced response.
+fn send_seq(chan: &mut SimChannel, seq: u64, cmd: Command) -> Response {
+    chan.send(&Message::CmdSeq { seq, cmd });
+    let deadline = chan.now() + 5 * SECOND;
+    loop {
+        match chan.recv(Some(deadline)) {
+            Some(Message::RespSeq { seq: s, resp }) if s == seq => return resp,
+            Some(_) => continue,
+            None => panic!("no RespSeq for seq {seq}"),
+        }
+    }
+}
+
+/// The `CmdSeq` replay cache, observed through its metrics: a replayed
+/// sequence number still in the cache is answered without re-execution
+/// (a hit); one evicted from the bounded cache is refused with a typed
+/// error (a miss). Asserted via the public `plab-obs` counters rather
+/// than endpoint internals.
+#[test]
+fn cmd_seq_replay_cache_metrics_hit_and_miss() {
+    plab_obs::enable();
+    plab_obs::reset();
+    let (world, operator) = build();
+    let experimenter = kp(42);
+    let descriptor = ExperimentDescriptor {
+        name: "table1".into(),
+        controller_addr: "10.0.9.1:7000".into(),
+        info_url: String::new(),
+        experimenter: KeyHash::of(&experimenter.public),
+    };
+    let creds = Credentials::issue(&operator, &experimenter, descriptor, Restrictions::none(), 1);
+    let mut chan = SimChannel::connect(&world.net, world.controller, world.endpoint_addr);
+    handshake(&mut chan, &creds, 5 * SECOND).unwrap();
+
+    // Execute seq 1, then replay it: the endpoint answers from its cache
+    // with the byte-identical response.
+    let read = Command::MRead { memaddr: 72, bytecnt: 8 };
+    let first = send_seq(&mut chan, 1, read.clone());
+    assert!(matches!(first, Response::Mem { .. }));
+    let replayed = send_seq(&mut chan, 1, read.clone());
+    assert_eq!(first, replayed, "replay returns the cached response verbatim");
+    assert_eq!(plab_obs::metrics::counter("endpoint.replay.hits"), 1);
+    assert_eq!(plab_obs::metrics::counter("endpoint.replay.misses"), 0);
+
+    // Push enough newer sequence numbers to evict seq 1 from the bounded
+    // cache (REPLAY_CACHE = 32 entries)…
+    for seq in 2..40u64 {
+        assert!(matches!(send_seq(&mut chan, seq, read.clone()), Response::Mem { .. }));
+    }
+    // …then replay it once more: explicitly refused, counted as a miss.
+    let evicted = send_seq(&mut chan, 1, read);
+    assert!(
+        matches!(evicted, Response::Err { code: ErrCode::Limit, .. }),
+        "evicted replay must be refused, not re-executed: {evicted:?}",
+    );
+    assert_eq!(plab_obs::metrics::counter("endpoint.replay.hits"), 1);
+    assert_eq!(plab_obs::metrics::counter("endpoint.replay.misses"), 1);
+    plab_obs::disable();
 }
 
 /// Filter expiry stays exact across a link flap that severs (and TCP

@@ -96,6 +96,11 @@ impl Sim {
         };
         debug_assert!(t >= self.time, "time went backwards");
         self.time = t;
+        if plab_obs::enabled() {
+            // Stamp the observability clock so every event recorded while
+            // handling this sim event carries the virtual time.
+            plab_obs::set_virtual_time(t);
+        }
         match kind {
             EventKind::LinkArrival { link, dir, packet } => {
                 self.links[link].departed(dir, packet.len());
@@ -173,6 +178,9 @@ impl Sim {
             self.step();
         }
         self.time = self.time.max(deadline);
+        if plab_obs::enabled() {
+            plab_obs::set_virtual_time(self.time);
+        }
     }
 
     /// Run until no events remain or `limit` is reached.
@@ -244,6 +252,27 @@ impl Sim {
 
     /// Apply a fault immediately.
     pub fn apply_fault(&mut self, action: FaultAction) {
+        if plab_obs::enabled() {
+            static FAULTS: plab_obs::metrics::Counter =
+                plab_obs::metrics::Counter::new("netsim.faults");
+            FAULTS.inc();
+            let (kind, target) = match &action {
+                FaultAction::LinkDown { link } => (0u64, *link as u64),
+                FaultAction::LinkUp { link } => (1, *link as u64),
+                FaultAction::SetLoss { link, .. } => (2, *link as u64),
+                FaultAction::SetBurstLoss { link, .. } => (3, *link as u64),
+                FaultAction::SetDelay { link, .. } => (4, *link as u64),
+                FaultAction::TcpReset { node } => (5, *node as u64),
+                FaultAction::NodeCrash { node } => (6, *node as u64),
+                FaultAction::NodeRestart { node } => (7, *node as u64),
+            };
+            plab_obs::obs_event!(
+                plab_obs::Component::Netsim,
+                "fault",
+                "kind" = kind,
+                "target" = target
+            );
+        }
         match action {
             FaultAction::LinkDown { link } => self.links[link].up = false,
             FaultAction::LinkUp { link } => self.links[link].up = true,
@@ -286,6 +315,7 @@ impl Sim {
         }
         n.crashed = true;
         n.host = Some(Default::default());
+        plab_obs::obs_event!(plab_obs::Component::Netsim, "node.crash", "node" = node.0);
         self.node_transitions.push(NodeTransition::Crashed(node));
     }
 
@@ -299,6 +329,7 @@ impl Sim {
         }
         n.crashed = false;
         n.host = Some(Default::default());
+        plab_obs::obs_event!(plab_obs::Component::Netsim, "node.restart", "node" = node.0);
         self.node_transitions.push(NodeTransition::Restarted(node));
     }
 
@@ -563,6 +594,9 @@ impl Sim {
         let dir = link.dir_from(node).expect("link attached to node");
         match link.offer(dir, self.time, packet.len(), jitter_sample) {
             Offer::Accepted { arrival } => {
+                static QUEUE_DEPTH: plab_obs::metrics::Histogram =
+                    plab_obs::metrics::Histogram::new("netsim.link.queued_bytes");
+                QUEUE_DEPTH.observe(link.dirs[dir].queued_bytes as u64);
                 self.events.push(
                     arrival,
                     EventKind::LinkArrival {

@@ -123,8 +123,17 @@ impl Trace {
 
     /// Record an event.
     pub fn record(&mut self, ev: TraceEvent) {
-        if let TraceEvent::Dropped { reason, .. } = &ev {
+        if let TraceEvent::Dropped { node, reason, .. } = &ev {
             *self.drop_counts.entry(*reason).or_insert(0) += 1;
+            static DROPS: plab_obs::metrics::Counter =
+                plab_obs::metrics::Counter::new("netsim.drops");
+            DROPS.inc();
+            plab_obs::obs_event!(
+                plab_obs::Component::Netsim,
+                "drop",
+                "reason" = *reason as u8,
+                "node" = *node
+            );
         }
         if !self.enabled {
             return;

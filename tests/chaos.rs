@@ -216,8 +216,12 @@ fn crash_without_restart_aborts_within_budget() {
 
     let start = ControlPlane::now(&ctrl);
     match ctrl.read_clock() {
-        Err(ControllerError::Unreachable { elapsed_ns }) => {
+        Err(ControllerError::Unreachable { elapsed_ns, connects, failed_dials, .. }) => {
             assert!(elapsed_ns >= policy.unreachable_budget);
+            // The abort carries retry context: the initial connect
+            // succeeded, and the dead endpoint produced failed dials.
+            assert!(connects >= 1);
+            assert!(failed_dials >= 1);
         }
         other => panic!("expected Unreachable, got {other:?}"),
     }
