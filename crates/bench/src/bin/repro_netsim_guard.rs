@@ -1,0 +1,108 @@
+//! Netsim performance guard: fails CI when simulator throughput regresses
+//! more than 10% against the committed `BENCH_netsim.json` baseline.
+//!
+//! Method mirrors `repro_obs_guard`: the 128-host scale world (the
+//! mid-size sweep point — big enough to exercise the timer wheel and
+//! route tables, small enough for CI) is pumped to quiescence repeatedly,
+//! and the guard statistic is the *minimum* round time over many
+//! batches. Scheduler preemption and frequency ramps only ever add time,
+//! so the minimum converges on the machine's true cost while averages
+//! drift with load. The measured events/sec must reach
+//! `NETSIM_GUARD_MIN_RATIO` (default 0.9) of the baseline's 128-host
+//! `events_per_sec`.
+//!
+//! Env overrides:
+//! - `NETSIM_GUARD_SECS`: measurement budget (default 2.0 s).
+//! - `NETSIM_GUARD_MIN_RATIO`: pass threshold (default 0.9).
+//! - `NETSIM_GUARD_BASELINE`: path to the baseline JSON (default
+//!   `BENCH_netsim.json` in the working directory).
+//!
+//! The baseline file records numbers from whatever machine last ran
+//! `repro_netsim_scale`; on a much slower machine, regenerate the
+//! baseline first or lower the ratio rather than comparing apples to
+//! oranges.
+
+use plab_bench::netsim_scale;
+use std::time::{Duration, Instant};
+
+const HOSTS: usize = 128;
+
+/// Pull `"events_per_sec": <num>` out of the baseline's 128-host sweep
+/// row without a JSON dependency (same trick the other guards use).
+fn baseline_events_per_sec(text: &str) -> Option<f64> {
+    let row = text.split('{').find(|s| s.contains("\"hosts\": 128"))?;
+    let tail = row.split("\"events_per_sec\":").nth(1)?;
+    tail.trim_start()
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let budget = std::env::var("NETSIM_GUARD_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Duration::from_secs_f64)
+        .unwrap_or(Duration::from_secs(2));
+    let min_ratio = std::env::var("NETSIM_GUARD_MIN_RATIO")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.9);
+    let baseline_path = std::env::var("NETSIM_GUARD_BASELINE")
+        .unwrap_or_else(|_| "BENCH_netsim.json".to_string());
+
+    let baseline_text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline = baseline_events_per_sec(&baseline_text)
+        .expect("baseline has a 128-host events_per_sec entry");
+
+    // Min round time over as many rounds as the budget allows (≥ 4).
+    let mut best = f64::MAX;
+    let mut events = 0u64;
+    let start = Instant::now();
+    let mut rounds = 0u32;
+    while rounds < 4 || start.elapsed() < budget {
+        let (ev, secs, sim) = netsim_scale::round(HOSTS);
+        assert_eq!(sim.pool().taken(), sim.pool().recycled(), "pool leak");
+        events = ev;
+        if secs < best {
+            best = secs;
+        }
+        rounds += 1;
+    }
+    let measured = events as f64 / best;
+    let ratio = measured / baseline;
+    let pass = ratio >= min_ratio;
+
+    if json {
+        print!(
+            "{{\n  \"bench\": \"netsim_guard\",\n  \"hosts\": {HOSTS},\n  \
+             \"rounds\": {rounds},\n  \"events_per_round\": {events},\n  \
+             \"measured_events_per_sec\": {measured:.1},\n  \
+             \"baseline_events_per_sec\": {baseline:.1},\n  \"ratio\": {ratio:.4},\n  \
+             \"min_ratio\": {min_ratio},\n  \"pass\": {pass}\n}}\n"
+        );
+    } else {
+        println!(
+            "netsim guard: {HOSTS} hosts, min over {rounds} rounds — measured \
+             {:.2} M events/s vs baseline {:.2} M events/s (ratio {ratio:.3}, \
+             threshold {min_ratio})",
+            measured / 1e6,
+            baseline / 1e6
+        );
+        println!(
+            "{}",
+            if pass {
+                "PASS: simulator throughput within budget of the committed baseline"
+            } else {
+                "FAIL: simulator throughput regressed more than the budget allows"
+            }
+        );
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Netsim scale sweep: events/sec, zero-copy effectiveness, and pool
+//! residency across 16-, 128-, and 1024-host worlds, written to
+//! `BENCH_netsim.json` (the baseline `repro_netsim_guard` regresses
+//! against).
+//!
+//! The sweep exists to answer the question the single-line throughput
+//! bench cannot: does per-event cost stay flat as the topology grows?
+//! A comparison-based scheduler pays O(log n) per event as the pending
+//! set grows with host count; the timer wheel's placement is O(1), so
+//! the events/sec column should fall sub-linearly (only cache pressure
+//! and route-table size) rather than logarithmically. The frames
+//! borrowed/copied columns expose how much of the fan-out the
+//! refcounted pool serves without copying, and peak residency bounds
+//! simulator memory at scale.
+//!
+//! `--json` prints the report on stdout (the file is still written).
+//! `NETSIM_SCALE_ROUNDS` overrides the per-size round count (default 4;
+//! the statistic is the minimum, so more rounds only tighten it).
+
+use plab_bench::netsim_scale;
+
+const SIZES: [usize; 3] = [16, 128, 1024];
+
+struct Row {
+    hosts: usize,
+    events: u64,
+    events_per_sec: f64,
+    ns_per_event: f64,
+    pool_taken: u64,
+    frames_borrowed: u64,
+    cow_copies: u64,
+    peak_residency: u64,
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let rounds: usize = std::env::var("NETSIM_SCALE_ROUNDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    if !json {
+        println!("netsim scale sweep: {SIZES:?} hosts, min over {rounds} rounds each\n");
+    }
+
+    let mut rows = Vec::new();
+    for &n in &SIZES {
+        // Minimum wall time over rounds: interference only adds time, so
+        // the min converges on the true cost (same policy as the guards).
+        let mut best = f64::MAX;
+        let mut events = 0u64;
+        let mut sim = None;
+        for _ in 0..rounds.max(1) {
+            let (ev, secs, s) = netsim_scale::round(n);
+            events = ev;
+            if secs < best {
+                best = secs;
+            }
+            sim = Some(s);
+        }
+        let sim = sim.expect("at least one round");
+        let pool = sim.pool();
+        let row = Row {
+            hosts: n,
+            events,
+            events_per_sec: events as f64 / best,
+            ns_per_event: best * 1e9 / events as f64,
+            pool_taken: pool.taken(),
+            frames_borrowed: pool.borrowed(),
+            cow_copies: pool.cow_copies(),
+            peak_residency: pool.peak_outstanding(),
+        };
+        assert_eq!(pool.taken(), pool.recycled(), "pool leak at {n} hosts");
+        if !json {
+            println!(
+                "{:>5} hosts: {:>8} events, {:>6.2} M events/s ({:>6.1} ns/event), \
+                 {} taken / {} borrowed / {} CoW, peak residency {}",
+                row.hosts,
+                row.events,
+                row.events_per_sec / 1e6,
+                row.ns_per_event,
+                row.pool_taken,
+                row.frames_borrowed,
+                row.cow_copies,
+                row.peak_residency
+            );
+        }
+        rows.push(row);
+    }
+
+    // Scaling factor: per-event slowdown going from the smallest to the
+    // largest world. Sub-linear means < hosts ratio (64x here).
+    let slowdown = rows.last().unwrap().ns_per_event / rows[0].ns_per_event;
+    if !json {
+        println!(
+            "\nper-event slowdown 16 → 1024 hosts: {slowdown:.2}x \
+             (64x hosts; O(1) scheduling keeps this far below linear)"
+        );
+    }
+
+    let mut out = String::from("{\n  \"bench\": \"netsim_scale\",\n  \"sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"hosts\": {}, \"events\": {}, \"events_per_sec\": {:.1}, \
+             \"ns_per_event\": {:.2}, \"pool_taken\": {}, \"frames_borrowed\": {}, \
+             \"cow_copies\": {}, \"peak_residency\": {}}}{}\n",
+            r.hosts,
+            r.events,
+            r.events_per_sec,
+            r.ns_per_event,
+            r.pool_taken,
+            r.frames_borrowed,
+            r.cow_copies,
+            r.peak_residency,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"per_event_slowdown_16_to_1024\": {slowdown:.3}\n}}\n"
+    ));
+    std::fs::write("BENCH_netsim.json", &out).expect("write BENCH_netsim.json");
+    if json {
+        print!("{out}");
+    } else {
+        println!("wrote BENCH_netsim.json");
+    }
+}

@@ -212,3 +212,121 @@ pub fn scheduled_send_error(world: &World, ctrl: &mut Controller<SimChannel>) ->
     ctrl.nclose(SKT).unwrap();
     actual.abs_diff(when)
 }
+
+/// Scale-sweep world for the netsim hot-path benches
+/// (`repro_netsim_scale`, `repro_netsim_guard`).
+///
+/// The throughput snapshot's 4-router line is deliberately tiny — it
+/// measures per-event cost with everything in cache. This module builds
+/// the opposite: `n` hosts spread over a chain of routers (16 hosts per
+/// router), millisecond-scale heterogeneous link latencies so pending
+/// events populate several timer-wheel levels at once, and route tables
+/// with one entry per address so lookup cost scales with the topology.
+/// Each host schedules a small burst of ICMP echo probes at a
+/// deterministic offset inside a 50 ms window toward a partner on the
+/// far side of the chain; routers forward, partners reply, TTLs are
+/// generous enough that every probe completes.
+pub mod netsim_scale {
+    use plab_netsim::{LinkParams, NodeId, Sim, TopologyBuilder, MILLISECOND};
+    use plab_packet::builder;
+    use std::net::Ipv4Addr;
+
+    /// Probes each host schedules.
+    pub const PROBES_PER_HOST: usize = 4;
+
+    /// Host `i`'s address (10.a.b.c, avoiding .0/.255 octets).
+    fn host_addr(i: usize) -> Ipv4Addr {
+        Ipv4Addr::new(10, (i / 200) as u8, (i % 200) as u8 + 1, 1)
+    }
+
+    /// Router `r`'s address.
+    fn router_addr(r: usize) -> Ipv4Addr {
+        Ipv4Addr::new(11, (r / 200) as u8, (r % 200) as u8 + 1, 254)
+    }
+
+    /// A built world plus the metadata the pump needs.
+    pub struct ScaleWorld {
+        /// The simulator.
+        pub sim: Sim,
+        /// All host nodes, in index order.
+        pub hosts: Vec<NodeId>,
+        /// Raw-socket handle per host (delivered probes and replies are
+        /// cloned into these inboxes — the zero-copy borrow path).
+        pub socks: Vec<u64>,
+        /// Host count (`hosts.len()`, for convenience).
+        pub n: usize,
+    }
+
+    /// Build the `n`-host world. `n` must be a multiple of 16.
+    pub fn build(n: usize) -> ScaleWorld {
+        assert!(n >= 16 && n.is_multiple_of(16), "host count must be a multiple of 16");
+        let routers = n / 16;
+        let mut t = TopologyBuilder::new();
+        let router_ids: Vec<NodeId> = (0..routers)
+            .map(|r| t.router(&format!("r{r}"), router_addr(r)))
+            .collect();
+        // Backbone: a chain with 2 ms hops (infinite bandwidth).
+        for w in router_ids.windows(2) {
+            t.link(w[0], w[1], LinkParams::new(2, 0));
+        }
+        let hosts: Vec<NodeId> = (0..n)
+            .map(|i| {
+                let h = t.host(&format!("h{i}"), host_addr(i));
+                // Access latency varies 1–5 ms so arrivals spread across
+                // wheel slots instead of landing in lockstep.
+                t.link(h, router_ids[i / 16], LinkParams::new(1 + (i as u64 % 5), 0));
+                h
+            })
+            .collect();
+        let mut sim = t.build();
+        let socks = hosts.iter().map(|&h| sim.raw_open(h)).collect();
+        ScaleWorld { sim, hosts, socks, n }
+    }
+
+    /// Schedule every host's probe burst. Each host `i` probes its
+    /// partner across the chain at deterministic offsets inside a 50 ms
+    /// window; offsets use fixed primes so the schedule is identical on
+    /// every run.
+    pub fn inject(world: &mut ScaleWorld) {
+        let n = world.n;
+        for i in 0..n {
+            let src = host_addr(i);
+            let dst = host_addr((i + n / 2) % n);
+            for j in 0..PROBES_PER_HOST {
+                let at = ((i * 7919 + j * 104_729) % 50) as u64 * MILLISECOND;
+                let pkt =
+                    builder::icmp_echo_request(src, dst, 64, i as u16, j as u16, &[0xab, 0xcd]);
+                world.sim.schedule_send(world.hosts[i], at, pkt, (i * 10 + j) as u64);
+            }
+        }
+    }
+
+    /// Run the world to quiescence, returning the event count. Inboxes
+    /// are drained afterwards so every delivered frame reaches
+    /// end-of-life (keeping the pool's `taken == recycled` teardown
+    /// invariant checkable while the simulator is still alive).
+    pub fn pump(world: &mut ScaleWorld) -> u64 {
+        let mut events = 0u64;
+        while world.sim.step() {
+            events += 1;
+        }
+        let mut delivered = 0usize;
+        for (i, &h) in world.hosts.iter().enumerate() {
+            delivered += world.sim.raw_recv(h, world.socks[i]).len();
+        }
+        assert!(delivered > 0, "no probe deliveries observed");
+        events
+    }
+
+    /// One full round: build, inject, pump. Returns the event count,
+    /// the wall seconds spent *scheduling and processing events* (world
+    /// construction is excluded — route-table building is not event
+    /// throughput), and the simulator for pool statistics.
+    pub fn round(n: usize) -> (u64, f64, Sim) {
+        let mut w = build(n);
+        let start = std::time::Instant::now();
+        inject(&mut w);
+        let events = pump(&mut w);
+        (events, start.elapsed().as_secs_f64(), w.sim)
+    }
+}

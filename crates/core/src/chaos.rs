@@ -96,6 +96,13 @@ pub struct ChaosOutcome {
     pub stats: RetryStats,
     /// Number of faults in the schedule.
     pub fault_count: usize,
+    /// Packet-pool buffers taken over the run (read after the world is
+    /// dropped, so every in-flight frame has reached end-of-life).
+    pub pool_taken: u64,
+    /// Packet-pool buffers recycled over the run. The pool's leak
+    /// invariant is `pool_taken == pool_recycled` at teardown — asserted
+    /// corpus-wide by the pool-accounting test.
+    pub pool_recycled: u64,
 }
 
 impl ChaosOutcome {
@@ -410,6 +417,10 @@ pub fn run(scenario: Scenario, seed: u64) -> ChaosOutcome {
          scenario={} t={finished_at}",
         scenario.name(),
     );
+    // Keep a handle on the pool, then tear the world down so queued and
+    // inboxed frames reach end-of-life before the counters are read.
+    let pool = world.net.borrow().sim.pool().clone();
+    drop(world);
     ChaosOutcome {
         seed,
         scenario,
@@ -418,6 +429,8 @@ pub fn run(scenario: Scenario, seed: u64) -> ChaosOutcome {
         finished_at,
         stats,
         fault_count,
+        pool_taken: pool.taken(),
+        pool_recycled: pool.recycled(),
     }
 }
 

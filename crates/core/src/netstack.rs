@@ -145,7 +145,11 @@ impl NetStack for SimStack<'_> {
     }
 
     fn take_udp(&mut self, port: u16) -> Vec<(u64, Ipv4Addr, u16, Vec<u8>)> {
-        self.sim.udp_recv(self.node, port)
+        self.sim
+            .udp_recv(self.node, port)
+            .into_iter()
+            .map(|(t, a, p, f)| (t, a, p, f.to_vec()))
+            .collect()
     }
 
     fn tcp_connect(&mut self, dst: Ipv4Addr, dst_port: u16) -> u64 {

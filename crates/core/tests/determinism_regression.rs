@@ -1,0 +1,81 @@
+//! Determinism regression pins for the netsim hot-path overhaul.
+//!
+//! The timer-wheel scheduler, pooled zero-copy frames, and FxHash maps
+//! all sit on paths that feed the chaos corpus digests. Their shared
+//! contract is that none of them is allowed to change observable
+//! behaviour: the wheel pops in exact `(time, seq)` order, copy-on-write
+//! produces the same bytes a fresh buffer would, and hash-map iteration
+//! order is never consulted on a digested path. These tests pin concrete
+//! digest values captured *before* the overhaul so any future scheduler
+//! or buffer-management change that shifts event order, timestamps, or
+//! packet bytes fails loudly here rather than silently invalidating
+//! recorded experiments.
+
+use packetlab::chaos::{self, ChaosVerdict, Scenario};
+
+/// Digest of the §4-style traceroute schedule at the corpus base seed,
+/// captured from the `BinaryHeap` scheduler before the timer-wheel swap.
+const TRACEROUTE_BASE_DIGEST: u64 = 0x6c76_7bdc_b133_64f4;
+/// Bandwidth scenario at the base seed, same provenance.
+const BANDWIDTH_BASE_DIGEST: u64 = 0x5674_0ce5_93c1_39fd;
+/// Conformance scenario at the base seed, same provenance.
+const CONFORMANCE_BASE_DIGEST: u64 = 0x1901_1287_d862_c52f;
+
+/// The corpus base seed (`chaos::corpus` spreads the rest from it).
+const BASE_SEED: u64 = 0x5eed_0000;
+
+#[test]
+fn traceroute_digest_is_pinned() {
+    let out = chaos::run(Scenario::Traceroute, BASE_SEED);
+    assert_eq!(
+        out.digest, TRACEROUTE_BASE_DIGEST,
+        "traceroute digest drifted — scheduler/pool/hashing changed \
+         observable behaviour: {}",
+        out.report()
+    );
+}
+
+#[test]
+fn bandwidth_digest_is_pinned() {
+    let out = chaos::run(Scenario::Bandwidth, BASE_SEED);
+    assert_eq!(
+        out.digest, BANDWIDTH_BASE_DIGEST,
+        "bandwidth digest drifted: {}",
+        out.report()
+    );
+}
+
+#[test]
+fn conformance_digest_is_pinned() {
+    let out = chaos::run(Scenario::Conformance, BASE_SEED);
+    assert_eq!(
+        out.digest, CONFORMANCE_BASE_DIGEST,
+        "conformance digest drifted: {}",
+        out.report()
+    );
+}
+
+/// Same (scenario, seed) twice → identical outcome, including the new
+/// pool counters. Complements the pins above: the pins catch drift
+/// across code changes, this catches nondeterminism within one build.
+#[test]
+fn repeated_runs_are_bit_identical() {
+    for (scenario, seed) in
+        [(Scenario::Traceroute, BASE_SEED), (Scenario::Bandwidth, BASE_SEED + 0x9111)]
+    {
+        let a = chaos::run(scenario, seed);
+        let b = chaos::run(scenario, seed);
+        assert_eq!(a, b, "nondeterministic outcome for {} seed {seed:#x}", scenario.name());
+    }
+}
+
+/// The pinned runs must actually complete — a digest that matches but
+/// comes from an aborted run would mean the pin is testing the wrong
+/// thing.
+#[test]
+fn pinned_runs_complete() {
+    for scenario in [Scenario::Traceroute, Scenario::Bandwidth, Scenario::Conformance] {
+        let out = chaos::run(scenario, BASE_SEED);
+        assert_eq!(out.verdict, ChaosVerdict::Completed, "{}", out.report());
+    }
+}

@@ -52,7 +52,8 @@ pub mod trace;
 pub use fault::{FaultAction, GilbertElliott, ScheduledFault};
 pub use link::LinkParams;
 pub use node::{NodeId, RawDisposition};
-pub use pool::BufPool;
+pub use event::EventId;
+pub use pool::{BufPool, Frame};
 pub use sim::{NodeTransition, Sim};
 pub use time::{SimTime, MICROSECOND, MILLISECOND, SECOND};
 pub use topology::TopologyBuilder;

@@ -9,7 +9,7 @@
 //! destination back on the way in.
 
 use plab_packet::{checksum, icmp, ipv4, proto};
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 use std::net::Ipv4Addr;
 
 /// Key identifying an internal flow: (protocol, internal addr, internal id).
@@ -22,8 +22,8 @@ pub struct NatTable {
     /// The external (public) address presented to the outside.
     pub external_ip: Ipv4Addr,
     next_id: u16,
-    by_internal: HashMap<FlowKey, u16>,
-    by_external: HashMap<(u8, u16), (Ipv4Addr, u16)>,
+    by_internal: FxHashMap<FlowKey, u16>,
+    by_external: FxHashMap<(u8, u16), (Ipv4Addr, u16)>,
 }
 
 impl NatTable {
@@ -32,8 +32,8 @@ impl NatTable {
         NatTable {
             external_ip,
             next_id: 50_000,
-            by_internal: HashMap::new(),
-            by_external: HashMap::new(),
+            by_internal: FxHashMap::default(),
+            by_external: FxHashMap::default(),
         }
     }
 

@@ -1,10 +1,12 @@
 //! Nodes: hosts (with sockets and OS behaviour), routers, and NAT boxes.
 
 use crate::nat::NatTable;
+use crate::pool::Frame;
 use crate::routing::RouteTable;
 use crate::tcp::TcpHost;
 use crate::time::SimTime;
-use std::collections::{HashMap, VecDeque};
+use fxhash::FxHashMap;
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 /// Index of a node in the simulation.
@@ -50,28 +52,30 @@ pub enum RawDisposition {
 /// A raw IP socket: sees arriving datagrams, can inject arbitrary ones.
 #[derive(Debug, Default)]
 pub struct RawSocket {
-    /// Received (timestamp, datagram) pairs awaiting the owner.
-    pub inbox: VecDeque<(SimTime, Vec<u8>)>,
+    /// Received (timestamp, datagram) pairs awaiting the owner. Frames
+    /// are shared views of the delivered packets, not per-socket copies.
+    pub inbox: VecDeque<(SimTime, Frame)>,
 }
 
 /// A bound UDP socket.
 #[derive(Debug, Default)]
 pub struct UdpSocket {
-    /// Received (timestamp, src addr, src port, payload).
-    pub inbox: VecDeque<(SimTime, Ipv4Addr, u16, Vec<u8>)>,
+    /// Received (timestamp, src addr, src port, payload). Payloads are
+    /// zero-copy sub-range views of the delivered datagrams.
+    pub inbox: VecDeque<(SimTime, Ipv4Addr, u16, Frame)>,
 }
 
 /// Host-only state: the socket stack.
 pub struct HostState {
     /// Raw sockets by id.
-    pub raw: HashMap<u64, RawSocket>,
+    pub raw: FxHashMap<u64, RawSocket>,
     /// UDP sockets by local port.
-    pub udp: HashMap<u16, UdpSocket>,
+    pub udp: FxHashMap<u16, UdpSocket>,
     /// TCP connections and listeners.
     pub tcp: TcpHost,
     /// Packets whose OS processing is deferred until the managing endpoint
     /// agent supplies a [`RawDisposition`] (only when `defer_os` is set).
-    pub pending_os: VecDeque<(SimTime, Vec<u8>)>,
+    pub pending_os: VecDeque<(SimTime, Frame)>,
     /// True when an endpoint agent manages raw-packet disposition.
     pub defer_os: bool,
     /// Whether the host's OS answers ICMP echo requests.
@@ -82,8 +86,8 @@ pub struct HostState {
 impl Default for HostState {
     fn default() -> Self {
         HostState {
-            raw: HashMap::new(),
-            udp: HashMap::new(),
+            raw: FxHashMap::default(),
+            udp: FxHashMap::default(),
             tcp: TcpHost::default(),
             pending_os: VecDeque::new(),
             defer_os: false,

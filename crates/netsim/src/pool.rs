@@ -1,27 +1,74 @@
-//! Packet-buffer recycling.
+//! Refcounted, pooled, copy-on-write packet frames.
 //!
-//! Every hop through the simulator used to allocate a fresh `Vec<u8>` —
-//! per link arrival, per raw-socket copy, per ICMP reply. At simulated
-//! line rate that allocation dominates the event loop, so the simulator
-//! keeps a free-list of retired packet buffers and draws from it at every
-//! site that would otherwise allocate. Buffers return to the pool at
-//! packet end-of-life (drops, post-delivery processing); live copies that
-//! escape to user-visible inboxes keep their buffer.
+//! Every hop through the simulator used to clone the datagram: per link
+//! arrival, per raw-socket inbox copy, per UDP payload delivery. At
+//! simulated line rate those copies (and their allocations) dominated
+//! the event loop. A [`Frame`] is now a reference-counted handle to a
+//! pooled buffer: link transit, queueing, raw/UDP inbox delivery, and
+//! capture all share one buffer by bumping a refcount, and the bytes are
+//! copied only at mutation points — TTL decrement, NAT rewrite,
+//! checksum fixup — and only when the buffer is actually shared
+//! (copy-on-write via [`Frame::make_mut`]).
+//!
+//! Buffers recycle automatically: when the last `Frame` referencing a
+//! buffer drops, the whole allocation (refcount box and `Vec`) returns
+//! to the owning [`BufPool`]'s free list, wherever that drop happens —
+//! inbox drains, queue teardown, node crashes. That makes the pool's
+//! accounting a leak detector: at simulator teardown every taken buffer
+//! has been dropped, so `taken == recycled` must hold exactly (asserted
+//! across the chaos corpus in `tests/pool_accounting.rs`).
 
-/// A free-list of packet buffers.
-///
-/// `take*` hands out an empty (cleared, capacity-preserving) buffer;
-/// [`BufPool::put`] returns one at end-of-life. The list is capped so a
-/// burst cannot pin unbounded memory.
+use std::cell::RefCell;
+use std::ops::Deref;
+use std::rc::Rc;
+
+/// Cap on retained buffers; beyond this, returned buffers are freed
+/// (but still counted as recycled — the counter tracks end-of-life, not
+/// free-list retention).
+const MAX_FREE: usize = 1024;
+
+/// Sentinel for "the frame spans its whole buffer" (the buffer length
+/// may still change through [`Frame::make_mut`]).
+const WHOLE: u32 = u32::MAX;
+
 #[derive(Debug, Default)]
-pub struct BufPool {
-    free: Vec<Vec<u8>>,
+struct PoolInner {
+    free: Vec<Rc<Vec<u8>>>,
     taken: u64,
     recycled: u64,
+    borrowed: u64,
+    cow_copies: u64,
+    outstanding: u64,
+    peak_outstanding: u64,
 }
 
-/// Cap on retained buffers; beyond this, returned buffers are dropped.
-const MAX_FREE: usize = 1024;
+impl PoolInner {
+    fn count_take(&mut self) {
+        self.taken += 1;
+        self.outstanding += 1;
+        if self.outstanding > self.peak_outstanding {
+            self.peak_outstanding = self.outstanding;
+        }
+    }
+
+    /// A buffer reached end-of-life (its last frame dropped).
+    fn recycle(&mut self, rc: Rc<Vec<u8>>) {
+        debug_assert_eq!(Rc::strong_count(&rc), 1);
+        self.recycled += 1;
+        self.outstanding -= 1;
+        if rc.capacity() > 0 && self.free.len() < MAX_FREE {
+            self.free.push(rc);
+        }
+    }
+}
+
+/// A shared pool of packet buffers. Cloning the pool clones a handle to
+/// the same free list and counters (used to read statistics after the
+/// simulator — and thus every in-flight frame — has been dropped).
+#[derive(Debug, Default, Clone)]
+pub struct BufPool {
+    inner: Rc<RefCell<PoolInner>>,
+}
 
 impl BufPool {
     /// An empty pool.
@@ -29,43 +76,280 @@ impl BufPool {
         BufPool::default()
     }
 
-    /// Take a cleared buffer, reusing a retired one when available.
-    pub fn take(&mut self) -> Vec<u8> {
-        self.taken += 1;
-        let mut buf = self.free.pop().unwrap_or_default();
-        buf.clear();
-        buf
+    /// Take an empty (cleared, capacity-preserving) frame, reusing a
+    /// retired buffer when available.
+    pub fn take(&self) -> Frame {
+        let rc = {
+            let mut inner = self.inner.borrow_mut();
+            inner.count_take();
+            inner.free.pop().unwrap_or_default()
+        };
+        let mut frame = Frame {
+            buf: Some(rc),
+            pool: Some(self.inner.clone()),
+            off: 0,
+            len: WHOLE,
+        };
+        frame.make_mut().clear();
+        frame
     }
 
-    /// Take a buffer holding a copy of `bytes`.
-    pub fn take_copy(&mut self, bytes: &[u8]) -> Vec<u8> {
-        let mut buf = self.take();
-        buf.extend_from_slice(bytes);
-        buf
+    /// Take a frame holding a copy of `bytes`.
+    pub fn take_copy(&self, bytes: &[u8]) -> Frame {
+        let mut frame = self.take();
+        frame.make_mut().extend_from_slice(bytes);
+        frame
     }
 
-    /// Return a buffer at end-of-life. Zero-capacity buffers and overflow
-    /// beyond the retention cap are dropped.
-    pub fn put(&mut self, buf: Vec<u8>) {
-        if buf.capacity() > 0 && self.free.len() < MAX_FREE {
-            self.recycled += 1;
-            self.free.push(buf);
+    /// Wrap an externally allocated buffer (TCP segments, raw injects)
+    /// as a pooled frame. The buffer joins the pool's accounting and is
+    /// recycled into the free list at end-of-life like any other frame —
+    /// `taken` is incremented so teardown symmetry (`taken == recycled`)
+    /// holds.
+    pub fn adopt(&self, buf: Vec<u8>) -> Frame {
+        self.inner.borrow_mut().count_take();
+        Frame {
+            buf: Some(Rc::new(buf)),
+            pool: Some(self.inner.clone()),
+            off: 0,
+            len: WHOLE,
+        }
+    }
+
+    /// Bring an externally allocated buffer into the pool, preferring a
+    /// recycled allocation. Small buffers are copied into a free-list
+    /// frame (a ~64-byte memcpy is cheaper than the `Rc::new` +
+    /// end-of-life `free` an [`BufPool::adopt`] costs per packet on the
+    /// send path); large ones are adopted to avoid the copy.
+    pub fn ingest(&self, buf: Vec<u8>) -> Frame {
+        const COPY_CUTOFF: usize = 512;
+        if buf.len() <= COPY_CUTOFF && !self.inner.borrow().free.is_empty() {
+            self.take_copy(&buf)
+        } else {
+            self.adopt(buf)
         }
     }
 
     /// Buffers currently available for reuse.
     pub fn available(&self) -> usize {
-        self.free.len()
+        self.inner.borrow().free.len()
     }
 
-    /// Total `take*` calls (pool hits + misses).
+    /// Total frame acquisitions (`take*`/`adopt`/copy-on-write copies).
     pub fn taken(&self) -> u64 {
-        self.taken
+        self.inner.borrow().taken
     }
 
-    /// Total buffers returned for reuse.
+    /// Total buffers that reached end-of-life (matches [`Self::taken`]
+    /// once every frame has been dropped).
     pub fn recycled(&self) -> u64 {
-        self.recycled
+        self.inner.borrow().recycled
+    }
+
+    /// Zero-copy frame clones (refcount bumps) since construction.
+    pub fn borrowed(&self) -> u64 {
+        self.inner.borrow().borrowed
+    }
+
+    /// Copy-on-write copies: mutations that found the buffer shared (or
+    /// sliced) and had to copy it first.
+    pub fn cow_copies(&self) -> u64 {
+        self.inner.borrow().cow_copies
+    }
+
+    /// Buffers currently alive outside the free list.
+    pub fn outstanding(&self) -> u64 {
+        self.inner.borrow().outstanding
+    }
+
+    /// High-water mark of [`Self::outstanding`] (peak pool residency).
+    pub fn peak_outstanding(&self) -> u64 {
+        self.inner.borrow().peak_outstanding
+    }
+}
+
+/// A reference-counted view of (a range of) a pooled packet buffer.
+///
+/// Dereferences to `&[u8]`. `Clone` is O(1) (refcount bump);
+/// [`Frame::make_mut`] gives mutable access, copying the bytes first
+/// only if the buffer is shared. Dropping the last frame for a buffer
+/// returns the allocation to its pool.
+pub struct Frame {
+    /// Always `Some` until `Drop` (taken there to release the Rc).
+    buf: Option<Rc<Vec<u8>>>,
+    pool: Option<Rc<RefCell<PoolInner>>>,
+    off: u32,
+    /// Slice length, or [`WHOLE`] for "track the buffer's full length".
+    len: u32,
+}
+
+impl Frame {
+    /// A standalone (pool-less) frame, for tests and external callers;
+    /// its buffer is freed rather than recycled.
+    pub fn from_vec(buf: Vec<u8>) -> Frame {
+        Frame {
+            buf: Some(Rc::new(buf)),
+            pool: None,
+            off: 0,
+            len: WHOLE,
+        }
+    }
+
+    fn rc(&self) -> &Rc<Vec<u8>> {
+        self.buf.as_ref().expect("frame buffer live until drop")
+    }
+
+    /// A zero-copy sub-range view sharing this frame's buffer (used for
+    /// UDP payload delivery: the inbox frame is a slice of the arriving
+    /// datagram).
+    pub fn slice(&self, off: usize, len: usize) -> Frame {
+        let base = self.off as usize;
+        assert!(off + len <= self.deref().len(), "slice out of range");
+        assert!((len as u64) < WHOLE as u64, "slice too large");
+        let mut f = self.clone();
+        f.off = (base + off) as u32;
+        f.len = len as u32;
+        f
+    }
+
+    /// Mutable access to the underlying buffer, copying it first if it
+    /// is shared with other frames (copy-on-write) or if this frame is a
+    /// sub-range view. After the call the frame is a unique, whole view:
+    /// callers may clear/rebuild the `Vec` freely.
+    pub fn make_mut(&mut self) -> &mut Vec<u8> {
+        let shared = Rc::strong_count(self.rc()) > 1;
+        if shared || self.len != WHOLE {
+            let fresh = match &self.pool {
+                Some(pool) => {
+                    let mut inner = pool.borrow_mut();
+                    inner.count_take();
+                    inner.cow_copies += 1;
+                    inner.free.pop().unwrap_or_default()
+                }
+                None => Rc::default(),
+            };
+            static COW: plab_obs::metrics::Counter =
+                plab_obs::metrics::Counter::new("netsim.pool.cow_copies");
+            COW.inc();
+            let mut fresh = fresh;
+            {
+                let v = Rc::get_mut(&mut fresh).expect("free-list buffers are unique");
+                v.clear();
+                v.extend_from_slice(self);
+            }
+            let old = self.buf.replace(fresh).expect("frame buffer live");
+            release(&self.pool, old);
+            self.off = 0;
+            self.len = WHOLE;
+        }
+        Rc::get_mut(self.buf.as_mut().expect("frame buffer live"))
+            .expect("unique after copy-on-write")
+    }
+
+    /// Copy the frame's bytes into an owned `Vec` (for API boundaries
+    /// that hand data to code outside the simulator's lifetime).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.deref().to_vec()
+    }
+}
+
+/// End-of-life check shared by `Drop` and copy-on-write: if `rc` was the
+/// last reference, return the buffer to the pool.
+fn release(pool: &Option<Rc<RefCell<PoolInner>>>, rc: Rc<Vec<u8>>) {
+    if Rc::strong_count(&rc) == 1 {
+        match pool {
+            Some(pool) => pool.borrow_mut().recycle(rc),
+            None => drop(rc),
+        }
+    }
+}
+
+impl Clone for Frame {
+    fn clone(&self) -> Frame {
+        if let Some(pool) = &self.pool {
+            pool.borrow_mut().borrowed += 1;
+        }
+        Frame {
+            buf: self.buf.clone(),
+            pool: self.pool.clone(),
+            off: self.off,
+            len: self.len,
+        }
+    }
+}
+
+impl Drop for Frame {
+    fn drop(&mut self) {
+        if let Some(rc) = self.buf.take() {
+            release(&self.pool, rc);
+        }
+    }
+}
+
+impl Deref for Frame {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        let buf = self.rc();
+        if self.len == WHOLE {
+            buf
+        } else {
+            &buf[self.off as usize..(self.off + self.len) as usize]
+        }
+    }
+}
+
+impl AsRef<[u8]> for Frame {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Frame")
+            .field("len", &self.deref().len())
+            .field("shared", &(Rc::strong_count(self.rc()) > 1))
+            .field("bytes", &self.deref())
+            .finish()
+    }
+}
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Frame) -> bool {
+        self.deref() == other.deref()
+    }
+}
+
+impl Eq for Frame {}
+
+impl PartialEq<[u8]> for Frame {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.deref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Frame {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.deref() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Frame {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.deref() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Frame {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.deref() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Frame {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.deref() == other.as_slice()
     }
 }
 
@@ -74,17 +358,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn take_reuses_returned_capacity() {
-        let mut pool = BufPool::new();
+    fn take_reuses_returned_allocation() {
+        let pool = BufPool::new();
         let mut a = pool.take();
-        a.extend_from_slice(&[1, 2, 3, 4]);
-        let cap = a.capacity();
+        a.make_mut().extend_from_slice(&[1, 2, 3, 4]);
         let ptr = a.as_ptr();
-        pool.put(a);
+        drop(a);
         assert_eq!(pool.available(), 1);
         let b = pool.take();
         assert!(b.is_empty(), "recycled buffer must come back cleared");
-        assert_eq!(b.capacity(), cap);
         assert_eq!(b.as_ptr(), ptr, "same allocation reused");
         assert_eq!(pool.recycled(), 1);
         assert_eq!(pool.taken(), 2);
@@ -92,16 +374,92 @@ mod tests {
 
     #[test]
     fn take_copy_copies() {
-        let mut pool = BufPool::new();
+        let pool = BufPool::new();
         let b = pool.take_copy(&[9, 8, 7]);
-        assert_eq!(b, vec![9, 8, 7]);
+        assert_eq!(b, [9u8, 8, 7]);
     }
 
     #[test]
-    fn zero_capacity_not_retained() {
-        let mut pool = BufPool::new();
-        pool.put(Vec::new());
-        assert_eq!(pool.available(), 0);
+    fn clone_shares_until_mutation() {
+        let pool = BufPool::new();
+        let a = pool.take_copy(&[1, 2, 3]);
+        let mut b = a.clone();
+        assert_eq!(pool.borrowed(), 1);
+        assert_eq!(a.as_ptr(), b.as_ptr(), "clone is zero-copy");
+        assert_eq!(pool.cow_copies(), 0);
+        b.make_mut()[0] = 99;
+        assert_eq!(pool.cow_copies(), 1, "mutation of shared frame copies");
+        assert_eq!(a, [1u8, 2, 3], "original unchanged");
+        assert_eq!(b, [99u8, 2, 3]);
+        assert_ne!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn unique_mutation_does_not_copy() {
+        let pool = BufPool::new();
+        let mut a = pool.take_copy(&[5, 6]);
+        let ptr = a.as_ptr();
+        a.make_mut()[0] = 7;
+        assert_eq!(pool.cow_copies(), 0);
+        assert_eq!(a.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn slices_share_and_keep_buffer_alive() {
+        let pool = BufPool::new();
+        let a = pool.take_copy(&[0, 1, 2, 3, 4, 5]);
+        let s = a.slice(2, 3);
+        assert_eq!(s, [2u8, 3, 4]);
+        drop(a);
+        assert_eq!(s, [2u8, 3, 4], "slice keeps the buffer alive");
         assert_eq!(pool.recycled(), 0);
+        drop(s);
+        assert_eq!(pool.recycled(), 1, "last reference recycles");
+    }
+
+    #[test]
+    fn accounting_is_symmetric_at_teardown() {
+        let pool = BufPool::new();
+        {
+            let a = pool.take_copy(&[1; 64]);
+            let _b = a.clone();
+            let _c = a.slice(0, 8);
+            let mut d = a.clone();
+            d.make_mut().push(0); // CoW: counts a take of its own
+            let _e = pool.adopt(vec![7, 7, 7]);
+        }
+        assert_eq!(pool.taken(), pool.recycled(), "no buffer leaked");
+        assert_eq!(pool.outstanding(), 0);
+        assert!(pool.peak_outstanding() >= 2);
+    }
+
+    #[test]
+    fn adopt_joins_pool_accounting() {
+        let pool = BufPool::new();
+        let f = pool.adopt(vec![1, 2]);
+        assert_eq!(pool.taken(), 1);
+        drop(f);
+        assert_eq!(pool.recycled(), 1);
+        assert_eq!(pool.available(), 1, "adopted allocation is retained");
+    }
+
+    #[test]
+    fn zero_capacity_not_retained_but_counted() {
+        let pool = BufPool::new();
+        drop(pool.adopt(Vec::new()));
+        assert_eq!(pool.available(), 0);
+        assert_eq!(pool.recycled(), 1, "end-of-life is counted regardless");
+        assert_eq!(pool.taken(), pool.recycled());
+    }
+
+    #[test]
+    fn mutating_a_slice_copies_only_the_range() {
+        let pool = BufPool::new();
+        let a = pool.take_copy(&[0, 1, 2, 3]);
+        let mut s = a.slice(1, 2);
+        s.make_mut().push(9);
+        assert_eq!(s, [1u8, 2, 9]);
+        assert_eq!(a, [0u8, 1, 2, 3]);
+        assert_eq!(pool.cow_copies(), 1);
     }
 }

@@ -4,13 +4,14 @@
 //! link graph — enough for the tree/line/dumbbell topologies measurement
 //! experiments use, while keeping forwarding fully deterministic.
 
-use std::collections::{HashMap, VecDeque};
+use fxhash::FxHashMap;
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 /// A node's forwarding table: destination address → outgoing interface.
 #[derive(Debug, Default, Clone)]
 pub struct RouteTable {
-    routes: HashMap<Ipv4Addr, usize>,
+    routes: FxHashMap<Ipv4Addr, usize>,
     /// Fallback interface when no specific route exists (hosts' default
     /// gateway interface).
     pub default_iface: Option<usize>,
@@ -54,7 +55,13 @@ pub type Adjacency = Vec<Vec<(usize, usize)>>;
 /// network (other than the node's own).
 pub fn compute_routes(adjacency: &Adjacency, addrs: &[Vec<Ipv4Addr>]) -> Vec<RouteTable> {
     let n = adjacency.len();
+    let total_addrs: usize = addrs.iter().map(|a| a.len()).sum();
     let mut tables = vec![RouteTable::new(); n];
+    for t in &mut tables {
+        // One host route per foreign address; reserving up front keeps
+        // table construction off the rehash path.
+        t.routes.reserve(total_addrs);
+    }
     // For each destination node, BFS the reverse tree and record, at every
     // other node, which interface leads one hop closer.
     for dst in 0..n {

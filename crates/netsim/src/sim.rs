@@ -4,13 +4,13 @@ use crate::event::{EventKind, EventQueue};
 use crate::fault::FaultAction;
 use crate::link::{Link, Offer};
 use crate::node::{Node, NodeId, NodeKind};
-use crate::pool::BufPool;
+use crate::pool::{BufPool, Frame};
 use crate::time::SimTime;
 use crate::trace::{DropReason, Trace, TraceEvent};
+use fxhash::FxHashMap;
 use plab_packet::{builder, icmp, ipv4, proto, udp};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// A host's up/down transition, observable by the driving harness (which
@@ -37,7 +37,7 @@ pub struct Sim {
     send_log: Vec<(NodeId, u64, SimTime)>,
     node_transitions: Vec<NodeTransition>,
     /// Name → node index, built once at construction.
-    name_index: HashMap<String, usize>,
+    name_index: FxHashMap<String, usize>,
     /// Recycled packet buffers (see [`crate::pool`]).
     pool: BufPool,
 }
@@ -103,35 +103,35 @@ impl Sim {
         }
         match kind {
             EventKind::LinkArrival { link, dir, packet } => {
-                self.links[link].departed(dir, packet.len());
-                if !self.links[link].up {
+                // One bounds-checked borrow for the whole arm; `rng` and
+                // `trace` are disjoint fields.
+                let l = &mut self.links[link];
+                l.departed(dir, packet.len());
+                let dst = l.dst_node(dir);
+                if !l.up {
                     // A flap kills what is in flight on the wire.
-                    let node = self.links[link].dst_node(dir);
                     self.trace.record(TraceEvent::Dropped {
                         time: self.time,
-                        node,
+                        node: dst,
                         reason: DropReason::LinkDown,
                     });
-                    self.pool.put(packet);
                     return true;
                 }
                 // Loss decisions are integer comparisons on rolls drawn
                 // from the single seeded RNG — bit-for-bit reproducible
                 // across runs and platforms.
-                let lost = self.links[link].lossy() && {
+                let lost = l.lossy() && {
                     let rolls = [self.rng.next_u64(), self.rng.next_u64()];
                     self.links[link].sample_loss(dir, rolls)
                 };
                 if lost {
-                    let node = self.links[link].dst_node(dir);
                     self.trace.record(TraceEvent::Dropped {
                         time: self.time,
-                        node,
+                        node: dst,
                         reason: DropReason::RandomLoss,
                     });
-                    self.pool.put(packet);
+                    drop(packet);
                 } else {
-                    let dst = self.links[link].dst_node(dir);
                     self.deliver(dst, packet);
                 }
             }
@@ -142,7 +142,6 @@ impl Sim {
                         node,
                         reason: DropReason::NodeDown,
                     });
-                    self.pool.put(packet);
                     return true;
                 }
                 self.send_log.push((NodeId(node), tag, self.time));
@@ -219,6 +218,7 @@ impl Sim {
     /// time"). Times in the past send immediately. `tag` is reported with
     /// the actual transmission time via [`Sim::take_send_log`].
     pub fn schedule_send(&mut self, node: NodeId, time: SimTime, packet: Vec<u8>, tag: u64) {
+        let packet = self.pool.ingest(packet);
         self.events.push(
             time.max(self.time),
             EventKind::ScheduledSend {
@@ -354,11 +354,13 @@ impl Sim {
 
     /// Inject an arbitrary datagram from a host (raw send).
     pub fn raw_send(&mut self, node: NodeId, packet: Vec<u8>) {
+        let packet = self.pool.ingest(packet);
         self.send_from(node, packet);
     }
 
-    /// Drain a raw socket's inbox.
-    pub fn raw_recv(&mut self, node: NodeId, sock: u64) -> Vec<(SimTime, Vec<u8>)> {
+    /// Drain a raw socket's inbox. Frames are zero-copy views of the
+    /// arriving datagrams ([`Frame`] dereferences to `&[u8]`).
+    pub fn raw_recv(&mut self, node: NodeId, sock: u64) -> Vec<(SimTime, Frame)> {
         self.nodes[node.0]
             .host_mut()
             .raw
@@ -374,13 +376,13 @@ impl Sim {
     }
 
     /// Take packets awaiting an OS disposition decision.
-    pub fn take_pending_os(&mut self, node: NodeId) -> Vec<(SimTime, Vec<u8>)> {
+    pub fn take_pending_os(&mut self, node: NodeId) -> Vec<(SimTime, Frame)> {
         self.nodes[node.0].host_mut().pending_os.drain(..).collect()
     }
 
     /// Run normal OS processing for a packet whose disposition was
     /// `Ignore` or `Mirror`.
-    pub fn os_process(&mut self, node: NodeId, packet: &[u8]) {
+    pub fn os_process(&mut self, node: NodeId, packet: &Frame) {
         self.os_process_inner(node.0, packet);
     }
 
@@ -405,12 +407,13 @@ impl Sim {
     ) {
         let src = self.nodes[node.0].addr();
         let mut pkt = self.pool.take();
-        builder::udp_datagram_into(src, dst, src_port, dst_port, payload, &mut pkt);
+        builder::udp_datagram_into(src, dst, src_port, dst_port, payload, pkt.make_mut());
         self.send_from(node, pkt);
     }
 
-    /// Drain a UDP socket's inbox.
-    pub fn udp_recv(&mut self, node: NodeId, port: u16) -> Vec<(SimTime, Ipv4Addr, u16, Vec<u8>)> {
+    /// Drain a UDP socket's inbox. Payload frames are zero-copy
+    /// sub-range views of the arriving datagrams.
+    pub fn udp_recv(&mut self, node: NodeId, port: u16) -> Vec<(SimTime, Ipv4Addr, u16, Frame)> {
         self.nodes[node.0]
             .host_mut()
             .udp
@@ -497,19 +500,19 @@ impl Sim {
                 .push(t.max(self.time), EventKind::TcpTick { node: node.0, conn });
         }
         for seg in out.segments {
+            let seg = self.pool.ingest(seg);
             self.send_from(node, seg);
         }
     }
 
     /// Inject a packet originating at `node` into the network.
-    pub fn send_from(&mut self, node: NodeId, packet: Vec<u8>) {
+    pub fn send_from(&mut self, node: NodeId, packet: Frame) {
         let Ok(view) = ipv4::Ipv4View::new_unchecked(&packet) else {
             self.trace.record(TraceEvent::Dropped {
                 time: self.time,
                 node: node.0,
                 reason: DropReason::Malformed,
             });
-            self.pool.put(packet);
             return;
         };
         self.trace.record(TraceEvent::Sent {
@@ -530,14 +533,13 @@ impl Sim {
     }
 
     /// Route `packet` out of `node` toward `dst`.
-    fn transmit(&mut self, node: usize, mut packet: Vec<u8>, dst: Ipv4Addr) {
+    fn transmit(&mut self, node: usize, mut packet: Frame, dst: Ipv4Addr) {
         let Some(iface_idx) = self.nodes[node].routes.lookup(dst) else {
             self.trace.record(TraceEvent::Dropped {
                 time: self.time,
                 node,
                 reason: DropReason::NoRoute,
             });
-            self.pool.put(packet);
             return;
         };
         // NAT egress: traffic leaving a NAT node through its external
@@ -547,7 +549,6 @@ impl Sim {
         {
             let is_internal_src = {
                 let Ok(view) = ipv4::Ipv4View::new_unchecked(&packet) else {
-                    self.pool.put(packet);
                     return;
                 };
                 // Only translate packets not already from the NAT itself.
@@ -555,13 +556,14 @@ impl Sim {
             };
             if is_internal_src {
                 let nat = self.nodes[node].nat.as_mut().expect("nat node has table");
-                if !nat.translate_outbound(&mut packet) {
+                // Copy-on-write: the rewrite copies only if the buffer
+                // is shared (e.g. a raw socket captured it upstream).
+                if !nat.translate_outbound(packet.make_mut()) {
                     self.trace.record(TraceEvent::Dropped {
                         time: self.time,
                         node,
                         reason: DropReason::Malformed,
                     });
-                    self.pool.put(packet);
                     return;
                 }
             }
@@ -572,7 +574,6 @@ impl Sim {
                 node,
                 reason: DropReason::NoRoute,
             });
-            self.pool.put(packet);
             return;
         };
         if !self.links[link_idx].up {
@@ -581,7 +582,6 @@ impl Sim {
                 node,
                 reason: DropReason::LinkDown,
             });
-            self.pool.put(packet);
             return;
         }
         let jitter_ceiling = self.links[link_idx].params.jitter;
@@ -612,20 +612,19 @@ impl Sim {
                     node,
                     reason: DropReason::QueueFull,
                 });
-                self.pool.put(packet);
+                drop(packet);
             }
         }
     }
 
     /// A packet has arrived at `node`.
-    fn deliver(&mut self, node: usize, mut packet: Vec<u8>) {
+    fn deliver(&mut self, node: usize, mut packet: Frame) {
         if self.nodes[node].crashed {
             self.trace.record(TraceEvent::Dropped {
                 time: self.time,
                 node,
                 reason: DropReason::NodeDown,
             });
-            self.pool.put(packet);
             return;
         }
         let Ok(view) = ipv4::Ipv4View::new_unchecked(&packet) else {
@@ -634,7 +633,6 @@ impl Sim {
                 node,
                 reason: DropReason::Malformed,
             });
-            self.pool.put(packet);
             return;
         };
         let dst = view.dst();
@@ -650,7 +648,6 @@ impl Sim {
                         node,
                         reason: DropReason::WrongHost,
                     });
-                    self.pool.put(packet);
                     return;
                 }
                 self.trace.record(TraceEvent::Delivered {
@@ -669,7 +666,7 @@ impl Sim {
                     let ext_ip = self.nodes[node].nat.as_ref().unwrap().external_ip;
                     if dst == ext_ip {
                         let nat = self.nodes[node].nat.as_mut().unwrap();
-                        if nat.translate_inbound(&mut packet) {
+                        if nat.translate_inbound(packet.make_mut()) {
                             let new_dst = ipv4::Ipv4View::new_unchecked(&packet)
                                 .expect("translated packet valid")
                                 .dst();
@@ -692,7 +689,7 @@ impl Sim {
     }
 
     /// Router TTL handling and next-hop forwarding.
-    fn forward(&mut self, node: usize, mut packet: Vec<u8>, dst: Ipv4Addr) {
+    fn forward(&mut self, node: usize, mut packet: Frame, dst: Ipv4Addr) {
         let view = ipv4::Ipv4View::new_unchecked(&packet).expect("checked by deliver");
         let ttl = view.ttl();
         let src = view.src();
@@ -706,12 +703,13 @@ impl Sim {
             });
             let router_addr = self.nodes[node].addr();
             let mut te = self.pool.take();
-            builder::icmp_time_exceeded_into(router_addr, src, &packet, &mut te);
-            self.pool.put(packet);
+            builder::icmp_time_exceeded_into(router_addr, src, &packet, te.make_mut());
+            drop(packet);
             self.send_from(NodeId(node), te);
             return;
         }
-        ipv4::decrement_ttl(&mut packet);
+        // Copy-on-write: in-place for the common unshared case.
+        ipv4::decrement_ttl(packet.make_mut());
         self.trace.record(TraceEvent::Forwarded {
             time: self.time,
             node,
@@ -723,7 +721,7 @@ impl Sim {
 
     /// A packet addressed to the router itself: answer pings. Consumes the
     /// packet (its buffer returns to the pool).
-    fn router_local(&mut self, node: usize, packet: Vec<u8>) {
+    fn router_local(&mut self, node: usize, packet: Frame) {
         let mut reply = None;
         if let Ok(view) = ipv4::Ipv4View::new_unchecked(&packet) {
             if view.protocol() == proto::ICMP {
@@ -740,38 +738,36 @@ impl Sim {
                         ident,
                         seq,
                         payload,
-                        &mut buf,
+                        buf.make_mut(),
                     );
                     reply = Some(buf);
                 }
             }
         }
-        self.pool.put(packet);
+        drop(packet);
         if let Some(reply) = reply {
             self.send_from(NodeId(node), reply);
         }
     }
 
     /// Host-side packet delivery: raw sockets, then OS or deferred OS.
-    fn host_receive(&mut self, node: usize, packet: Vec<u8>) {
+    fn host_receive(&mut self, node: usize, packet: Frame) {
         let now = self.time;
-        let pool = &mut self.pool;
         let host = self.nodes[node].host_mut();
         for raw in host.raw.values_mut() {
-            // Per-socket copies drawn from the pool (they escape to the
-            // socket inbox, so the original can still be recycled below).
-            raw.inbox.push_back((now, pool.take_copy(&packet)));
+            // Zero-copy capture: each socket's inbox entry is a refcount
+            // bump on the arriving frame, not a buffer copy.
+            raw.inbox.push_back((now, packet.clone()));
         }
         if host.defer_os {
             host.pending_os.push_back((now, packet));
         } else {
             self.os_process_inner(node, &packet);
-            self.pool.put(packet);
         }
     }
 
     /// Normal OS behaviour for an arriving packet.
-    fn os_process_inner(&mut self, node: usize, packet: &[u8]) {
+    fn os_process_inner(&mut self, node: usize, packet: &Frame) {
         let now = self.time;
         let Ok(view) = ipv4::Ipv4View::new_unchecked(packet) else {
             return;
@@ -788,7 +784,7 @@ impl Sim {
                 {
                     if self.nodes[node].host_ref().echo_responder {
                         let mut reply = self.pool.take();
-                        builder::icmp_echo_reply_into(dst, src, ident, seq, payload, &mut reply);
+                        builder::icmp_echo_reply_into(dst, src, ident, seq, payload, reply.make_mut());
                         self.send_from(NodeId(node), reply);
                     }
                 }
@@ -796,32 +792,35 @@ impl Sim {
             }
             proto::UDP => {
                 if let Ok(u) = udp::parse(src, dst, view.payload()) {
-                    let pool = &mut self.pool;
+                    // Zero-copy payload delivery: the inbox frame is a
+                    // sub-range view of the arriving datagram.
+                    let payload_off = view.header_len() + udp::HEADER_LEN;
+                    let payload_len = u.payload.len();
+                    let src_port = u.src_port;
+                    let dst_port = u.dst_port;
                     let host = self.nodes[node].host_mut();
-                    if let Some(sock) = host.udp.get_mut(&u.dst_port) {
+                    if let Some(sock) = host.udp.get_mut(&dst_port) {
                         sock.inbox
-                            .push_back((now, src, u.src_port, pool.take_copy(u.payload)));
+                            .push_back((now, src, src_port, packet.slice(payload_off, payload_len)));
                     } else {
                         // Port unreachable.
-                        let mut pu = pool.take();
+                        let mut pu = self.pool.take();
                         builder::icmp_dest_unreachable_into(
                             dst,
                             src,
                             icmp::CODE_PORT_UNREACHABLE,
                             packet,
-                            &mut pu,
+                            pu.make_mut(),
                         );
                         self.send_from(NodeId(node), pu);
                     }
                 }
             }
             proto::TCP => {
-                let segment = self.pool.take_copy(view.payload());
                 let out = self.nodes[node]
                     .host_mut()
                     .tcp
-                    .on_segment(now, src, dst, &segment);
-                self.pool.put(segment);
+                    .on_segment(now, src, dst, view.payload());
                 self.dispatch_tcp(NodeId(node), out);
             }
             _ => {}

@@ -16,7 +16,8 @@
 use crate::time::{SimTime, MILLISECOND};
 use plab_packet::tcp::{flags, TcpHeader};
 use plab_packet::{builder, tcp as tcpcodec};
-use std::collections::{HashMap, VecDeque};
+use fxhash::FxHashMap;
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 /// Maximum segment payload.
@@ -161,8 +162,8 @@ impl Conn {
 
 /// Per-host TCP state: connections, listeners, port allocation.
 pub struct TcpHost {
-    conns: HashMap<u64, Conn>,
-    listeners: HashMap<u16, VecDeque<u64>>,
+    conns: FxHashMap<u64, Conn>,
+    listeners: FxHashMap<u16, VecDeque<u64>>,
     next_conn: u64,
     next_port: u16,
     iss: u32,
@@ -171,8 +172,8 @@ pub struct TcpHost {
 impl Default for TcpHost {
     fn default() -> Self {
         TcpHost {
-            conns: HashMap::new(),
-            listeners: HashMap::new(),
+            conns: FxHashMap::default(),
+            listeners: FxHashMap::default(),
             next_conn: 1,
             next_port: 40_000,
             iss: 1_000,

@@ -94,8 +94,10 @@ impl TraceEvent {
 pub struct Trace {
     events: std::collections::VecDeque<TraceEvent>,
     capacity: usize,
-    /// Total drops by reason, never evicted.
-    pub drop_counts: std::collections::HashMap<DropReason, u64>,
+    /// Total drops by reason (indexed by `DropReason as usize`), never
+    /// evicted. A flat array: drop accounting sits on the per-packet
+    /// path, so it must not pay a hash per record.
+    drop_counts: [u64; 8],
     enabled: bool,
 }
 
@@ -111,7 +113,7 @@ impl Trace {
         Trace {
             events: Default::default(),
             capacity,
-            drop_counts: Default::default(),
+            drop_counts: [0; 8],
             enabled: true,
         }
     }
@@ -124,7 +126,7 @@ impl Trace {
     /// Record an event.
     pub fn record(&mut self, ev: TraceEvent) {
         if let TraceEvent::Dropped { node, reason, .. } = &ev {
-            *self.drop_counts.entry(*reason).or_insert(0) += 1;
+            self.drop_counts[*reason as usize] += 1;
             static DROPS: plab_obs::metrics::Counter =
                 plab_obs::metrics::Counter::new("netsim.drops");
             DROPS.inc();
@@ -151,7 +153,7 @@ impl Trace {
 
     /// Count of drops for a reason.
     pub fn drops(&self, reason: DropReason) -> u64 {
-        self.drop_counts.get(&reason).copied().unwrap_or(0)
+        self.drop_counts[reason as usize]
     }
 
     /// Clear retained events (counters persist).

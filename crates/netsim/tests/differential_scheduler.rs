@@ -1,0 +1,178 @@
+//! Differential property test: the hierarchical timer wheel
+//! ([`plab_netsim::event::EventQueue`]) against the previous
+//! `BinaryHeap` scheduler, kept verbatim as
+//! [`plab_netsim::event::ReferenceEventQueue`].
+//!
+//! The wheel's determinism contract is that it is *observationally
+//! identical* to the heap: same `(time, seq)` pop order, same clamping of
+//! past times to the queue's clock, same cancel semantics — for any
+//! interleaving of schedule, pop, and cancel operations, across every
+//! level of the wheel and the overflow spill list. Seeded traces recorded
+//! before the swap must therefore replay bit-identically after it.
+
+use plab_netsim::event::{EventId, EventKind, EventQueue, ReferenceEventQueue};
+use proptest::prelude::*;
+
+/// One scripted operation against both schedulers.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule a timer at `now + delta` (deltas span every wheel level
+    /// and the spill horizon).
+    Push { delta: u64 },
+    /// Schedule a timer in the past (`now - back`); both queues must
+    /// clamp it to `now`.
+    PushPast { back: u64 },
+    /// Pop the earliest event.
+    Pop,
+    /// Cancel a still-pending event, selected by index into the live set.
+    Cancel { sel: usize },
+    /// Cancel an event that was already popped; both queues must refuse.
+    CancelStale { sel: usize },
+}
+
+/// Deltas chosen so every placement path is exercised: the same-tick
+/// FIFO fast path, each wheel level, and the >2^36 ns spill list.
+/// Arms are repeated instead of weighted (the vendored proptest's
+/// `prop_oneof!` is uniform).
+fn delta_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),              // same-tick FIFO path
+        Just(0u64),
+        1u64..64,                // level 0
+        1u64..64,
+        64u64..4096,             // level 1
+        4096u64..(1 << 18),      // levels 2–3
+        (1u64 << 18)..(1 << 30), // levels 3–4
+        (1u64 << 30)..(1 << 36), // level 5
+        (1u64 << 36)..(1 << 40), // spill list
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        delta_strategy().prop_map(|delta| Op::Push { delta }),
+        delta_strategy().prop_map(|delta| Op::Push { delta }),
+        delta_strategy().prop_map(|delta| Op::Push { delta }),
+        (0u64..(1 << 20)).prop_map(|back| Op::PushPast { back }),
+        Just(Op::Pop),
+        Just(Op::Pop),
+        (0u64..1024).prop_map(|s| Op::Cancel { sel: s as usize }),
+        (0u64..1024).prop_map(|s| Op::CancelStale { sel: s as usize }),
+    ]
+}
+
+fn timer(key: u64) -> EventKind {
+    EventKind::Timer { node: 0, key }
+}
+
+/// Drive both queues through `ops`, asserting observational equality
+/// after every step, then drain both and compare the full tail.
+fn run_script(ops: Vec<Op>) {
+    let mut wheel = EventQueue::new();
+    let mut oracle = ReferenceEventQueue::new();
+    let mut now: u64 = 0;
+    let mut next_key: u64 = 0;
+    let mut live: Vec<EventId> = Vec::new();
+    let mut popped: Vec<EventId> = Vec::new();
+
+    for op in ops {
+        match op {
+            Op::Push { delta } => {
+                let k = timer(next_key);
+                next_key += 1;
+                let a = wheel.push(now + delta, k.clone());
+                let b = oracle.push(now + delta, k);
+                assert_eq!(a, b, "push returned diverging ids");
+                live.push(a);
+            }
+            Op::PushPast { back } => {
+                let k = timer(next_key);
+                next_key += 1;
+                let t = now.saturating_sub(back);
+                let a = wheel.push(t, k.clone());
+                let b = oracle.push(t, k);
+                assert_eq!(a, b, "past push returned diverging ids");
+                assert!(a.time() >= now, "past time not clamped to now");
+                live.push(a);
+            }
+            Op::Pop => {
+                let a = wheel.pop();
+                let b = oracle.pop();
+                assert_eq!(a, b, "pop diverged");
+                if let Some((t, _)) = a {
+                    assert!(t >= now, "time went backwards");
+                    now = t;
+                    // Move the popped id from live to popped. Ties on time
+                    // break by seq, and `live` is in insertion (= seq)
+                    // order, so the first id with this time is the one.
+                    let i = live
+                        .iter()
+                        .position(|id| id.time() == t)
+                        .expect("popped an event with no live id");
+                    popped.push(live.remove(i));
+                }
+            }
+            Op::Cancel { sel } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.remove(sel % live.len());
+                let a = wheel.cancel(id);
+                let b = oracle.cancel(id);
+                assert_eq!(a, b, "cancel diverged for {id:?}");
+                assert!(a.is_some(), "cancel of live event failed: {id:?}");
+            }
+            Op::CancelStale { sel } => {
+                if popped.is_empty() {
+                    continue;
+                }
+                let id = popped[sel % popped.len()];
+                let a = wheel.cancel(id);
+                let b = oracle.cancel(id);
+                assert_eq!(a, b, "stale cancel diverged for {id:?}");
+            }
+        }
+        assert_eq!(wheel.peek_time(), oracle.peek_time(), "peek diverged");
+        assert_eq!(wheel.len(), oracle.len(), "len diverged");
+        assert_eq!(wheel.is_empty(), oracle.is_empty());
+    }
+
+    // Drain both to the end: the full remaining order must match exactly.
+    loop {
+        let a = wheel.pop();
+        let b = oracle.pop();
+        assert_eq!(a, b, "drain diverged");
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256 })]
+
+    /// Random interleavings of push/pop/cancel across all wheel levels
+    /// pop in exactly the heap's order.
+    #[test]
+    fn wheel_matches_heap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_script(ops);
+    }
+
+    /// Burst-then-drain: many same-tick events (the zero-latency-link
+    /// pattern that dominates the simulator) preserve FIFO seq order.
+    #[test]
+    fn same_tick_bursts_are_fifo(
+        bursts in prop::collection::vec((0u64..1024, 1usize..64), 1..20)
+    ) {
+        let mut ops = Vec::new();
+        for (delta, n) in bursts {
+            for _ in 0..n {
+                ops.push(Op::Push { delta });
+            }
+            for _ in 0..n / 2 {
+                ops.push(Op::Pop);
+            }
+        }
+        run_script(ops);
+    }
+}

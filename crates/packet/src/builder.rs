@@ -19,7 +19,11 @@ pub fn icmp_echo_request(
 ) -> Vec<u8> {
     let mut hdr = Ipv4Header::new(src, dst, proto::ICMP);
     hdr.ttl = ttl;
-    hdr.build(&icmp::build_echo_request(ident, seq, payload))
+    let mut buf = Vec::with_capacity(20 + icmp::HEADER_LEN + payload.len());
+    hdr.build_with(&mut buf, |b| {
+        icmp::emit_echo(b, icmp::TYPE_ECHO_REQUEST, ident, seq, payload)
+    });
+    buf
 }
 
 /// Build a complete ICMP echo-reply datagram.
@@ -30,7 +34,7 @@ pub fn icmp_echo_reply(
     seq: u16,
     payload: &[u8],
 ) -> Vec<u8> {
-    let mut buf = Vec::new();
+    let mut buf = Vec::with_capacity(20 + icmp::HEADER_LEN + payload.len());
     icmp_echo_reply_into(src, dst, ident, seq, payload, &mut buf);
     buf
 }
@@ -45,7 +49,9 @@ pub fn icmp_echo_reply_into(
     buf: &mut Vec<u8>,
 ) {
     let hdr = Ipv4Header::new(src, dst, proto::ICMP);
-    hdr.build_into(&icmp::build_echo_reply(ident, seq, payload), buf)
+    hdr.build_with(buf, |b| {
+        icmp::emit_echo(b, icmp::TYPE_ECHO_REPLY, ident, seq, payload)
+    })
 }
 
 /// Build a complete ICMP time-exceeded datagram quoting `original`.
@@ -63,10 +69,14 @@ pub fn icmp_time_exceeded_into(
     buf: &mut Vec<u8>,
 ) {
     let hdr = Ipv4Header::new(src, dst, proto::ICMP);
-    hdr.build_into(
-        &icmp::build_time_exceeded(icmp::CODE_TTL_EXPIRED, icmp::quote_original(original)),
-        buf,
-    )
+    hdr.build_with(buf, |b| {
+        icmp::emit_with_original(
+            b,
+            icmp::TYPE_TIME_EXCEEDED,
+            icmp::CODE_TTL_EXPIRED,
+            icmp::quote_original(original),
+        )
+    })
 }
 
 /// Build a complete ICMP destination-unreachable datagram.
@@ -85,10 +95,14 @@ pub fn icmp_dest_unreachable_into(
     buf: &mut Vec<u8>,
 ) {
     let hdr = Ipv4Header::new(src, dst, proto::ICMP);
-    hdr.build_into(
-        &icmp::build_dest_unreachable(code, icmp::quote_original(original)),
-        buf,
-    )
+    hdr.build_with(buf, |b| {
+        icmp::emit_with_original(
+            b,
+            icmp::TYPE_DEST_UNREACHABLE,
+            code,
+            icmp::quote_original(original),
+        )
+    })
 }
 
 /// Build a complete UDP datagram.
@@ -114,7 +128,9 @@ pub fn udp_datagram_into(
     buf: &mut Vec<u8>,
 ) {
     let hdr = Ipv4Header::new(src, dst, proto::UDP);
-    hdr.build_into(&udp::build(src, dst, src_port, dst_port, payload), buf)
+    hdr.build_with(buf, |b| {
+        udp::emit(b, src, dst, src_port, dst_port, payload)
+    })
 }
 
 /// Build a complete TCP segment datagram.

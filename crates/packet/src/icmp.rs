@@ -83,13 +83,22 @@ pub fn build_echo_reply(ident: u16, seq: u16, payload: &[u8]) -> Vec<u8> {
 }
 
 fn build_echo(icmp_type: u8, ident: u16, seq: u16, payload: &[u8]) -> Vec<u8> {
-    let mut buf = vec![0u8; HEADER_LEN + payload.len()];
-    buf[0] = icmp_type;
-    buf[4..6].copy_from_slice(&ident.to_be_bytes());
-    buf[6..8].copy_from_slice(&seq.to_be_bytes());
-    buf[8..].copy_from_slice(payload);
-    fill_checksum(&mut buf);
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    emit_echo(&mut buf, icmp_type, ident, seq, payload);
     buf
+}
+
+/// Append an echo message to `buf` and checksum it in place — the
+/// zero-allocation form of [`build_echo_request`]/[`build_echo_reply`]
+/// used on the simulator hot path.
+pub fn emit_echo(buf: &mut Vec<u8>, icmp_type: u8, ident: u16, seq: u16, payload: &[u8]) {
+    let start = buf.len();
+    buf.resize(start + HEADER_LEN, 0);
+    buf[start] = icmp_type;
+    buf[start + 4..start + 6].copy_from_slice(&ident.to_be_bytes());
+    buf[start + 6..start + 8].copy_from_slice(&seq.to_be_bytes());
+    buf.extend_from_slice(payload);
+    fill_checksum(&mut buf[start..]);
 }
 
 /// Build a time-exceeded message quoting the original datagram.
@@ -106,12 +115,21 @@ pub fn build_dest_unreachable(code: u8, original: &[u8]) -> Vec<u8> {
 }
 
 fn build_with_original(icmp_type: u8, code: u8, original: &[u8]) -> Vec<u8> {
-    let mut buf = vec![0u8; HEADER_LEN + original.len()];
-    buf[0] = icmp_type;
-    buf[1] = code;
-    buf[8..].copy_from_slice(original);
-    fill_checksum(&mut buf);
+    let mut buf = Vec::with_capacity(HEADER_LEN + original.len());
+    emit_with_original(&mut buf, icmp_type, code, original);
     buf
+}
+
+/// Append an error message quoting `original` to `buf` and checksum it in
+/// place — the zero-allocation form of [`build_time_exceeded`]/
+/// [`build_dest_unreachable`].
+pub fn emit_with_original(buf: &mut Vec<u8>, icmp_type: u8, code: u8, original: &[u8]) {
+    let start = buf.len();
+    buf.resize(start + HEADER_LEN, 0);
+    buf[start] = icmp_type;
+    buf[start + 1] = code;
+    buf.extend_from_slice(original);
+    fill_checksum(&mut buf[start..]);
 }
 
 /// Quote the first `ip_header + 8` bytes of a datagram for embedding in an

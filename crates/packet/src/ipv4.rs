@@ -53,7 +53,7 @@ impl Ipv4Header {
     /// Serialize the header (20 bytes, checksum filled in) followed by
     /// `payload` into a fresh datagram. `total_len` is recomputed.
     pub fn build(&self, payload: &[u8]) -> Vec<u8> {
-        let mut buf = Vec::new();
+        let mut buf = Vec::with_capacity(MIN_HEADER_LEN + payload.len());
         self.build_into(payload, &mut buf);
         buf
     }
@@ -61,10 +61,19 @@ impl Ipv4Header {
     /// Like [`Ipv4Header::build`], but writes into `buf` (cleared first) so
     /// callers can reuse pooled buffers instead of allocating per datagram.
     pub fn build_into(&self, payload: &[u8], buf: &mut Vec<u8>) {
-        let total = MIN_HEADER_LEN + payload.len();
-        assert!(total <= u16::MAX as usize, "datagram too large");
+        self.build_with(buf, |b| b.extend_from_slice(payload));
+    }
+
+    /// Like [`Ipv4Header::build_into`], but the payload is appended by
+    /// `emit` directly after the header bytes — no intermediate payload
+    /// allocation. `emit` must only append; the length and checksum
+    /// fields are patched afterwards.
+    pub fn build_with(&self, buf: &mut Vec<u8>, emit: impl FnOnce(&mut Vec<u8>)) {
         buf.clear();
-        buf.resize(total, 0);
+        buf.resize(MIN_HEADER_LEN, 0);
+        emit(buf);
+        let total = buf.len();
+        assert!(total <= u16::MAX as usize, "datagram too large");
         buf[0] = 0x45; // version 4, IHL 5
         buf[1] = self.tos;
         buf[2..4].copy_from_slice(&(total as u16).to_be_bytes());
@@ -73,12 +82,12 @@ impl Ipv4Header {
         buf[6..8].copy_from_slice(&ff.to_be_bytes());
         buf[8] = self.ttl;
         buf[9] = self.protocol;
-        // checksum at 10..12 computed below
+        buf[10] = 0;
+        buf[11] = 0;
         buf[12..16].copy_from_slice(&self.src.octets());
         buf[16..20].copy_from_slice(&self.dst.octets());
         let ck = checksum::checksum(&buf[..MIN_HEADER_LEN]);
         buf[10..12].copy_from_slice(&ck.to_be_bytes());
-        buf[MIN_HEADER_LEN..].copy_from_slice(payload);
     }
 }
 

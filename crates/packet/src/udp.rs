@@ -20,18 +20,33 @@ pub struct UdpView<'a> {
 /// Build a UDP segment (header + payload) with a valid pseudo-header
 /// checksum.
 pub fn build(src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    emit(&mut buf, src, dst, src_port, dst_port, payload);
+    buf
+}
+
+/// Append a UDP segment to `buf` and checksum it in place — the
+/// zero-allocation form of [`build`] used on the simulator hot path.
+pub fn emit(
+    buf: &mut Vec<u8>,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+) {
+    let start = buf.len();
     let len = HEADER_LEN + payload.len();
     assert!(len <= u16::MAX as usize, "UDP datagram too large");
-    let mut buf = vec![0u8; len];
-    buf[0..2].copy_from_slice(&src_port.to_be_bytes());
-    buf[2..4].copy_from_slice(&dst_port.to_be_bytes());
-    buf[4..6].copy_from_slice(&(len as u16).to_be_bytes());
-    buf[8..].copy_from_slice(payload);
-    let ck = checksum::transport_checksum(src, dst, proto::UDP, &buf);
+    buf.resize(start + HEADER_LEN, 0);
+    buf[start..start + 2].copy_from_slice(&src_port.to_be_bytes());
+    buf[start + 2..start + 4].copy_from_slice(&dst_port.to_be_bytes());
+    buf[start + 4..start + 6].copy_from_slice(&(len as u16).to_be_bytes());
+    buf.extend_from_slice(payload);
+    let ck = checksum::transport_checksum(src, dst, proto::UDP, &buf[start..]);
     // RFC 768: a computed checksum of zero is transmitted as all-ones.
     let ck = if ck == 0 { 0xffff } else { ck };
-    buf[6..8].copy_from_slice(&ck.to_be_bytes());
-    buf
+    buf[start + 6..start + 8].copy_from_slice(&ck.to_be_bytes());
 }
 
 /// Parse a UDP segment, verifying length and (if nonzero) checksum.
