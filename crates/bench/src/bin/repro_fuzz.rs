@@ -1,0 +1,108 @@
+//! Deterministic fuzz driver for the adversarial-input harness.
+//!
+//! Runs the `plab-fuzz` targets (wire, cert, cpf, filter) for a fixed
+//! number of seed-driven iterations and reports execution counters and any
+//! oracle failures or caught panics. The same `(target, seed, iters)`
+//! triple always reproduces the same execution.
+//!
+//! Usage:
+//!   repro_fuzz                          # all targets, default seed/iters
+//!   repro_fuzz --target wire            # one target
+//!   repro_fuzz --seed 0xfeed --iters 50000
+//!   repro_fuzz --json                   # machine-readable report on stdout
+//!
+//! Exit status is non-zero when any run is not clean, so CI can gate on it.
+
+use plab_fuzz::{run_target, Report, TARGETS};
+use plab_obs::export::json_escape;
+
+fn parse_seed(s: &str) -> u64 {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).expect("bad hex seed")
+    } else {
+        s.parse().expect("bad seed")
+    }
+}
+
+fn print_report(r: &Report, json: bool) {
+    if json {
+        let failures: Vec<String> =
+            r.failures.iter().map(|f| format!("\"{}\"", json_escape(f))).collect();
+        println!(
+            "{{\"target\":\"{}\",\"seed\":{},\"execs\":{},\"accepted\":{},\"rejects\":{},\
+             \"oracle_failures\":{},\"panics\":{},\"clean\":{},\"failures\":[{}]}}",
+            r.target,
+            r.seed,
+            r.execs,
+            r.accepted,
+            r.rejects,
+            r.oracle_failures,
+            r.panics,
+            r.clean(),
+            failures.join(",")
+        );
+    } else {
+        println!(
+            "fuzz {:<6} seed=0x{:x} execs={} accepted={} rejects={} oracle_failures={} panics={} -> {}",
+            r.target,
+            r.seed,
+            r.execs,
+            r.accepted,
+            r.rejects,
+            r.oracle_failures,
+            r.panics,
+            if r.clean() { "CLEAN" } else { "FAILING" }
+        );
+        for f in &r.failures {
+            println!("  {f}");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target: Option<String> = None;
+    let mut seed: u64 = 0xfeed_face;
+    let mut iters: u64 = 10_000;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--target" => {
+                target = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--seed" => {
+                seed = parse_seed(&args[i + 1]);
+                i += 2;
+            }
+            "--iters" => {
+                iters = args[i + 1].parse().expect("bad iteration count");
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            other => panic!("unknown argument {other:?} (--target --seed --iters --json)"),
+        }
+    }
+    let targets: Vec<&str> = match &target {
+        Some(t) => vec![TARGETS
+            .iter()
+            .copied()
+            .find(|n| *n == t)
+            .unwrap_or_else(|| panic!("unknown target {t:?} (wire|cert|cpf|filter)"))],
+        None => TARGETS.to_vec(),
+    };
+    let mut all_clean = true;
+    for t in targets {
+        let r = run_target(t, seed, iters).expect("target vetted above");
+        all_clean &= r.clean();
+        print_report(&r, json);
+    }
+    if !all_clean {
+        std::process::exit(1);
+    }
+}

@@ -221,6 +221,9 @@ impl Certificate {
             return Err(CertError::Malformed);
         }
         let mut r = &bytes[7..];
+        // SAFETY-COMMENT: the length check above guarantees at least
+        // 32 + 1 + 32 + 64 bytes remain after the magic, so these fixed
+        // slices and `try_into` conversions cannot fail.
         let signer = KeyHash(r[..32].try_into().unwrap());
         r = &r[32..];
         let kind = r[0];
@@ -235,6 +238,7 @@ impl Certificate {
         if r.len() != 64 {
             return Err(CertError::Malformed);
         }
+        // SAFETY-COMMENT: `r` is exactly 64 bytes per the check above.
         let signature = Signature::from_bytes(r.try_into().unwrap());
         Ok(Certificate { signer, payload, restrictions, signature })
     }
@@ -374,6 +378,11 @@ pub fn verify_cert_set(
     }
     // Depth-first search for an authorization path trusted → ... → signer
     // of an experiment certificate binding the descriptor.
+    // Recursion is bounded because every descent pushes a new key onto
+    // `visited` (≤ number of distinct delegated keys), but a hostile bundle
+    // can still present thousands of distinct certificates; cap the path
+    // depth explicitly so stack usage stays small regardless of set size.
+    const MAX_PATH_DEPTH: usize = 256;
     fn authorize(
         key: &KeyHash,
         trusted: &[KeyHash],
@@ -383,7 +392,7 @@ pub fn verify_cert_set(
         if trusted.contains(key) {
             return Some(Vec::new());
         }
-        if visited.contains(key) {
+        if visited.contains(key) || visited.len() >= MAX_PATH_DEPTH {
             return None;
         }
         visited.push(*key);

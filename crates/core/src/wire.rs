@@ -16,6 +16,19 @@ use bytes::{Buf, BufMut, BytesMut};
 pub const FRAME_HEADER: usize = 4;
 /// Maximum frame size accepted (guards allocation).
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+/// Protocol limit on certificates in an [`Message::Auth`] chain. Real
+/// delegation chains are a handful of links (Figure 1 uses two); the limit
+/// exists so a hostile peer cannot make the decoder loop on an
+/// attacker-chosen count.
+pub const MAX_CHAIN: usize = 64;
+/// Protocol limit on raw public keys in an [`Message::Auth`] message.
+pub const MAX_KEYS: usize = 64;
+/// Smallest possible encoding of one Poll packet entry:
+/// sktid (4) + time (8) + length prefix (4).
+const POLL_ENTRY_MIN: usize = 16;
+/// Protocol limit on packets in one Poll response batch: the most entries
+/// a maximum-size frame can structurally carry.
+pub const MAX_POLL_PACKETS: usize = MAX_FRAME / POLL_ENTRY_MIN;
 
 /// Socket protocol selector for `nopen` (Table 1: "opens a raw IP socket
 /// ... or a TCP or UDP socket").
@@ -291,7 +304,7 @@ fn put_str(buf: &mut BytesMut, s: &str) {
 }
 
 /// Codec errors.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
     /// Frame or field truncated.
     Truncated,
@@ -459,13 +472,22 @@ impl Message {
             1 => Message::HelloAck { version: r.u8()?, nonce: r.array()? },
             2 => {
                 let descriptor = r.bytes()?;
+                // Counts are attacker-controlled: reject above the protocol
+                // limit instead of looping an attacker-chosen number of
+                // times (clamping only the Vec *capacity* still loops).
                 let n_chain = r.u16()? as usize;
-                let mut chain = Vec::with_capacity(n_chain.min(64));
+                if n_chain > MAX_CHAIN {
+                    return Err(WireError::TooLarge);
+                }
+                let mut chain = Vec::with_capacity(n_chain);
                 for _ in 0..n_chain {
                     chain.push(r.bytes()?);
                 }
                 let n_keys = r.u16()? as usize;
-                let mut keys = Vec::with_capacity(n_keys.min(64));
+                if n_keys > MAX_KEYS {
+                    return Err(WireError::TooLarge);
+                }
+                let mut keys = Vec::with_capacity(n_keys);
                 for _ in 0..n_keys {
                     keys.push(r.array()?);
                 }
@@ -603,8 +625,15 @@ fn decode_response(r: &mut Reader) -> Result<Response, WireError> {
         1 => Response::SendQueued { tag: r.u64()? },
         2 => Response::Mem { data: r.bytes()? },
         3 => {
+            // The batch count is attacker-controlled. Besides the protocol
+            // ceiling, bound it by what the remaining bytes can structurally
+            // hold (each entry encodes to at least POLL_ENTRY_MIN bytes), so
+            // a short message with a huge count is rejected before looping.
             let n = r.u32()? as usize;
-            let mut packets = Vec::with_capacity(n.min(4096));
+            if n > MAX_POLL_PACKETS || n > r.buf.remaining() / POLL_ENTRY_MIN {
+                return Err(WireError::TooLarge);
+            }
+            let mut packets = Vec::with_capacity(n);
             for _ in 0..n {
                 packets.push((r.u32()?, r.u64()?, r.bytes()?));
             }
@@ -623,9 +652,30 @@ fn decode_response(r: &mut Reader) -> Result<Response, WireError> {
 }
 
 /// Incremental frame extractor for a byte stream.
+///
+/// Hardened against hostile peers:
+///
+/// - Frame headers are validated *eagerly* in [`FrameDecoder::extend`], so
+///   a length prefix above [`MAX_FRAME`] poisons the stream immediately —
+///   the unparseable tail a peer can force us to buffer is bounded by
+///   `MAX_FRAME + FRAME_HEADER` (one partial frame), not by how much the
+///   peer sends.
+/// - Errors are *sticky*: once poisoned, `extend` drops further input and
+///   `next_frame` keeps returning the error after draining the complete
+///   frames received before the poisoned header. There is no resync — a
+///   byte stream with a corrupt length prefix has no recoverable framing.
+/// - Frames are consumed via a cursor with periodic compaction instead of
+///   an O(buffered) `drain` per frame, so many small frames cost amortized
+///   O(bytes) rather than O(bytes × frames).
 #[derive(Default)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
+    /// Consumed prefix: bytes before `start` belong to returned frames.
+    start: usize,
+    /// Bytes before `scanned` are complete, size-checked frames.
+    scanned: usize,
+    /// First error encountered; sticky.
+    failed: Option<WireError>,
 }
 
 impl FrameDecoder {
@@ -634,32 +684,99 @@ impl FrameDecoder {
         Self::default()
     }
 
+    /// Bytes currently buffered and not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Drop the consumed prefix when it is at least as large as the live
+    /// remainder (amortized O(1) per buffered byte).
+    fn compact(&mut self) {
+        if self.start > 0 && self.start >= self.buf.len() - self.start {
+            self.buf.copy_within(self.start.., 0);
+            let live = self.buf.len() - self.start;
+            self.buf.truncate(live);
+            self.scanned -= self.start;
+            self.start = 0;
+        }
+    }
+
     /// Feed stream bytes.
     pub fn extend(&mut self, data: &[u8]) {
+        if self.failed.is_some() {
+            // Poisoned: nothing past the bad header will ever parse, so
+            // don't let a hostile peer grow the buffer.
+            return;
+        }
+        self.compact();
         self.buf.extend_from_slice(data);
+        // Validate every newly completed frame header now. A frame that
+        // fits entirely is skipped over in O(1); the final partial frame's
+        // declared length bounds how much more this stream may buffer.
+        while self.scanned + FRAME_HEADER <= self.buf.len() {
+            // Infallible: the loop condition guarantees 4 bytes at
+            // `scanned`.
+            let len = u32::from_le_bytes(
+                self.buf[self.scanned..self.scanned + FRAME_HEADER]
+                    .try_into()
+                    .unwrap(),
+            ) as usize;
+            if len > MAX_FRAME {
+                self.failed = Some(WireError::TooLarge);
+                // Keep the already-validated frames, drop the garbage tail.
+                self.buf.truncate(self.scanned);
+                break;
+            }
+            match self.scanned.checked_add(FRAME_HEADER + len) {
+                Some(end) if end <= self.buf.len() => self.scanned = end,
+                _ => break,
+            }
+        }
     }
 
     /// Extract the next complete frame payload, if any.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
-        if self.buf.len() < FRAME_HEADER {
-            return Ok(None);
+        if self.start < self.scanned {
+            // A complete, size-checked frame is buffered ahead of any
+            // poisoned header: deliver frames in order first.
+            // Infallible: `extend` validated 4 header bytes at `start`.
+            let len = u32::from_le_bytes(
+                self.buf[self.start..self.start + FRAME_HEADER]
+                    .try_into()
+                    .unwrap(),
+            ) as usize;
+            let payload =
+                self.buf[self.start + FRAME_HEADER..self.start + FRAME_HEADER + len].to_vec();
+            self.start += FRAME_HEADER + len;
+            self.compact();
+            return Ok(Some(payload));
         }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
-        if len > MAX_FRAME {
-            return Err(WireError::TooLarge);
+        match self.failed {
+            Some(e) => Err(e),
+            None => Ok(None),
         }
-        if self.buf.len() < FRAME_HEADER + len {
-            return Ok(None);
-        }
-        let payload = self.buf[FRAME_HEADER..FRAME_HEADER + len].to_vec();
-        self.buf.drain(..FRAME_HEADER + len);
-        Ok(Some(payload))
     }
 
     /// Extract and decode the next message, if a full frame is buffered.
+    /// A payload that fails [`Message::decode`] poisons the stream.
     pub fn next_message(&mut self) -> Result<Option<Message>, WireError> {
         match self.next_frame()? {
-            Some(p) => Ok(Some(Message::decode(&p)?)),
+            Some(p) => match Message::decode(&p) {
+                Ok(m) => Ok(Some(m)),
+                Err(e) => {
+                    // A peer that framed an undecodable payload is broken
+                    // or hostile; don't resync onto later frames. This
+                    // overwrites any error `extend` found *later* in the
+                    // stream (e.g. an oversized header past this frame):
+                    // the first error in stream order is the one every
+                    // subsequent call must keep reporting.
+                    self.failed = Some(e);
+                    self.buf.clear();
+                    self.start = 0;
+                    self.scanned = 0;
+                    Err(e)
+                }
+            },
             None => Ok(None),
         }
     }
@@ -823,6 +940,104 @@ mod tests {
         let mut dec = FrameDecoder::new();
         dec.extend(&(u32::MAX).to_le_bytes());
         assert_eq!(dec.next_frame(), Err(WireError::TooLarge));
+    }
+
+    #[test]
+    fn frame_decoder_error_is_sticky_and_bounds_buffering() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(u32::MAX).to_le_bytes());
+        assert_eq!(dec.next_frame(), Err(WireError::TooLarge));
+        // Further input is dropped, not buffered.
+        for _ in 0..100 {
+            dec.extend(&[0u8; 1024]);
+        }
+        assert!(dec.buffered() <= FRAME_HEADER);
+        assert_eq!(dec.next_frame(), Err(WireError::TooLarge));
+    }
+
+    #[test]
+    fn frame_decoder_delivers_good_frames_before_poisoned_header() {
+        let m = Message::Hello { version: 3 };
+        let mut stream = m.to_frame();
+        stream.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream);
+        // The complete frame ahead of the bad header still comes out.
+        assert_eq!(dec.next_message(), Ok(Some(m)));
+        assert_eq!(dec.next_frame(), Err(WireError::TooLarge));
+        assert_eq!(dec.next_frame(), Err(WireError::TooLarge));
+    }
+
+    #[test]
+    fn frame_decoder_poisons_on_undecodable_payload() {
+        let mut dec = FrameDecoder::new();
+        let mut stream = 1u32.to_le_bytes().to_vec();
+        stream.push(0xee); // bad message tag
+        stream.extend_from_slice(&Message::Hello { version: 1 }.to_frame());
+        dec.extend(&stream);
+        assert_eq!(dec.next_message(), Err(WireError::BadTag));
+        // Sticky: the stream does not resync onto the following frame.
+        assert_eq!(dec.next_message(), Err(WireError::BadTag));
+    }
+
+    #[test]
+    fn frame_decoder_many_small_frames_compact() {
+        // Exercises the cursor + compaction path across many frames.
+        let m = Message::Cmd(Command::NPoll { time: 9 });
+        let frame = m.to_frame();
+        let mut dec = FrameDecoder::new();
+        for chunk in 0..200 {
+            dec.extend(&frame);
+            if chunk % 3 == 0 {
+                // Drain a batch, leaving some buffered.
+                while let Some(got) = dec.next_message().unwrap() {
+                    assert_eq!(got, m);
+                }
+            }
+        }
+        let mut n = 0;
+        while dec.next_message().unwrap().is_some() {
+            n += 1;
+        }
+        assert!(n > 0);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn auth_chain_count_over_limit_rejected() {
+        // Hand-craft an Auth with a huge chain count but no chain bytes.
+        let mut enc = vec![2u8];
+        enc.extend_from_slice(&0u32.to_le_bytes()); // empty descriptor
+        enc.extend_from_slice(&u16::MAX.to_le_bytes()); // n_chain
+        assert_eq!(Message::decode(&enc), Err(WireError::TooLarge));
+    }
+
+    #[test]
+    fn auth_key_count_over_limit_rejected() {
+        let mut enc = vec![2u8];
+        enc.extend_from_slice(&0u32.to_le_bytes()); // empty descriptor
+        enc.extend_from_slice(&0u16.to_le_bytes()); // no chain
+        enc.extend_from_slice(&u16::MAX.to_le_bytes()); // n_keys
+        assert_eq!(Message::decode(&enc), Err(WireError::TooLarge));
+    }
+
+    #[test]
+    fn auth_chain_at_limit_roundtrips() {
+        roundtrip(Message::Auth {
+            descriptor: vec![],
+            chain: vec![vec![1]; MAX_CHAIN],
+            keys: vec![[0; 32]; MAX_KEYS],
+            priority: 0,
+            proof: [0; 64],
+        });
+    }
+
+    #[test]
+    fn poll_count_over_structural_bound_rejected() {
+        // Response::Poll claiming u32::MAX packets with an empty body.
+        let mut enc = vec![5u8, 3u8];
+        enc.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Message::decode(&enc), Err(WireError::TooLarge));
     }
 
     #[test]

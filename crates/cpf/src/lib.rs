@@ -86,9 +86,25 @@ pub fn compile(source: &str) -> Result<Program, CompileError> {
     let ast = parse::parse(&tokens)?;
     let checked = sema::check(&ast)?;
     let program = codegen::generate(&checked);
-    // The code generator must always produce valid PFVM; validate as a
-    // defense-in-depth invariant.
-    plab_filter::validate(&program).expect("codegen produced invalid PFVM");
+    // The code generator must always produce *structurally* valid PFVM;
+    // validate as a defense-in-depth invariant. Resource-ceiling failures
+    // are different: source with enough globals or statements can honestly
+    // exceed MAX_PERSISTENT/MAX_CODE, so those map to a compile error
+    // rather than a panic (found by fuzzing: a program with >8192 globals
+    // used to panic here).
+    if let Err(err) = plab_filter::validate(&program) {
+        use plab_filter::ValidateError::*;
+        match err {
+            CodeTooLong | MemoryTooLarge => {
+                return Err(CompileError {
+                    line: 0,
+                    col: 0,
+                    msg: format!("monitor too large for PFVM: {err}"),
+                })
+            }
+            other => panic!("codegen produced invalid PFVM: {other}"),
+        }
+    }
     Ok(program)
 }
 
@@ -380,6 +396,19 @@ mod tests {
         let e = compile("uint32_t send(const union packet *pkt, uint32_t len) {\n  return undeclared_var;\n}").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.msg.contains("undeclared_var"));
+    }
+
+    #[test]
+    fn too_many_globals_is_error_not_panic() {
+        // Found by fuzzing: >8192 globals exceed MAX_PERSISTENT and used to
+        // hit the `expect("codegen produced invalid PFVM")` panic.
+        let mut src = String::new();
+        for i in 0..9000 {
+            src.push_str(&format!("uint64_t g{i} = 0;\n"));
+        }
+        src.push_str("uint32_t send(const union packet *pkt, uint32_t len) { return len; }\n");
+        let e = compile(&src).unwrap_err();
+        assert!(e.msg.contains("too large"), "{}", e.msg);
     }
 
     #[test]

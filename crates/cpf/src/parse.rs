@@ -4,9 +4,19 @@ use crate::ast::*;
 use crate::lex::{Tok, Token};
 use crate::CompileError;
 
+/// Maximum statement/expression nesting depth. Source text is untrusted
+/// (it rides in over the wire as an experiment artifact), and the parser —
+/// like const_eval, sema, codegen, and the AST's recursive `Drop` — recurses
+/// once per nesting level, so unbounded input like `((((...` or chained
+/// `if(1)if(1)...` would overflow the stack. 256 levels is far beyond any
+/// real monitor and keeps worst-case stack usage well under test-thread
+/// stack sizes.
+const MAX_NEST: usize = 256;
+
 struct Parser<'a> {
     toks: &'a [Token],
     pos: usize,
+    depth: usize,
 }
 
 fn e(pos: (usize, usize), msg: impl Into<String>) -> CompileError {
@@ -15,7 +25,7 @@ fn e(pos: (usize, usize), msg: impl Into<String>) -> CompileError {
 
 /// Parse a token stream into a [`Unit`].
 pub fn parse(toks: &[Token]) -> Result<Unit, CompileError> {
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser { toks, pos: 0, depth: 0 };
     let mut unit = Unit::default();
     while !p.at_end() {
         p.parse_top_level(&mut unit)?;
@@ -190,7 +200,24 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), CompileError> {
+        self.depth += 1;
+        if self.depth > MAX_NEST {
+            return Err(e(self.here(), "nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn parse_stmt(&mut self) -> Result<Stmt, CompileError> {
+        // Found by fuzzing: statement recursion (if/while/for bodies) was
+        // unbounded and deeply nested input overflowed the stack.
+        self.enter()?;
+        let r = self.parse_stmt_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn parse_stmt_inner(&mut self) -> Result<Stmt, CompileError> {
         let pos = self.here();
         match self.peek() {
             Some(Tok::If) => {
@@ -357,6 +384,11 @@ impl<'a> Parser<'a> {
 
     fn parse_bin(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
         let mut lhs = self.parse_unary()?;
+        // Left-associative chains (`1+1+1+...`) are parsed iteratively but
+        // build a left-deep AST whose depth the downstream recursive passes
+        // (const_eval, sema, codegen, Drop) walk — so each wrap must count
+        // against the nesting budget too.
+        let mut wraps = 0usize;
         loop {
             let (op, prec) = match self.peek() {
                 Some(Tok::Star) => (BinOp::Mul, 10),
@@ -384,13 +416,26 @@ impl<'a> Parser<'a> {
             }
             let pos = self.here();
             self.bump()?;
+            self.enter()?;
+            wraps += 1;
             let rhs = self.parse_bin(prec + 1)?;
             lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
         }
+        self.depth -= wraps;
         Ok(lhs)
     }
 
     fn parse_unary(&mut self) -> Result<Expr, CompileError> {
+        // Every expression recursion cycle (parse_bin → parse_unary →
+        // parse_primary → parse_expr via parens) passes through here, so a
+        // single depth guard bounds `----x`, `((((x))))`, and `!!!!x` alike.
+        self.enter()?;
+        let r = self.parse_unary_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn parse_unary_inner(&mut self) -> Result<Expr, CompileError> {
         let pos = self.here();
         match self.peek() {
             Some(Tok::Minus) => {
@@ -643,6 +688,45 @@ mod tests {
     fn nested_bare_block() {
         let u = parse_src("uint32_t f(void) { { return 1; } }").unwrap();
         assert!(matches!(&u.funcs[0].body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn deep_paren_nesting_rejected_not_overflowed() {
+        // Found by fuzzing: unbounded recursion overflowed the stack.
+        let src = format!("uint32_t f(void) {{ return {}1{}; }}", "(".repeat(4000), ")".repeat(4000));
+        let e = parse_src(&src).unwrap_err();
+        assert!(e.msg.contains("nesting too deep"));
+    }
+
+    #[test]
+    fn deep_unary_nesting_rejected() {
+        let src = format!("uint32_t f(void) {{ return {}1; }}", "-".repeat(4000));
+        let e = parse_src(&src).unwrap_err();
+        assert!(e.msg.contains("nesting too deep"));
+    }
+
+    #[test]
+    fn deep_stmt_nesting_rejected() {
+        let src = format!("uint32_t f(void) {{ {} return 1; }}", "if (1) ".repeat(4000));
+        let e = parse_src(&src).unwrap_err();
+        assert!(e.msg.contains("nesting too deep"));
+    }
+
+    #[test]
+    fn long_operator_chain_rejected() {
+        // A left-deep tree is walked recursively by const_eval and codegen,
+        // so its depth counts against the nesting budget too.
+        let src = format!("uint32_t g = {}1;", "1 + ".repeat(4000));
+        let e = parse_src(&src).unwrap_err();
+        assert!(e.msg.contains("nesting too deep"));
+    }
+
+    #[test]
+    fn moderate_nesting_accepted() {
+        let src = format!("uint32_t f(void) {{ return {}1{}; }}", "(".repeat(100), ")".repeat(100));
+        assert!(parse_src(&src).is_ok());
+        let src = format!("uint32_t g = {}1;", "1 + ".repeat(100));
+        assert!(parse_src(&src).is_ok());
     }
 
     #[test]

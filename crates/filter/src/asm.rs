@@ -60,6 +60,12 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     let mut asm = Asm::new();
     let mut labels: HashMap<String, Label> = HashMap::new();
     let mut entries: Vec<(String, Label)> = Vec::new();
+    // Names bound so far, and names referenced by jumps (with the first
+    // referencing line). `Asm::bind` / `finish_program` treat a double bind
+    // or an unbound reference as a programming-error panic, so source text —
+    // which is untrusted — must be screened here first.
+    let mut bound: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut referenced: HashMap<String, usize> = HashMap::new();
     let mut persistent = 0u32;
     let mut scratch = 0u32;
 
@@ -102,6 +108,9 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             if name.is_empty() {
                 return Err(err(line, "empty entry name"));
             }
+            if !bound.insert(name.to_string()) {
+                return Err(err(line, format!("label `{name}` bound twice")));
+            }
             let l = get_label(&mut asm, name);
             asm.bind(l);
             entries.push((name.to_string(), l));
@@ -113,6 +122,9 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             let name = name.trim();
             if name.contains(char::is_whitespace) {
                 return Err(err(line, "label may not contain spaces"));
+            }
+            if !bound.insert(name.to_string()) {
+                return Err(err(line, format!("label `{name}` bound twice")));
             }
             let l = get_label(&mut asm, name);
             asm.bind(l);
@@ -240,6 +252,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             // Jumps.
             "ja" => {
                 need(1)?;
+                referenced.entry(ops[0].to_string()).or_insert(line);
                 let l = get_label(&mut asm, ops[0]);
                 asm.ja_to(l);
             }
@@ -247,6 +260,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 need(3)?;
                 let d = reg(ops[0])?;
                 let v = imm(ops[1])?;
+                referenced.entry(ops[2].to_string()).or_insert(line);
                 let l = get_label(&mut asm, ops[2]);
                 let op = match mnemonic {
                     "jeq.i" => Op::JeqI,
@@ -261,6 +275,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 need(3)?;
                 let d = reg(ops[0])?;
                 let s = reg(ops[1])?;
+                referenced.entry(ops[2].to_string()).or_insert(line);
                 let l = get_label(&mut asm, ops[2]);
                 let op = match mnemonic {
                     "jeq.r" => Op::JeqR,
@@ -283,6 +298,11 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
 
     if entries.is_empty() {
         return Err(err(0, "no entry points declared"));
+    }
+    for (name, &line) in &referenced {
+        if !bound.contains(name) {
+            return Err(err(line, format!("jump to undefined label `{name}`")));
+        }
     }
     let entry_refs: Vec<(&str, Label)> =
         entries.iter().map(|(n, l)| (n.as_str(), *l)).collect();
@@ -456,6 +476,28 @@ entry recv:
     #[test]
     fn error_no_entries() {
         assert!(assemble("mov.i r0, 1\nret r0\n").is_err());
+    }
+
+    #[test]
+    fn error_jump_to_undefined_label() {
+        // Found by fuzzing: used to panic "jump to unbound label" inside
+        // `finish_program` instead of returning an error.
+        let e = assemble("entry send:\n  ja nowhere\n  ret r0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("nowhere"));
+        let e = assemble("entry send:\n  jeq.i r0, 1, gone\n  ret r0\n").unwrap_err();
+        assert!(e.msg.contains("gone"));
+    }
+
+    #[test]
+    fn error_duplicate_label() {
+        // Found by fuzzing: used to hit the `Asm::bind` "label bound twice"
+        // assert.
+        let e = assemble("entry send:\nfoo:\nfoo:\n  ret r0\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("bound twice"));
+        let e = assemble("entry send:\n  ret r0\nentry send:\n  ret r0\n").unwrap_err();
+        assert!(e.msg.contains("bound twice"));
     }
 
     #[test]

@@ -264,6 +264,8 @@ impl Insn {
             op: Op::from_u8(b[0])?,
             dst: b[1],
             src: b[2],
+            // SAFETY-COMMENT: the length check above guarantees b[4..12]
+            // is exactly 8 bytes, so try_into cannot fail.
             imm: i64::from_le_bytes(b[4..12].try_into().unwrap()),
         })
     }

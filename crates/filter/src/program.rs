@@ -181,6 +181,8 @@ impl Program {
         if take(&mut pos, 5)? != [MAGIC.as_slice(), &[VERSION]].concat() {
             return Err(DecodeError::BadHeader);
         }
+        // SAFETY-COMMENT: every `take(.., N)?.try_into().unwrap()` below is
+        // infallible — `take` either returns exactly N bytes or errors.
         let persistent_size = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
         let scratch_size = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
         if persistent_size > MAX_PERSISTENT || scratch_size > MAX_SCRATCH {

@@ -71,9 +71,12 @@ pub fn validate(p: &Program) -> Result<(), ValidateError> {
             return Err(ValidateError::BadRegister(pc));
         }
         if insn.op.is_jump() {
-            let target = pc as i64 + 1 + insn.branch();
-            if target < 0 || target >= len {
-                return Err(ValidateError::BadJumpTarget(pc));
+            // `branch()` is attacker-controlled (a decoded `Ja` carries the
+            // full i64 immediate), so the addition must not overflow.
+            let target = (pc as i64 + 1).checked_add(insn.branch());
+            match target {
+                Some(t) if (0..len).contains(&t) => {}
+                _ => return Err(ValidateError::BadJumpTarget(pc)),
             }
         }
         if matches!(insn.op, Op::ShlI | Op::ShrI) && !(0..64).contains(&insn.imm) {
@@ -115,6 +118,16 @@ mod tests {
     #[test]
     fn rejects_jump_past_end() {
         let p = prog(vec![Insn::new(Op::Ja, 0, 0, 5), Insn::new(Op::Ret, 0, 0, 0)]);
+        assert_eq!(validate(&p), Err(ValidateError::BadJumpTarget(0)));
+    }
+
+    #[test]
+    fn rejects_jump_with_overflowing_offset() {
+        // Found by fuzzing: `pc + 1 + branch()` overflowed i64 and panicked
+        // in debug builds for a decoded `Ja` with imm near i64::MAX.
+        let p = prog(vec![Insn::new(Op::Ja, 0, 0, i64::MAX), Insn::new(Op::Ret, 0, 0, 0)]);
+        assert_eq!(validate(&p), Err(ValidateError::BadJumpTarget(0)));
+        let p = prog(vec![Insn::new(Op::Ja, 0, 0, i64::MIN), Insn::new(Op::Ret, 0, 0, 0)]);
         assert_eq!(validate(&p), Err(ValidateError::BadJumpTarget(0)));
     }
 

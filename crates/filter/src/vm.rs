@@ -228,6 +228,9 @@ impl Vm {
                         .and_then(|end| $region.get(addr..end))
                     {
                         Some(bytes) => {
+                            // SAFETY-COMMENT: `get(addr..addr+W)` returned
+                            // Some, so `bytes` is exactly W bytes and the
+                            // array conversion cannot fail.
                             <$ty>::$conv(bytes.try_into().unwrap()) as u64
                         }
                         None => break 'vm Err(Trap::OutOfBounds),

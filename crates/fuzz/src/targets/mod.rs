@@ -1,0 +1,14 @@
+//! One module per untrusted surface. Each target exposes the same two
+//! entry points:
+//!
+//! - `run(seed, iters) -> Report` — the mutational fuzz loop: generate a
+//!   structurally valid artifact from the RNG, usually mutate it, then
+//!   execute the oracles under panic capture.
+//! - `check(bytes) -> Result<Exec, String>` — the pure oracle function for
+//!   one input, used both by `run` and by the checked-in corpus replay
+//!   tests. It takes *only* bytes so a corpus file is a complete repro.
+
+pub mod cert;
+pub mod cpf;
+pub mod filter;
+pub mod wire;

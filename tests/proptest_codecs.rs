@@ -3,7 +3,7 @@
 use packetlab::cert::{CertPayload, Certificate, Restrictions};
 use packetlab::descriptor::ExperimentDescriptor;
 use packetlab::rendezvous::RvMessage;
-use packetlab::wire::{Command, Message, Notification, Proto, Response};
+use packetlab::wire::{Command, ErrCode, Message, Notification, Proto, Response};
 use plab_crypto::{KeyHash, Keypair};
 use proptest::prelude::*;
 
@@ -53,7 +53,39 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 dropped_packets,
                 dropped_bytes
             }),
+        (arb_errcode(), ".{0,48}")
+            .prop_map(|(code, msg)| Response::Err { code, msg }),
     ]
+}
+
+fn arb_errcode() -> impl Strategy<Value = ErrCode> {
+    prop_oneof![
+        Just(ErrCode::Auth),
+        Just(ErrCode::BadSocket),
+        Just(ErrCode::Denied),
+        Just(ErrCode::Malformed),
+        Just(ErrCode::BadMemory),
+        Just(ErrCode::Suspended),
+        Just(ErrCode::Unsupported),
+        Just(ErrCode::Limit),
+    ]
+}
+
+fn arb_auth() -> impl Strategy<Value = Message> {
+    (
+        prop::collection::vec(any::<u8>(), 0..64),
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 0..4),
+        prop::collection::vec(any::<[u8; 32]>(), 0..4),
+        any::<u8>(),
+        any::<[u8; 32]>(),
+        any::<[u8; 32]>(),
+    )
+        .prop_map(|(descriptor, chain, keys, priority, proof_a, proof_b)| {
+            let mut proof = [0u8; 64];
+            proof[..32].copy_from_slice(&proof_a);
+            proof[32..].copy_from_slice(&proof_b);
+            Message::Auth { descriptor, chain, keys, priority, proof }
+        })
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
@@ -61,11 +93,14 @@ fn arb_message() -> impl Strategy<Value = Message> {
         any::<u8>().prop_map(|version| Message::Hello { version }),
         (any::<u8>(), any::<[u8; 32]>())
             .prop_map(|(version, nonce)| Message::HelloAck { version, nonce }),
+        arb_auth(),
         arb_command().prop_map(Message::Cmd),
         arb_response().prop_map(Message::Resp),
         any::<u8>().prop_map(|p| Message::Notify(Notification::Interrupted { by_priority: p })),
         Just(Message::Notify(Notification::Resumed)),
         Just(Message::AuthOk),
+        (any::<u64>(), arb_command()).prop_map(|(seq, cmd)| Message::CmdSeq { seq, cmd }),
+        (any::<u64>(), arb_response()).prop_map(|(seq, resp)| Message::RespSeq { seq, resp }),
     ]
 }
 
@@ -99,6 +134,42 @@ proptest! {
             }
         }
         prop_assert_eq!(got, msgs);
+    }
+
+    /// Stronger than fixed-size chunking: the stream is cut at an
+    /// *arbitrary partition* (uneven pieces, empty pieces included) and the
+    /// decoded sequence must be identical to feeding it all at once.
+    #[test]
+    fn frame_decoder_split_invariance_arbitrary_partition(
+        msgs in prop::collection::vec(arb_message(), 1..5),
+        cuts in prop::collection::vec(any::<u16>(), 0..12),
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend(m.to_frame());
+        }
+        let mut points: Vec<usize> = cuts.iter().map(|c| *c as usize % (stream.len() + 1)).collect();
+        points.push(0);
+        points.push(stream.len());
+        points.sort_unstable();
+
+        let drain = |chunks: &[&[u8]]| -> Vec<Message> {
+            let mut dec = packetlab::wire::FrameDecoder::new();
+            let mut got = Vec::new();
+            for c in chunks {
+                dec.extend(c);
+                while let Some(m) = dec.next_message().unwrap() {
+                    got.push(m);
+                }
+            }
+            got
+        };
+
+        let whole = drain(&[&stream]);
+        let pieces: Vec<&[u8]> = points.windows(2).map(|w| &stream[w[0]..w[1]]).collect();
+        let split = drain(&pieces);
+        prop_assert_eq!(&whole, &msgs);
+        prop_assert_eq!(split, whole);
     }
 
     #[test]
