@@ -20,12 +20,19 @@ fn info_block(me: Ipv4Addr) -> Vec<u8> {
     info
 }
 
-fn chain(n: usize, info: &[u8]) -> MonitorSet {
+fn encoded_chain(n: usize) -> Vec<Vec<u8>> {
     let encoded = plab_cpf::compile(plab_bench::FIGURE2_MONITOR)
         .expect("Figure 2 compiles")
         .encode();
-    let programs: Vec<Vec<u8>> = (0..n).map(|_| encoded.clone()).collect();
-    MonitorSet::instantiate(&programs, info).expect("monitors instantiate")
+    (0..n).map(|_| encoded.clone()).collect()
+}
+
+fn chain(n: usize, info: &[u8]) -> MonitorSet {
+    MonitorSet::instantiate(&encoded_chain(n), info).expect("monitors instantiate")
+}
+
+fn chain_sequential(n: usize, info: &[u8]) -> MonitorSet {
+    MonitorSet::instantiate_sequential(&encoded_chain(n), info).expect("monitors instantiate")
 }
 
 /// Run `op` repeatedly for roughly `budget`, returning ops/sec.
@@ -104,26 +111,40 @@ fn main() {
         );
     }
 
-    // Monitor chains: adjudications per second, send and recv entries.
+    // Monitor chains: adjudications per second through the fused engine
+    // (the default) and the sequential one-Vm-per-monitor reference walk.
     let mut send_rates = Vec::new();
     let mut recv_rates = Vec::new();
+    let mut seq_send_rates = Vec::new();
+    let mut seq_recv_rates = Vec::new();
     let mut insns = Vec::new();
-    for n in [1usize, 2, 4] {
+    let mut fusion = None;
+    for n in [1usize, 2, 4, 8] {
         let mut set = chain(n, &info);
         assert!(set.allow_send(&probe, &info), "probe allowed");
         let (send_rate, _) = measure(budget, || u64::from(set.allow_send(&probe, &info)));
         assert!(set.allow_recv(&reply, &info), "reply allowed");
         let (recv_rate, _) = measure(budget, || u64::from(set.allow_recv(&reply, &info)));
+        let mut seq = chain_sequential(n, &info);
+        let (seq_send, _) = measure(budget, || u64::from(seq.allow_send(&probe, &info)));
+        let (seq_recv, _) = measure(budget, || u64::from(seq.allow_recv(&reply, &info)));
         if !json {
             println!(
-                "monitor chain x{n}: {:.2} M send adjudications/s, {:.2} M recv adjudications/s",
+                "monitor chain x{n}: fused {:.2} M send / {:.2} M recv adjudications/s, \
+                 sequential {:.2} M send / {:.2} M recv",
                 send_rate / 1e6,
-                recv_rate / 1e6
+                recv_rate / 1e6,
+                seq_send / 1e6,
+                seq_recv / 1e6
             );
         }
         send_rates.push((n, send_rate));
         recv_rates.push((n, recv_rate));
+        seq_send_rates.push((n, seq_send));
+        seq_recv_rates.push((n, seq_recv));
         insns.push((n, set.insns_executed()));
+        // Fusion shape + runtime counters from the deepest chain measured.
+        fusion = set.fuse_stats().map(|s| (n, s));
     }
 
     // Simulator: events per second across a 4-router line, mixed TTLs.
@@ -154,13 +175,38 @@ fn main() {
         let ins = insns[i].1;
         out.push_str(&format!(
             "    {{\"monitors\": {n}, \"send_adjudications_per_sec\": {}, \
-             \"recv_adjudications_per_sec\": {}, \"insns_executed\": {ins}}}{}\n",
+             \"recv_adjudications_per_sec\": {}, \
+             \"sequential_send_adjudications_per_sec\": {}, \
+             \"sequential_recv_adjudications_per_sec\": {}, \"insns_executed\": {ins}}}{}\n",
             json_f(send),
             json_f(recv),
+            json_f(seq_send_rates[i].1),
+            json_f(seq_recv_rates[i].1),
             if i + 1 < send_rates.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ],\n  \"netsim\": {\n");
+    out.push_str("  ],\n");
+    if let Some((n, s)) = fusion {
+        out.push_str(&format!(
+            "  \"fusion\": {{\n    \"monitors\": {n},\n    \"sections\": {},\n    \
+             \"orig_insns\": {},\n    \"fused_insns\": {},\n    \"superinsns\": {},\n    \
+             \"dedup_sites\": {},\n    \"dedup_slots\": {},\n    \"replay_sections\": {},\n    \
+             \"dedup_hits\": {},\n    \"dedup_misses\": {},\n    \"replays\": {},\n    \
+             \"superinsn_len_hist\": [{}]\n  }},\n",
+            s.sections,
+            s.orig_insns,
+            s.fused_insns,
+            s.superinsns,
+            s.dedup_sites,
+            s.dedup_slots,
+            s.replay_sections,
+            s.dedup_hits,
+            s.dedup_misses,
+            s.replays,
+            s.super_len.map(|c| c.to_string()).join(",")
+        ));
+    }
+    out.push_str("  \"netsim\": {\n");
     out.push_str(&format!(
         "    \"events_per_round\": {events_per_round},\n    \"events_per_sec\": {},\n",
         json_f(events_per_sec)

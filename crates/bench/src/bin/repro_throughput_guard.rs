@@ -1,0 +1,129 @@
+//! Adjudication-throughput guard: fails CI when fused monitor-chain
+//! adjudication regresses more than 10% against the committed
+//! `BENCH_throughput.json` baseline.
+//!
+//! Method mirrors `repro_netsim_guard`: the depth-4 Figure-2 chain (the
+//! fusion sweep's headline point — deep enough that prefix replay and
+//! load dedup carry the number, small enough to stay cache-resident) is
+//! adjudicated in fixed-size batches, and the guard statistic is the
+//! *minimum* batch time over many rounds. Scheduler preemption only ever
+//! adds time, so the minimum converges on the machine's true cost while
+//! averages drift with load. The measured send adjudications/sec must
+//! reach `THROUGHPUT_GUARD_MIN_RATIO` (default 0.9) of the baseline's
+//! 4-monitor `send_adjudications_per_sec`.
+//!
+//! Env overrides:
+//! - `THROUGHPUT_GUARD_SECS`: measurement budget (default 2.0 s).
+//! - `THROUGHPUT_GUARD_MIN_RATIO`: pass threshold (default 0.9).
+//! - `THROUGHPUT_GUARD_BASELINE`: path to the baseline JSON (default
+//!   `BENCH_throughput.json` in the working directory).
+//!
+//! The baseline file records numbers from whatever machine last ran
+//! `repro_throughput`; on a much slower machine, regenerate the baseline
+//! first or lower the ratio rather than comparing apples to oranges.
+
+use packetlab::monitor::MonitorSet;
+use plab_packet::{builder, layout};
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+const MONITORS: usize = 4;
+const BATCH: u64 = 200_000;
+
+/// Pull `"send_adjudications_per_sec": <num>` out of the baseline's
+/// 4-monitor chain row without a JSON dependency (same trick the other
+/// guards use).
+fn baseline_send_per_sec(text: &str) -> Option<f64> {
+    let row = text.split('{').find(|s| s.contains("\"monitors\": 4"))?;
+    let tail = row.split("\"send_adjudications_per_sec\":").nth(1)?;
+    tail.trim_start()
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let budget = std::env::var("THROUGHPUT_GUARD_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Duration::from_secs_f64)
+        .unwrap_or(Duration::from_secs(2));
+    let min_ratio = std::env::var("THROUGHPUT_GUARD_MIN_RATIO")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.9);
+    let baseline_path = std::env::var("THROUGHPUT_GUARD_BASELINE")
+        .unwrap_or_else(|_| "BENCH_throughput.json".to_string());
+
+    let baseline_text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline = baseline_send_per_sec(&baseline_text)
+        .expect("baseline has a 4-monitor send_adjudications_per_sec entry");
+
+    let me: Ipv4Addr = "10.0.0.1".parse().unwrap();
+    let target: Ipv4Addr = "10.0.99.1".parse().unwrap();
+    let mut info = vec![0u8; layout::INFO_SIZE];
+    layout::resolve_info("addr.ip")
+        .unwrap()
+        .write_le(&mut info, u32::from(me) as u64);
+    let probe = builder::icmp_echo_request(me, target, 5, 1, 1, &[0, 1]);
+    let encoded = plab_cpf::compile(plab_bench::FIGURE2_MONITOR)
+        .expect("Figure 2 compiles")
+        .encode();
+    let programs: Vec<Vec<u8>> = (0..MONITORS).map(|_| encoded.clone()).collect();
+    let mut set = MonitorSet::instantiate(&programs, &info).expect("monitors instantiate");
+    assert!(set.allow_send(&probe, &info), "probe allowed");
+
+    // Min batch time over as many rounds as the budget allows (≥ 4).
+    let mut best = f64::MAX;
+    let start = Instant::now();
+    let mut rounds = 0u32;
+    let mut acc = 0u64;
+    while rounds < 4 || start.elapsed() < budget {
+        let t0 = Instant::now();
+        for _ in 0..BATCH {
+            acc = acc.wrapping_add(u64::from(set.allow_send(&probe, &info)));
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+        rounds += 1;
+    }
+    std::hint::black_box(acc);
+    let measured = BATCH as f64 / best;
+    let ratio = measured / baseline;
+    let pass = ratio >= min_ratio;
+
+    if json {
+        print!(
+            "{{\n  \"bench\": \"throughput_guard\",\n  \"monitors\": {MONITORS},\n  \
+             \"rounds\": {rounds},\n  \"batch\": {BATCH},\n  \
+             \"measured_send_per_sec\": {measured:.1},\n  \
+             \"baseline_send_per_sec\": {baseline:.1},\n  \"ratio\": {ratio:.4},\n  \
+             \"min_ratio\": {min_ratio},\n  \"pass\": {pass}\n}}\n"
+        );
+    } else {
+        println!(
+            "throughput guard: {MONITORS}-monitor chain, min over {rounds} rounds — \
+             measured {:.2} M send adjudications/s vs baseline {:.2} M/s \
+             (ratio {ratio:.3}, threshold {min_ratio})",
+            measured / 1e6,
+            baseline / 1e6
+        );
+        println!(
+            "{}",
+            if pass {
+                "PASS: fused adjudication throughput within budget of the committed baseline"
+            } else {
+                "FAIL: fused adjudication throughput regressed more than the budget allows"
+            }
+        );
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -97,6 +97,10 @@ impl Default for EndpointConfig {
 }
 
 /// One controller's socket.
+// Raw sockets dominate the enum size because `Vm` carries its pre-decoded
+// threaded code inline; boxing it would put an indirection on the per-packet
+// adjudication path, and bindings are few (one per controller socket).
+#[allow(clippy::large_enum_variant)]
 enum SocketBinding {
     Raw {
         /// Installed `ncap` filter and its expiry (endpoint clock ns).

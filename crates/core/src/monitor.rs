@@ -13,12 +13,44 @@
 //! experiment — "each monitor also has a block of private memory that
 //! persists for the duration of the experiment that is not accessible to
 //! the controller via the mread command."
+//!
+//! # Execution engines
+//!
+//! By default the set is adjudicated by a cached **fused** execution
+//! ([`plab_filter::FusedVm`]): the whole chain prepared as one threaded
+//! program with cross-monitor field-load dedup and shared-prefix replay.
+//! The cache is invalidated — and eagerly rebuilt, carrying every
+//! monitor's persistent memory and fuel attribution across — when a
+//! monitor is [installed](MonitorSet::install) or
+//! [removed](MonitorSet::remove). [`MonitorSet::instantiate_sequential`]
+//! keeps the one-`Vm`-per-monitor reference walk; the fuzz and property
+//! suites hold the two engines bit-identical on verdicts, persistent
+//! memory, and per-monitor fuel.
 
-use plab_filter::{EntryPoint, Program, Vm};
+use plab_filter::{EntryPoint, FuseStats, FusedVm, Program, Vm, VmConfig};
+
+// `FusedVm` is large by design (shared buffers + per-section snapshots);
+// one `Engine` exists per session, so indirection would only slow the
+// adjudication fast path.
+#[allow(clippy::large_enum_variant)]
+enum Engine {
+    /// One `Vm` per monitor, walked in order (reference semantics).
+    Sequential(Vec<Vm>),
+    /// Cached fused chain (the default engine).
+    Fused {
+        fused: FusedVm,
+        /// Per-monitor fuel attribution accumulated by *earlier*
+        /// incarnations of the fused chain (each rebuild starts the inner
+        /// counters at zero).
+        base_attributed: Vec<u64>,
+        /// Times the fused cache was invalidated and rebuilt.
+        rebuilds: u64,
+    },
+}
 
 /// The set of monitors guarding one experiment session.
 pub struct MonitorSet {
-    vms: Vec<Vm>,
+    engine: Engine,
     /// Observability snapshot, taken once at instantiation so the
     /// per-adjudication disabled path is a single register test (the
     /// PR 1 hot path stays within the <1% overhead budget even against
@@ -28,7 +60,7 @@ pub struct MonitorSet {
 
 impl core::fmt::Debug for MonitorSet {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "MonitorSet({} monitors)", self.vms.len())
+        write!(f, "MonitorSet({} monitors)", self.len())
     }
 }
 
@@ -52,42 +84,182 @@ impl core::fmt::Display for MonitorError {
 
 impl std::error::Error for MonitorError {}
 
+fn decode_all(encoded: &[Vec<u8>]) -> Result<Vec<Program>, MonitorError> {
+    encoded
+        .iter()
+        .enumerate()
+        .map(|(i, bytes)| Program::decode(bytes).map_err(|_| MonitorError::Undecodable(i)))
+        .collect()
+}
+
+/// Build a fused chain, mapping validation failures to [`MonitorError`].
+fn build_fused(programs: Vec<Program>) -> Result<FusedVm, MonitorError> {
+    let fuels = vec![VmConfig::default().fuel; programs.len()];
+    let fused = FusedVm::new(programs, fuels)
+        .map_err(|(i, e)| MonitorError::Invalid(i, e.to_string()))?;
+    record_build_metrics(&fused.stats());
+    Ok(fused)
+}
+
+/// Fusion build counters (cache rebuilds, superinstruction shape, dedup
+/// coverage). Gated on `plab_obs::enabled()` by the metrics layer itself;
+/// builds are cold so no `obs_on` snapshot is involved.
+fn record_build_metrics(stats: &FuseStats) {
+    use plab_obs::metrics::{Counter, Histogram};
+    static BUILDS: Counter = Counter::new("pfvm.fuse.builds");
+    static FUSED_INSNS: Counter = Counter::new("pfvm.fuse.fused_insns");
+    static SUPERINSNS: Counter = Counter::new("pfvm.fuse.superinsns");
+    static DEDUP_SITES: Counter = Counter::new("pfvm.fuse.dedup_sites");
+    static DEDUP_SLOTS: Counter = Counter::new("pfvm.fuse.dedup_slots");
+    static SUPER_LEN: Histogram = Histogram::new("pfvm.fuse.superinsn_len");
+    BUILDS.inc();
+    FUSED_INSNS.add(stats.fused_insns);
+    SUPERINSNS.add(stats.superinsns);
+    DEDUP_SITES.add(stats.dedup_sites);
+    DEDUP_SLOTS.add(stats.dedup_slots);
+    for (len, &n) in stats.super_len.iter().enumerate() {
+        for _ in 0..n {
+            SUPER_LEN.observe(len as u64);
+        }
+    }
+}
+
 impl MonitorSet {
     /// Instantiate monitors from their encoded programs (the
     /// `EffectiveRestrictions::monitors` of a verified chain), running each
-    /// program's `init` entry.
+    /// program's `init` entry. The chain is prepared as a fused execution.
     pub fn instantiate(encoded: &[Vec<u8>], info: &[u8]) -> Result<MonitorSet, MonitorError> {
-        let mut vms = Vec::with_capacity(encoded.len());
-        for (i, bytes) in encoded.iter().enumerate() {
-            let program =
-                Program::decode(bytes).map_err(|_| MonitorError::Undecodable(i))?;
+        let programs = decode_all(encoded)?;
+        let n = programs.len();
+        let mut fused = build_fused(programs)?;
+        fused.init_all(info);
+        Ok(MonitorSet {
+            engine: Engine::Fused { fused, base_attributed: vec![0; n], rebuilds: 0 },
+            obs_on: plab_obs::enabled(),
+        })
+    }
+
+    /// Instantiate with the sequential reference engine: one `Vm` per
+    /// monitor, no fusion. Semantically identical to
+    /// [`MonitorSet::instantiate`]; kept for differential testing and
+    /// benchmarking of the fused path.
+    pub fn instantiate_sequential(
+        encoded: &[Vec<u8>],
+        info: &[u8],
+    ) -> Result<MonitorSet, MonitorError> {
+        let programs = decode_all(encoded)?;
+        let mut vms = Vec::with_capacity(programs.len());
+        for (i, program) in programs.into_iter().enumerate() {
             let mut vm =
                 Vm::new(program).map_err(|e| MonitorError::Invalid(i, e.to_string()))?;
             vm.init(info);
             vms.push(vm);
         }
-        Ok(MonitorSet { vms, obs_on: plab_obs::enabled() })
+        Ok(MonitorSet { engine: Engine::Sequential(vms), obs_on: plab_obs::enabled() })
     }
 
     /// An unrestricted monitor set (no certificates attached monitors).
     pub fn unrestricted() -> MonitorSet {
-        MonitorSet { vms: Vec::new(), obs_on: plab_obs::enabled() }
+        MonitorSet {
+            engine: Engine::Fused {
+                fused: FusedVm::new(Vec::new(), Vec::new())
+                    .expect("empty chain always fuses"),
+                base_attributed: Vec::new(),
+                rebuilds: 0,
+            },
+            obs_on: plab_obs::enabled(),
+        }
+    }
+
+    /// Install an additional monitor at the end of the chain (a
+    /// certificate delegation arriving mid-session). Existing monitors
+    /// keep their persistent memory and fuel attribution; only the new
+    /// monitor's `init` runs. On the fused engine this invalidates the
+    /// cached fused program and rebuilds it.
+    pub fn install(&mut self, encoded: &[u8], info: &[u8]) -> Result<(), MonitorError> {
+        let idx = self.len();
+        let program = Program::decode(encoded).map_err(|_| MonitorError::Undecodable(idx))?;
+        match &mut self.engine {
+            Engine::Sequential(vms) => {
+                let mut vm = Vm::new(program)
+                    .map_err(|e| MonitorError::Invalid(idx, e.to_string()))?;
+                vm.init(info);
+                vms.push(vm);
+            }
+            Engine::Fused { fused, base_attributed, rebuilds } => {
+                let mut programs: Vec<Program> =
+                    (0..fused.len()).map(|i| fused.section_program(i).clone()).collect();
+                let mut segments: Vec<Vec<u8>> =
+                    (0..fused.len()).map(|i| fused.persistent_segment(i).to_vec()).collect();
+                for (base, run) in base_attributed.iter_mut().zip(fused.attributed()) {
+                    *base += run;
+                }
+                programs.push(program);
+                segments.push(vec![
+                    0u8;
+                    programs[idx].persistent_size as usize
+                ]);
+                let fuels = vec![VmConfig::default().fuel; programs.len()];
+                let mut rebuilt = FusedVm::with_persistent(programs, fuels, segments)
+                    .map_err(|(i, e)| MonitorError::Invalid(i, e.to_string()))?;
+                record_build_metrics(&rebuilt.stats());
+                rebuilt.init_section(idx, info);
+                base_attributed.push(0);
+                *rebuilds += 1;
+                *fused = rebuilt;
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove the monitor at `idx` (its authorizing certificate was
+    /// revoked). Remaining monitors keep their persistent memory and fuel
+    /// attribution. Panics if `idx` is out of range — a caller bug.
+    pub fn remove(&mut self, idx: usize) {
+        assert!(idx < self.len(), "monitor index out of range");
+        match &mut self.engine {
+            Engine::Sequential(vms) => {
+                vms.remove(idx);
+            }
+            Engine::Fused { fused, base_attributed, rebuilds } => {
+                for (base, run) in base_attributed.iter_mut().zip(fused.attributed()) {
+                    *base += run;
+                }
+                base_attributed.remove(idx);
+                let mut programs: Vec<Program> =
+                    (0..fused.len()).map(|i| fused.section_program(i).clone()).collect();
+                let mut segments: Vec<Vec<u8>> =
+                    (0..fused.len()).map(|i| fused.persistent_segment(i).to_vec()).collect();
+                programs.remove(idx);
+                segments.remove(idx);
+                let fuels = vec![VmConfig::default().fuel; programs.len()];
+                let rebuilt = FusedVm::with_persistent(programs, fuels, segments)
+                    .expect("previously valid programs still fuse");
+                record_build_metrics(&rebuilt.stats());
+                *rebuilds += 1;
+                *fused = rebuilt;
+            }
+        }
     }
 
     /// Number of monitors.
     pub fn len(&self) -> usize {
-        self.vms.len()
+        match &self.engine {
+            Engine::Sequential(vms) => vms.len(),
+            Engine::Fused { fused, .. } => fused.len(),
+        }
     }
 
     /// True if no monitors are attached.
     pub fn is_empty(&self) -> bool {
-        self.vms.is_empty()
+        self.len() == 0
     }
 
     /// May this packet be sent? All monitors must allow. Allocation-free:
-    /// each VM runs its pre-resolved `send` entry. `#[inline]` so callers
-    /// in other crates absorb the thin wrapper (and the disabled-path
-    /// `obs_on` test) instead of paying a nested call per packet.
+    /// the fused chain (or each sequential VM) runs its pre-resolved
+    /// `send` entry. `#[inline]` so callers in other crates absorb the
+    /// thin wrapper (and the disabled-path `obs_on` test) instead of
+    /// paying a nested call per packet.
     #[inline]
     pub fn allow_send(&mut self, packet: &[u8], info: &[u8]) -> bool {
         self.allow_entry(EntryPoint::Send, packet, info)
@@ -123,18 +295,23 @@ impl MonitorSet {
     #[inline]
     fn allow_entry(&mut self, entry: EntryPoint, packet: &[u8], info: &[u8]) -> bool {
         if !self.obs_on {
-            return self
-                .vms
-                .iter_mut()
-                .all(|vm| vm.check_entry(entry, packet, info).allowed());
+            return match &mut self.engine {
+                Engine::Sequential(vms) => {
+                    vms.iter_mut().all(|vm| vm.check_entry(entry, packet, info).allowed())
+                }
+                Engine::Fused { fused, .. } => {
+                    fused.check_entry(entry, packet, info).allowed()
+                }
+            };
         }
         self.allow_entry_observed(entry, packet, info)
     }
 
     /// The instrumented twin of the adjudication loop: identical verdict
     /// and fuel semantics (same short-circuit order), plus verdict/fuel
-    /// accounting into `plab-obs`. Kept out of line (and marked cold) so
-    /// its register pressure cannot leak into the disabled fast path.
+    /// and fusion-cache accounting into `plab-obs`. Kept out of line (and
+    /// marked cold) so its register pressure cannot leak into the disabled
+    /// fast path.
     #[cold]
     #[inline(never)]
     fn allow_entry_observed(&mut self, entry: EntryPoint, packet: &[u8], info: &[u8]) -> bool {
@@ -142,17 +319,32 @@ impl MonitorSet {
         static ADJUDICATIONS: Counter = Counter::new("pfvm.adjudications");
         static DENIALS: Counter = Counter::new("pfvm.denials");
         static FUEL: Histogram = Histogram::new("pfvm.fuel_per_adjudication");
+        static FUSE_CACHE_HITS: Counter = Counter::new("pfvm.fuse.cache_hits");
+        static DEDUP_HITS: Counter = Counter::new("pfvm.fuse.dedup_hits");
+        static DEDUP_MISSES: Counter = Counter::new("pfvm.fuse.dedup_misses");
+        static REPLAYS: Counter = Counter::new("pfvm.fuse.replays");
         let before = self.insns_executed();
-        let allowed = self
-            .vms
-            .iter_mut()
-            .all(|vm| vm.check_entry(entry, packet, info).allowed());
+        let fuse_before = self.fuse_stats();
+        let allowed = match &mut self.engine {
+            Engine::Sequential(vms) => {
+                vms.iter_mut().all(|vm| vm.check_entry(entry, packet, info).allowed())
+            }
+            Engine::Fused { fused, .. } => fused.check_entry(entry, packet, info).allowed(),
+        };
         let fuel = self.insns_executed() - before;
         ADJUDICATIONS.inc();
         if !allowed {
             DENIALS.inc();
         }
         FUEL.observe(fuel);
+        if let (Some(b), Some(a)) = (fuse_before, self.fuse_stats()) {
+            // Every adjudication on the fused engine reuses the cached
+            // fused program (rebuilds only happen in install/remove).
+            FUSE_CACHE_HITS.inc();
+            DEDUP_HITS.add(a.dedup_hits - b.dedup_hits);
+            DEDUP_MISSES.add(a.dedup_misses - b.dedup_misses);
+            REPLAYS.add(a.replays - b.replays);
+        }
         plab_obs::obs_event!(
             plab_obs::Component::Pfvm,
             "adjudicate",
@@ -164,7 +356,51 @@ impl MonitorSet {
 
     /// Total PFVM instructions executed so far (overhead accounting).
     pub fn insns_executed(&self) -> u64 {
-        self.vms.iter().map(|vm| vm.insns_executed).sum()
+        match &self.engine {
+            Engine::Sequential(vms) => vms.iter().map(|vm| vm.insns_executed).sum(),
+            Engine::Fused { fused, base_attributed, .. } => {
+                base_attributed.iter().sum::<u64>() + fused.insns_executed()
+            }
+        }
+    }
+
+    /// Per-monitor instructions executed, in chain order. Survives fused
+    /// rebuilds (install/remove).
+    pub fn insns_attributed(&self) -> Vec<u64> {
+        match &self.engine {
+            Engine::Sequential(vms) => vms.iter().map(|vm| vm.insns_executed).collect(),
+            Engine::Fused { fused, base_attributed, .. } => base_attributed
+                .iter()
+                .zip(fused.attributed())
+                .map(|(b, r)| b + r)
+                .collect(),
+        }
+    }
+
+    /// Monitor `i`'s persistent memory (tests and diagnostics).
+    pub fn persistent(&self, i: usize) -> &[u8] {
+        match &self.engine {
+            Engine::Sequential(vms) => vms[i].persistent(),
+            Engine::Fused { fused, .. } => fused.persistent_segment(i),
+        }
+    }
+
+    /// Fusion statistics when running on the fused engine (`None` for
+    /// the sequential reference engine).
+    pub fn fuse_stats(&self) -> Option<FuseStats> {
+        match &self.engine {
+            Engine::Sequential(_) => None,
+            Engine::Fused { fused, .. } => Some(fused.stats()),
+        }
+    }
+
+    /// Times the fused cache was invalidated and rebuilt by
+    /// install/remove (0 on the sequential engine).
+    pub fn fuse_rebuilds(&self) -> u64 {
+        match &self.engine {
+            Engine::Sequential(_) => 0,
+            Engine::Fused { rebuilds, .. } => *rebuilds,
+        }
     }
 }
 
@@ -194,6 +430,21 @@ mod tests {
             }
             "#,
         )
+        .unwrap()
+        .encode()
+    }
+
+    fn quota_monitor(limit: u32) -> Vec<u8> {
+        plab_cpf::compile(&format!(
+            r#"
+            uint32_t used = 0;
+            uint32_t send(const union packet *pkt, uint32_t len) {{
+                if (used >= {limit}) return 0;
+                used = used + 1;
+                return len;
+            }}
+            "#
+        ))
         .unwrap()
         .encode()
     }
@@ -245,23 +496,84 @@ mod tests {
     #[test]
     fn monitors_keep_private_state() {
         // A quota monitor: allows 3 sends then denies.
-        let quota = plab_cpf::compile(
-            r#"
-            uint32_t used = 0;
-            uint32_t send(const union packet *pkt, uint32_t len) {
-                if (used >= 3) return 0;
-                used = used + 1;
-                return len;
-            }
-            "#,
-        )
-        .unwrap()
-        .encode();
-        let mut m = MonitorSet::instantiate(&[quota], &[]).unwrap();
+        let mut m = MonitorSet::instantiate(&[quota_monitor(3)], &[]).unwrap();
         for _ in 0..3 {
             assert!(m.allow_send(&pkt(1), &[]));
         }
         assert!(!m.allow_send(&pkt(1), &[]), "quota exhausted");
         assert!(m.insns_executed() > 0);
+    }
+
+    #[test]
+    fn fused_and_sequential_engines_agree() {
+        let monitors =
+            [icmp_only_monitor(), quota_monitor(4), deny_udp_monitor(), icmp_only_monitor()];
+        let mut fused = MonitorSet::instantiate(&monitors, &[]).unwrap();
+        let mut seq = MonitorSet::instantiate_sequential(&monitors, &[]).unwrap();
+        for proto in [1u8, 1, 17, 1, 6, 1, 1, 1, 1] {
+            let p = pkt(proto);
+            assert_eq!(fused.allow_send(&p, &[]), seq.allow_send(&p, &[]), "proto {proto}");
+            assert_eq!(fused.allow_recv(&p, &[]), seq.allow_recv(&p, &[]));
+        }
+        assert_eq!(fused.insns_executed(), seq.insns_executed());
+        assert_eq!(fused.insns_attributed(), seq.insns_attributed());
+        for i in 0..monitors.len() {
+            assert_eq!(fused.persistent(i), seq.persistent(i), "monitor {i} memory");
+        }
+    }
+
+    #[test]
+    fn install_preserves_state_and_enforces_new_monitor() {
+        let mut m = MonitorSet::instantiate(&[quota_monitor(5)], &[]).unwrap();
+        assert!(m.allow_send(&pkt(17), &[]));
+        assert!(m.allow_send(&pkt(17), &[]));
+        let used_before = m.insns_attributed()[0];
+        // Installing deny-UDP must not reset the quota already consumed.
+        m.install(&deny_udp_monitor(), &[]).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.fuse_rebuilds(), 1);
+        assert!(!m.allow_send(&pkt(17), &[]), "new monitor denies UDP");
+        // The UDP denial above still charged the quota monitor (it runs
+        // first and allows): 3 of 5 used, 2 left.
+        assert!(m.allow_send(&pkt(1), &[]));
+        assert!(m.allow_send(&pkt(1), &[]));
+        assert!(!m.allow_send(&pkt(1), &[]), "carried-over quota exhausted");
+        assert!(m.insns_attributed()[0] > used_before, "attribution carried across rebuild");
+    }
+
+    #[test]
+    fn remove_lifts_restriction_and_keeps_peer_state() {
+        let mut m =
+            MonitorSet::instantiate(&[icmp_only_monitor(), quota_monitor(10)], &[]).unwrap();
+        assert!(!m.allow_send(&pkt(6), &[]), "TCP blocked by ICMP-only");
+        assert!(m.allow_send(&pkt(1), &[]));
+        m.remove(0);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.fuse_rebuilds(), 1);
+        assert!(m.allow_send(&pkt(6), &[]), "TCP allowed once ICMP-only removed");
+        // Quota memory survived: 1 (before) + 1 (after) used.
+        let used = u64::from_le_bytes(m.persistent(0)[..8].try_into().unwrap());
+        assert_eq!(used, 2);
+    }
+
+    #[test]
+    fn fuse_stats_reflect_chain_shape() {
+        let mut m = MonitorSet::instantiate(
+            &[icmp_only_monitor(), icmp_only_monitor(), deny_udp_monitor()],
+            &[],
+        )
+        .unwrap();
+        let s = m.fuse_stats().expect("fused engine");
+        assert_eq!(s.sections, 3);
+        assert!(s.superinsns > 0, "cpf output must fuse superinstructions");
+        assert_eq!(s.replay_sections, 1, "identical icmp monitors share a prefix");
+        let _ = m.allow_send(&pkt(1), &[]);
+        assert!(m.fuse_stats().unwrap().replays > 0);
+        assert!(
+            MonitorSet::instantiate_sequential(&[icmp_only_monitor()], &[])
+                .unwrap()
+                .fuse_stats()
+                .is_none()
+        );
     }
 }

@@ -1,0 +1,71 @@
+//! Compiled Cpf output must stay friendly to the threaded-code lowering:
+//! the codegen idioms (absolute field loads feeding comparisons, store
+//! then return, constant returns) are exactly the opcode pairs the
+//! superinstruction selector fuses, so a compiled monitor that lowers
+//! with zero superinstructions means codegen drifted off the canonical
+//! shapes and the dispatch loop lost its cheapest wins.
+
+use plab_filter::lower::lower;
+
+const FIGURE2_LIKE: &str = r#"
+uint64_t ping_dst = 0;
+uint32_t send(const union packet *pkt, uint32_t len) {
+    if (pkt->ip.ver != 4) return 0;
+    if (pkt->ip.proto != IPPROTO_ICMP) return 0;
+    ping_dst = pkt->ip.dst;
+    return len;
+}
+uint32_t recv(const union packet *pkt, uint32_t len) {
+    if (pkt->ip.src != ping_dst) return 0;
+    return len;
+}
+"#;
+
+const QUOTA: &str = r#"
+uint32_t used = 0;
+uint32_t send(const union packet *pkt, uint32_t len) {
+    if (used >= 8) return 0;
+    used = used + 1;
+    return len;
+}
+"#;
+
+#[test]
+fn compiled_monitors_lower_with_superinstructions() {
+    for (name, src) in [("figure2", FIGURE2_LIKE), ("quota", QUOTA)] {
+        let program = plab_cpf::compile(src).unwrap();
+        let lowered = lower(&program);
+        assert!(
+            lowered.stats.superinsns > 0,
+            "{name}: codegen output formed no superinstructions"
+        );
+        assert!(
+            lowered.stats.threaded_insns < lowered.stats.orig_insns,
+            "{name}: superinstructions must shrink the threaded stream \
+             ({} -> {})",
+            lowered.stats.orig_insns,
+            lowered.stats.threaded_insns
+        );
+    }
+}
+
+/// The load+compare+branch triple — the hottest shape in every predicate
+/// monitor — must fuse into a single threaded instruction.
+#[test]
+fn predicate_monitors_fuse_load_compare_branch() {
+    let program = plab_cpf::compile(
+        "uint32_t send(const union packet *pkt, uint32_t len) {
+             if (pkt->ip.proto == IPPROTO_ICMP) return len;
+             return 0;
+         }",
+    )
+    .unwrap();
+    let lowered = lower(&program);
+    // Length-3 superinstructions are exactly the fused
+    // load+compare+branch (AbsLdCmpBr) sites.
+    assert!(
+        lowered.stats.super_len[3] > 0,
+        "no load+compare+branch fusion: {:?}",
+        lowered.stats.super_len
+    );
+}

@@ -1,0 +1,853 @@
+//! Monitor-chain fusion: one PFVM execution for a whole `MonitorSet`.
+//!
+//! A PacketLab endpoint runs *every* monitor in the authorization chain
+//! against every packet. Executed naively that costs one full interpreter
+//! invocation per monitor — and monitors in a chain are heavily redundant:
+//! operators layer near-identical policies, and almost every monitor
+//! begins by re-decoding the same packet header fields. A [`FusedVm`]
+//! merges the chain into a single prepared execution, preserving
+//! bit-identical semantics:
+//!
+//! - **Segment remapping.** Each monitor's persistent and scratch segments
+//!   become disjoint slices of one shared buffer. Programs are *not*
+//!   rewritten: the slice boundaries enforce exactly the per-monitor
+//!   bounds the sequential interpreter enforced, so out-of-bounds traps
+//!   are unchanged.
+//! - **Deduplicated field loads.** Absolute packet/info loads (the
+//!   canonical `mov.i r, 0; ld.* r, r, off` idiom, collapsed to one
+//!   threaded instruction by [`crate::lower`]) that occur in two or more
+//!   monitors are routed through a shared epoch-tagged cache: the first
+//!   monitor to execute the site performs the real load, later monitors
+//!   reuse the value. Out-of-bounds loads are never cached, so every
+//!   monitor still traps for itself.
+//! - **Short-circuited shared prefixes.** When a monitor's program (and
+//!   fuel budget) is byte-identical to an earlier monitor in the chain —
+//!   the common case when one certificate's monitor is delegated
+//!   unchanged — the earlier *recording* section snapshots its state just
+//!   before its first persistent-memory access. The later section replays
+//!   the snapshot (registers, scratch, consumed fuel) instead of
+//!   re-executing the prefix. The prefix is persistent-independent and
+//!   deterministic in (packet, info), so the replay is exact; only the
+//!   persistent-dependent suffix re-executes against the replayer's own
+//!   segment.
+//! - **Fuel attribution.** Every section runs under its own fuel budget
+//!   and its exact consumption (including replayed prefixes) is
+//!   accumulated per monitor, so observability reports the same
+//!   per-monitor instruction counts as sequential execution.
+//!
+//! The chain verdict is the first non-allow verdict in monitor order, or —
+//! when every monitor allows — the verdict of the *last* monitor
+//! (missing entries count as allow), matching a sequential walk over the
+//! set.
+
+use crate::lower::{self, DedupCache, Lowered, RunOutcome, TOp};
+use crate::program::{EntryPoint, Program};
+use crate::validate::{validate, NUM_REGS, ValidateError};
+use crate::vm::Trap;
+use crate::Verdict;
+use std::collections::BTreeMap;
+
+/// Static and runtime counters for one fused chain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuseStats {
+    /// Monitors fused.
+    pub sections: u64,
+    /// Source instructions across all monitors.
+    pub orig_insns: u64,
+    /// Threaded instructions across all monitors (after superinstruction
+    /// formation).
+    pub fused_insns: u64,
+    /// Superinstructions formed.
+    pub superinsns: u64,
+    /// Superinstructions by covered source length (index = length).
+    pub super_len: [u64; 4],
+    /// Distinct absolute load sites shared by ≥ 2 monitors (cache slots).
+    pub dedup_slots: u64,
+    /// Load instructions routed through the cache. `dedup_sites -
+    /// dedup_slots` loads are saved per fully-adjudicated packet.
+    pub dedup_sites: u64,
+    /// Sections that replay an identical earlier section's prefix.
+    pub replay_sections: u64,
+    /// Runtime: cached loads answered without touching the packet.
+    pub dedup_hits: u64,
+    /// Runtime: cached loads that performed the real load.
+    pub dedup_misses: u64,
+    /// Runtime: prefix replays taken.
+    pub replays: u64,
+}
+
+/// One monitor inside the fused chain.
+struct Section {
+    /// Original (validated) program — kept for the scalar fuel-exactness
+    /// fallback and for disassembly.
+    program: Program,
+    /// Threaded code (after cross-monitor load-dedup rewriting).
+    lowered: Lowered,
+    /// Per-monitor fuel budget.
+    fuel: u64,
+    /// This monitor's persistent segment inside the shared buffer.
+    mem_off: usize,
+    mem_len: usize,
+    /// This monitor's scratch segment inside the shared buffer.
+    scr_off: usize,
+    scr_len: usize,
+    /// Threaded entry pcs, indexed by [`EntryPoint`].
+    entry_tpcs: [Option<u32>; EntryPoint::COUNT],
+    /// Record-mode twin of `lowered.tcode` (pause-at-read / log-writes ops
+    /// baked in); empty unless `records`.
+    record_tcode: Vec<lower::TInsn>,
+    /// Index of the first earlier section with an identical program and
+    /// fuel budget, whose recorded prefix this section replays.
+    replay_from: Option<usize>,
+    /// True when some later section replays this one: run in RECORD mode.
+    records: bool,
+}
+
+/// How a recorded prefix ended.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SnapKind {
+    /// The whole invocation was persistent-independent; `result` holds
+    /// its outcome.
+    Done,
+    /// Paused before the threaded instruction at `resume`.
+    PausedT,
+    /// Paused inside the scalar fallback before original pc `resume`.
+    PausedS,
+}
+
+/// A recorded prefix snapshot (valid only when `epoch` matches the
+/// current invocation). Flat fields + preallocated scratch buffer: taking
+/// a snapshot never allocates.
+struct Snapshot {
+    epoch: u64,
+    kind: SnapKind,
+    /// Fuel consumed by the prefix.
+    used: u64,
+    /// Outcome when `kind == Done`.
+    result: Result<u64, Trap>,
+    /// Threaded pc (PausedT) or original pc (PausedS) to resume from.
+    resume: usize,
+    regs: [u64; NUM_REGS as usize],
+    /// Scratch contents at the pause point (length = section scratch
+    /// size; empty for non-recording sections).
+    scratch: Vec<u8>,
+    /// Persistent writes `(segment offset, value)` performed by the
+    /// prefix, in order. Replaying sections apply them to their own
+    /// segment instead of re-executing (capacity is retained across
+    /// epochs, so steady-state recording never allocates).
+    log: Vec<(u64, u64)>,
+}
+
+/// Per-entry chain: the sections that define the entry, in monitor order.
+struct Chain {
+    /// (section index, threaded entry pc).
+    links: Vec<(u32, u32)>,
+    /// True when the last monitor of the set is the last link — its
+    /// verdict is then the chain verdict when everything allows.
+    ends_with_last_monitor: bool,
+}
+
+/// A fused monitor chain: all monitors of a set prepared as one
+/// execution. Construction is the slow path (validation, lowering,
+/// dedup analysis); adjudication is allocation-free.
+pub struct FusedVm {
+    sections: Vec<Section>,
+    /// Shared persistent buffer; sections slice disjoint segments.
+    persistent: Vec<u8>,
+    /// Shared scratch buffer, zeroed once per adjudication.
+    scratch: Vec<u8>,
+    chains: [Chain; EntryPoint::COUNT],
+    cache: DedupCache,
+    snapshots: Vec<Snapshot>,
+    /// Invocation epoch: tags cache slots and snapshots so neither needs
+    /// clearing between packets.
+    epoch: u64,
+    /// Per-monitor cumulative instructions executed.
+    attributed: Vec<u64>,
+    replays: u64,
+    static_stats: FuseStats,
+}
+
+impl FusedVm {
+    /// Fuse `programs` (validated here; errors carry the offending
+    /// monitor's index) with per-monitor fuel budgets, starting with
+    /// zeroed persistent memory.
+    pub fn new(programs: Vec<Program>, fuels: Vec<u64>) -> Result<FusedVm, (usize, ValidateError)> {
+        let segments =
+            programs.iter().map(|p| vec![0u8; p.persistent_size as usize]).collect();
+        Self::with_persistent(programs, fuels, segments)
+    }
+
+    /// Fuse with pre-existing persistent segments (used when a set is
+    /// rebuilt on monitor install/remove: state must survive refusal).
+    ///
+    /// Panics if `fuels` or `segments` disagree with `programs` in length,
+    /// or a segment's size disagrees with its program's declaration —
+    /// caller bugs, not input errors.
+    pub fn with_persistent(
+        programs: Vec<Program>,
+        fuels: Vec<u64>,
+        segments: Vec<Vec<u8>>,
+    ) -> Result<FusedVm, (usize, ValidateError)> {
+        assert_eq!(programs.len(), fuels.len(), "one fuel budget per monitor");
+        assert_eq!(programs.len(), segments.len(), "one persistent segment per monitor");
+        for (i, p) in programs.iter().enumerate() {
+            validate(p).map_err(|e| (i, e))?;
+            assert_eq!(
+                segments[i].len(),
+                p.persistent_size as usize,
+                "persistent segment size mismatch"
+            );
+        }
+
+        let mut stats = FuseStats { sections: programs.len() as u64, ..FuseStats::default() };
+        let mut sections: Vec<Section> = Vec::with_capacity(programs.len());
+        let mut mem_off = 0usize;
+        let mut scr_off = 0usize;
+        for (i, program) in programs.into_iter().enumerate() {
+            let lowered = lower::lower(&program);
+            stats.orig_insns += lowered.stats.orig_insns;
+            stats.fused_insns += lowered.stats.threaded_insns;
+            stats.superinsns += lowered.stats.superinsns;
+            for (len, n) in lowered.stats.super_len.iter().enumerate() {
+                stats.super_len[len] += n;
+            }
+            let mut entry_tpcs = [None; EntryPoint::COUNT];
+            for ep in EntryPoint::ALL {
+                entry_tpcs[ep as usize] =
+                    program.entry(ep.name()).map(|pc| lowered.pc_map[pc as usize]);
+            }
+            let mem_len = program.persistent_size as usize;
+            let scr_len = program.scratch_size as usize;
+            let replay_from = sections[..i].iter().position(|s: &Section| {
+                s.program == program && s.fuel == fuels[i]
+            });
+            sections.push(Section {
+                program,
+                lowered,
+                fuel: fuels[i],
+                mem_off,
+                mem_len,
+                scr_off,
+                scr_len,
+                entry_tpcs,
+                record_tcode: Vec::new(),
+                replay_from,
+                records: false,
+            });
+            mem_off += mem_len;
+            scr_off += scr_len;
+        }
+        for i in 0..sections.len() {
+            if let Some(j) = sections[i].replay_from {
+                sections[j].records = true;
+                stats.replay_sections += 1;
+            }
+        }
+
+        // Cross-monitor load dedup: absolute packet/info loads appearing
+        // in ≥ 2 sections share a cache slot. (Persistent/scratch loads
+        // are per-monitor state and never shared; load-compare-branches
+        // are left fused — splitting them to cache the load would cost
+        // more than the cache saves.)
+        let mut sites: BTreeMap<(u8, i64), Vec<usize>> = BTreeMap::new();
+        for (i, sec) in sections.iter().enumerate() {
+            for t in &sec.lowered.tcode {
+                if t.op == TOp::AbsLd && t.aux <= lower::kind::INFO64 {
+                    let holders = sites.entry((t.aux, t.imm)).or_default();
+                    if holders.last() != Some(&i) {
+                        holders.push(i);
+                    }
+                }
+            }
+        }
+        let mut n_slots = 0i64;
+        for ((aux, imm), holders) in &sites {
+            if holders.len() < 2 {
+                continue;
+            }
+            let slot = n_slots;
+            n_slots += 1;
+            stats.dedup_slots += 1;
+            for sec in &mut sections {
+                for t in &mut sec.lowered.tcode {
+                    if t.op == TOp::AbsLd && t.aux == *aux && t.imm == *imm {
+                        t.op = TOp::CachedLd;
+                        t.imm2 = slot;
+                        stats.dedup_sites += 1;
+                    }
+                }
+            }
+        }
+
+        // Record variants are built *after* the dedup rewrite so recorders
+        // fill the shared cache slots while recording.
+        for sec in &mut sections {
+            if sec.records {
+                sec.record_tcode = lower::record_variant(&sec.lowered.tcode);
+            }
+        }
+
+        let mut chains = [(); EntryPoint::COUNT].map(|()| Chain {
+            links: Vec::new(),
+            ends_with_last_monitor: false,
+        });
+        for ep in EntryPoint::ALL {
+            let chain = &mut chains[ep as usize];
+            for (i, sec) in sections.iter().enumerate() {
+                if let Some(tpc) = sec.entry_tpcs[ep as usize] {
+                    chain.links.push((i as u32, tpc));
+                }
+            }
+            chain.ends_with_last_monitor = chain
+                .links
+                .last()
+                .is_some_and(|&(i, _)| i as usize == sections.len() - 1);
+        }
+
+        let snapshots = sections
+            .iter()
+            .map(|s| Snapshot {
+                epoch: 0,
+                kind: SnapKind::Done,
+                used: 0,
+                result: Ok(0),
+                resume: 0,
+                regs: [0; NUM_REGS as usize],
+                scratch: if s.records { vec![0u8; s.scr_len] } else { Vec::new() },
+                log: Vec::new(),
+            })
+            .collect();
+        let attributed = vec![0u64; sections.len()];
+        let persistent = segments.concat();
+        let scratch = vec![0u8; scr_off];
+        Ok(FusedVm {
+            sections,
+            persistent,
+            scratch,
+            chains,
+            cache: DedupCache {
+                epoch: 0,
+                slots: vec![(0, 0); n_slots as usize],
+                hits: 0,
+                misses: 0,
+            },
+            snapshots,
+            epoch: 0,
+            attributed,
+            replays: 0,
+            static_stats: stats,
+        })
+    }
+
+    /// Monitors in the chain.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// True when the chain has no monitors (everything allowed).
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Monitor `i`'s persistent segment (for tests, diagnostics, and
+    /// state carry-over on rebuild).
+    pub fn persistent_segment(&self, i: usize) -> &[u8] {
+        let s = &self.sections[i];
+        &self.persistent[s.mem_off..s.mem_off + s.mem_len]
+    }
+
+    /// Monitor `i`'s original program.
+    pub fn section_program(&self, i: usize) -> &Program {
+        &self.sections[i].program
+    }
+
+    /// Monitor `i`'s lowered (threaded, post-dedup) code.
+    pub fn section_lowered(&self, i: usize) -> &Lowered {
+        &self.sections[i].lowered
+    }
+
+    /// Per-monitor cumulative instructions executed (same attribution as
+    /// running each monitor's own [`crate::vm::Vm`]).
+    pub fn attributed(&self) -> &[u64] {
+        &self.attributed
+    }
+
+    /// Total instructions executed across the chain.
+    pub fn insns_executed(&self) -> u64 {
+        self.attributed.iter().sum()
+    }
+
+    /// Static fusion counters plus runtime cache/replay counters.
+    pub fn stats(&self) -> FuseStats {
+        let mut s = self.static_stats;
+        s.dedup_hits = self.cache.hits;
+        s.dedup_misses = self.cache.misses;
+        s.replays = self.replays;
+        s
+    }
+
+    /// Run every monitor's `init` entry in order (chain instantiation).
+    pub fn init_all(&mut self, info: &[u8]) {
+        let _ = self.adjudicate(EntryPoint::Init, &[], info, false);
+    }
+
+    /// Run one monitor's `init` entry in isolation (a monitor freshly
+    /// installed into an existing chain must not re-init its peers).
+    pub fn init_section(&mut self, idx: usize, info: &[u8]) {
+        self.epoch += 1;
+        self.cache.epoch = self.epoch;
+        if !self.scratch.is_empty() {
+            self.scratch.fill(0);
+        }
+        let FusedVm { sections, persistent, scratch, cache, attributed, .. } = self;
+        let sec = &sections[idx];
+        let Some(tpc) = sec.entry_tpcs[EntryPoint::Init as usize] else { return };
+        let mem = &mut persistent[sec.mem_off..sec.mem_off + sec.mem_len];
+        let scr = &mut scratch[sec.scr_off..sec.scr_off + sec.scr_len];
+        let mut regs = [0u64; NUM_REGS as usize];
+        let mut fuel = sec.fuel;
+        let mut sink = Vec::new();
+        let _ = lower::run::<false>(
+            &sec.lowered.tcode,
+            &sec.program.code,
+            tpc as usize,
+            &mut regs,
+            &[],
+            info,
+            mem,
+            scr,
+            &mut fuel,
+            cache,
+            &mut sink,
+        );
+        attributed[idx] += sec.fuel - fuel;
+    }
+
+    /// Adjudicate an outgoing packet: the chain's `send` entries.
+    #[inline]
+    pub fn check_send(&mut self, packet: &[u8], info: &[u8]) -> Verdict {
+        self.check_entry(EntryPoint::Send, packet, info)
+    }
+
+    /// Adjudicate a captured packet: the chain's `recv` entries.
+    #[inline]
+    pub fn check_recv(&mut self, packet: &[u8], info: &[u8]) -> Verdict {
+        self.check_entry(EntryPoint::Recv, packet, info)
+    }
+
+    /// Adjudicate `entry` across the chain, short-circuiting at the first
+    /// non-allow verdict. Monitors without the entry allow implicitly.
+    pub fn check_entry(&mut self, entry: EntryPoint, packet: &[u8], info: &[u8]) -> Verdict {
+        self.adjudicate(entry, packet, info, true)
+    }
+
+    fn adjudicate(
+        &mut self,
+        entry: EntryPoint,
+        packet: &[u8],
+        info: &[u8],
+        short_circuit: bool,
+    ) -> Verdict {
+        self.epoch += 1;
+        self.cache.epoch = self.epoch;
+        if !self.scratch.is_empty() {
+            self.scratch.fill(0);
+        }
+        let default_allow = Verdict::Allow(packet.len().max(1) as u64);
+        let n_links = self.chains[entry as usize].links.len();
+        let mut last = default_allow;
+        for li in 0..n_links {
+            let (sec_idx, tpc) = self.chains[entry as usize].links[li];
+            let (result, used) = self.run_link(sec_idx as usize, tpc as usize, packet, info);
+            self.attributed[sec_idx as usize] += used;
+            let verdict = match result {
+                Ok(0) => Verdict::Deny,
+                Ok(v) => Verdict::Allow(v),
+                Err(t) => Verdict::Fault(t),
+            };
+            if short_circuit && !verdict.allowed() {
+                return verdict;
+            }
+            last = verdict;
+        }
+        if self.chains[entry as usize].ends_with_last_monitor {
+            // Everything allowed and the final monitor ran: a sequential
+            // walk would surface its verdict.
+            last
+        } else {
+            // The final monitor lacks this entry: its implicit allow is
+            // the chain verdict.
+            default_allow
+        }
+    }
+
+    /// Run one section of the chain; returns (result, fuel consumed).
+    fn run_link(
+        &mut self,
+        sec_idx: usize,
+        tpc: usize,
+        packet: &[u8],
+        info: &[u8],
+    ) -> (Result<u64, Trap>, u64) {
+        let FusedVm {
+            sections, persistent, scratch, cache, snapshots, epoch, replays, ..
+        } = self;
+        let sec = &sections[sec_idx];
+        let mem = &mut persistent[sec.mem_off..sec.mem_off + sec.mem_len];
+        let tcode = &sec.lowered.tcode;
+        let code = &sec.program.code;
+        let mut fuel = sec.fuel;
+
+        // Fast path: an identical earlier section already executed the
+        // persistent-independent prefix this invocation. Apply its write
+        // log to this section's segment, then replay its outcome (Done) or
+        // resume from its pause point (Paused*).
+        if let Some(j) = sec.replay_from {
+            let snap = &snapshots[j];
+            if snap.epoch == *epoch {
+                *replays += 1;
+                for &(addr, val) in &snap.log {
+                    // Logged stores succeeded in an identically-sized
+                    // segment, so the span is in bounds here too.
+                    let a = addr as usize;
+                    mem[a..a + 8].copy_from_slice(&val.to_le_bytes());
+                }
+                if snap.kind == SnapKind::Done {
+                    return (snap.result, snap.used);
+                }
+                let scr = &mut scratch[sec.scr_off..sec.scr_off + sec.scr_len];
+                let mut regs = snap.regs;
+                scr.copy_from_slice(&snap.scratch);
+                fuel -= snap.used;
+                let mut sink = Vec::new();
+                let out = match snap.kind {
+                    SnapKind::PausedT => lower::run::<false>(
+                        tcode, code, snap.resume, &mut regs, packet, info, mem, scr,
+                        &mut fuel, cache, &mut sink,
+                    ),
+                    _ => lower::run_scalar::<false>(
+                        code, snap.resume, &mut regs, packet, info, mem, scr, &mut fuel,
+                        &mut sink,
+                    ),
+                };
+                return (finish(out), sec.fuel - fuel);
+            }
+            // Stale snapshot (recorder skipped this invocation — possible
+            // only via init_section): fall through to a plain run.
+        }
+
+        let scr = &mut scratch[sec.scr_off..sec.scr_off + sec.scr_len];
+        let mut regs = [0u64; NUM_REGS as usize];
+        regs[1] = packet.len() as u64;
+
+        if sec.records {
+            // Execute the record-variant stream: persistent writes are
+            // logged, the first persistent read pauses; snapshot, then
+            // resume on the plain stream.
+            let snap = &mut snapshots[sec_idx];
+            snap.log.clear();
+            let out = lower::run::<true>(
+                &sec.record_tcode, code, tpc, &mut regs, packet, info, mem, scr, &mut fuel,
+                cache, &mut snap.log,
+            );
+            snap.epoch = *epoch;
+            snap.used = sec.fuel - fuel;
+            match out {
+                RunOutcome::Done(r) => {
+                    snap.kind = SnapKind::Done;
+                    snap.result = r;
+                    (r, sec.fuel - fuel)
+                }
+                RunOutcome::PausedT(resume) => {
+                    snap.kind = SnapKind::PausedT;
+                    snap.resume = resume;
+                    snap.regs = regs;
+                    snap.scratch.copy_from_slice(scr);
+                    let mut sink = Vec::new();
+                    let out = lower::run::<false>(
+                        tcode, code, resume, &mut regs, packet, info, mem, scr, &mut fuel,
+                        cache, &mut sink,
+                    );
+                    (finish(out), sec.fuel - fuel)
+                }
+                RunOutcome::PausedS(resume) => {
+                    snap.kind = SnapKind::PausedS;
+                    snap.resume = resume;
+                    snap.regs = regs;
+                    snap.scratch.copy_from_slice(scr);
+                    let mut sink = Vec::new();
+                    let out = lower::run_scalar::<false>(
+                        code, resume, &mut regs, packet, info, mem, scr, &mut fuel, &mut sink,
+                    );
+                    (finish(out), sec.fuel - fuel)
+                }
+            }
+        } else {
+            let mut sink = Vec::new();
+            let out = lower::run::<false>(
+                tcode, code, tpc, &mut regs, packet, info, mem, scr, &mut fuel, cache,
+                &mut sink,
+            );
+            (finish(out), sec.fuel - fuel)
+        }
+    }
+}
+
+/// Unwrap a non-RECORD outcome (pauses cannot occur).
+fn finish(out: RunOutcome) -> Result<u64, Trap> {
+    match out {
+        RunOutcome::Done(r) => r,
+        RunOutcome::PausedT(_) | RunOutcome::PausedS(_) => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Asm;
+    use crate::vm::{Vm, VmConfig};
+
+    const FUEL: u64 = 100_000;
+
+    /// send: allow ICMP (pkt[9] == 1) with full length, else deny.
+    fn icmp_only() -> Program {
+        let mut a = Asm::new();
+        let send = a.label();
+        a.mov_i(2, 0);
+        a.ld_pkt8(2, 2, 9);
+        let ok = a.forward_jeq_i(2, 1);
+        a.mov_i(0, 0);
+        a.ret(0);
+        a.bind(ok);
+        a.mov_r(0, 1);
+        a.ret(0);
+        a.finish_program(&[("send", send)], 0, 0)
+    }
+
+    /// send: allow the first `limit` packets, then deny (persistent
+    /// counter at mem[0]).
+    fn quota(limit: u32) -> Program {
+        let mut a = Asm::new();
+        let send = a.label();
+        a.mov_i(2, 0);
+        a.ld_mem(2, 2, 0);
+        let deny = a.forward_jeq_i(2, limit);
+        a.add_i(2, 1);
+        a.mov_i(3, 0);
+        a.st_mem(3, 2, 0);
+        a.mov_r(0, 1);
+        a.ret(0);
+        a.bind(deny);
+        a.mov_i(0, 0);
+        a.ret(0);
+        a.finish_program(&[("send", send)], 8, 0)
+    }
+
+    fn sequential(programs: &[Program]) -> Vec<Vm> {
+        programs
+            .iter()
+            .map(|p| Vm::with_config(p.clone(), VmConfig { fuel: FUEL }).unwrap())
+            .collect()
+    }
+
+    /// The sequential composite verdict a MonitorSet walk produces.
+    fn sequential_verdict(vms: &mut [Vm], entry: EntryPoint, pkt: &[u8], info: &[u8]) -> Verdict {
+        let mut last = Verdict::Allow(pkt.len().max(1) as u64);
+        for vm in vms.iter_mut() {
+            last = vm.check_entry(entry, pkt, info);
+            if !last.allowed() {
+                return last;
+            }
+        }
+        last
+    }
+
+    fn fused(programs: &[Program]) -> FusedVm {
+        FusedVm::new(programs.to_vec(), vec![FUEL; programs.len()]).unwrap()
+    }
+
+    fn icmp_pkt(len: usize) -> Vec<u8> {
+        let mut p = vec![0u8; len];
+        if len > 9 {
+            p[9] = 1;
+        }
+        p
+    }
+
+    #[test]
+    fn fused_matches_sequential_verdicts_and_attribution() {
+        let programs = vec![icmp_only(), quota(3), icmp_only()];
+        let mut vms = sequential(&programs);
+        let mut f = fused(&programs);
+        let icmp = icmp_pkt(40);
+        let udp = {
+            let mut p = vec![0u8; 40];
+            p[9] = 17;
+            p
+        };
+        for pkt in [&icmp, &icmp, &udp, &icmp, &icmp, &icmp] {
+            let sv = sequential_verdict(&mut vms, EntryPoint::Send, pkt, &[]);
+            let fv = f.check_send(pkt, &[]);
+            assert_eq!(sv, fv);
+        }
+        for (i, vm) in vms.iter().enumerate() {
+            assert_eq!(
+                vm.insns_executed,
+                f.attributed()[i],
+                "attribution mismatch for monitor {i}"
+            );
+        }
+        // The two icmp_only sections are identical: prefix replay fires.
+        assert_eq!(f.stats().replay_sections, 1);
+        assert!(f.stats().replays > 0);
+    }
+
+    #[test]
+    fn persistent_segments_stay_isolated() {
+        let programs = vec![quota(2), quota(5)];
+        let mut f = fused(&programs);
+        let pkt = icmp_pkt(20);
+        // quota(2) denies on the 3rd packet even though quota(5) still has
+        // budget — and quota(5)'s counter must only advance while packets
+        // reach it.
+        assert!(f.check_send(&pkt, &[]).allowed());
+        assert!(f.check_send(&pkt, &[]).allowed());
+        assert_eq!(f.check_send(&pkt, &[]), Verdict::Deny);
+        assert_eq!(u64::from_le_bytes(f.persistent_segment(0)[..8].try_into().unwrap()), 2);
+        assert_eq!(u64::from_le_bytes(f.persistent_segment(1)[..8].try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn identical_quota_monitors_replay_exactly() {
+        // Identical *stateful* monitors: the prefix pauses before the
+        // ld.mem, so each section still reads and writes its own counter.
+        let programs = vec![quota(2), quota(2)];
+        let mut vms = sequential(&programs);
+        let mut f = fused(&programs);
+        let pkt = icmp_pkt(20);
+        for _ in 0..4 {
+            let sv = sequential_verdict(&mut vms, EntryPoint::Send, &pkt, &[]);
+            let fv = f.check_send(&pkt, &[]);
+            assert_eq!(sv, fv);
+        }
+        for (i, vm) in vms.iter().enumerate() {
+            assert_eq!(vm.insns_executed, f.attributed()[i]);
+        }
+        assert_eq!(f.persistent_segment(0), f.persistent_segment(1));
+    }
+
+    #[test]
+    fn shared_field_loads_hit_the_cache() {
+        // Both monitors test pkt[9]; the site is deduplicated and the
+        // second monitor's load is answered from the cache. (The load must
+        // be a plain AbsLd, so compare via register to avoid the
+        // load-compare-branch form.)
+        let mk = |allow_len: i64| {
+            let mut a = Asm::new();
+            let send = a.label();
+            a.mov_i(2, 0);
+            a.ld_pkt8(2, 2, 9);
+            a.mov_i(3, 1);
+            let ok = a.new_label();
+            a.j_reg_to(crate::insn::Op::JeqR, 2, 3, ok);
+            a.mov_i(0, 0);
+            a.ret(0);
+            a.bind(ok);
+            a.mov_i(0, allow_len);
+            a.ret(0);
+            a.finish_program(&[("send", send)], 0, 0)
+        };
+        let programs = vec![mk(64), mk(128)];
+        let mut f = fused(&programs);
+        let stats = f.stats();
+        assert_eq!(stats.dedup_slots, 1);
+        assert_eq!(stats.dedup_sites, 2);
+        let pkt = icmp_pkt(20);
+        assert_eq!(f.check_send(&pkt, &[]), Verdict::Allow(128));
+        let stats = f.stats();
+        assert_eq!(stats.dedup_misses, 1);
+        assert_eq!(stats.dedup_hits, 1);
+        // Out-of-bounds is never cached: both monitors trap themselves.
+        let mut vms = sequential(&programs);
+        let short = vec![0u8; 4];
+        assert_eq!(
+            f.check_send(&short, &[]),
+            sequential_verdict(&mut vms, EntryPoint::Send, &short, &[])
+        );
+    }
+
+    #[test]
+    fn missing_entries_allow_and_last_monitor_sets_verdict() {
+        // Monitor 0 defines send; monitor 1 does not. The chain verdict
+        // when all allow is monitor 1's implicit Allow(len).
+        let only_recv = {
+            let mut a = Asm::new();
+            let recv = a.label();
+            a.mov_i(0, 1);
+            a.ret(0);
+            a.finish_program(&[("recv", recv)], 0, 0)
+        };
+        let programs = vec![icmp_only(), only_recv];
+        let mut vms = sequential(&programs);
+        let mut f = fused(&programs);
+        let pkt = icmp_pkt(40);
+        let sv = sequential_verdict(&mut vms, EntryPoint::Send, &pkt, &[]);
+        let fv = f.check_send(&pkt, &[]);
+        assert_eq!(sv, fv);
+        assert_eq!(fv, Verdict::Allow(40));
+        // recv: only monitor 1 runs, and it is the final monitor.
+        assert_eq!(f.check_recv(&pkt, &[]), Verdict::Allow(1));
+    }
+
+    #[test]
+    fn init_runs_all_monitors_without_short_circuit() {
+        // init returns 0 ("deny") but must not stop later monitors' init.
+        let init_writes = |v: i64| {
+            let mut a = Asm::new();
+            let init = a.label();
+            a.mov_i(2, v);
+            a.mov_i(3, 0);
+            a.st_mem(3, 2, 0);
+            a.mov_i(0, 0);
+            a.ret(0);
+            let send = a.label();
+            a.mov_r(0, 1);
+            a.ret(0);
+            a.finish_program(&[("init", init), ("send", send)], 8, 0)
+        };
+        let programs = vec![init_writes(11), init_writes(22)];
+        let mut f = fused(&programs);
+        f.init_all(&[]);
+        assert_eq!(u64::from_le_bytes(f.persistent_segment(0)[..8].try_into().unwrap()), 11);
+        assert_eq!(u64::from_le_bytes(f.persistent_segment(1)[..8].try_into().unwrap()), 22);
+    }
+
+    #[test]
+    fn empty_chain_allows_everything() {
+        let mut f = FusedVm::new(Vec::new(), Vec::new()).unwrap();
+        assert_eq!(f.check_send(&[1, 2, 3], &[]), Verdict::Allow(3));
+        assert_eq!(f.check_recv(&[], &[]), Verdict::Allow(1));
+        assert_eq!(f.insns_executed(), 0);
+    }
+
+    #[test]
+    fn rebuild_with_persistent_preserves_state() {
+        let programs = vec![quota(5)];
+        let mut f = fused(&programs);
+        let pkt = icmp_pkt(20);
+        for _ in 0..3 {
+            assert!(f.check_send(&pkt, &[]).allowed());
+        }
+        let segs = vec![f.persistent_segment(0).to_vec()];
+        let mut programs2 = programs.clone();
+        programs2.push(icmp_only());
+        let mut segs2 = segs;
+        segs2.push(Vec::new());
+        let mut f2 = FusedVm::with_persistent(programs2, vec![FUEL; 2], segs2).unwrap();
+        // Two more packets exhaust the carried-over quota of 5.
+        assert!(f2.check_send(&pkt, &[]).allowed());
+        assert!(f2.check_send(&pkt, &[]).allowed());
+        assert_eq!(f2.check_send(&pkt, &[]), Verdict::Deny);
+    }
+}

@@ -38,12 +38,16 @@
 pub mod asm;
 pub mod builder;
 pub mod disasm;
+pub mod fuse;
 pub mod insn;
+pub mod lower;
 pub mod program;
 pub mod validate;
 pub mod vm;
 
+pub use fuse::{FuseStats, FusedVm};
 pub use insn::{Insn, Op};
+pub use lower::{Lowered, LowerStats};
 pub use program::{EntryPoint, Program, ENTRY_INIT, ENTRY_MIRROR, ENTRY_OPEN, ENTRY_RECV, ENTRY_SEND};
 pub use validate::{validate, ValidateError};
 pub use vm::{Trap, Vm, VmConfig};

@@ -1,0 +1,1340 @@
+//! Threaded-code lowering: validated PFVM programs are pre-decoded into an
+//! internal representation executed by a single dispatch loop, with
+//! *superinstructions* covering the hot opcode sequences the Cpf compiler
+//! and the assembler's canonical field loads emit.
+//!
+//! # Why
+//!
+//! The wire [`Insn`] format optimizes for auditability and a simple
+//! validator: relative branch offsets, packed compare-immediates, and
+//! address arithmetic recomputed on every execution. All of that is
+//! per-instruction decode cost on the adjudication hot path. Lowering pays
+//! it **once per instantiation**:
+//!
+//! - branch targets become absolute pre-checked indices,
+//! - compare immediates are unpacked (and sign-extended for `jslt.i`),
+//! - the canonical `mov.i r, 0; ld.* r, r, off` field-load idiom collapses
+//!   to one absolute-address load,
+//! - `mov.i/mov.r + ret` epilogues collapse to immediate/register returns,
+//! - `mov.i + ld.* + jeq.i/jne.i` field tests collapse to a single
+//!   load-compare-branch.
+//!
+//! # Fuel fidelity
+//!
+//! Every [`TInsn`] carries the number of source instructions it covers
+//! (`cost`) and the pc of the first one (`src_pc`). Fuel is charged by
+//! cost, so `insns_executed` attribution is **bit-identical** to the
+//! unfused interpreter. Two edge cases keep that exact:
+//!
+//! - when remaining fuel is smaller than a superinstruction's cost, the
+//!   engine falls back to executing the *original* instructions one by one
+//!   from `src_pc` (at most `cost - 1` of them can run before fuel hits
+//!   zero), so out-of-fuel traps land on exactly the same instruction;
+//! - a load-compare-branch that traps on the load refunds the fuel of the
+//!   never-fetched compare.
+//!
+//! Superinstructions are never formed across a jump target or entry point,
+//! so no branch can land in the middle of one.
+
+use crate::insn::{Insn, Op};
+use crate::program::Program;
+use crate::validate::NUM_REGS;
+use crate::vm::Trap;
+
+/// Memory-space/width selector for absolute loads (the `aux` field of
+/// [`TOp::AbsLd`], [`TOp::CachedLd`] and, OR-ed with [`CMP_NE`], of
+/// [`TOp::AbsLdCmpBr`]).
+pub mod kind {
+    /// Packet byte (big-endian widths follow).
+    pub const PKT8: u8 = 0;
+    /// Packet big-endian u16.
+    pub const PKT16: u8 = 1;
+    /// Packet big-endian u32.
+    pub const PKT32: u8 = 2;
+    /// Info byte.
+    pub const INFO8: u8 = 3;
+    /// Info little-endian u16.
+    pub const INFO16: u8 = 4;
+    /// Info little-endian u32.
+    pub const INFO32: u8 = 5;
+    /// Info little-endian u64.
+    pub const INFO64: u8 = 6;
+    /// Persistent-memory little-endian u64.
+    pub const MEM: u8 = 7;
+    /// Scratch little-endian u64.
+    pub const SCR: u8 = 8;
+}
+
+/// `aux` flag on [`TOp::AbsLdCmpBr`]: branch on *not equal* instead of
+/// equal.
+pub const CMP_NE: u8 = 0x80;
+
+/// Threaded operations: the 47 base PFVM ops (with pre-decoded operands)
+/// plus the superinstructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TOp {
+    /// dst = imm
+    MovI,
+    /// dst = src
+    MovR,
+    /// dst += imm
+    AddI,
+    /// dst += src
+    AddR,
+    /// dst -= imm
+    SubI,
+    /// dst -= src
+    SubR,
+    /// dst *= imm
+    MulI,
+    /// dst *= src
+    MulR,
+    /// dst /= imm
+    DivI,
+    /// dst /= src
+    DivR,
+    /// dst %= imm
+    ModI,
+    /// dst %= src
+    ModR,
+    /// dst &= imm
+    AndI,
+    /// dst &= src
+    AndR,
+    /// dst |= imm
+    OrI,
+    /// dst |= src
+    OrR,
+    /// dst ^= imm
+    XorI,
+    /// dst ^= src
+    XorR,
+    /// dst <<= imm & 63
+    ShlI,
+    /// dst <<= src & 63
+    ShlR,
+    /// dst >>= imm & 63
+    ShrI,
+    /// dst >>= src & 63
+    ShrR,
+    /// dst = -dst
+    Neg,
+    /// dst = !dst
+    Not,
+    /// dst = packet\[reg\[src\] + imm\] (byte)
+    LdPkt8,
+    /// dst = packet\[..\] big-endian u16
+    LdPkt16,
+    /// dst = packet\[..\] big-endian u32
+    LdPkt32,
+    /// dst = info\[reg\[src\] + imm\] (byte)
+    LdInfo8,
+    /// dst = info\[..\] little-endian u16
+    LdInfo16,
+    /// dst = info\[..\] little-endian u32
+    LdInfo32,
+    /// dst = info\[..\] little-endian u64
+    LdInfo64,
+    /// dst = persistent\[reg\[src\] + imm\] little-endian u64
+    LdMem,
+    /// persistent\[reg\[dst\] + imm\] = src
+    StMem,
+    /// dst = scratch\[reg\[src\] + imm\] little-endian u64
+    LdScr,
+    /// scratch\[reg\[dst\] + imm\] = src
+    StScr,
+    /// goto imm (absolute)
+    Ja,
+    /// if dst == src goto imm
+    JeqR,
+    /// if dst == imm goto imm2
+    JeqI,
+    /// if dst != src goto imm
+    JneR,
+    /// if dst != imm goto imm2
+    JneI,
+    /// if dst < src goto imm (unsigned)
+    JltR,
+    /// if dst < imm goto imm2 (unsigned)
+    JltI,
+    /// if dst <= src goto imm (unsigned)
+    JleR,
+    /// if dst <= imm goto imm2 (unsigned)
+    JleI,
+    /// if (i64)dst < (i64)src goto imm
+    JsltR,
+    /// if (i64)dst < imm goto imm2 (imm pre-sign-extended)
+    JsltI,
+    /// return reg\[dst\]
+    Ret,
+
+    /// Superinstruction (`mov.i r, k; ld.* r, r, off`):
+    /// dst = space-of-`aux`\[imm\].
+    AbsLd,
+    /// Superinstruction (`mov.i r, k; st.mem/st.scr r, s, off`):
+    /// reg\[src\] = imm2, then space-of-`aux`\[imm\] = reg\[dst\].
+    AbsSt,
+    /// Superinstruction (`mov.i r, k; ret r`): return imm.
+    RetImm,
+    /// Superinstruction (`mov.r d, s; ret d`): return reg\[src\].
+    RetReg,
+    /// Superinstruction (`mov.i r, k; ld.* r, r, off; jeq.i/jne.i r, v, L`):
+    /// dst = space-of-`aux & !CMP_NE`\[imm\]; branch to `imm2 >> 32` when
+    /// dst compares to `imm2 & 0xffff_ffff` per the [`CMP_NE`] bit.
+    AbsLdCmpBr,
+    /// A fused-chain [`TOp::AbsLd`] routed through the cross-monitor
+    /// deduplicated-load cache (slot index in imm2). Only emitted by the
+    /// fusion pass, never by plain lowering.
+    CachedLd,
+
+    /// Record-variant stand-in for a persistent-memory *read*: ends the
+    /// recordable prefix by pausing before the instruction executes
+    /// (cost 0 — the real instruction is charged on resume). Only appears
+    /// in [`record_variant`] streams, never in plain lowered code.
+    Pause,
+    /// Record-variant [`TOp::StMem`]: performs the store and appends
+    /// `(address, value)` to the write log so replaying sections can apply
+    /// it to their own segment without re-executing the prefix.
+    StMemLog,
+    /// Record-variant [`TOp::AbsSt`] with persistent kind: store plus
+    /// write-log append, preserving the folded `mov.i` side effect.
+    AbsStLog,
+}
+
+/// One pre-decoded threaded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TInsn {
+    /// Threaded operation.
+    pub op: TOp,
+    /// Destination register.
+    pub dst: u8,
+    /// Source register.
+    pub src: u8,
+    /// Superinstruction auxiliary: load [`kind`] selector / compare flag.
+    pub aux: u8,
+    /// Source instructions covered (fuel charged per execution).
+    pub cost: u8,
+    /// Original pc of the first covered instruction (partial-fuel
+    /// fallback entry, diagnostics).
+    pub src_pc: u32,
+    /// Primary immediate: value, absolute address, or absolute branch
+    /// target.
+    pub imm: i64,
+    /// Secondary immediate: compare value, branch target of
+    /// compare-immediate forms, packed target/compare of
+    /// [`TOp::AbsLdCmpBr`], store value of [`TOp::AbsSt`], or cache slot
+    /// of [`TOp::CachedLd`].
+    pub imm2: i64,
+}
+
+impl TInsn {
+    /// True when executing this instruction can *read* persistent memory —
+    /// the first point at which an invocation's behaviour can diverge
+    /// between monitors sharing a program, so prefix recording must pause.
+    pub(crate) fn reads_persistent(&self) -> bool {
+        match self.op {
+            TOp::LdMem => true,
+            TOp::AbsLd | TOp::CachedLd => self.aux == kind::MEM,
+            TOp::AbsLdCmpBr => self.aux & !CMP_NE == kind::MEM,
+            _ => false,
+        }
+    }
+
+    /// True when executing this instruction can *write* persistent memory.
+    /// Writes before the first read are persistent-independent (address
+    /// and value derive from packet/info/registers only), so recording
+    /// logs them instead of pausing.
+    pub(crate) fn writes_persistent(&self) -> bool {
+        match self.op {
+            TOp::StMem => true,
+            TOp::AbsSt => self.aux == kind::MEM,
+            _ => false,
+        }
+    }
+}
+
+/// Build the record-mode twin of a threaded stream: persistent reads
+/// become [`TOp::Pause`] (prefix ends there), persistent writes become
+/// their logging variants. Dispatch stays check-free — the pause points
+/// are baked into the opcodes instead of tested per instruction.
+pub(crate) fn record_variant(tcode: &[TInsn]) -> Vec<TInsn> {
+    tcode
+        .iter()
+        .map(|t| {
+            let mut r = *t;
+            if t.reads_persistent() {
+                r.op = TOp::Pause;
+                // Pause charges nothing; the real instruction is charged
+                // when the resume re-executes it from the plain stream.
+                r.cost = 0;
+            } else if t.writes_persistent() {
+                r.op = if t.op == TOp::StMem { TOp::StMemLog } else { TOp::AbsStLog };
+            }
+            r
+        })
+        .collect()
+}
+
+/// Counters describing one lowering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LowerStats {
+    /// Source instructions lowered.
+    pub orig_insns: u64,
+    /// Threaded instructions produced.
+    pub threaded_insns: u64,
+    /// Superinstructions formed.
+    pub superinsns: u64,
+    /// Superinstructions by covered source length (index = length; only
+    /// 2 and 3 occur).
+    pub super_len: [u64; 4],
+}
+
+/// A lowered program: threaded code plus the original→threaded pc map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lowered {
+    /// Threaded instruction stream.
+    pub tcode: Vec<TInsn>,
+    /// Original pc → threaded pc (mid-superinstruction pcs map to the
+    /// covering instruction; nothing can branch to them).
+    pub pc_map: Vec<u32>,
+    /// Lowering counters.
+    pub stats: LowerStats,
+}
+
+fn load_kind(op: Op) -> Option<u8> {
+    Some(match op {
+        Op::LdPkt8 => kind::PKT8,
+        Op::LdPkt16 => kind::PKT16,
+        Op::LdPkt32 => kind::PKT32,
+        Op::LdInfo8 => kind::INFO8,
+        Op::LdInfo16 => kind::INFO16,
+        Op::LdInfo32 => kind::INFO32,
+        Op::LdInfo64 => kind::INFO64,
+        Op::LdMem => kind::MEM,
+        Op::LdScr => kind::SCR,
+        _ => return None,
+    })
+}
+
+/// Pre-decoded compare value of a compare-immediate jump: zero-extended
+/// u32, except `jslt.i` which compares sign-extended.
+fn cmp_value(insn: &Insn) -> i64 {
+    if insn.op == Op::JsltI {
+        insn.cmp_imm() as i32 as i64
+    } else {
+        insn.cmp_imm() as i64
+    }
+}
+
+/// Lower a **validated** program to threaded code. Must not be called on
+/// unvalidated programs (jump targets are trusted).
+pub fn lower(p: &Program) -> Lowered {
+    let code = &p.code;
+    let n = code.len();
+
+    // Superinstruction barriers: a branch or entry may land at these pcs,
+    // so no superinstruction may *cover* them as a non-first element.
+    let mut barrier = vec![false; n];
+    for &pc in p.entries.values() {
+        if (pc as usize) < n {
+            barrier[pc as usize] = true;
+        }
+    }
+    for (pc, insn) in code.iter().enumerate() {
+        if insn.op.is_jump() {
+            let t = (pc as i64 + 1 + insn.branch()) as usize;
+            barrier[t] = true;
+        }
+    }
+
+    let mut stats = LowerStats { orig_insns: n as u64, ..LowerStats::default() };
+    let mut tcode: Vec<TInsn> = Vec::with_capacity(n);
+    let mut pc_map = vec![0u32; n];
+    let mut pc = 0usize;
+    while pc < n {
+        let tpc = tcode.len() as u32;
+        let (tinsn, len) = match try_superinsn(code, pc, &barrier) {
+            Some(pair) => pair,
+            None => (lower_one(&code[pc], pc), 1),
+        };
+        for covered in pc_map.iter_mut().skip(pc).take(len) {
+            *covered = tpc;
+        }
+        if len > 1 {
+            stats.superinsns += 1;
+            stats.super_len[len] += 1;
+        }
+        tcode.push(tinsn);
+        pc += len;
+    }
+    stats.threaded_insns = tcode.len() as u64;
+
+    // Fix up branch targets from original pcs to threaded pcs.
+    for t in &mut tcode {
+        match t.op {
+            TOp::Ja | TOp::JeqR | TOp::JneR | TOp::JltR | TOp::JleR | TOp::JsltR => {
+                t.imm = pc_map[t.imm as usize] as i64;
+            }
+            TOp::JeqI | TOp::JneI | TOp::JltI | TOp::JleI | TOp::JsltI => {
+                t.imm2 = pc_map[t.imm2 as usize] as i64;
+            }
+            TOp::AbsLdCmpBr => {
+                let target = pc_map[(t.imm2 >> 32) as usize] as i64;
+                t.imm2 = (target << 32) | (t.imm2 & 0xffff_ffff);
+            }
+            _ => {}
+        }
+    }
+
+    Lowered { tcode, pc_map, stats }
+}
+
+/// Try to form a superinstruction starting at `pc`. Continuation
+/// instructions must not be branch targets or entry points.
+fn try_superinsn(code: &[Insn], pc: usize, barrier: &[bool]) -> Option<(TInsn, usize)> {
+    let a = code[pc];
+    let free = |off: usize| pc + off < code.len() && !barrier[pc + off];
+    match a.op {
+        Op::MovI => {
+            if !free(1) {
+                return None;
+            }
+            let b = code[pc + 1];
+            if let Some(k) = load_kind(b.op) {
+                // mov.i r, k; ld.* r, r, off  →  absolute load.
+                if b.dst == a.dst && b.src == a.dst {
+                    let addr = (a.imm as u64).wrapping_add(b.imm as u64) as i64;
+                    // …optionally followed by jeq.i/jne.i on the loaded
+                    // value: a single load-compare-branch.
+                    if free(2) {
+                        let c = code[pc + 2];
+                        if matches!(c.op, Op::JeqI | Op::JneI) && c.dst == a.dst {
+                            let target = pc as i64 + 3 + c.branch();
+                            let ne = if c.op == Op::JneI { CMP_NE } else { 0 };
+                            return Some((
+                                TInsn {
+                                    op: TOp::AbsLdCmpBr,
+                                    dst: a.dst,
+                                    src: 0,
+                                    aux: k | ne,
+                                    cost: 3,
+                                    src_pc: pc as u32,
+                                    imm: addr,
+                                    imm2: (target << 32) | c.cmp_imm() as i64,
+                                },
+                                3,
+                            ));
+                        }
+                    }
+                    return Some((
+                        TInsn {
+                            op: TOp::AbsLd,
+                            dst: a.dst,
+                            src: 0,
+                            aux: k,
+                            cost: 2,
+                            src_pc: pc as u32,
+                            imm: addr,
+                            imm2: 0,
+                        },
+                        2,
+                    ));
+                }
+            }
+            // mov.i r, k; st.mem/st.scr r, s, off  →  absolute store.
+            if matches!(b.op, Op::StMem | Op::StScr) && b.dst == a.dst {
+                let addr = (a.imm as u64).wrapping_add(b.imm as u64) as i64;
+                let k = if b.op == Op::StMem { kind::MEM } else { kind::SCR };
+                return Some((
+                    TInsn {
+                        op: TOp::AbsSt,
+                        dst: b.src,
+                        src: a.dst,
+                        aux: k,
+                        cost: 2,
+                        src_pc: pc as u32,
+                        imm: addr,
+                        imm2: a.imm,
+                    },
+                    2,
+                ));
+            }
+            // mov.i r, k; ret r  →  immediate return.
+            if b.op == Op::Ret && b.dst == a.dst {
+                return Some((
+                    TInsn {
+                        op: TOp::RetImm,
+                        dst: a.dst,
+                        src: 0,
+                        aux: 0,
+                        cost: 2,
+                        src_pc: pc as u32,
+                        imm: a.imm,
+                        imm2: 0,
+                    },
+                    2,
+                ));
+            }
+            None
+        }
+        Op::MovR => {
+            if !free(1) {
+                return None;
+            }
+            let b = code[pc + 1];
+            // mov.r d, s; ret d  →  register return.
+            if b.op == Op::Ret && b.dst == a.dst {
+                return Some((
+                    TInsn {
+                        op: TOp::RetReg,
+                        dst: a.dst,
+                        src: a.src,
+                        aux: 0,
+                        cost: 2,
+                        src_pc: pc as u32,
+                        imm: 0,
+                        imm2: 0,
+                    },
+                    2,
+                ));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Lower one instruction 1:1 (branch targets left as original pcs; the
+/// caller's fixup pass maps them).
+fn lower_one(insn: &Insn, pc: usize) -> TInsn {
+    use TOp as T;
+    let mut t = TInsn {
+        op: T::Ret,
+        dst: insn.dst,
+        src: insn.src,
+        aux: 0,
+        cost: 1,
+        src_pc: pc as u32,
+        imm: insn.imm,
+        imm2: 0,
+    };
+    t.op = match insn.op {
+        Op::MovI => T::MovI,
+        Op::MovR => T::MovR,
+        Op::AddI => T::AddI,
+        Op::AddR => T::AddR,
+        Op::SubI => T::SubI,
+        Op::SubR => T::SubR,
+        Op::MulI => T::MulI,
+        Op::MulR => T::MulR,
+        Op::DivI => T::DivI,
+        Op::DivR => T::DivR,
+        Op::ModI => T::ModI,
+        Op::ModR => T::ModR,
+        Op::AndI => T::AndI,
+        Op::AndR => T::AndR,
+        Op::OrI => T::OrI,
+        Op::OrR => T::OrR,
+        Op::XorI => T::XorI,
+        Op::XorR => T::XorR,
+        Op::ShlI => T::ShlI,
+        Op::ShlR => T::ShlR,
+        Op::ShrI => T::ShrI,
+        Op::ShrR => T::ShrR,
+        Op::Neg => T::Neg,
+        Op::Not => T::Not,
+        Op::LdPkt8 => T::LdPkt8,
+        Op::LdPkt16 => T::LdPkt16,
+        Op::LdPkt32 => T::LdPkt32,
+        Op::LdInfo8 => T::LdInfo8,
+        Op::LdInfo16 => T::LdInfo16,
+        Op::LdInfo32 => T::LdInfo32,
+        Op::LdInfo64 => T::LdInfo64,
+        Op::LdMem => T::LdMem,
+        Op::StMem => T::StMem,
+        Op::LdScr => T::LdScr,
+        Op::StScr => T::StScr,
+        Op::Ret => T::Ret,
+        Op::Ja => {
+            t.imm = pc as i64 + 1 + insn.branch();
+            T::Ja
+        }
+        Op::JeqR | Op::JneR | Op::JltR | Op::JleR | Op::JsltR => {
+            t.imm = pc as i64 + 1 + insn.branch();
+            match insn.op {
+                Op::JeqR => T::JeqR,
+                Op::JneR => T::JneR,
+                Op::JltR => T::JltR,
+                Op::JleR => T::JleR,
+                _ => T::JsltR,
+            }
+        }
+        Op::JeqI | Op::JneI | Op::JltI | Op::JleI | Op::JsltI => {
+            t.imm = cmp_value(insn);
+            t.imm2 = pc as i64 + 1 + insn.branch();
+            match insn.op {
+                Op::JeqI => T::JeqI,
+                Op::JneI => T::JneI,
+                Op::JltI => T::JltI,
+                Op::JleI => T::JleI,
+                _ => T::JsltI,
+            }
+        }
+    };
+    t
+}
+
+/// Cross-monitor deduplicated-load cache used by fused chains. Slots are
+/// assigned at fuse time to absolute packet/info loads that appear in more
+/// than one monitor; values are tagged with the invocation epoch so the
+/// cache resets without clearing.
+#[derive(Debug, Clone, Default)]
+pub struct DedupCache {
+    /// Current invocation epoch (bumped by the fused driver).
+    pub(crate) epoch: u64,
+    /// (epoch, value) per slot; valid iff epoch matches.
+    pub(crate) slots: Vec<(u64, u64)>,
+    /// Loads answered from the cache.
+    pub hits: u64,
+    /// Loads that filled the cache.
+    pub misses: u64,
+}
+
+impl DedupCache {
+    /// A cache with no slots (plain, unfused execution).
+    pub fn empty() -> DedupCache {
+        DedupCache::default()
+    }
+}
+
+/// Outcome of one threaded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RunOutcome {
+    /// Invocation finished (return value or trap).
+    Done(Result<u64, Trap>),
+    /// `RECORD` mode only: paused *before* executing the threaded
+    /// instruction at this tpc, which touches persistent memory.
+    PausedT(usize),
+    /// `RECORD` mode only: paused inside the scalar fallback before the
+    /// original instruction at this pc.
+    PausedS(usize),
+}
+
+/// Absolute fixed-width load from the selected space.
+#[inline(always)]
+fn abs_load(
+    k: u8,
+    addr: u64,
+    packet: &[u8],
+    info: &[u8],
+    persistent: &[u8],
+    scratch: &[u8],
+) -> Result<u64, Trap> {
+    macro_rules! ld {
+        ($region:expr, $ty:ty, $conv:ident) => {{
+            const W: usize = core::mem::size_of::<$ty>();
+            let addr = addr as usize;
+            match addr.checked_add(W).and_then(|end| $region.get(addr..end)) {
+                // SAFETY-COMMENT: `get(addr..addr+W)` returned Some, so the
+                // slice is exactly W bytes and the conversion cannot fail.
+                Some(b) => Ok(<$ty>::$conv(b.try_into().unwrap()) as u64),
+                None => Err(Trap::OutOfBounds),
+            }
+        }};
+    }
+    match k {
+        kind::PKT8 => packet.get(addr as usize).map(|b| *b as u64).ok_or(Trap::OutOfBounds),
+        kind::PKT16 => ld!(packet, u16, from_be_bytes),
+        kind::PKT32 => ld!(packet, u32, from_be_bytes),
+        kind::INFO8 => info.get(addr as usize).map(|b| *b as u64).ok_or(Trap::OutOfBounds),
+        kind::INFO16 => ld!(info, u16, from_le_bytes),
+        kind::INFO32 => ld!(info, u32, from_le_bytes),
+        kind::INFO64 => ld!(info, u64, from_le_bytes),
+        kind::MEM => ld!(persistent, u64, from_le_bytes),
+        kind::SCR => ld!(scratch, u64, from_le_bytes),
+        _ => Err(Trap::OutOfBounds),
+    }
+}
+
+/// Execute threaded code from `tpc` until return, trap, or — when running
+/// a [`record_variant`] stream — a pause before the next persistent-memory
+/// *read* (persistent writes are appended to `log`). `fuel` is consumed in
+/// place so callers settle attribution exactly once. `RECORD` only selects
+/// the scalar-fallback flavour; the dispatch loop itself is check-free.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run<const RECORD: bool>(
+    tcode: &[TInsn],
+    code: &[Insn],
+    mut tpc: usize,
+    regs: &mut [u64; NUM_REGS as usize],
+    packet: &[u8],
+    info: &[u8],
+    persistent: &mut [u8],
+    scratch: &mut [u8],
+    fuel: &mut u64,
+    cache: &mut DedupCache,
+    log: &mut Vec<(u64, u64)>,
+) -> RunOutcome {
+    /// Bounds-checked fixed-width load (same shape as the pre-threading
+    /// interpreter, for bit-identical trap behaviour).
+    macro_rules! load {
+        ($region:expr, $addr:expr, $ty:ty, $conv:ident) => {{
+            const W: usize = core::mem::size_of::<$ty>();
+            let addr = $addr;
+            match addr.checked_add(W).and_then(|end| $region.get(addr..end)) {
+                // SAFETY-COMMENT: `get` returned Some ⇒ exactly W bytes.
+                Some(bytes) => <$ty>::$conv(bytes.try_into().unwrap()) as u64,
+                None => return RunOutcome::Done(Err(Trap::OutOfBounds)),
+            }
+        }};
+    }
+    loop {
+        let t = &tcode[tpc];
+        let cost = t.cost as u64;
+        if *fuel < cost {
+            // Not enough fuel for the whole superinstruction: replay its
+            // source instructions one at a time so the out-of-fuel trap
+            // lands on exactly the right one.
+            return run_scalar::<RECORD>(
+                code, t.src_pc as usize, regs, packet, info, persistent, scratch, fuel, log,
+            );
+        }
+        *fuel -= cost;
+        // The mask is a no-op (the validator bounds register indices);
+        // it lets the compiler drop the bounds checks on `regs`.
+        let dst = (t.dst & (NUM_REGS - 1)) as usize;
+        let src = (t.src & (NUM_REGS - 1)) as usize;
+        let immu = t.imm as u64;
+        tpc += 1;
+        match t.op {
+            TOp::MovI => regs[dst] = immu,
+            TOp::MovR => regs[dst] = regs[src],
+            TOp::AddI => regs[dst] = regs[dst].wrapping_add(immu),
+            TOp::AddR => regs[dst] = regs[dst].wrapping_add(regs[src]),
+            TOp::SubI => regs[dst] = regs[dst].wrapping_sub(immu),
+            TOp::SubR => regs[dst] = regs[dst].wrapping_sub(regs[src]),
+            TOp::MulI => regs[dst] = regs[dst].wrapping_mul(immu),
+            TOp::MulR => regs[dst] = regs[dst].wrapping_mul(regs[src]),
+            TOp::DivI | TOp::DivR => {
+                let d = if t.op == TOp::DivI { immu } else { regs[src] };
+                if d == 0 {
+                    return RunOutcome::Done(Err(Trap::DivByZero));
+                }
+                regs[dst] /= d;
+            }
+            TOp::ModI | TOp::ModR => {
+                let d = if t.op == TOp::ModI { immu } else { regs[src] };
+                if d == 0 {
+                    return RunOutcome::Done(Err(Trap::DivByZero));
+                }
+                regs[dst] %= d;
+            }
+            TOp::AndI => regs[dst] &= immu,
+            TOp::AndR => regs[dst] &= regs[src],
+            TOp::OrI => regs[dst] |= immu,
+            TOp::OrR => regs[dst] |= regs[src],
+            TOp::XorI => regs[dst] ^= immu,
+            TOp::XorR => regs[dst] ^= regs[src],
+            TOp::ShlI => regs[dst] <<= immu & 63,
+            TOp::ShlR => regs[dst] <<= regs[src] & 63,
+            TOp::ShrI => regs[dst] >>= immu & 63,
+            TOp::ShrR => regs[dst] >>= regs[src] & 63,
+            TOp::Neg => regs[dst] = (regs[dst] as i64).wrapping_neg() as u64,
+            TOp::Not => regs[dst] = !regs[dst],
+
+            TOp::LdPkt8 => {
+                let addr = regs[src].wrapping_add(immu) as usize;
+                match packet.get(addr) {
+                    Some(b) => regs[dst] = *b as u64,
+                    None => return RunOutcome::Done(Err(Trap::OutOfBounds)),
+                }
+            }
+            TOp::LdPkt16 => {
+                regs[dst] =
+                    load!(packet, regs[src].wrapping_add(immu) as usize, u16, from_be_bytes);
+            }
+            TOp::LdPkt32 => {
+                regs[dst] =
+                    load!(packet, regs[src].wrapping_add(immu) as usize, u32, from_be_bytes);
+            }
+            TOp::LdInfo8 => {
+                let addr = regs[src].wrapping_add(immu) as usize;
+                match info.get(addr) {
+                    Some(b) => regs[dst] = *b as u64,
+                    None => return RunOutcome::Done(Err(Trap::OutOfBounds)),
+                }
+            }
+            TOp::LdInfo16 => {
+                regs[dst] =
+                    load!(info, regs[src].wrapping_add(immu) as usize, u16, from_le_bytes);
+            }
+            TOp::LdInfo32 => {
+                regs[dst] =
+                    load!(info, regs[src].wrapping_add(immu) as usize, u32, from_le_bytes);
+            }
+            TOp::LdInfo64 => {
+                regs[dst] =
+                    load!(info, regs[src].wrapping_add(immu) as usize, u64, from_le_bytes);
+            }
+            TOp::LdMem => {
+                regs[dst] =
+                    load!(persistent, regs[src].wrapping_add(immu) as usize, u64, from_le_bytes);
+            }
+            TOp::StMem => {
+                let addr = regs[dst].wrapping_add(immu) as usize;
+                let val = regs[src];
+                match addr.checked_add(8).and_then(|end| persistent.get_mut(addr..end)) {
+                    Some(bytes) => bytes.copy_from_slice(&val.to_le_bytes()),
+                    None => return RunOutcome::Done(Err(Trap::OutOfBounds)),
+                }
+            }
+            TOp::LdScr => {
+                regs[dst] =
+                    load!(scratch, regs[src].wrapping_add(immu) as usize, u64, from_le_bytes);
+            }
+            TOp::StScr => {
+                let addr = regs[dst].wrapping_add(immu) as usize;
+                let val = regs[src];
+                match addr.checked_add(8).and_then(|end| scratch.get_mut(addr..end)) {
+                    Some(bytes) => bytes.copy_from_slice(&val.to_le_bytes()),
+                    None => return RunOutcome::Done(Err(Trap::OutOfBounds)),
+                }
+            }
+
+            TOp::Ja => tpc = t.imm as usize,
+            TOp::JeqR => {
+                if regs[dst] == regs[src] {
+                    tpc = t.imm as usize;
+                }
+            }
+            TOp::JneR => {
+                if regs[dst] != regs[src] {
+                    tpc = t.imm as usize;
+                }
+            }
+            TOp::JltR => {
+                if regs[dst] < regs[src] {
+                    tpc = t.imm as usize;
+                }
+            }
+            TOp::JleR => {
+                if regs[dst] <= regs[src] {
+                    tpc = t.imm as usize;
+                }
+            }
+            TOp::JsltR => {
+                if (regs[dst] as i64) < (regs[src] as i64) {
+                    tpc = t.imm as usize;
+                }
+            }
+            TOp::JeqI => {
+                if regs[dst] == immu {
+                    tpc = t.imm2 as usize;
+                }
+            }
+            TOp::JneI => {
+                if regs[dst] != immu {
+                    tpc = t.imm2 as usize;
+                }
+            }
+            TOp::JltI => {
+                if regs[dst] < immu {
+                    tpc = t.imm2 as usize;
+                }
+            }
+            TOp::JleI => {
+                if regs[dst] <= immu {
+                    tpc = t.imm2 as usize;
+                }
+            }
+            TOp::JsltI => {
+                if (regs[dst] as i64) < t.imm {
+                    tpc = t.imm2 as usize;
+                }
+            }
+
+            TOp::Ret => return RunOutcome::Done(Ok(regs[dst])),
+
+            TOp::AbsLd => {
+                match abs_load(t.aux, immu, packet, info, persistent, scratch) {
+                    Ok(v) => regs[dst] = v,
+                    Err(trap) => return RunOutcome::Done(Err(trap)),
+                }
+            }
+            TOp::CachedLd => {
+                let slot = t.imm2 as usize;
+                let (epoch, val) = cache.slots[slot];
+                if epoch == cache.epoch {
+                    cache.hits += 1;
+                    regs[dst] = val;
+                } else {
+                    match abs_load(t.aux, immu, packet, info, persistent, scratch) {
+                        Ok(v) => {
+                            cache.misses += 1;
+                            cache.slots[slot] = (cache.epoch, v);
+                            regs[dst] = v;
+                        }
+                        // Out-of-bounds loads are never cached: every
+                        // monitor reaching this site must trap itself.
+                        Err(trap) => return RunOutcome::Done(Err(trap)),
+                    }
+                }
+            }
+            TOp::AbsSt => {
+                // The folded mov.i wrote the address register; later code
+                // may read it, so the side effect must be preserved.
+                regs[src] = t.imm2 as u64;
+                let addr = immu as usize;
+                let val = regs[dst];
+                let region: &mut [u8] =
+                    if t.aux == kind::MEM { persistent } else { scratch };
+                match addr.checked_add(8).and_then(|end| region.get_mut(addr..end)) {
+                    Some(bytes) => bytes.copy_from_slice(&val.to_le_bytes()),
+                    None => return RunOutcome::Done(Err(Trap::OutOfBounds)),
+                }
+            }
+            TOp::RetImm => return RunOutcome::Done(Ok(immu)),
+            TOp::RetReg => return RunOutcome::Done(Ok(regs[src])),
+            TOp::AbsLdCmpBr => {
+                let v = match abs_load(t.aux & !CMP_NE, immu, packet, info, persistent, scratch)
+                {
+                    Ok(v) => v,
+                    Err(trap) => {
+                        // The compare was never fetched: refund its fuel so
+                        // accounting matches the unfused interpreter.
+                        *fuel += 1;
+                        return RunOutcome::Done(Err(trap));
+                    }
+                };
+                regs[dst] = v;
+                let cmp = (t.imm2 as u64) & 0xffff_ffff;
+                let taken = if t.aux & CMP_NE != 0 { v != cmp } else { v == cmp };
+                if taken {
+                    tpc = (t.imm2 >> 32) as usize;
+                }
+            }
+
+            TOp::Pause => return RunOutcome::PausedT(tpc - 1),
+            TOp::StMemLog => {
+                let addr = regs[dst].wrapping_add(immu) as usize;
+                let val = regs[src];
+                match addr.checked_add(8).and_then(|end| persistent.get_mut(addr..end)) {
+                    Some(bytes) => {
+                        bytes.copy_from_slice(&val.to_le_bytes());
+                        log.push((addr as u64, val));
+                    }
+                    None => return RunOutcome::Done(Err(Trap::OutOfBounds)),
+                }
+            }
+            TOp::AbsStLog => {
+                regs[src] = t.imm2 as u64;
+                let addr = immu as usize;
+                let val = regs[dst];
+                match addr.checked_add(8).and_then(|end| persistent.get_mut(addr..end)) {
+                    Some(bytes) => {
+                        bytes.copy_from_slice(&val.to_le_bytes());
+                        log.push((addr as u64, val));
+                    }
+                    None => return RunOutcome::Done(Err(Trap::OutOfBounds)),
+                }
+            }
+        }
+    }
+}
+
+/// Scalar fallback: execute *original* instructions from `pc`. Used when
+/// remaining fuel cannot cover a whole superinstruction (runs at most
+/// `cost - 1` instructions before trapping out of fuel) and to resume
+/// recorded prefixes that paused mid-superinstruction. With `RECORD`,
+/// pauses before persistent reads and write-logs persistent stores, like
+/// the [`record_variant`] threaded stream.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_scalar<const RECORD: bool>(
+    code: &[Insn],
+    mut pc: usize,
+    regs: &mut [u64; NUM_REGS as usize],
+    packet: &[u8],
+    info: &[u8],
+    persistent: &mut [u8],
+    scratch: &mut [u8],
+    fuel: &mut u64,
+    log: &mut Vec<(u64, u64)>,
+) -> RunOutcome {
+    macro_rules! load {
+        ($region:expr, $addr:expr, $ty:ty, $conv:ident) => {{
+            const W: usize = core::mem::size_of::<$ty>();
+            let addr = $addr;
+            match addr.checked_add(W).and_then(|end| $region.get(addr..end)) {
+                // SAFETY-COMMENT: `get` returned Some ⇒ exactly W bytes.
+                Some(bytes) => <$ty>::$conv(bytes.try_into().unwrap()) as u64,
+                None => return RunOutcome::Done(Err(Trap::OutOfBounds)),
+            }
+        }};
+    }
+    loop {
+        let insn = code[pc];
+        if RECORD && insn.op == Op::LdMem {
+            return RunOutcome::PausedS(pc);
+        }
+        if *fuel == 0 {
+            return RunOutcome::Done(Err(Trap::OutOfFuel));
+        }
+        *fuel -= 1;
+        let dst = (insn.dst & (NUM_REGS - 1)) as usize;
+        let src = (insn.src & (NUM_REGS - 1)) as usize;
+        let imm = insn.imm;
+        let immu = imm as u64;
+        pc += 1;
+        let mut next = pc as i64;
+        match insn.op {
+            Op::MovI => regs[dst] = immu,
+            Op::MovR => regs[dst] = regs[src],
+            Op::AddI => regs[dst] = regs[dst].wrapping_add(immu),
+            Op::AddR => regs[dst] = regs[dst].wrapping_add(regs[src]),
+            Op::SubI => regs[dst] = regs[dst].wrapping_sub(immu),
+            Op::SubR => regs[dst] = regs[dst].wrapping_sub(regs[src]),
+            Op::MulI => regs[dst] = regs[dst].wrapping_mul(immu),
+            Op::MulR => regs[dst] = regs[dst].wrapping_mul(regs[src]),
+            Op::DivI | Op::DivR => {
+                let d = if insn.op == Op::DivI { immu } else { regs[src] };
+                if d == 0 {
+                    return RunOutcome::Done(Err(Trap::DivByZero));
+                }
+                regs[dst] /= d;
+            }
+            Op::ModI | Op::ModR => {
+                let d = if insn.op == Op::ModI { immu } else { regs[src] };
+                if d == 0 {
+                    return RunOutcome::Done(Err(Trap::DivByZero));
+                }
+                regs[dst] %= d;
+            }
+            Op::AndI => regs[dst] &= immu,
+            Op::AndR => regs[dst] &= regs[src],
+            Op::OrI => regs[dst] |= immu,
+            Op::OrR => regs[dst] |= regs[src],
+            Op::XorI => regs[dst] ^= immu,
+            Op::XorR => regs[dst] ^= regs[src],
+            Op::ShlI => regs[dst] <<= immu & 63,
+            Op::ShlR => regs[dst] <<= regs[src] & 63,
+            Op::ShrI => regs[dst] >>= immu & 63,
+            Op::ShrR => regs[dst] >>= regs[src] & 63,
+            Op::Neg => regs[dst] = (regs[dst] as i64).wrapping_neg() as u64,
+            Op::Not => regs[dst] = !regs[dst],
+            Op::LdPkt8 => {
+                let addr = regs[src].wrapping_add(immu) as usize;
+                match packet.get(addr) {
+                    Some(b) => regs[dst] = *b as u64,
+                    None => return RunOutcome::Done(Err(Trap::OutOfBounds)),
+                }
+            }
+            Op::LdPkt16 => {
+                regs[dst] =
+                    load!(packet, regs[src].wrapping_add(immu) as usize, u16, from_be_bytes);
+            }
+            Op::LdPkt32 => {
+                regs[dst] =
+                    load!(packet, regs[src].wrapping_add(immu) as usize, u32, from_be_bytes);
+            }
+            Op::LdInfo8 => {
+                let addr = regs[src].wrapping_add(immu) as usize;
+                match info.get(addr) {
+                    Some(b) => regs[dst] = *b as u64,
+                    None => return RunOutcome::Done(Err(Trap::OutOfBounds)),
+                }
+            }
+            Op::LdInfo16 => {
+                regs[dst] =
+                    load!(info, regs[src].wrapping_add(immu) as usize, u16, from_le_bytes);
+            }
+            Op::LdInfo32 => {
+                regs[dst] =
+                    load!(info, regs[src].wrapping_add(immu) as usize, u32, from_le_bytes);
+            }
+            Op::LdInfo64 => {
+                regs[dst] =
+                    load!(info, regs[src].wrapping_add(immu) as usize, u64, from_le_bytes);
+            }
+            Op::LdMem => {
+                regs[dst] =
+                    load!(persistent, regs[src].wrapping_add(immu) as usize, u64, from_le_bytes);
+            }
+            Op::StMem => {
+                let addr = regs[dst].wrapping_add(immu) as usize;
+                let val = regs[src];
+                match addr.checked_add(8).and_then(|end| persistent.get_mut(addr..end)) {
+                    Some(bytes) => {
+                        bytes.copy_from_slice(&val.to_le_bytes());
+                        if RECORD {
+                            log.push((addr as u64, val));
+                        }
+                    }
+                    None => return RunOutcome::Done(Err(Trap::OutOfBounds)),
+                }
+            }
+            Op::LdScr => {
+                regs[dst] =
+                    load!(scratch, regs[src].wrapping_add(immu) as usize, u64, from_le_bytes);
+            }
+            Op::StScr => {
+                let addr = regs[dst].wrapping_add(immu) as usize;
+                let val = regs[src];
+                match addr.checked_add(8).and_then(|end| scratch.get_mut(addr..end)) {
+                    Some(bytes) => bytes.copy_from_slice(&val.to_le_bytes()),
+                    None => return RunOutcome::Done(Err(Trap::OutOfBounds)),
+                }
+            }
+            Op::Ja => next += insn.branch(),
+            Op::JeqR => {
+                if regs[dst] == regs[src] {
+                    next += insn.branch();
+                }
+            }
+            Op::JeqI => {
+                if regs[dst] == insn.cmp_imm() {
+                    next += insn.branch();
+                }
+            }
+            Op::JneR => {
+                if regs[dst] != regs[src] {
+                    next += insn.branch();
+                }
+            }
+            Op::JneI => {
+                if regs[dst] != insn.cmp_imm() {
+                    next += insn.branch();
+                }
+            }
+            Op::JltR => {
+                if regs[dst] < regs[src] {
+                    next += insn.branch();
+                }
+            }
+            Op::JltI => {
+                if regs[dst] < insn.cmp_imm() {
+                    next += insn.branch();
+                }
+            }
+            Op::JleR => {
+                if regs[dst] <= regs[src] {
+                    next += insn.branch();
+                }
+            }
+            Op::JleI => {
+                if regs[dst] <= insn.cmp_imm() {
+                    next += insn.branch();
+                }
+            }
+            Op::JsltR => {
+                if (regs[dst] as i64) < (regs[src] as i64) {
+                    next += insn.branch();
+                }
+            }
+            Op::JsltI => {
+                if (regs[dst] as i64) < (insn.cmp_imm() as i32 as i64) {
+                    next += insn.branch();
+                }
+            }
+            Op::Ret => return RunOutcome::Done(Ok(regs[dst])),
+        }
+        pc = next as usize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Asm;
+    use std::collections::BTreeMap;
+
+    fn prog(code: Vec<Insn>) -> Program {
+        let mut entries = BTreeMap::new();
+        entries.insert("send".to_string(), 0);
+        Program { code, entries, persistent_size: 64, scratch_size: 64 }
+    }
+
+    #[test]
+    fn canonical_field_load_fuses_to_absld() {
+        // The assembler/Cpf canonical pattern: mov.i r2, 0; ld.pkt16 r2, r2, 4.
+        let mut a = Asm::new();
+        a.mov_i(2, 0);
+        a.ld_pkt16(2, 2, 4);
+        a.mov_r(0, 2);
+        a.ret(0);
+        let p = prog(a.finish());
+        let l = lower(&p);
+        assert_eq!(l.tcode[0].op, TOp::AbsLd);
+        assert_eq!(l.tcode[0].aux, kind::PKT16);
+        assert_eq!(l.tcode[0].imm, 4);
+        assert_eq!(l.tcode[0].cost, 2);
+        assert_eq!(l.tcode[1].op, TOp::RetReg);
+        assert_eq!(l.stats.superinsns, 2);
+        assert_eq!(l.stats.threaded_insns, 2);
+        assert_eq!(l.stats.orig_insns, 4);
+    }
+
+    #[test]
+    fn field_test_fuses_to_load_compare_branch() {
+        // mov.i r2, 0; ld.pkt8 r2, r2, 9; jeq.i r2, 1, L; …
+        let mut a = Asm::new();
+        a.mov_i(2, 0);
+        a.ld_pkt8(2, 2, 9);
+        let hit = a.forward_jeq_i(2, 1);
+        a.mov_i(0, 0);
+        a.ret(0);
+        a.bind(hit);
+        a.mov_i(0, 7);
+        a.ret(0);
+        let p = prog(a.finish());
+        let l = lower(&p);
+        assert_eq!(l.tcode[0].op, TOp::AbsLdCmpBr);
+        assert_eq!(l.tcode[0].cost, 3);
+        assert_eq!(l.tcode[0].aux, kind::PKT8);
+        // Branch target must resolve to the threaded pc of the mov.i r0, 7
+        // (itself fused into a RetImm).
+        let target = (l.tcode[0].imm2 >> 32) as usize;
+        assert_eq!(l.tcode[target].op, TOp::RetImm);
+        assert_eq!(l.tcode[target].imm, 7);
+    }
+
+    #[test]
+    fn no_fusion_across_jump_targets() {
+        // The mov.i at the loop head is a branch target; the following ld
+        // must not be folded into it from the preceding instruction.
+        let mut a = Asm::new();
+        let top = a.label(); // pc 0: mov.i (branch target)
+        a.mov_i(2, 0);
+        a.ld_pkt8(3, 2, 0); // dst != src: not the canonical pattern anyway
+        a.add_i(4, 1);
+        a.jne_i_to(4, 3, top);
+        a.mov_i(0, 1);
+        a.ret(0);
+        let p = prog(a.finish());
+        let l = lower(&p);
+        // Entry pc 0 is a barrier; the backward branch must land on it.
+        let back = l.tcode.iter().find(|t| t.op == TOp::JneI).unwrap();
+        assert_eq!(back.imm2, 0);
+    }
+
+    #[test]
+    fn store_pattern_preserves_address_register_side_effect() {
+        // mov.i r14, 0; st.scr r14, r1, 8 — later code reads r14.
+        let mut a = Asm::new();
+        a.mov_i(14, 0);
+        a.st_scr(14, 1, 8);
+        a.mov_r(0, 14);
+        a.ret(0);
+        let p = prog(a.finish());
+        let l = lower(&p);
+        assert_eq!(l.tcode[0].op, TOp::AbsSt);
+        let mut regs = [0u64; 16];
+        regs[14] = 99; // must be overwritten by the folded mov.i
+        regs[1] = 42;
+        let mut scratch = vec![0u8; 64];
+        let mut fuel = 100;
+        let out = run::<false>(
+            &l.tcode, &p.code, 0, &mut regs, &[], &[], &mut [], &mut scratch, &mut fuel,
+            &mut DedupCache::empty(),
+            &mut Vec::new(),
+        );
+        assert_eq!(out, RunOutcome::Done(Ok(0)));
+        assert_eq!(regs[14], 0, "folded mov.i side effect lost");
+        assert_eq!(&scratch[8..16], &42u64.to_le_bytes());
+        assert_eq!(fuel, 100 - 4);
+    }
+
+    #[test]
+    fn partial_fuel_falls_back_to_scalar() {
+        // RetImm costs 2; with 1 fuel the mov.i runs and the ret traps
+        // out of fuel — exactly like the unfused interpreter.
+        let mut a = Asm::new();
+        a.mov_i(0, 5);
+        a.ret(0);
+        let p = prog(a.finish());
+        let l = lower(&p);
+        assert_eq!(l.tcode[0].op, TOp::RetImm);
+        let mut regs = [0u64; 16];
+        let mut fuel = 1;
+        let out = run::<false>(
+            &l.tcode, &p.code, 0, &mut regs, &[], &[], &mut [], &mut [], &mut fuel,
+            &mut DedupCache::empty(),
+            &mut Vec::new(),
+        );
+        assert_eq!(out, RunOutcome::Done(Err(Trap::OutOfFuel)));
+        assert_eq!(fuel, 0);
+        assert_eq!(regs[0], 5, "mov.i must have executed before fuel ran out");
+    }
+
+    #[test]
+    fn trapping_load_compare_refunds_unfetched_compare() {
+        let mut a = Asm::new();
+        a.mov_i(2, 0);
+        a.ld_pkt8(2, 2, 50); // OOB for a short packet
+        let l1 = a.forward_jeq_i(2, 1);
+        a.ret(0);
+        a.bind(l1);
+        a.ret(0);
+        let p = prog(a.finish());
+        let l = lower(&p);
+        assert_eq!(l.tcode[0].op, TOp::AbsLdCmpBr);
+        let mut regs = [0u64; 16];
+        let mut fuel = 100;
+        let out = run::<false>(
+            &l.tcode, &p.code, 0, &mut regs, &[0u8; 4], &[], &mut [], &mut [], &mut fuel,
+            &mut DedupCache::empty(),
+            &mut Vec::new(),
+        );
+        assert_eq!(out, RunOutcome::Done(Err(Trap::OutOfBounds)));
+        // mov.i + ld fetched, jeq.i never fetched: 2 instructions.
+        assert_eq!(fuel, 98);
+    }
+
+    #[test]
+    fn record_variant_pauses_at_reads_and_logs_writes() {
+        let mut a = Asm::new();
+        a.mov_i(2, 1); // pure prefix
+        a.add_i(2, 2);
+        a.mov_i(4, 0);
+        a.st_mem(4, 2, 8); // persistent WRITE: logged, not a pause
+        a.ld_mem(3, 0, 0); // first persistent READ: prefix ends here
+        a.mov_r(0, 3);
+        a.ret(0);
+        let p = prog(a.finish());
+        let l = lower(&p);
+        let rec = record_variant(&l.tcode);
+        assert!(
+            rec.iter().any(|t| t.op == TOp::AbsStLog || t.op == TOp::StMemLog),
+            "store must become its logging variant"
+        );
+        let mut regs = [0u64; 16];
+        let mut persistent = vec![0u8; 16];
+        persistent[0] = 7;
+        let mut fuel = 100;
+        let mut log = Vec::new();
+        let out = run::<true>(
+            &rec, &p.code, 0, &mut regs, &[], &[], &mut persistent, &mut [], &mut fuel,
+            &mut DedupCache::empty(),
+            &mut log,
+        );
+        let at = match out {
+            RunOutcome::PausedT(at) => at,
+            other => panic!("expected pause, got {other:?}"),
+        };
+        assert_eq!(rec[at].op, TOp::Pause);
+        assert_eq!(l.tcode[at].op, TOp::LdMem, "pause maps to the plain-stream read");
+        assert_eq!(regs[2], 3, "prefix must have executed");
+        assert_eq!(log, vec![(8, 3)], "write logged with resolved address and value");
+        assert_eq!(&persistent[8..16], &3u64.to_le_bytes(), "write also applied");
+        // The pause itself charges nothing: mov.i + add.i + the fused
+        // store pair = 4 instructions.
+        assert_eq!(100 - fuel, 4);
+        // Resuming on the *plain* stream completes the run.
+        let out = run::<false>(
+            &l.tcode, &p.code, at, &mut regs, &[], &[], &mut persistent, &mut [], &mut fuel,
+            &mut DedupCache::empty(),
+            &mut Vec::new(),
+        );
+        assert_eq!(out, RunOutcome::Done(Ok(7)));
+        assert_eq!(100 - fuel, 7);
+    }
+}

@@ -12,9 +12,14 @@
 //! (§3.4), so `check_send`/`check_recv` are the endpoint's per-packet tax
 //! and are kept allocation-free and lookup-free:
 //!
-//! - Well-known entry points are resolved to program counters **once**, at
-//!   [`Vm::with_config`], into an [`EntryPoint`]-indexed table — no
-//!   string-keyed map lookup per invocation.
+//! - Programs are lowered **once**, at [`Vm::with_config`], to the
+//!   pre-decoded threaded representation in [`crate::lower`]
+//!   (absolute branch targets, unpacked compare immediates,
+//!   superinstructions over the canonical field-load/compare/return
+//!   idioms); per-invocation execution never decodes wire instructions.
+//! - Well-known entry points are resolved to threaded program counters
+//!   **once**, at [`Vm::with_config`], into an [`EntryPoint`]-indexed
+//!   table — no string-keyed map lookup per invocation.
 //! - The scratch region is a buffer owned by the `Vm`, zeroed with
 //!   `fill(0)` per invocation instead of reallocated (a debug assertion
 //!   verifies its capacity never changes during execution).
@@ -22,9 +27,11 @@
 //!   reads rather than byte-at-a-time accumulation.
 //! - Fuel is tracked in a register-allocated local and the cumulative
 //!   `insns_executed` counter is settled once per invocation, not once per
-//!   instruction.
+//!   instruction. Superinstructions charge the fuel of every source
+//!   instruction they cover, so attribution is bit-identical to the
+//!   pre-threading interpreter.
 
-use crate::insn::Op;
+use crate::lower::{self, DedupCache, Lowered, RunOutcome};
 use crate::program::{EntryPoint, Program};
 use crate::validate::{validate, NUM_REGS, ValidateError};
 use crate::Verdict;
@@ -74,13 +81,16 @@ impl Default for VmConfig {
 /// An instantiated monitor/filter with its persistent state.
 pub struct Vm {
     program: Program,
+    /// Threaded code + original→threaded pc map, built once at
+    /// instantiation.
+    lowered: Lowered,
     config: VmConfig,
     persistent: Vec<u8>,
     /// Reusable scratch buffer: zeroed (not reallocated) per invocation.
     scratch: Vec<u8>,
-    /// Entry-point PCs resolved once at instantiation, indexed by
-    /// [`EntryPoint`].
-    entry_pcs: [Option<u32>; EntryPoint::COUNT],
+    /// Entry-point *threaded* PCs resolved once at instantiation, indexed
+    /// by [`EntryPoint`].
+    entry_tpcs: [Option<u32>; EntryPoint::COUNT],
     /// Cumulative instructions executed (for the overhead benches).
     pub insns_executed: u64,
 }
@@ -94,18 +104,25 @@ impl Vm {
     /// Validate and instantiate with explicit limits.
     pub fn with_config(program: Program, config: VmConfig) -> Result<Vm, ValidateError> {
         validate(&program)?;
+        let lowered = lower::lower(&program);
         let persistent = vec![0u8; program.persistent_size as usize];
         let scratch = vec![0u8; program.scratch_size as usize];
-        let mut entry_pcs = [None; EntryPoint::COUNT];
+        let mut entry_tpcs = [None; EntryPoint::COUNT];
         for ep in EntryPoint::ALL {
-            entry_pcs[ep as usize] = program.entry(ep.name());
+            entry_tpcs[ep as usize] =
+                program.entry(ep.name()).map(|pc| lowered.pc_map[pc as usize]);
         }
-        Ok(Vm { program, config, persistent, scratch, entry_pcs, insns_executed: 0 })
+        Ok(Vm { program, lowered, config, persistent, scratch, entry_tpcs, insns_executed: 0 })
     }
 
     /// The underlying program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The lowered (threaded) form of the program.
+    pub fn lowered(&self) -> &Lowered {
+        &self.lowered
     }
 
     /// Read-only view of persistent memory (exposed to tests/diagnostics).
@@ -136,7 +153,7 @@ impl Vm {
     /// fast path: no string lookup, no per-invocation buffers.
     #[inline]
     pub fn check_entry(&mut self, entry: EntryPoint, packet: &[u8], info: &[u8]) -> Verdict {
-        match self.entry_pcs[entry as usize] {
+        match self.entry_tpcs[entry as usize] {
             None => Verdict::Allow(packet.len().max(1) as u64),
             Some(pc) => match self.exec(pc, packet, info) {
                 Ok(0) => Verdict::Deny,
@@ -150,8 +167,8 @@ impl Vm {
     /// where the controller must supply the entry it names.
     #[inline]
     pub fn run_entry(&mut self, entry: EntryPoint, packet: &[u8], info: &[u8]) -> Result<u64, Trap> {
-        let pc = self.entry_pcs[entry as usize].ok_or(Trap::NoSuchEntry)?;
-        self.exec(pc, packet, info)
+        let tpc = self.entry_tpcs[entry as usize].ok_or(Trap::NoSuchEntry)?;
+        self.exec(tpc, packet, info)
     }
 
     /// Run a named entry, treating a *missing* entry as allow-all. Prefer
@@ -164,11 +181,14 @@ impl Vm {
         }
         match self.program.entry(entry) {
             None => Verdict::Allow(packet.len().max(1) as u64),
-            Some(pc) => match self.exec(pc, packet, info) {
-                Ok(0) => Verdict::Deny,
-                Ok(v) => Verdict::Allow(v),
-                Err(t) => Verdict::Fault(t),
-            },
+            Some(pc) => {
+                let tpc = self.lowered.pc_map[pc as usize];
+                match self.exec(tpc, packet, info) {
+                    Ok(0) => Verdict::Deny,
+                    Ok(v) => Verdict::Allow(v),
+                    Err(t) => Verdict::Fault(t),
+                }
+            }
         }
     }
 
@@ -179,13 +199,13 @@ impl Vm {
             return self.run_entry(ep, packet, info);
         }
         let pc = self.program.entry(entry).ok_or(Trap::NoSuchEntry)?;
-        self.exec(pc, packet, info)
+        let tpc = self.lowered.pc_map[pc as usize];
+        self.exec(tpc, packet, info)
     }
 
-    fn exec(&mut self, entry_pc: u32, packet: &[u8], info: &[u8]) -> Result<u64, Trap> {
+    fn exec(&mut self, entry_tpc: u32, packet: &[u8], info: &[u8]) -> Result<u64, Trap> {
         // Split borrows: code, persistent, and scratch are disjoint fields.
-        let Vm { program, persistent, scratch, config, insns_executed, .. } = self;
-        let code = program.code.as_slice();
+        let Vm { program, lowered, persistent, scratch, config, insns_executed, .. } = self;
         #[cfg(debug_assertions)]
         let scratch_cap = scratch.capacity();
         // Scratch is semantically fresh per invocation; zeroing the owned
@@ -198,201 +218,33 @@ impl Vm {
         }
         let mut regs = [0u64; NUM_REGS as usize];
         regs[1] = packet.len() as u64;
-        let mut pc = entry_pc as i64;
         let mut fuel = config.fuel;
-
-        let result = 'vm: loop {
-            if fuel == 0 {
-                break 'vm Err(Trap::OutOfFuel);
-            }
-            fuel -= 1;
-            // Validator guarantees jumps stay in bounds and the code cannot
-            // fall off the end, so indexing is safe.
-            let insn = code[pc as usize];
-            // Mask to the register-file size: the validator already
-            // guarantees indices < NUM_REGS, so the mask is a no-op that
-            // lets the compiler drop per-access bounds checks on `regs`.
-            let dst = (insn.dst & (NUM_REGS - 1)) as usize;
-            let src = (insn.src & (NUM_REGS - 1)) as usize;
-            let imm = insn.imm;
-            let immu = imm as u64;
-            pc += 1;
-
-            /// Bounds-checked fixed-width load from a byte region.
-            macro_rules! load {
-                ($region:expr, $addr:expr, $ty:ty, $conv:ident) => {{
-                    const W: usize = core::mem::size_of::<$ty>();
-                    let addr = $addr;
-                    match addr
-                        .checked_add(W)
-                        .and_then(|end| $region.get(addr..end))
-                    {
-                        Some(bytes) => {
-                            // SAFETY-COMMENT: `get(addr..addr+W)` returned
-                            // Some, so `bytes` is exactly W bytes and the
-                            // array conversion cannot fail.
-                            <$ty>::$conv(bytes.try_into().unwrap()) as u64
-                        }
-                        None => break 'vm Err(Trap::OutOfBounds),
-                    }
-                }};
-            }
-
-            match insn.op {
-                Op::MovI => regs[dst] = immu,
-                Op::MovR => regs[dst] = regs[src],
-                Op::AddI => regs[dst] = regs[dst].wrapping_add(immu),
-                Op::AddR => regs[dst] = regs[dst].wrapping_add(regs[src]),
-                Op::SubI => regs[dst] = regs[dst].wrapping_sub(immu),
-                Op::SubR => regs[dst] = regs[dst].wrapping_sub(regs[src]),
-                Op::MulI => regs[dst] = regs[dst].wrapping_mul(immu),
-                Op::MulR => regs[dst] = regs[dst].wrapping_mul(regs[src]),
-                Op::DivI | Op::DivR => {
-                    let d = if insn.op == Op::DivI { immu } else { regs[src] };
-                    if d == 0 {
-                        break 'vm Err(Trap::DivByZero);
-                    }
-                    regs[dst] /= d;
-                }
-                Op::ModI | Op::ModR => {
-                    let d = if insn.op == Op::ModI { immu } else { regs[src] };
-                    if d == 0 {
-                        break 'vm Err(Trap::DivByZero);
-                    }
-                    regs[dst] %= d;
-                }
-                Op::AndI => regs[dst] &= immu,
-                Op::AndR => regs[dst] &= regs[src],
-                Op::OrI => regs[dst] |= immu,
-                Op::OrR => regs[dst] |= regs[src],
-                Op::XorI => regs[dst] ^= immu,
-                Op::XorR => regs[dst] ^= regs[src],
-                Op::ShlI => regs[dst] <<= immu & 63,
-                Op::ShlR => regs[dst] <<= regs[src] & 63,
-                Op::ShrI => regs[dst] >>= immu & 63,
-                Op::ShrR => regs[dst] >>= regs[src] & 63,
-                Op::Neg => regs[dst] = (regs[dst] as i64).wrapping_neg() as u64,
-                Op::Not => regs[dst] = !regs[dst],
-
-                // Packet loads: network byte order, fixed-width reads.
-                Op::LdPkt8 => {
-                    let addr = regs[src].wrapping_add(immu) as usize;
-                    match packet.get(addr) {
-                        Some(b) => regs[dst] = *b as u64,
-                        None => break 'vm Err(Trap::OutOfBounds),
-                    }
-                }
-                Op::LdPkt16 => {
-                    regs[dst] =
-                        load!(packet, regs[src].wrapping_add(immu) as usize, u16, from_be_bytes);
-                }
-                Op::LdPkt32 => {
-                    regs[dst] =
-                        load!(packet, regs[src].wrapping_add(immu) as usize, u32, from_be_bytes);
-                }
-                // Info loads: little-endian (host-structured memory).
-                Op::LdInfo8 => {
-                    let addr = regs[src].wrapping_add(immu) as usize;
-                    match info.get(addr) {
-                        Some(b) => regs[dst] = *b as u64,
-                        None => break 'vm Err(Trap::OutOfBounds),
-                    }
-                }
-                Op::LdInfo16 => {
-                    regs[dst] =
-                        load!(info, regs[src].wrapping_add(immu) as usize, u16, from_le_bytes);
-                }
-                Op::LdInfo32 => {
-                    regs[dst] =
-                        load!(info, regs[src].wrapping_add(immu) as usize, u32, from_le_bytes);
-                }
-                Op::LdInfo64 => {
-                    regs[dst] =
-                        load!(info, regs[src].wrapping_add(immu) as usize, u64, from_le_bytes);
-                }
-                Op::LdMem => {
-                    regs[dst] =
-                        load!(persistent, regs[src].wrapping_add(immu) as usize, u64, from_le_bytes);
-                }
-                Op::StMem => {
-                    let addr = regs[dst].wrapping_add(immu) as usize;
-                    let val = regs[src];
-                    match addr.checked_add(8).and_then(|end| persistent.get_mut(addr..end)) {
-                        Some(bytes) => bytes.copy_from_slice(&val.to_le_bytes()),
-                        None => break 'vm Err(Trap::OutOfBounds),
-                    }
-                }
-                Op::LdScr => {
-                    regs[dst] =
-                        load!(scratch, regs[src].wrapping_add(immu) as usize, u64, from_le_bytes);
-                }
-                Op::StScr => {
-                    let addr = regs[dst].wrapping_add(immu) as usize;
-                    let val = regs[src];
-                    match addr.checked_add(8).and_then(|end| scratch.get_mut(addr..end)) {
-                        Some(bytes) => bytes.copy_from_slice(&val.to_le_bytes()),
-                        None => break 'vm Err(Trap::OutOfBounds),
-                    }
-                }
-
-                Op::Ja => pc += insn.branch(),
-                Op::JeqR => {
-                    if regs[dst] == regs[src] {
-                        pc += insn.branch();
-                    }
-                }
-                Op::JeqI => {
-                    if regs[dst] == insn.cmp_imm() {
-                        pc += insn.branch();
-                    }
-                }
-                Op::JneR => {
-                    if regs[dst] != regs[src] {
-                        pc += insn.branch();
-                    }
-                }
-                Op::JneI => {
-                    if regs[dst] != insn.cmp_imm() {
-                        pc += insn.branch();
-                    }
-                }
-                Op::JltR => {
-                    if regs[dst] < regs[src] {
-                        pc += insn.branch();
-                    }
-                }
-                Op::JltI => {
-                    if regs[dst] < insn.cmp_imm() {
-                        pc += insn.branch();
-                    }
-                }
-                Op::JleR => {
-                    if regs[dst] <= regs[src] {
-                        pc += insn.branch();
-                    }
-                }
-                Op::JleI => {
-                    if regs[dst] <= insn.cmp_imm() {
-                        pc += insn.branch();
-                    }
-                }
-                Op::JsltR => {
-                    if (regs[dst] as i64) < (regs[src] as i64) {
-                        pc += insn.branch();
-                    }
-                }
-                Op::JsltI => {
-                    if (regs[dst] as i64) < (insn.cmp_imm() as i32 as i64) {
-                        pc += insn.branch();
-                    }
-                }
-
-                Op::Ret => break 'vm Ok(regs[dst]),
-            }
+        // A slot-less cache and an empty write log: plain Vms execute
+        // neither CachedLd nor the record-variant log ops, and empty Vecs
+        // cost no allocation.
+        let mut cache = DedupCache::empty();
+        let mut log = Vec::new();
+        let result = match lower::run::<false>(
+            &lowered.tcode,
+            &program.code,
+            entry_tpc as usize,
+            &mut regs,
+            packet,
+            info,
+            persistent,
+            scratch,
+            &mut fuel,
+            &mut cache,
+            &mut log,
+        ) {
+            RunOutcome::Done(r) => r,
+            // Pauses only occur in RECORD mode.
+            RunOutcome::PausedT(_) | RunOutcome::PausedS(_) => unreachable!(),
         };
         // Batched accounting: one counter update per invocation instead of
         // one per instruction. `config.fuel - fuel` is exactly the number
-        // of instructions fetched (the pre-change per-instruction count).
+        // of source instructions fetched (superinstructions charge the
+        // fuel of everything they cover).
         *insns_executed += config.fuel - fuel;
         #[cfg(debug_assertions)]
         debug_assert_eq!(

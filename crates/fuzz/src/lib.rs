@@ -13,7 +13,7 @@
 //! always reproduces the same execution — the same discipline as the chaos
 //! and netsim harnesses in this repo.
 //!
-//! Four targets, mirroring the four untrusted surfaces:
+//! Five targets, mirroring the untrusted surfaces:
 //!
 //! | target   | surface                                  | oracles |
 //! |----------|------------------------------------------|---------|
@@ -21,6 +21,7 @@
 //! | `cert`   | `Certificate::decode` + chain/set verify | no panic; decode→encode→decode fixed point; any single-byte corruption of a signed certificate must be rejected |
 //! | `cpf`    | `lex → parse → sema → codegen`           | no panic; compiler output always validates; compiled programs agree with the naive reference VM (verdict, persistent memory, instruction count) |
 //! | `filter` | `Program::decode` + `validate` + `Vm`    | no panic; decode fixed point; "validator accepts ⇒ VM terminates within fuel without trapping unsafely"; differential vs the reference VM |
+//! | `fused`  | `FusedVm` monitor-chain execution        | no panic; fused + threaded + dedup + prefix-replay execution of arbitrary validated chains is bit-identical to the sequential reference walk (composite verdicts, per-monitor persistent memory, per-monitor fuel attribution) |
 //!
 //! Every input that ever violated an oracle is minimized and checked into
 //! `corpus/<target>/`, replayed by `tests/corpus_replay.rs` as a plain
@@ -37,7 +38,7 @@ use plab_obs::metrics::Counter;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Fuzz target names accepted by [`run_target`].
-pub const TARGETS: &[&str] = &["wire", "cert", "cpf", "filter"];
+pub const TARGETS: &[&str] = &["wire", "cert", "cpf", "filter", "fused"];
 
 static EXECS: Counter = Counter::new("fuzz.execs");
 static REJECTS: Counter = Counter::new("fuzz.rejects");
@@ -164,6 +165,7 @@ pub fn run_target(target: &str, seed: u64, iters: u64) -> Option<Report> {
         "cert" => Some(targets::cert::run(seed, iters)),
         "cpf" => Some(targets::cpf::run(seed, iters)),
         "filter" => Some(targets::filter::run(seed, iters)),
+        "fused" => Some(targets::fused::run(seed, iters)),
         _ => None,
     }
 }
@@ -178,6 +180,7 @@ pub fn replay(target: &str, bytes: &[u8]) -> Option<Result<Exec, String>> {
         "cert" => Some(targets::cert::check(bytes)),
         "cpf" => Some(targets::cpf::check(bytes)),
         "filter" => Some(targets::filter::check(bytes)),
+        "fused" => Some(targets::fused::check(bytes)),
         _ => None,
     }
 }

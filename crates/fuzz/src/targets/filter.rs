@@ -49,7 +49,7 @@ fn gen_insn(rng: &mut StdRng, pc: usize, len: usize) -> Insn {
     Insn::new(op, dst, src, imm)
 }
 
-fn gen_program(rng: &mut StdRng) -> Program {
+pub(crate) fn gen_program(rng: &mut StdRng) -> Program {
     let n = rng.gen_range(2usize..=24);
     let mut code: Vec<Insn> = (0..n).map(|pc| gen_insn(rng, pc, n)).collect();
     // validate requires the stream to end in Ret or Ja.

@@ -11,4 +11,5 @@
 pub mod cert;
 pub mod cpf;
 pub mod filter;
+pub mod fused;
 pub mod wire;

@@ -54,6 +54,8 @@ fn known_good_inputs_accepted() {
         ("cert", "pristine_bundle.bin"),
         ("cpf", "valid_monitor.cpf"),
         ("filter", "valid_program.bin"),
+        ("fused", "valid_chain.bin"),
+        ("fused", "replay_chain.bin"),
     ] {
         let bytes = read(target, name);
         assert_eq!(
@@ -230,6 +232,43 @@ fn regenerate() {
     write("filter", "ja_overflow.bin", &ja.encode());
     let truncated = valid.encode();
     write("filter", "truncated.bin", &truncated[..truncated.len() - 5]);
+
+    // fused: monitor chains as length-prefixed program encodings.
+    let chain = |progs: &[&Program], tail: &[u8]| -> Vec<u8> {
+        let mut b = vec![(progs.len() - 1) as u8];
+        for p in progs {
+            let e = p.encode();
+            b.extend_from_slice(&(e.len() as u32).to_le_bytes());
+            b.extend_from_slice(&e);
+        }
+        b.extend_from_slice(tail);
+        b
+    };
+    // A stateful peer: counts adjudications in persistent memory.
+    let counter = Program {
+        code: vec![
+            Insn::new(Op::MovI, 3, 0, 0),
+            Insn::new(Op::LdMem, 3, 3, 0),
+            Insn::new(Op::AddI, 3, 0, 1),
+            Insn::new(Op::MovI, 4, 0, 0),
+            Insn::new(Op::StMem, 4, 3, 0),
+            Insn::new(Op::MovR, 0, 1, 0),
+            Insn::new(Op::Ret, 0, 0, 0),
+        ],
+        entries: BTreeMap::from([("send".to_string(), 0u32)]),
+        persistent_size: 8,
+        scratch_size: 0,
+    };
+    assert!(validate(&counter).is_ok());
+    write("fused", "valid_chain.bin", &chain(&[&valid, &counter], &[9, 9, 9, 9]));
+    // Identical neighbors exercise the prefix-replay path.
+    write(
+        "fused",
+        "replay_chain.bin",
+        &chain(&[&counter, &counter, &valid], &[1, 2, 3, 4, 5, 6, 7, 8]),
+    );
+    let whole = chain(&[&valid, &counter], &[]);
+    write("fused", "truncated_chain.bin", &whole[..whole.len() - 3]);
 
     for t in TARGETS {
         println!("{t}: {} files", fs::read_dir(corpus_dir(t)).unwrap().count());
