@@ -1,0 +1,178 @@
+//! Sharded-simulator guard: fails CI when the windowed multi-shard
+//! engine regresses in throughput or — far worse — in determinism.
+//!
+//! Two independent checks, both must pass:
+//!
+//! 1. **Throughput.** The 1024-host pod world split across 4 shards is
+//!    pumped to quiescence repeatedly and the guard statistic is the
+//!    *minimum* round time over many batches (preemption and frequency
+//!    ramps only add time, so the min converges on the true cost). The
+//!    measured events/sec must reach `NETSIM_SHARD_GUARD_MIN_RATIO`
+//!    (default 0.85) of the committed `BENCH_netsim.json` baseline's
+//!    matching `sharded_sweep` row. The threshold is looser than the
+//!    sequential guard's because the windowed advance adds barrier
+//!    points whose cost is more scheduler-sensitive.
+//!
+//! 2. **Determinism.** Every chaos scenario runs twice at 4 shards with
+//!    the regression seed and the two outcomes must be bit-identical;
+//!    each digest must also equal the pinned value captured when the
+//!    sharded engine landed. Any drift here means replay is broken —
+//!    that is a hard failure regardless of throughput.
+//!
+//! Env overrides:
+//! - `NETSIM_SHARD_GUARD_SECS`: measurement budget (default 2.0 s).
+//! - `NETSIM_SHARD_GUARD_MIN_RATIO`: pass threshold (default 0.85).
+//! - `NETSIM_SHARD_GUARD_BASELINE`: baseline JSON path (default
+//!   `BENCH_netsim.json` in the working directory).
+//!
+//! The baseline records numbers from whatever machine last ran
+//! `repro_netsim_scale`; on a much slower machine, regenerate it first
+//! or lower the ratio. The determinism half has no knobs — digests are
+//! machine-independent by construction.
+
+use packetlab::chaos::{self, Scenario};
+use plab_bench::netsim_scale;
+use std::time::{Duration, Instant};
+
+const HOSTS: usize = 1024;
+const SHARDS: usize = 4;
+
+/// Seed shared with `crates/core/tests/determinism_regression.rs`.
+const BASE_SEED: u64 = 0x5eed_0000;
+
+/// 4-shard digests pinned in `determinism_regression.rs`; drift there
+/// must show up here too, without needing the test binary.
+const PINNED_DIGESTS: [(Scenario, u64); 3] = [
+    (Scenario::Traceroute, 0x6c76_7bdc_b133_64f4),
+    (Scenario::Bandwidth, 0xfe1e_bfab_1242_e70c),
+    (Scenario::Conformance, 0x1901_1287_d862_c52f),
+];
+
+/// Pull `"events_per_sec": <num>` out of the baseline's sharded_sweep
+/// row for our (hosts, shards) point without a JSON dependency (same
+/// trick the other guards use). The legacy `sweep` rows never carry a
+/// `"shards"` key, so matching on both keys cannot hit them.
+fn baseline_events_per_sec(text: &str) -> Option<f64> {
+    let row = text.split('{').find(|s| {
+        s.contains(&format!("\"hosts\": {HOSTS}")) && s.contains(&format!("\"shards\": {SHARDS}"))
+    })?;
+    let tail = row.split("\"events_per_sec\":").nth(1)?;
+    tail.trim_start()
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let budget = std::env::var("NETSIM_SHARD_GUARD_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Duration::from_secs_f64)
+        .unwrap_or(Duration::from_secs(2));
+    let min_ratio = std::env::var("NETSIM_SHARD_GUARD_MIN_RATIO")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.85);
+    let baseline_path = std::env::var("NETSIM_SHARD_GUARD_BASELINE")
+        .unwrap_or_else(|_| "BENCH_netsim.json".to_string());
+
+    let baseline_text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline = baseline_events_per_sec(&baseline_text)
+        .expect("baseline has a sharded_sweep row for 1024 hosts x 4 shards");
+
+    // --- determinism half ---------------------------------------------
+    let mut digest_rows = Vec::new();
+    let mut deterministic = true;
+    for (scenario, pinned) in PINNED_DIGESTS {
+        let first = chaos::run_sharded(scenario, BASE_SEED, SHARDS);
+        let second = chaos::run_sharded(scenario, BASE_SEED, SHARDS);
+        let replay_ok = first == second;
+        let pin_ok = first.digest == pinned;
+        deterministic &= replay_ok && pin_ok;
+        digest_rows.push((scenario, first.digest, pinned, replay_ok));
+        if !json {
+            println!(
+                "shard determinism: {:<11} digest {:#018x} (pinned {:#018x}) \
+                 replay {} pin {}",
+                scenario.name(),
+                first.digest,
+                pinned,
+                if replay_ok { "ok" } else { "DRIFT" },
+                if pin_ok { "ok" } else { "DRIFT" }
+            );
+        }
+    }
+
+    // --- throughput half ----------------------------------------------
+    let threads = SHARDS.min(
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    );
+    let mut best = f64::MAX;
+    let mut events = 0u64;
+    let start = Instant::now();
+    let mut rounds = 0u32;
+    while rounds < 4 || start.elapsed() < budget {
+        let (ev, secs, world) = netsim_scale::round_pods(HOSTS, SHARDS, threads);
+        for pool in world.sim.pool_handles() {
+            assert_eq!(pool.taken(), pool.recycled(), "pool leak in shard world");
+        }
+        events = ev;
+        if secs < best {
+            best = secs;
+        }
+        rounds += 1;
+    }
+    let measured = events as f64 / best;
+    let ratio = measured / baseline;
+    let fast_enough = ratio >= min_ratio;
+    let pass = fast_enough && deterministic;
+
+    if json {
+        let digests: Vec<String> = digest_rows
+            .iter()
+            .map(|(s, d, p, r)| {
+                format!(
+                    "    {{\"scenario\": \"{}\", \"digest\": \"{d:#018x}\", \
+                     \"pinned\": \"{p:#018x}\", \"replay_identical\": {r}}}",
+                    s.name()
+                )
+            })
+            .collect();
+        print!(
+            "{{\n  \"bench\": \"netsim_shard_guard\",\n  \"hosts\": {HOSTS},\n  \
+             \"shards\": {SHARDS},\n  \"threads\": {threads},\n  \
+             \"rounds\": {rounds},\n  \"events_per_round\": {events},\n  \
+             \"measured_events_per_sec\": {measured:.1},\n  \
+             \"baseline_events_per_sec\": {baseline:.1},\n  \"ratio\": {ratio:.4},\n  \
+             \"min_ratio\": {min_ratio},\n  \"digests\": [\n{}\n  ],\n  \
+             \"deterministic\": {deterministic},\n  \"pass\": {pass}\n}}\n",
+            digests.join(",\n")
+        );
+    } else {
+        println!(
+            "shard guard: {HOSTS} hosts x {SHARDS} shards ({threads} threads), \
+             min over {rounds} rounds — measured {:.2} M events/s vs baseline \
+             {:.2} M events/s (ratio {ratio:.3}, threshold {min_ratio})",
+            measured / 1e6,
+            baseline / 1e6
+        );
+        println!(
+            "{}",
+            match (fast_enough, deterministic) {
+                (true, true) => "PASS: sharded throughput and determinism both hold",
+                (false, true) => "FAIL: sharded throughput regressed more than the budget allows",
+                (true, false) => "FAIL: sharded replay drifted from the pinned digests",
+                (false, false) => "FAIL: sharded throughput regressed AND replay drifted",
+            }
+        );
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

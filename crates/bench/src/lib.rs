@@ -329,4 +329,161 @@ pub mod netsim_scale {
         let events = pump(&mut w);
         (events, start.elapsed().as_secs_f64(), w.sim)
     }
+
+    // ------------------------------------------------------------------
+    // Sharded pod worlds (10k–100k hosts)
+    // ------------------------------------------------------------------
+
+    use plab_netsim::{ShardedSim, SECOND};
+
+    /// Hosts per pod in the sharded scale world. Small enough that a
+    /// pod's working set stays cache-resident, large enough that the
+    /// per-window barrier amortizes over thousands of events.
+    pub const POD_HOSTS: usize = 64;
+
+    /// Every 16th host probes a partner in the next pod — cross-pod (and
+    /// at `shards > 1`, usually cross-shard) traffic through the core.
+    pub const CROSS_POD_STRIDE: usize = 16;
+
+    /// A sharded pod world: one core router, `n / POD_HOSTS` pod
+    /// routers, `POD_HOSTS` hosts each, manually routed (BFS over 100k
+    /// nodes would dominate construction).
+    ///
+    /// ```text
+    ///            core
+    ///          /  |   \            2 ms pod uplinks (the lookahead window)
+    ///       pod0 pod1 ... podP     1–5 ms host access links
+    ///       /|\  /|\      /|\
+    ///      hosts hosts   hosts
+    /// ```
+    ///
+    /// Pods (router + hosts) are assigned to shards round-robin; the
+    /// core lives on shard 0. The minimum cross-shard latency is the
+    /// 2 ms uplink, so shards advance in 2 ms windows.
+    pub struct PodWorld {
+        /// The sharded simulator.
+        pub sim: ShardedSim,
+        /// All host nodes, pod-major order.
+        pub hosts: Vec<NodeId>,
+        /// Raw-socket handle per host.
+        pub socks: Vec<u64>,
+        /// Host count.
+        pub n: usize,
+        /// Pod count.
+        pub pods: usize,
+    }
+
+    /// Host `i`'s address in the pod world (distinct 10.128+ space so
+    /// the chain world's helpers cannot be confused with it).
+    fn pod_host_addr(i: usize) -> Ipv4Addr {
+        Ipv4Addr::new(10, 128 + (i / 40_000) as u8, ((i / 200) % 200) as u8, (i % 200) as u8 + 1)
+    }
+
+    /// Build the `n`-host pod world over `shards` shards. `n` must be a
+    /// multiple of [`POD_HOSTS`].
+    pub fn build_pods(n: usize, shards: usize, threads: usize) -> PodWorld {
+        assert!(
+            n >= POD_HOSTS && n.is_multiple_of(POD_HOSTS),
+            "host count must be a multiple of {POD_HOSTS}"
+        );
+        let pods = n / POD_HOSTS;
+        let mut t = TopologyBuilder::new();
+        t.manual_routes();
+        let core = t.router("core", Ipv4Addr::new(11, 255, 255, 254));
+        let pod_ids: Vec<NodeId> = (0..pods)
+            .map(|p| t.router(&format!("p{p}"), Ipv4Addr::new(11, (p / 200) as u8, (p % 200) as u8, 254)))
+            .collect();
+        // Pod uplinks first: core's iface p reaches pod p, and each pod
+        // router's iface 0 is its uplink.
+        for &p in &pod_ids {
+            t.link(core, p, LinkParams::new(2, 0));
+        }
+        let hosts: Vec<NodeId> = (0..n)
+            .map(|i| {
+                let h = t.host(&format!("h{i}"), pod_host_addr(i));
+                // 1–5 ms access latency spreads arrivals across wheel
+                // slots; host j of its pod lands on the pod's iface 1+j.
+                t.link(h, pod_ids[i / POD_HOSTS], LinkParams::new(1 + (i as u64 % 5), 0));
+                h
+            })
+            .collect();
+        // Pods round-robin over shards, each pod's hosts with it; the
+        // core on shard 0. Cross-shard traffic only rides 2 ms uplinks.
+        let mut shard_of = vec![0usize; 1 + pods + n];
+        for p in 0..pods {
+            shard_of[1 + p] = p % shards.max(1);
+        }
+        for i in 0..n {
+            shard_of[1 + pods + i] = (i / POD_HOSTS) % shards.max(1);
+        }
+        let mut sim = t.build_sharded(&shard_of, threads);
+        // Manual routes. Hosts already default to their access link.
+        // Core: every host routes down the owning pod's uplink (iface p).
+        for (i, _) in hosts.iter().enumerate() {
+            sim.install_route(core, pod_host_addr(i), i / POD_HOSTS);
+        }
+        for (p, &pod) in pod_ids.iter().enumerate() {
+            // Pod router: iface 0 is the uplink (default); host j of the
+            // pod hangs off iface 1 + j.
+            sim.set_default_route(pod, 0);
+            for j in 0..POD_HOSTS {
+                sim.install_route(pod, pod_host_addr(p * POD_HOSTS + j), 1 + j);
+            }
+        }
+        let socks = hosts.iter().map(|&h| sim.raw_open(h)).collect();
+        PodWorld { sim, hosts, socks, n, pods }
+    }
+
+    /// Schedule every host's probe burst: intra-pod ping-pong partners,
+    /// with every [`CROSS_POD_STRIDE`]-th host instead probing into the
+    /// next pod (through the core, across shards).
+    pub fn inject_pods(world: &mut PodWorld) {
+        let n = world.n;
+        for i in 0..n {
+            let src = pod_host_addr(i);
+            let dst_idx = if i.is_multiple_of(CROSS_POD_STRIDE) {
+                (i + POD_HOSTS) % n
+            } else {
+                let pod = i / POD_HOSTS;
+                pod * POD_HOSTS + (i + 1) % POD_HOSTS
+            };
+            let dst = pod_host_addr(dst_idx);
+            for j in 0..PROBES_PER_HOST {
+                let at = ((i * 7919 + j * 104_729) % 50) as u64 * MILLISECOND;
+                let pkt =
+                    builder::icmp_echo_request(src, dst, 64, i as u16, j as u16, &[0xab, 0xcd]);
+                world.sim.schedule_send(world.hosts[i], at, pkt, (i * 10 + j) as u64);
+            }
+        }
+    }
+
+    /// Drive the pod world with windowed advances until idle, then drain
+    /// inboxes (pool-invariant hygiene, as in [`pump`]). Returns events
+    /// processed.
+    pub fn pump_pods(world: &mut PodWorld) -> u64 {
+        let before = world.sim.events_processed();
+        // All probes launch within 50 ms and the widest path is ~18 ms
+        // round trip; one virtual second covers every retransmit-free
+        // timeline, and the idle check proves nothing is left.
+        world.sim.run_until(SECOND);
+        assert!(world.sim.next_event_time().is_none(), "pod world still busy");
+        let mut delivered = 0usize;
+        for (i, &h) in world.hosts.iter().enumerate() {
+            delivered += world.sim.raw_recv(h, world.socks[i]).len();
+        }
+        assert!(delivered > 0, "no probe deliveries observed");
+        world.sim.events_processed() - before
+    }
+
+    /// One sharded round: build, inject, pump. Returns the event count,
+    /// wall seconds over inject+pump (construction and manual routing
+    /// excluded), and the world for pool/handoff statistics.
+    pub fn round_pods(n: usize, shards: usize, threads: usize) -> (u64, f64, PodWorld) {
+        let mut w = build_pods(n, shards, threads);
+        let start = std::time::Instant::now();
+        inject_pods(&mut w);
+        let events = pump_pods(&mut w);
+        let secs = start.elapsed().as_secs_f64();
+        (events, secs, w)
+    }
 }

@@ -174,7 +174,7 @@ struct ChaosWorld {
     operator: Keypair,
 }
 
-fn build_world(linger_ns: u64) -> ChaosWorld {
+fn build_world(linger_ns: u64, shards: usize) -> ChaosWorld {
     let operator = Keypair::from_seed(&[7; 32]);
     let mut t = TopologyBuilder::new();
     let controller = t.host("controller", "10.9.0.1".parse().unwrap());
@@ -186,12 +186,15 @@ fn build_world(linger_ns: u64) -> ChaosWorld {
     t.link(racc, controller, LinkParams::new(20, 0));
     t.link(racc, r1, LinkParams::new(5, 0));
     t.link(r1, target, LinkParams::new(5, 0));
-    let sim = t.build();
+    // Round-robin node→shard placement; every chaos link has ≥ 5 ms
+    // latency, so the lookahead window is 5 ms for any shard count.
+    let shard_of: Vec<usize> = (0..5).map(|i| i % shards.max(1)).collect();
+    let sim = t.build_sharded(&shard_of, 1);
     let control_link = sim.link_between(racc, controller).unwrap();
     let access_link = sim.link_between(endpoint, racc).unwrap();
     let path_link = sim.link_between(racc, r1).unwrap();
 
-    let mut net = SimNet::new(sim);
+    let mut net = SimNet::new_sharded(sim);
     net.add_endpoint(
         endpoint,
         EndpointConfig {
@@ -365,9 +368,18 @@ pub fn chaos_policy(seed: u64) -> RetryPolicy {
 /// Panics only on contract violations (the run outliving
 /// [`RUN_DEADLINE`]), which the chaos tests report with the seed.
 pub fn run(scenario: Scenario, seed: u64) -> ChaosOutcome {
+    run_sharded(scenario, seed, 1)
+}
+
+/// [`run`] over a world partitioned into `shards` shards (round-robin
+/// node placement). One shard is bit-identical to the sequential engine;
+/// `shards > 1` is deterministic for a fixed `(scenario, seed, shards)`
+/// with its own digests (per-shard RNG streams and event sequencing
+/// legitimately differ from the sequential interleaving).
+pub fn run_sharded(scenario: Scenario, seed: u64, shards: usize) -> ChaosOutcome {
     // Sessions linger 60 s so a TcpReset/reconnect resumes the experiment
     // (crash wipes the agent regardless — that is the point of crashes).
-    let world = build_world(60 * SECOND);
+    let world = build_world(60 * SECOND, shards);
     let links = WorldLinks {
         control_link: world.control_link,
         access_link: world.access_link,
@@ -417,9 +429,10 @@ pub fn run(scenario: Scenario, seed: u64) -> ChaosOutcome {
          scenario={} t={finished_at}",
         scenario.name(),
     );
-    // Keep a handle on the pool, then tear the world down so queued and
-    // inboxed frames reach end-of-life before the counters are read.
-    let pool = world.net.borrow().sim.pool().clone();
+    // Keep handles on every shard's pool, then tear the world down so
+    // queued and inboxed frames reach end-of-life before the counters are
+    // read. The leak invariant holds per shard; the outcome reports sums.
+    let pools = world.net.borrow().sim.pool_handles();
     drop(world);
     ChaosOutcome {
         seed,
@@ -429,8 +442,8 @@ pub fn run(scenario: Scenario, seed: u64) -> ChaosOutcome {
         finished_at,
         stats,
         fault_count,
-        pool_taken: pool.taken(),
-        pool_recycled: pool.recycled(),
+        pool_taken: pools.iter().map(|p| p.taken()).sum(),
+        pool_recycled: pools.iter().map(|p| p.recycled()).sum(),
     }
 }
 

@@ -15,7 +15,7 @@ use crate::endpoint::{EndpointAgent, EndpointConfig};
 use crate::rendezvous::{RendezvousServer, RvMessage};
 use crate::netstack::SimStack;
 use crate::wire::{FrameDecoder, Message};
-use plab_netsim::{NodeId, NodeTransition, RawDisposition, Sim};
+use plab_netsim::{NodeId, NodeTransition, RawDisposition, ShardedSim, Sim};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -77,8 +77,10 @@ impl EndpointId {
 
 /// The simulation harness.
 pub struct SimNet {
-    /// The underlying simulator.
-    pub sim: Sim,
+    /// The underlying simulator. A plain [`Sim`] wraps into a single-shard
+    /// [`ShardedSim`], which delegates every call straight through — the
+    /// harness drives sharded and sequential worlds identically.
+    pub sim: ShardedSim,
     endpoints: Vec<EndpointHost>,
     rendezvous: Vec<RvHost>,
     /// Controller-side listeners: (node, port) → accepted conns.
@@ -88,6 +90,15 @@ pub struct SimNet {
 impl SimNet {
     /// Wrap a built simulator.
     pub fn new(sim: Sim) -> Self {
+        SimNet::new_sharded(ShardedSim::single(sim))
+    }
+
+    /// Wrap a sharded simulator (see
+    /// [`plab_netsim::TopologyBuilder::build_sharded`]). The harness
+    /// services agents between events, so it advances via the
+    /// deterministic global-merge [`ShardedSim::step`]; chaos digests for
+    /// a fixed `(seed, shard_count)` replay bit-for-bit.
+    pub fn new_sharded(sim: ShardedSim) -> Self {
         SimNet {
             sim,
             endpoints: Vec::new(),
@@ -324,7 +335,7 @@ impl SimNet {
                 let (disposition, out) = {
                     let ep = &mut self.endpoints[i];
                     let mut stack = SimStack {
-                        sim: &mut self.sim,
+                        sim: self.sim.shard_mut(node),
                         node,
                         ext_addr: ep.ext_addr,
                         raw_ok: ep.raw_ok,
@@ -343,7 +354,7 @@ impl SimNet {
                     let out = {
                         let ep = &mut self.endpoints[i];
                         let mut stack = SimStack {
-                            sim: &mut self.sim,
+                            sim: self.sim.shard_mut(node),
                             node,
                             ext_addr: ep.ext_addr,
                             raw_ok: ep.raw_ok,
@@ -393,7 +404,7 @@ impl SimNet {
                     let out = {
                         let ep = &mut self.endpoints[i];
                         let mut stack = SimStack {
-                            sim: &mut self.sim,
+                            sim: self.sim.shard_mut(node),
                             node,
                             ext_addr: ep.ext_addr,
                             raw_ok: ep.raw_ok,
@@ -407,7 +418,7 @@ impl SimNet {
                         let ep = &mut self.endpoints[i];
                         ep.sessions.remove(&sid);
                         let mut stack = SimStack {
-                            sim: &mut self.sim,
+                            sim: self.sim.shard_mut(node),
                             node,
                             ext_addr: ep.ext_addr,
                             raw_ok: ep.raw_ok,
@@ -425,7 +436,7 @@ impl SimNet {
             let out = {
                 let ep = &mut self.endpoints[i];
                 let mut stack = SimStack {
-                    sim: &mut self.sim,
+                    sim: self.sim.shard_mut(node),
                     node,
                     ext_addr: ep.ext_addr,
                     raw_ok: ep.raw_ok,

@@ -558,6 +558,19 @@ mod tests {
         parse(&lex(src).unwrap())
     }
 
+    /// The deep-nesting tests legitimately recurse to the MAX_NEST guard
+    /// before erroring; debug-mode parser frames are big enough that the
+    /// default 2 MiB test-thread stack is borderline, so give them one
+    /// explicitly instead of depending on the platform default.
+    fn parse_src_big_stack(src: String) -> Result<Unit, CompileError> {
+        std::thread::Builder::new()
+            .stack_size(16 * 1024 * 1024)
+            .spawn(move || parse_src(&src))
+            .unwrap()
+            .join()
+            .unwrap()
+    }
+
     #[test]
     fn parse_global_with_init() {
         let u = parse_src("in_addr_t ping_dst = 0;").unwrap();
@@ -694,21 +707,21 @@ mod tests {
     fn deep_paren_nesting_rejected_not_overflowed() {
         // Found by fuzzing: unbounded recursion overflowed the stack.
         let src = format!("uint32_t f(void) {{ return {}1{}; }}", "(".repeat(4000), ")".repeat(4000));
-        let e = parse_src(&src).unwrap_err();
+        let e = parse_src_big_stack(src).unwrap_err();
         assert!(e.msg.contains("nesting too deep"));
     }
 
     #[test]
     fn deep_unary_nesting_rejected() {
         let src = format!("uint32_t f(void) {{ return {}1; }}", "-".repeat(4000));
-        let e = parse_src(&src).unwrap_err();
+        let e = parse_src_big_stack(src).unwrap_err();
         assert!(e.msg.contains("nesting too deep"));
     }
 
     #[test]
     fn deep_stmt_nesting_rejected() {
         let src = format!("uint32_t f(void) {{ {} return 1; }}", "if (1) ".repeat(4000));
-        let e = parse_src(&src).unwrap_err();
+        let e = parse_src_big_stack(src).unwrap_err();
         assert!(e.msg.contains("nesting too deep"));
     }
 
@@ -717,7 +730,7 @@ mod tests {
         // A left-deep tree is walked recursively by const_eval and codegen,
         // so its depth counts against the nesting budget too.
         let src = format!("uint32_t g = {}1;", "1 + ".repeat(4000));
-        let e = parse_src(&src).unwrap_err();
+        let e = parse_src_big_stack(src).unwrap_err();
         assert!(e.msg.contains("nesting too deep"));
     }
 

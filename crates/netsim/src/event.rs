@@ -41,6 +41,17 @@
 //!   produce arrivals at `now` constantly) append to `current`; their
 //!   fresh `seq` is larger than anything drained earlier, so FIFO order
 //!   is preserved without re-sorting.
+//! - **Past pushes.** Pushes *behind* the clock are legal: cross-shard
+//!   injection at a conservative-lookahead window boundary can hand a
+//!   shard an arrival whose timestamp precedes events the shard already
+//!   scheduled (the shard's wheel clock is the time of its last pop, and
+//!   a boundary flush may carry arrivals anywhere inside the closed
+//!   window). Such entries insert into `current` at their `(time, seq)`
+//!   rank — `current` is kept sorted, and same-or-later entries at the
+//!   clock sort after them — so they pop first, without panicking and
+//!   without perturbing the order of anything already scheduled.
+//!   (`level_for` must never see `time < now`: its XOR trick assumes the
+//!   clock agrees with the entry on all higher bit-blocks.)
 //!
 //! The pre-wheel binary heap survives as [`ReferenceEventQueue`], the
 //! oracle for the differential property test in
@@ -95,6 +106,19 @@ pub enum EventKind {
         /// The fault to apply.
         action: FaultAction,
     },
+    /// Cross-shard bookkeeping: a packet handed to a foreign shard
+    /// finishes serializing out of this shard's side of the link. The
+    /// owning (source) shard processes this to release the link's queue
+    /// occupancy — the destination shard, which sees the matching
+    /// `LinkArrival`, never saw the `offer` and must not double-release.
+    CrossDeparted {
+        /// Link index.
+        link: usize,
+        /// Direction: 0 = a→b, 1 = b→a.
+        dir: usize,
+        /// Wire length of the departed packet in bytes.
+        len: usize,
+    },
 }
 
 /// Bits of time covered per wheel level.
@@ -115,8 +139,8 @@ struct Entry {
 
 /// Handle identifying a scheduled event, for [`EventQueue::cancel`].
 ///
-/// Carries the (clamped) schedule time so cancellation can locate the
-/// owning bucket directly instead of scanning the wheel.
+/// Carries the schedule time so cancellation can locate the owning
+/// bucket directly instead of scanning the wheel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EventId {
     time: SimTime,
@@ -124,8 +148,7 @@ pub struct EventId {
 }
 
 impl EventId {
-    /// The time the event was scheduled for (after clamping to the
-    /// queue's clock).
+    /// The time the event was scheduled for.
     pub fn time(&self) -> SimTime {
         self.time
     }
@@ -158,10 +181,11 @@ fn level_for(time: SimTime, now: SimTime) -> usize {
 /// A deterministic time-ordered event queue (FIFO among equal
 /// timestamps), backed by a hierarchical timer wheel.
 ///
-/// Schedule times are clamped to the queue's internal clock (the time of
-/// the last popped event): the simulator never schedules into the past —
-/// every call site already clamps with `.max(self.time)` — and the clamp
-/// makes that a structural guarantee.
+/// Schedule times may lie at — or, for cross-shard boundary injection,
+/// *behind* — the queue's internal clock (the time of the last popped
+/// event). Past-clock entries pop first, ordered by `(time, seq)`, so a
+/// merged multi-shard schedule keeps the same total order a single
+/// queue would have produced.
 pub struct EventQueue {
     now: SimTime,
     next_seq: u64,
@@ -172,7 +196,10 @@ pub struct EventQueue {
     /// all sit at the clock (zero-latency topologies) never pays the
     /// ~12 KiB wheel initialisation.
     wheel: Option<Box<[[Bucket; SLOTS]; LEVELS]>>,
-    /// Entries at exactly `now`, in seq order; always the pop front.
+    /// Entries at or before `now`, sorted by `(time, seq)`; always the
+    /// pop front. In the common case every entry is at exactly `now` and
+    /// pushes append in seq order; past-clock pushes insert at their
+    /// rank.
     current: VecDeque<Entry>,
     /// Entries beyond the wheel horizon, sorted by `(time, seq)`
     /// *descending* so the earliest pops from the tail.
@@ -208,10 +235,10 @@ impl EventQueue {
         Self::default()
     }
 
-    /// Schedule `kind` at `time` (clamped to the queue clock). The
-    /// returned [`EventId`] can cancel the event later.
+    /// Schedule `kind` at `time` (which may lie at or behind the queue
+    /// clock — see the struct docs). The returned [`EventId`] can cancel
+    /// the event later.
     pub fn push(&mut self, time: SimTime, kind: EventKind) -> EventId {
-        let time = time.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.len += 1;
@@ -222,11 +249,24 @@ impl EventQueue {
         EventId { time, seq }
     }
 
-    /// Route an entry (with `time >= now`) to `current`, a wheel bucket,
-    /// or the spill list.
+    /// Route an entry to `current` (at-or-behind the clock), a wheel
+    /// bucket, or the spill list.
     fn place(&mut self, e: Entry) {
-        if e.time == self.now {
-            self.current.push_back(e);
+        if e.time <= self.now {
+            // Fast path: at the clock with the freshest seq (every push
+            // from a live simulation), append. Otherwise (past-clock
+            // cross-shard injection) insert at the (time, seq) rank.
+            let key = (e.time, e.seq);
+            if self
+                .current
+                .back()
+                .is_none_or(|last| (last.time, last.seq) < key)
+            {
+                self.current.push_back(e);
+            } else {
+                let pos = self.current.partition_point(|x| (x.time, x.seq) < key);
+                self.current.insert(pos, e);
+            }
             return;
         }
         let level = level_for(e.time, self.now);
@@ -339,9 +379,10 @@ impl EventQueue {
     /// bucket minima are cached, so peeking never cascades (and therefore
     /// never moves the clock — critical, since pushes clamp against it).
     pub fn peek_time(&self) -> Option<SimTime> {
-        if !self.current.is_empty() {
-            // `current` entries are all at exactly `now`.
-            return Some(self.now);
+        if let Some(front) = self.current.front() {
+            // `current` is sorted by (time, seq); its front is the global
+            // minimum (possibly behind `now` after cross-shard injection).
+            return Some(front.time);
         }
         self.next_wheel_time()
     }
@@ -349,10 +390,10 @@ impl EventQueue {
     /// Cancel a scheduled event, returning its payload if it was still
     /// pending. `O(bucket)` — the id's time locates the bucket directly.
     pub fn cancel(&mut self, id: EventId) -> Option<EventKind> {
-        if id.time < self.now {
-            return None;
-        }
-        if id.time == self.now {
+        if id.time <= self.now {
+            // At-or-behind the clock: the entry, if still pending, can
+            // only sit in `current` (past-clock pushes land there, and
+            // the clock never advances past pending wheel entries).
             if let Some(pos) = self.current.iter().position(|e| e.seq == id.seq) {
                 self.len -= 1;
                 return self.current.remove(pos).map(|e| e.kind);
@@ -443,7 +484,6 @@ impl PartialOrd for RefEntry {
 pub struct ReferenceEventQueue {
     heap: BinaryHeap<Reverse<RefEntry>>,
     next_seq: u64,
-    now: SimTime,
 }
 
 impl ReferenceEventQueue {
@@ -452,9 +492,10 @@ impl ReferenceEventQueue {
         Self::default()
     }
 
-    /// Schedule `kind` at `time` (clamped like [`EventQueue::push`]).
+    /// Schedule `kind` at `time` (past-clock times are legal, exactly as
+    /// in [`EventQueue::push`] — the heap orders by `(time, seq)` with no
+    /// notion of a clock at all).
     pub fn push(&mut self, time: SimTime, kind: EventKind) -> EventId {
-        let time = time.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(RefEntry { time, seq, kind }));
@@ -463,10 +504,7 @@ impl ReferenceEventQueue {
 
     /// Pop the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
-        self.heap.pop().map(|Reverse(e)| {
-            self.now = e.time;
-            (e.time, e.kind)
-        })
+        self.heap.pop().map(|Reverse(e)| (e.time, e.kind))
     }
 
     /// Time of the next event without removing it.
@@ -572,13 +610,57 @@ mod tests {
     }
 
     #[test]
-    fn past_pushes_clamp_to_clock() {
+    fn past_push_pops_before_pending_events() {
+        // Regression for cross-shard boundary injection: a push behind
+        // the wheel clock must neither panic nor reorder — it pops
+        // first, before anything scheduled at or after the clock.
+        let mut q = EventQueue::new();
+        q.push(100, timer(0, 0));
+        assert_eq!(q.pop().unwrap().0, 100); // clock now 100
+        q.push(200, timer(0, 9));
+        let id = q.push(5, timer(0, 1));
+        assert_eq!(id.time(), 5, "past time preserved, not clamped");
+        assert_eq!(q.peek_time(), Some(5));
+        assert_eq!(q.pop().unwrap(), (5, timer(0, 1)));
+        assert_eq!(q.pop().unwrap(), (200, timer(0, 9)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn past_pushes_interleave_by_time_then_seq() {
+        // Multiple past pushes (a window's worth of cross-shard
+        // arrivals) plus entries already waiting at the clock: pop order
+        // is (time, seq) over the merged set.
+        let mut q = EventQueue::new();
+        q.push(50, timer(0, 0));
+        q.push(50, timer(0, 1));
+        assert_eq!(q.pop().unwrap(), (50, timer(0, 0))); // clock 50; seq1 waits in current
+        q.push(30, timer(0, 2)); // past
+        q.push(10, timer(0, 3)); // further past
+        q.push(30, timer(0, 4)); // same past time, later seq
+        q.push(50, timer(0, 5)); // at the clock
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (10, timer(0, 3)),
+                (30, timer(0, 2)),
+                (30, timer(0, 4)),
+                (50, timer(0, 1)),
+                (50, timer(0, 5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn past_push_can_be_cancelled() {
         let mut q = EventQueue::new();
         q.push(100, timer(0, 0));
         assert_eq!(q.pop().unwrap().0, 100);
-        let id = q.push(5, timer(0, 1));
-        assert_eq!(id.time(), 100, "clamped to the clock");
-        assert_eq!(q.pop().unwrap(), (100, timer(0, 1)));
+        let id = q.push(7, timer(0, 1));
+        assert_eq!(q.cancel(id), Some(timer(0, 1)));
+        assert_eq!(q.cancel(id), None, "double cancel fails");
+        assert!(q.is_empty());
     }
 
     #[test]
@@ -653,15 +735,18 @@ mod tests {
         let mut now = 0u64;
         for i in 0..50_000u64 {
             if next(3) != 0 || wheel.is_empty() {
-                // Mixed deltas: mostly short, some cross-level, some spill.
-                let delta = match next(10) {
-                    0..=5 => next(1 << 10),
-                    6..=7 => next(1 << 22),
-                    8 => next(1 << 34),
-                    _ => next(1 << 40),
+                // Mixed deltas: mostly short, some cross-level, some
+                // spill — and occasionally *behind* the clock, like a
+                // cross-shard boundary injection.
+                let t = match next(12) {
+                    0..=5 => now + next(1 << 10),
+                    6..=7 => now + next(1 << 22),
+                    8 => now + next(1 << 34),
+                    9 => now + next(1 << 40),
+                    _ => now.saturating_sub(next(1 << 12)),
                 };
-                wheel.push(now + delta, timer(0, i));
-                oracle.push(now + delta, timer(0, i));
+                wheel.push(t, timer(0, i));
+                oracle.push(t, timer(0, i));
             } else {
                 let got = wheel.pop();
                 let want = oracle.pop();

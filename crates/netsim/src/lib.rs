@@ -43,6 +43,7 @@ pub mod nat;
 pub mod node;
 pub mod pool;
 pub mod routing;
+pub mod shard;
 pub mod sim;
 pub mod tcp;
 pub mod time;
@@ -54,6 +55,7 @@ pub use link::LinkParams;
 pub use node::{NodeId, RawDisposition};
 pub use event::EventId;
 pub use pool::{BufPool, Frame};
+pub use shard::ShardedSim;
 pub use sim::{NodeTransition, Sim};
 pub use time::{SimTime, MICROSECOND, MILLISECOND, SECOND};
 pub use topology::TopologyBuilder;

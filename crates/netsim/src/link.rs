@@ -185,6 +185,15 @@ impl Link {
         }
     }
 
+    /// The near (transmitting) node for a given direction.
+    pub fn src_node(&self, dir: usize) -> usize {
+        if dir == 0 {
+            self.a.0
+        } else {
+            self.b.0
+        }
+    }
+
     /// The direction index for traffic leaving `node`.
     pub fn dir_from(&self, node: usize) -> Option<usize> {
         if self.a.0 == node {

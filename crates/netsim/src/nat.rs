@@ -17,7 +17,7 @@ use std::net::Ipv4Addr;
 type FlowKey = (u8, Ipv4Addr, u16);
 
 /// NAPT mapping table.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NatTable {
     /// The external (public) address presented to the outside.
     pub external_ip: Ipv4Addr,

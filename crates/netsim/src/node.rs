@@ -50,7 +50,7 @@ pub enum RawDisposition {
 }
 
 /// A raw IP socket: sees arriving datagrams, can inject arbitrary ones.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct RawSocket {
     /// Received (timestamp, datagram) pairs awaiting the owner. Frames
     /// are shared views of the delivered packets, not per-socket copies.
@@ -58,7 +58,7 @@ pub struct RawSocket {
 }
 
 /// A bound UDP socket.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct UdpSocket {
     /// Received (timestamp, src addr, src port, payload). Payloads are
     /// zero-copy sub-range views of the delivered datagrams.
@@ -66,6 +66,7 @@ pub struct UdpSocket {
 }
 
 /// Host-only state: the socket stack.
+#[derive(Clone)]
 pub struct HostState {
     /// Raw sockets by id.
     pub raw: FxHashMap<u64, RawSocket>,
@@ -126,7 +127,9 @@ impl HostState {
     }
 }
 
-/// A simulation node.
+/// A simulation node. `Clone` exists so shard replicas can be stamped
+/// out of one built topology (cheap at build time: stacks are empty).
+#[derive(Clone)]
 pub struct Node {
     /// Human-readable name (unique within a topology).
     pub name: String,

@@ -17,10 +17,17 @@
 //! accounting a leak detector: at simulator teardown every taken buffer
 //! has been dropped, so `taken == recycled` must hold exactly (asserted
 //! across the chaos corpus in `tests/pool_accounting.rs`).
+//!
+//! Frames are `Send`: buffers use `Arc`, the free list sits behind a
+//! `Mutex`, and the statistics are relaxed atomics, so a whole `Sim`
+//! (and its in-flight frames) can move onto a shard worker thread. Each
+//! shard owns its own pool — the lock is uncontended in practice; the
+//! hot-path `Frame::clone` costs one relaxed `fetch_add` and never takes
+//! the lock.
 
-use std::cell::RefCell;
 use std::ops::Deref;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
 
 /// Cap on retained buffers; beyond this, returned buffers are freed
 /// (but still counted as recycled — the counter tracks end-of-life, not
@@ -32,32 +39,38 @@ const MAX_FREE: usize = 1024;
 const WHOLE: u32 = u32::MAX;
 
 #[derive(Debug, Default)]
-struct PoolInner {
-    free: Vec<Rc<Vec<u8>>>,
-    taken: u64,
-    recycled: u64,
-    borrowed: u64,
-    cow_copies: u64,
-    outstanding: u64,
-    peak_outstanding: u64,
+struct PoolShared {
+    free: Mutex<Vec<Arc<Vec<u8>>>>,
+    taken: AtomicU64,
+    recycled: AtomicU64,
+    borrowed: AtomicU64,
+    cow_copies: AtomicU64,
+    outstanding: AtomicU64,
+    peak_outstanding: AtomicU64,
 }
 
-impl PoolInner {
-    fn count_take(&mut self) {
-        self.taken += 1;
-        self.outstanding += 1;
-        if self.outstanding > self.peak_outstanding {
-            self.peak_outstanding = self.outstanding;
-        }
+impl PoolShared {
+    fn count_take(&self) {
+        self.taken.fetch_add(1, Relaxed);
+        let now = self.outstanding.fetch_add(1, Relaxed) + 1;
+        self.peak_outstanding.fetch_max(now, Relaxed);
+    }
+
+    /// Pop a retired buffer (empty `Arc` if none retained).
+    fn pop_free(&self) -> Arc<Vec<u8>> {
+        self.free.lock().expect("pool lock").pop().unwrap_or_default()
     }
 
     /// A buffer reached end-of-life (its last frame dropped).
-    fn recycle(&mut self, rc: Rc<Vec<u8>>) {
-        debug_assert_eq!(Rc::strong_count(&rc), 1);
-        self.recycled += 1;
-        self.outstanding -= 1;
-        if rc.capacity() > 0 && self.free.len() < MAX_FREE {
-            self.free.push(rc);
+    fn recycle(&self, rc: Arc<Vec<u8>>) {
+        debug_assert_eq!(Arc::strong_count(&rc), 1);
+        self.recycled.fetch_add(1, Relaxed);
+        self.outstanding.fetch_sub(1, Relaxed);
+        if rc.capacity() > 0 {
+            let mut free = self.free.lock().expect("pool lock");
+            if free.len() < MAX_FREE {
+                free.push(rc);
+            }
         }
     }
 }
@@ -67,7 +80,7 @@ impl PoolInner {
 /// simulator — and thus every in-flight frame — has been dropped).
 #[derive(Debug, Default, Clone)]
 pub struct BufPool {
-    inner: Rc<RefCell<PoolInner>>,
+    inner: Arc<PoolShared>,
 }
 
 impl BufPool {
@@ -79,11 +92,8 @@ impl BufPool {
     /// Take an empty (cleared, capacity-preserving) frame, reusing a
     /// retired buffer when available.
     pub fn take(&self) -> Frame {
-        let rc = {
-            let mut inner = self.inner.borrow_mut();
-            inner.count_take();
-            inner.free.pop().unwrap_or_default()
-        };
+        self.inner.count_take();
+        let rc = self.inner.pop_free();
         let mut frame = Frame {
             buf: Some(rc),
             pool: Some(self.inner.clone()),
@@ -107,9 +117,9 @@ impl BufPool {
     /// `taken` is incremented so teardown symmetry (`taken == recycled`)
     /// holds.
     pub fn adopt(&self, buf: Vec<u8>) -> Frame {
-        self.inner.borrow_mut().count_take();
+        self.inner.count_take();
         Frame {
-            buf: Some(Rc::new(buf)),
+            buf: Some(Arc::new(buf)),
             pool: Some(self.inner.clone()),
             off: 0,
             len: WHOLE,
@@ -118,12 +128,12 @@ impl BufPool {
 
     /// Bring an externally allocated buffer into the pool, preferring a
     /// recycled allocation. Small buffers are copied into a free-list
-    /// frame (a ~64-byte memcpy is cheaper than the `Rc::new` +
+    /// frame (a ~64-byte memcpy is cheaper than the `Arc::new` +
     /// end-of-life `free` an [`BufPool::adopt`] costs per packet on the
     /// send path); large ones are adopted to avoid the copy.
     pub fn ingest(&self, buf: Vec<u8>) -> Frame {
         const COPY_CUTOFF: usize = 512;
-        if buf.len() <= COPY_CUTOFF && !self.inner.borrow().free.is_empty() {
+        if buf.len() <= COPY_CUTOFF && !self.inner.free.lock().expect("pool lock").is_empty() {
             self.take_copy(&buf)
         } else {
             self.adopt(buf)
@@ -132,39 +142,39 @@ impl BufPool {
 
     /// Buffers currently available for reuse.
     pub fn available(&self) -> usize {
-        self.inner.borrow().free.len()
+        self.inner.free.lock().expect("pool lock").len()
     }
 
     /// Total frame acquisitions (`take*`/`adopt`/copy-on-write copies).
     pub fn taken(&self) -> u64 {
-        self.inner.borrow().taken
+        self.inner.taken.load(Relaxed)
     }
 
     /// Total buffers that reached end-of-life (matches [`Self::taken`]
     /// once every frame has been dropped).
     pub fn recycled(&self) -> u64 {
-        self.inner.borrow().recycled
+        self.inner.recycled.load(Relaxed)
     }
 
     /// Zero-copy frame clones (refcount bumps) since construction.
     pub fn borrowed(&self) -> u64 {
-        self.inner.borrow().borrowed
+        self.inner.borrowed.load(Relaxed)
     }
 
     /// Copy-on-write copies: mutations that found the buffer shared (or
     /// sliced) and had to copy it first.
     pub fn cow_copies(&self) -> u64 {
-        self.inner.borrow().cow_copies
+        self.inner.cow_copies.load(Relaxed)
     }
 
     /// Buffers currently alive outside the free list.
     pub fn outstanding(&self) -> u64 {
-        self.inner.borrow().outstanding
+        self.inner.outstanding.load(Relaxed)
     }
 
     /// High-water mark of [`Self::outstanding`] (peak pool residency).
     pub fn peak_outstanding(&self) -> u64 {
-        self.inner.borrow().peak_outstanding
+        self.inner.peak_outstanding.load(Relaxed)
     }
 }
 
@@ -175,9 +185,9 @@ impl BufPool {
 /// only if the buffer is shared. Dropping the last frame for a buffer
 /// returns the allocation to its pool.
 pub struct Frame {
-    /// Always `Some` until `Drop` (taken there to release the Rc).
-    buf: Option<Rc<Vec<u8>>>,
-    pool: Option<Rc<RefCell<PoolInner>>>,
+    /// Always `Some` until `Drop` (taken there to release the Arc).
+    buf: Option<Arc<Vec<u8>>>,
+    pool: Option<Arc<PoolShared>>,
     off: u32,
     /// Slice length, or [`WHOLE`] for "track the buffer's full length".
     len: u32,
@@ -188,14 +198,14 @@ impl Frame {
     /// its buffer is freed rather than recycled.
     pub fn from_vec(buf: Vec<u8>) -> Frame {
         Frame {
-            buf: Some(Rc::new(buf)),
+            buf: Some(Arc::new(buf)),
             pool: None,
             off: 0,
             len: WHOLE,
         }
     }
 
-    fn rc(&self) -> &Rc<Vec<u8>> {
+    fn rc(&self) -> &Arc<Vec<u8>> {
         self.buf.as_ref().expect("frame buffer live until drop")
     }
 
@@ -217,23 +227,22 @@ impl Frame {
     /// sub-range view. After the call the frame is a unique, whole view:
     /// callers may clear/rebuild the `Vec` freely.
     pub fn make_mut(&mut self) -> &mut Vec<u8> {
-        let shared = Rc::strong_count(self.rc()) > 1;
+        let shared = Arc::strong_count(self.rc()) > 1;
         if shared || self.len != WHOLE {
             let fresh = match &self.pool {
                 Some(pool) => {
-                    let mut inner = pool.borrow_mut();
-                    inner.count_take();
-                    inner.cow_copies += 1;
-                    inner.free.pop().unwrap_or_default()
+                    pool.count_take();
+                    pool.cow_copies.fetch_add(1, Relaxed);
+                    pool.pop_free()
                 }
-                None => Rc::default(),
+                None => Arc::default(),
             };
             static COW: plab_obs::metrics::Counter =
                 plab_obs::metrics::Counter::new("netsim.pool.cow_copies");
             COW.inc();
             let mut fresh = fresh;
             {
-                let v = Rc::get_mut(&mut fresh).expect("free-list buffers are unique");
+                let v = Arc::get_mut(&mut fresh).expect("free-list buffers are unique");
                 v.clear();
                 v.extend_from_slice(self);
             }
@@ -242,7 +251,7 @@ impl Frame {
             self.off = 0;
             self.len = WHOLE;
         }
-        Rc::get_mut(self.buf.as_mut().expect("frame buffer live"))
+        Arc::get_mut(self.buf.as_mut().expect("frame buffer live"))
             .expect("unique after copy-on-write")
     }
 
@@ -255,10 +264,10 @@ impl Frame {
 
 /// End-of-life check shared by `Drop` and copy-on-write: if `rc` was the
 /// last reference, return the buffer to the pool.
-fn release(pool: &Option<Rc<RefCell<PoolInner>>>, rc: Rc<Vec<u8>>) {
-    if Rc::strong_count(&rc) == 1 {
+fn release(pool: &Option<Arc<PoolShared>>, rc: Arc<Vec<u8>>) {
+    if Arc::strong_count(&rc) == 1 {
         match pool {
-            Some(pool) => pool.borrow_mut().recycle(rc),
+            Some(pool) => pool.recycle(rc),
             None => drop(rc),
         }
     }
@@ -267,7 +276,7 @@ fn release(pool: &Option<Rc<RefCell<PoolInner>>>, rc: Rc<Vec<u8>>) {
 impl Clone for Frame {
     fn clone(&self) -> Frame {
         if let Some(pool) = &self.pool {
-            pool.borrow_mut().borrowed += 1;
+            pool.borrowed.fetch_add(1, Relaxed);
         }
         Frame {
             buf: self.buf.clone(),
@@ -309,7 +318,7 @@ impl std::fmt::Debug for Frame {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Frame")
             .field("len", &self.deref().len())
-            .field("shared", &(Rc::strong_count(self.rc()) > 1))
+            .field("shared", &(Arc::strong_count(self.rc()) > 1))
             .field("bytes", &self.deref())
             .finish()
     }
@@ -461,5 +470,12 @@ mod tests {
         assert_eq!(s, [1u8, 2, 9]);
         assert_eq!(a, [0u8, 1, 2, 3]);
         assert_eq!(pool.cow_copies(), 1);
+    }
+
+    #[test]
+    fn frames_and_pools_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Frame>();
+        assert_send::<BufPool>();
     }
 }

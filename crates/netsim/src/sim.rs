@@ -23,6 +23,38 @@ pub enum NodeTransition {
     Restarted(NodeId),
 }
 
+/// A packet diverted toward a node owned by a foreign shard, handed over
+/// through the owning [`crate::shard::ShardedSim`]'s outbox exchange.
+/// The bytes are copied out of the refcounted pool at the divert point
+/// (frames are per-shard; each shard's `taken == recycled` accounting
+/// stays exact) and re-ingested into the destination shard's pool.
+#[derive(Debug)]
+pub(crate) struct CrossPacket {
+    /// Arrival time at the far end of the link (includes serialization
+    /// and jitter, both computed on the sending shard).
+    pub arrival: SimTime,
+    /// Link index.
+    pub link: usize,
+    /// Direction: 0 = a→b, 1 = b→a.
+    pub dir: usize,
+    /// The datagram bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Per-shard context: who owns which node, and the per-destination
+/// outboxes a [`crate::shard::ShardedSim`] drains at window boundaries.
+#[derive(Debug)]
+struct ShardCtx {
+    /// This shard's index.
+    index: usize,
+    /// Owning shard for every node index.
+    shard_of: Vec<u8>,
+    /// Diverted packets keyed by destination shard.
+    outbox: Vec<Vec<CrossPacket>>,
+    /// Total cross-shard handoffs originated here.
+    handoffs: u64,
+}
+
 /// The network simulator. Construct via [`crate::TopologyBuilder`].
 pub struct Sim {
     time: SimTime,
@@ -40,6 +72,13 @@ pub struct Sim {
     name_index: FxHashMap<String, usize>,
     /// Recycled packet buffers (see [`crate::pool`]).
     pool: BufPool,
+    /// Cross-shard context; `None` for ordinary single-queue sims (the
+    /// hot path pays one `Option` check per transmit/arrival).
+    shard: Option<ShardCtx>,
+    /// Events processed by [`Sim::step`] over this sim's lifetime (bench
+    /// throughput accounting for windowed advances, where the driver
+    /// never sees individual steps).
+    processed: u64,
 }
 
 impl Sim {
@@ -61,7 +100,50 @@ impl Sim {
             node_transitions: Vec::new(),
             name_index,
             pool: BufPool::new(),
+            shard: None,
+            processed: 0,
         }
+    }
+
+    /// Mark this sim as shard `index` of a sharded world: nodes whose
+    /// `shard_of` entry differs are foreign, and packets toward them are
+    /// diverted into per-destination outboxes instead of being scheduled
+    /// locally.
+    pub(crate) fn enable_sharding(&mut self, index: usize, shard_of: Vec<u8>, shards: usize) {
+        self.shard = Some(ShardCtx {
+            index,
+            shard_of,
+            outbox: (0..shards).map(|_| Vec::new()).collect(),
+            handoffs: 0,
+        });
+    }
+
+    /// Drain the outbox of packets bound for shard `dest`.
+    pub(crate) fn take_outbox(&mut self, dest: usize) -> Vec<CrossPacket> {
+        match &mut self.shard {
+            Some(ctx) => std::mem::take(&mut ctx.outbox[dest]),
+            None => Vec::new(),
+        }
+    }
+
+    /// Accept a packet handed over from a foreign shard: re-ingest the
+    /// bytes into this shard's pool and schedule the arrival. The event
+    /// time may lie behind this shard's clock (see [`EventQueue`]).
+    pub(crate) fn inject_cross(&mut self, p: CrossPacket) {
+        let packet = self.pool.ingest(p.bytes);
+        self.events.push(
+            p.arrival,
+            EventKind::LinkArrival {
+                link: p.link,
+                dir: p.dir,
+                packet,
+            },
+        );
+    }
+
+    /// Total cross-shard handoffs this shard originated.
+    pub(crate) fn handoffs(&self) -> u64 {
+        self.shard.as_ref().map_or(0, |c| c.handoffs)
     }
 
     /// Current virtual time.
@@ -89,24 +171,55 @@ impl Sim {
     // Event loop
     // ------------------------------------------------------------------
 
+    /// Events processed over this sim's lifetime.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Install a host route on `node`: packets toward `dst` leave via
+    /// local interface `iface`. For manually-routed topologies
+    /// ([`crate::TopologyBuilder::manual_routes`]), where BFS over a
+    /// 100k-host world would dominate construction.
+    pub fn install_route(&mut self, node: NodeId, dst: Ipv4Addr, iface: usize) {
+        self.nodes[node.0].routes.insert(dst, iface);
+    }
+
+    /// Set `node`'s fallback interface for destinations with no specific
+    /// route (a default gateway uplink).
+    pub fn set_default_route(&mut self, node: NodeId, iface: usize) {
+        self.nodes[node.0].routes.default_iface = Some(iface);
+    }
+
     /// Process the single earliest event. Returns false when idle.
     pub fn step(&mut self) -> bool {
         let Some((t, kind)) = self.events.pop() else {
             return false;
         };
-        debug_assert!(t >= self.time, "time went backwards");
-        self.time = t;
+        self.processed += 1;
+        // Cross-shard injection at a window boundary can pop behind the
+        // local clock (see `EventQueue` docs); the clock only ratchets
+        // forward so observables stay monotone.
+        self.time = self.time.max(t);
         if plab_obs::enabled() {
             // Stamp the observability clock so every event recorded while
             // handling this sim event carries the virtual time.
-            plab_obs::set_virtual_time(t);
+            plab_obs::set_virtual_time(self.time);
         }
         match kind {
             EventKind::LinkArrival { link, dir, packet } => {
                 // One bounds-checked borrow for the whole arm; `rng` and
                 // `trace` are disjoint fields.
                 let l = &mut self.links[link];
-                l.departed(dir, packet.len());
+                // Cross-shard arrivals: the sending shard owns the queue
+                // accounting (it processes the matching `CrossDeparted`);
+                // releasing here too would double-free queue bytes.
+                let foreign_src = self
+                    .shard
+                    .as_ref()
+                    .is_some_and(|c| c.shard_of[l.src_node(dir)] as usize != c.index);
+                if !foreign_src {
+                    l.departed(dir, packet.len());
+                }
                 let dst = l.dst_node(dir);
                 if !l.up {
                     // A flap kills what is in flight on the wire.
@@ -160,6 +273,11 @@ impl Sim {
             }
             EventKind::Fault { action } => {
                 self.apply_fault(action);
+            }
+            EventKind::CrossDeparted { link, dir, len } => {
+                // The handed-over packet finished serializing out of this
+                // shard's side of the link; release its queue occupancy.
+                self.links[link].departed(dir, len);
             }
         }
         true
@@ -597,6 +715,33 @@ impl Sim {
                 static QUEUE_DEPTH: plab_obs::metrics::Histogram =
                     plab_obs::metrics::Histogram::new("netsim.link.queued_bytes");
                 QUEUE_DEPTH.observe(link.dirs[dir].queued_bytes as u64);
+                let dst_node = link.dst_node(dir);
+                if let Some(ctx) = &mut self.shard {
+                    let dest = ctx.shard_of[dst_node] as usize;
+                    if dest != ctx.index {
+                        // Foreign destination: hand the packet over at the
+                        // next window boundary, and keep a local event to
+                        // release the link queue at departure time.
+                        ctx.handoffs += 1;
+                        ctx.outbox[dest].push(CrossPacket {
+                            arrival,
+                            link: link_idx,
+                            dir,
+                            bytes: packet.to_vec(),
+                        });
+                        let len = packet.len();
+                        drop(packet);
+                        self.events.push(
+                            arrival,
+                            EventKind::CrossDeparted {
+                                link: link_idx,
+                                dir,
+                                len,
+                            },
+                        );
+                        return;
+                    }
+                }
                 self.events.push(
                     arrival,
                     EventKind::LinkArrival {

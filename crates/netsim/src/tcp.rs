@@ -63,6 +63,7 @@ pub struct TcpOut {
 }
 
 /// One connection.
+#[derive(Clone)]
 pub struct Conn {
     /// Current state.
     pub state: TcpState,
@@ -161,6 +162,7 @@ impl Conn {
 }
 
 /// Per-host TCP state: connections, listeners, port allocation.
+#[derive(Clone)]
 pub struct TcpHost {
     conns: FxHashMap<u64, Conn>,
     listeners: FxHashMap<u16, VecDeque<u64>>,

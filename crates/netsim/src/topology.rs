@@ -21,11 +21,22 @@ use std::net::Ipv4Addr;
 /// let sim = t.build();
 /// assert_eq!(sim.addr_of(h1), "10.0.0.1".parse::<std::net::Ipv4Addr>().unwrap());
 /// ```
-#[derive(Default)]
 pub struct TopologyBuilder {
     nodes: Vec<Node>,
     links: Vec<(NodeId, NodeId, LinkParams)>,
     seed: u64,
+    auto_routes: bool,
+}
+
+impl Default for TopologyBuilder {
+    fn default() -> Self {
+        TopologyBuilder {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            seed: 0,
+            auto_routes: true,
+        }
+    }
 }
 
 impl TopologyBuilder {
@@ -37,6 +48,15 @@ impl TopologyBuilder {
     /// Set the RNG seed (loss determinism).
     pub fn seed(&mut self, seed: u64) -> &mut Self {
         self.seed = seed;
+        self
+    }
+
+    /// Skip automatic (all-pairs BFS) route computation. The caller
+    /// installs routes after `build` via `sim.nodes[i].routes` — required
+    /// for very large worlds where O(nodes²) routing is infeasible
+    /// (hosts still get their single-link default route).
+    pub fn manual_routes(&mut self) -> &mut Self {
+        self.auto_routes = false;
         self
     }
 
@@ -114,33 +134,54 @@ impl TopologyBuilder {
     }
 
     /// Finalize: allocate interfaces, compute routes, return the sim.
-    pub fn build(mut self) -> Sim {
+    pub fn build(self) -> Sim {
+        let (nodes, links, seed) = self.assemble();
+        Sim::from_parts(nodes, links, seed)
+    }
+
+    /// Finalize into a sharded simulator: `shard_of[node]` assigns each
+    /// node to a shard, and `threads > 1` advances shards on OS threads
+    /// under conservative-lookahead windows (see [`crate::shard`]).
+    /// Every cross-shard link must have non-zero latency — the minimum
+    /// such latency is the lookahead window.
+    pub fn build_sharded(self, shard_of: &[usize], threads: usize) -> crate::shard::ShardedSim {
+        let (nodes, links, seed) = self.assemble();
+        crate::shard::ShardedSim::from_parts(nodes, links, seed, shard_of, threads)
+    }
+
+    /// Allocate interfaces and routes, producing the parts a [`Sim`] (or
+    /// each shard replica) is constructed from.
+    pub(crate) fn assemble(mut self) -> (Vec<Node>, Vec<Link>, u64) {
         let mut links = Vec::new();
         for (a, b, params) in std::mem::take(&mut self.links) {
             let ia = self.attach_iface(a.0, links.len());
             let ib = self.attach_iface(b.0, links.len());
             links.push(Link::new((a.0, ia), (b.0, ib), params));
         }
-        // Build adjacency for route computation.
-        let mut adjacency: Adjacency = vec![Vec::new(); self.nodes.len()];
-        for link in &links {
-            adjacency[link.a.0].push((link.b.0, link.a.1));
-            adjacency[link.b.0].push((link.a.0, link.b.1));
+        if self.auto_routes {
+            // Build adjacency for route computation.
+            let mut adjacency: Adjacency = vec![Vec::new(); self.nodes.len()];
+            for link in &links {
+                adjacency[link.a.0].push((link.b.0, link.a.1));
+                adjacency[link.b.0].push((link.a.0, link.b.1));
+            }
+            let addrs: Vec<Vec<Ipv4Addr>> = self
+                .nodes
+                .iter()
+                .map(|n| n.ifaces.iter().map(|i| i.addr).collect())
+                .collect();
+            let tables = compute_routes(&adjacency, &addrs);
+            for (node, table) in self.nodes.iter_mut().zip(tables) {
+                node.routes = table;
+            }
         }
-        let addrs: Vec<Vec<Ipv4Addr>> = self
-            .nodes
-            .iter()
-            .map(|n| n.ifaces.iter().map(|i| i.addr).collect())
-            .collect();
-        let tables = compute_routes(&adjacency, &addrs);
-        for (node, table) in self.nodes.iter_mut().zip(tables) {
-            node.routes = table;
+        for node in &mut self.nodes {
             // Hosts with exactly one link default-route through it.
             if node.kind == NodeKind::Host {
                 node.routes.default_iface = Some(0);
             }
         }
-        Sim::from_parts(self.nodes, links, self.seed)
+        (self.nodes, links, self.seed)
     }
 
     /// Attach a link to a node, allocating an interface slot.

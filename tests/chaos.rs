@@ -73,6 +73,41 @@ fn chaos_corpus_is_deterministic_and_never_hangs() {
     );
 }
 
+/// The full corpus again, with the world split across 4 shards
+/// (round-robin node placement, 5 ms lookahead window). Shard counts > 1
+/// have their own timelines — per-shard RNG streams and event sequencing
+/// differ from the sequential interleaving — but the determinism contract
+/// is identical: a fixed `(scenario, seed, shards)` replays bit-for-bit
+/// (digest, verdict, finish time, retry counters, pool sums), never hangs
+/// past `RUN_DEADLINE`, never panics.
+#[test]
+fn chaos_corpus_is_deterministic_at_four_shards() {
+    let corpus = chaos::corpus();
+    let mut completed = 0usize;
+    for &(scenario, seed) in &corpus {
+        let first = chaos::run_sharded(scenario, seed, 4);
+        let second = chaos::run_sharded(scenario, seed, 4);
+        assert_eq!(
+            first, second,
+            "non-deterministic 4-shard chaos run — seed {seed:#018x} \
+             scenario {}:\n  first : {}\n  second: {}",
+            scenario.name(),
+            first.report(),
+            second.report(),
+        );
+        if first.verdict == ChaosVerdict::Completed {
+            completed += 1;
+        }
+    }
+    // The sharded engine must not make the corpus materially harder to
+    // survive: most schedules still complete.
+    assert!(
+        completed >= corpus.len() / 2,
+        "4-shard corpus mostly failing: {completed}/{} completed",
+        corpus.len(),
+    );
+}
+
 /// Recoverable schedules must actually use the retry machinery: across the
 /// corpus, some run reconnects and replays an in-flight command.
 #[test]
