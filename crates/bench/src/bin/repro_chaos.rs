@@ -114,37 +114,41 @@ fn print_row(out: &ChaosOutcome, deterministic: bool) {
 }
 
 fn json_report(rows: &[Row]) -> String {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let o = &row.outcome;
+            let (verdict, abort) = match &o.verdict {
+                ChaosVerdict::Completed => ("completed", String::new()),
+                ChaosVerdict::Aborted(e) => {
+                    ("aborted", format!(", \"abort\": \"{}\"", json_escape(e)))
+                }
+            };
+            let trace = match row.trace_fnv {
+                Some(f) => format!(", \"trace_fnv\": \"{f:#018x}\""),
+                None => String::new(),
+            };
+            format!(
+                "{{\"scenario\": \"{}\", \"seed\": \"{:#018x}\", \"verdict\": \"{verdict}\", \
+                 \"digest\": \"{:#018x}\", \"finished_at_ns\": {}, \"deterministic\": {}, \
+                 \"connects\": {}, \"replays\": {}, \"timeouts\": {}, \"failed_dials\": {}, \
+                 \"faults\": {}{abort}{trace}}}",
+                o.scenario.name(),
+                o.seed,
+                o.digest,
+                o.finished_at,
+                row.deterministic,
+                o.stats.connects,
+                o.stats.replays,
+                o.stats.timeouts,
+                o.stats.failed_dials,
+                o.fault_count,
+            )
+        })
+        .collect();
     let mut out = String::from("{\n  \"bench\": \"chaos\",\n  \"runs\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let o = &row.outcome;
-        let (verdict, abort) = match &o.verdict {
-            ChaosVerdict::Completed => ("completed", String::new()),
-            ChaosVerdict::Aborted(e) => {
-                ("aborted", format!(", \"abort\": \"{}\"", json_escape(e)))
-            }
-        };
-        let trace = match row.trace_fnv {
-            Some(f) => format!(", \"trace_fnv\": \"{f:#018x}\""),
-            None => String::new(),
-        };
-        out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"seed\": \"{:#018x}\", \"verdict\": \"{verdict}\", \
-             \"digest\": \"{:#018x}\", \"finished_at_ns\": {}, \"deterministic\": {}, \
-             \"connects\": {}, \"replays\": {}, \"timeouts\": {}, \"failed_dials\": {}, \
-             \"faults\": {}{abort}{trace}}}{}\n",
-            o.scenario.name(),
-            o.seed,
-            o.digest,
-            o.finished_at,
-            row.deterministic,
-            o.stats.connects,
-            o.stats.replays,
-            o.stats.timeouts,
-            o.stats.failed_dials,
-            o.fault_count,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
+    out.push_str(&plab_bench::reportjson::json_rows(&rendered, "    "));
+    out.push('\n');
     let completed = rows
         .iter()
         .filter(|r| matches!(r.outcome.verdict, ChaosVerdict::Completed))
@@ -164,7 +168,7 @@ fn main() {
     let mut sweep: Option<u64> = None;
     let mut base: u64 = 0x5eed_0000;
     let mut trace = false;
-    let mut json = false;
+    let json = plab_bench::reportjson::json_flag();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -189,7 +193,6 @@ fn main() {
                 i += 1;
             }
             "--json" => {
-                json = true;
                 i += 1;
             }
             other => panic!("unknown argument {other:?}"),

@@ -1,0 +1,147 @@
+//! Fleet-orchestration guard: fails CI when the runner regresses in
+//! throughput or — far worse — in determinism.
+//!
+//! Two independent checks, both must pass:
+//!
+//! 1. **Throughput.** The 512-endpoint guard roster (ping + Figure-2
+//!    monitor over 4 shards, the same construction `repro_fleet`
+//!    measures) runs repeatedly and the guard statistic is the *minimum*
+//!    wall time over the batches (preemption only adds time, so the min
+//!    converges on the true cost). The measured endpoints/sec must reach
+//!    `FLEET_GUARD_MIN_RATIO` (default 0.5) of the committed
+//!    `BENCH_fleet.json` baseline's matching sweep row.
+//!
+//! 2. **Determinism.** Every throughput batch must produce the pinned
+//!    clean-report digest, and the chaos variant (crash/restart + burst
+//!    loss) runs twice with both reports bit-identical and equal to the
+//!    pinned chaos digest. Any drift means fleet replay is broken — a
+//!    hard failure regardless of throughput.
+//!
+//! Env overrides:
+//! - `FLEET_GUARD_SECS`: throughput measurement budget (default 6.0 s).
+//! - `FLEET_GUARD_MIN_RATIO`: pass threshold (default 0.5).
+//! - `FLEET_GUARD_BASELINE`: baseline JSON path (default
+//!   `BENCH_fleet.json` in the working directory).
+//!
+//! The baseline records numbers from whatever machine last ran
+//! `repro_fleet`; on a much slower machine, regenerate it first or lower
+//! the ratio. The determinism half has no knobs — digests are machine-
+//! and thread-count-independent by construction. To re-pin after an
+//! *intentional* report change, run `FLEET_SWEEP=512 repro_fleet` and
+//! paste the printed clean and chaos digests.
+
+use plab_bench::fleet::{self, GUARD_PAIRS};
+use std::time::{Duration, Instant};
+
+/// Digest of the 512-endpoint clean guard roster (matches the
+/// `BENCH_fleet.json` sweep row and `repro_fleet`'s printed digest).
+const PINNED_FLEET_CLEAN: u64 = 0xb2ca_999d_eef6_7529;
+
+/// Digest of the same roster under the shared fault plan.
+const PINNED_FLEET_CHAOS: u64 = 0x0ae5_d52f_df16_91ef;
+
+/// Pull `"endpoints_per_sec": <num>` out of the baseline's sweep row for
+/// the guard roster size without a JSON dependency (same trick the other
+/// guards use). The chaos object carries a different `pairs` value, so
+/// matching on the key cannot hit it.
+fn baseline_endpoints_per_sec(text: &str) -> Option<f64> {
+    let row = text.split('{').find(|s| s.contains(&format!("\"pairs\": {GUARD_PAIRS}")))?;
+    let tail = row.split("\"endpoints_per_sec\":").nth(1)?;
+    tail.trim_start().split([',', '}']).next()?.trim().parse().ok()
+}
+
+fn main() {
+    let json = plab_bench::reportjson::json_flag();
+    let budget = std::env::var("FLEET_GUARD_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Duration::from_secs_f64)
+        .unwrap_or(Duration::from_secs(6));
+    let min_ratio = std::env::var("FLEET_GUARD_MIN_RATIO")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.5);
+    let baseline_path =
+        std::env::var("FLEET_GUARD_BASELINE").unwrap_or_else(|_| "BENCH_fleet.json".to_string());
+
+    let baseline_text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline = baseline_endpoints_per_sec(&baseline_text)
+        .unwrap_or_else(|| panic!("baseline has a sweep row for {GUARD_PAIRS} endpoints"));
+
+    let threads = fleet::threads();
+
+    // --- throughput half (doubles as clean-determinism evidence) -------
+    let mut best = f64::MAX;
+    let mut clean_digests = Vec::new();
+    let start = Instant::now();
+    let mut rounds = 0u32;
+    while rounds < 2 || start.elapsed() < budget {
+        let (run, wall) = fleet::point(GUARD_PAIRS, threads, false);
+        clean_digests.push(run.report.digest);
+        if wall < best {
+            best = wall;
+        }
+        rounds += 1;
+    }
+    let clean_pinned = clean_digests.iter().all(|&d| d == PINNED_FLEET_CLEAN);
+    let measured = GUARD_PAIRS as f64 / best;
+    let ratio = measured / baseline;
+    let fast_enough = ratio >= min_ratio;
+
+    // --- chaos determinism half ----------------------------------------
+    let (chaos_a, _) = fleet::point(GUARD_PAIRS, threads, true);
+    let (chaos_b, _) = fleet::point(GUARD_PAIRS, threads, true);
+    let chaos_replay = chaos_a.report.digest == chaos_b.report.digest
+        && chaos_a.report.events == chaos_b.report.events
+        && chaos_a.report.summary == chaos_b.report.summary;
+    let chaos_pinned = chaos_a.report.digest == PINNED_FLEET_CHAOS;
+    let deterministic = clean_pinned && chaos_replay && chaos_pinned;
+    let pass = fast_enough && deterministic;
+
+    if json {
+        print!(
+            "{{\n  \"bench\": \"fleet_guard\",\n  \"pairs\": {GUARD_PAIRS},\n  \
+             \"shards\": {},\n  \"threads\": {threads},\n  \"rounds\": {rounds},\n  \
+             \"measured_endpoints_per_sec\": {measured:.1},\n  \
+             \"baseline_endpoints_per_sec\": {baseline:.1},\n  \"ratio\": {ratio:.4},\n  \
+             \"min_ratio\": {min_ratio},\n  \"clean_digest\": \"{:#018x}\",\n  \
+             \"clean_pinned\": {clean_pinned},\n  \"chaos_digest\": \"{:#018x}\",\n  \
+             \"chaos_pinned\": {chaos_pinned},\n  \"chaos_replay_identical\": {chaos_replay},\n  \
+             \"deterministic\": {deterministic},\n  \"pass\": {pass}\n}}\n",
+            fleet::SHARDS,
+            clean_digests.last().unwrap(),
+            chaos_a.report.digest,
+        );
+    } else {
+        println!(
+            "fleet guard: {GUARD_PAIRS} endpoints x {} shards ({threads} threads), min over \
+             {rounds} rounds — measured {measured:.1} endpoints/s vs baseline {baseline:.1} \
+             (ratio {ratio:.3}, threshold {min_ratio})",
+            fleet::SHARDS
+        );
+        println!(
+            "fleet determinism: clean {:#018x} (pinned {:#018x}) {}, chaos {:#018x} \
+             (pinned {:#018x}) replay {} pin {}",
+            clean_digests.last().unwrap(),
+            PINNED_FLEET_CLEAN,
+            if clean_pinned { "ok" } else { "DRIFT" },
+            chaos_a.report.digest,
+            PINNED_FLEET_CHAOS,
+            if chaos_replay { "ok" } else { "DRIFT" },
+            if chaos_pinned { "ok" } else { "DRIFT" }
+        );
+        println!(
+            "{}",
+            match (fast_enough, deterministic) {
+                (true, true) => "PASS: fleet throughput and determinism both hold",
+                (false, true) => "FAIL: fleet throughput regressed more than the budget allows",
+                (true, false) => "FAIL: fleet replay drifted from the pinned digests",
+                (false, false) => "FAIL: fleet throughput regressed AND replay drifted",
+            }
+        );
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

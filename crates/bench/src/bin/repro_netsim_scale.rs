@@ -59,7 +59,7 @@ struct ShardRow {
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let json = plab_bench::reportjson::json_flag();
     let rounds: usize = std::env::var("NETSIM_SCALE_ROUNDS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -258,10 +258,5 @@ fn main() {
         "  ],\n  \"biggest_world_best_ns_per_event\": {biggest:.2},\n  \
          \"biggest_world_ratio_vs_16_host\": {ratio_vs_16:.3}\n}}\n"
     ));
-    std::fs::write("BENCH_netsim.json", &out).expect("write BENCH_netsim.json");
-    if json {
-        print!("{out}");
-    } else {
-        println!("wrote BENCH_netsim.json");
-    }
+    plab_bench::reportjson::emit_report("BENCH_netsim.json", &out, json);
 }

@@ -9,7 +9,7 @@ use plab_bench::{build_world, connect};
 use std::time::Instant;
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let json = plab_bench::reportjson::json_flag();
     if !json {
         println!("T1: Table 1 endpoint operations, end-to-end\n");
     }
@@ -60,17 +60,21 @@ fn main() {
     op!("yield", ctrl.yield_endpoint().unwrap());
 
     if json {
-        let mut out = String::from("{\n  \"bench\": \"table1\",\n  \"ops\": [\n");
-        for (i, (name, vms, wall)) in rows.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"op\": \"{}\", \"virtual_ms\": {vms:.1}, \"wall_ns\": {}}}{}\n",
-                plab_obs::export::json_escape(name),
-                wall.as_nanos(),
-                if i + 1 < rows.len() { "," } else { "" }
-            ));
-        }
-        out.push_str("  ]\n}\n");
-        print!("{out}");
+        let rendered: Vec<String> = rows
+            .iter()
+            .map(|(name, vms, wall)| {
+                format!(
+                    "{{\"op\": \"{}\", \"virtual_ms\": {}, \"wall_ns\": {}}}",
+                    plab_obs::export::json_escape(name),
+                    plab_bench::reportjson::json_f(*vms),
+                    wall.as_nanos(),
+                )
+            })
+            .collect();
+        print!(
+            "{{\n  \"bench\": \"table1\",\n  \"ops\": [\n{}\n  ]\n}}\n",
+            plab_bench::reportjson::json_rows(&rendered, "    ")
+        );
         return;
     }
 

@@ -86,12 +86,10 @@ fn pump_round(sim: &mut Sim, h: NodeId, src: Ipv4Addr, dst: Ipv4Addr) -> u64 {
     events
 }
 
-fn json_f(v: f64) -> String {
-    if v.is_finite() { format!("{v:.1}") } else { "null".to_string() }
-}
+use plab_bench::reportjson::json_f;
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let json = plab_bench::reportjson::json_flag();
     let budget = std::env::var("REPRO_THROUGHPUT_SECS")
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
@@ -216,10 +214,5 @@ fn main() {
         cal.pool().taken(),
         cal.pool().recycled()
     ));
-    std::fs::write("BENCH_throughput.json", &out).expect("write BENCH_throughput.json");
-    if json {
-        print!("{out}");
-    } else {
-        println!("\nwrote BENCH_throughput.json");
-    }
+    plab_bench::reportjson::emit_report("BENCH_throughput.json", &out, json);
 }

@@ -487,3 +487,140 @@ pub mod netsim_scale {
         (events, secs, w)
     }
 }
+
+/// Shared construction for the fleet-orchestration bench and its CI guard
+/// (`repro_fleet`, `repro_fleet_guard`). Both must build *bit-identical*
+/// worlds — the guard pins report digests against the committed
+/// `BENCH_fleet.json` baseline — so every knob that feeds the digest
+/// (roster seed, keypairs, experiment spec, scheduler config, fault plan)
+/// lives here once.
+pub mod fleet {
+    use plab_crypto::Keypair;
+    use plab_netsim::roster::RosterSpec;
+    use plab_netsim::SECOND;
+    use plab_runner::{
+        build_fleet, run_fleet, schedule_fleet_faults, ExperimentSpec, FleetFaultPlan, FleetRun,
+        RateLimit, SchedulerConfig,
+    };
+
+    /// Roster size the guard measures and pins (a `repro_fleet` sweep
+    /// point, so the baseline always carries the matching row).
+    pub const GUARD_PAIRS: usize = 512;
+
+    /// Shard count for every fleet point. The report is thread-count
+    /// invariant (tested), but shard *assignment* shapes the world, so it
+    /// is fixed here rather than taken from the machine.
+    pub const SHARDS: usize = 4;
+
+    /// Roster topology seed (link jitter etc.).
+    pub const SEED: u64 = 4242;
+
+    /// Worker threads for the sharded advance: the shard count, capped by
+    /// the machine. Wall time varies with this; the report does not.
+    pub fn threads() -> usize {
+        SHARDS.min(std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+    }
+
+    /// The experiment fanned over the fleet: the §4 ping built on the
+    /// paper's Figure-2 monitor, so every endpoint exercises the full
+    /// chain — cert handshake, Cpf monitor install, measurement program.
+    pub fn spec() -> ExperimentSpec {
+        ExperimentSpec {
+            monitor: Some(crate::FIGURE2_MONITOR.into()),
+            ..ExperimentSpec::ping("fleet-bench")
+        }
+    }
+
+    /// Scheduler config: real launch rate limit + default retry policy.
+    pub fn config() -> SchedulerConfig {
+        SchedulerConfig {
+            max_concurrency: 256,
+            launch: RateLimit::per_sec(500, 32),
+            fleet_deadline_ns: Some(600 * SECOND),
+            ..Default::default()
+        }
+    }
+
+    /// Fault plan for the chaos point: onsets spread over seconds 1–5,
+    /// overlapping the launch schedule (`pairs / 500` seconds) so crashes
+    /// and burst loss actually bite live tasks.
+    pub fn fault_plan() -> FleetFaultPlan {
+        FleetFaultPlan {
+            start_ns: SECOND,
+            spread_ns: 4 * SECOND,
+            downtime_ns: 2 * SECOND,
+            ..Default::default()
+        }
+    }
+
+    /// One full fleet point: build the roster world, optionally schedule
+    /// the fault plan, run the experiment over every endpoint. Returns
+    /// the run and the wall seconds spent *running* (construction is
+    /// excluded — route tables are not orchestration throughput).
+    pub fn point(pairs: usize, threads: usize, chaos: bool) -> (FleetRun, f64) {
+        let operator = Keypair::from_seed(&[31; 32]);
+        let experimenter = Keypair::from_seed(&[32; 32]);
+        let roster = RosterSpec { pairs, shards: SHARDS, threads, seed: SEED, access_mbps: 0 };
+        let mut world = build_fleet(&roster, &operator);
+        if chaos {
+            schedule_fleet_faults(&mut world, &fault_plan());
+        }
+        let spec = spec();
+        let start = std::time::Instant::now();
+        let run =
+            run_fleet(world, &spec, &operator, &experimenter, &config()).expect("bench spec valid");
+        (run, start.elapsed().as_secs_f64())
+    }
+
+    /// Sum of retry-visible counters across a run's tasks.
+    pub fn retries(run: &FleetRun) -> u64 {
+        run.results
+            .iter()
+            .map(|t| t.stats.failed_dials as u64 + t.stats.timeouts as u64 + t.stats.replays as u64)
+            .sum()
+    }
+}
+
+/// Shared `--json` report plumbing for the repro binaries. Every bin used
+/// to hand-roll the same four pieces: the flag scan, the finite-float
+/// formatter, trailing-comma row joining, and the BENCH-file write +
+/// stdout convention. They live here once.
+pub mod reportjson {
+    /// Whether the process was invoked with `--json` (machine-readable
+    /// report on stdout, human tables suppressed).
+    pub fn json_flag() -> bool {
+        std::env::args().any(|a| a == "--json")
+    }
+
+    /// A float for a JSON report: one decimal when finite, `null`
+    /// otherwise (JSON has no NaN/inf).
+    pub fn json_f(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.1}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// Join pre-rendered JSON values into an array body: each row on its
+    /// own line at `indent`, comma-separated (the trailing-comma dance
+    /// every report previously hand-rolled).
+    pub fn json_rows(rows: &[String], indent: &str) -> String {
+        rows.iter()
+            .map(|r| format!("{indent}{r}"))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    }
+
+    /// Emit a finished report per the repro-bin convention: always write
+    /// the `BENCH_*` baseline file, then either print the report itself
+    /// (`--json`) or a human note saying where it went.
+    pub fn emit_report(path: &str, report: &str, json: bool) {
+        std::fs::write(path, report).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        if json {
+            print!("{report}");
+        } else {
+            println!("wrote {path}");
+        }
+    }
+}

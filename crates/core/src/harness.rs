@@ -85,6 +85,19 @@ pub struct SimNet {
     rendezvous: Vec<RvHost>,
     /// Controller-side listeners: (node, port) → accepted conns.
     listeners: Vec<(NodeId, u16, Vec<u64>)>,
+    /// Sparse servicing: only agents on nodes the simulator touched since
+    /// the last [`SimNet::process`] are serviced (see
+    /// [`SimNet::set_sparse`]).
+    sparse: bool,
+    /// node index → endpoint indices on that node (sparse-mode lookup).
+    node_eps: HashMap<usize, Vec<usize>>,
+    /// node index → rendezvous indices on that node (sparse-mode lookup).
+    node_rvs: HashMap<usize, Vec<usize>>,
+    /// When set (sparse mode only), dirty nodes are also accumulated here
+    /// for an external scheduler to drain via
+    /// [`SimNet::take_serviced_nodes`].
+    track_serviced: bool,
+    serviced: Vec<NodeId>,
 }
 
 impl SimNet {
@@ -104,7 +117,40 @@ impl SimNet {
             endpoints: Vec::new(),
             rendezvous: Vec::new(),
             listeners: Vec::new(),
+            sparse: false,
+            node_eps: HashMap::new(),
+            node_rvs: HashMap::new(),
+            track_serviced: false,
+            serviced: Vec::new(),
         }
+    }
+
+    /// Also accumulate sparse-mode dirty nodes for an external scheduler
+    /// (e.g. the fleet runner deciding which parked tasks to re-examine).
+    /// Only meaningful with [`SimNet::set_sparse`] on; the accumulated
+    /// list must be drained with [`SimNet::take_serviced_nodes`].
+    pub fn set_track_serviced(&mut self, on: bool) {
+        self.track_serviced = on;
+        self.serviced.clear();
+    }
+
+    /// Drain the nodes serviced since the last call (sparse mode with
+    /// [`SimNet::set_track_serviced`] on). May contain duplicates.
+    pub fn take_serviced_nodes(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.serviced)
+    }
+
+    /// Switch on sparse servicing: each [`SimNet::process`] services only
+    /// agents on nodes the simulator actually touched (packet delivery,
+    /// timer fire, scheduled send, crash/restart) since the previous call,
+    /// in endpoint-index order. With thousands of mostly-idle endpoints
+    /// this turns the O(endpoints) per-event scan into O(dirty). The
+    /// servicing *order* stays a pure function of the event sequence, so
+    /// sparse runs replay bit-identically; dense (default) mode is
+    /// untouched and keeps its pinned chaos digests.
+    pub fn set_sparse(&mut self, on: bool) {
+        self.sparse = on;
+        self.sim.set_track_dirty(on);
     }
 
     /// Install a PacketLab endpoint agent on `node`, listening on
@@ -138,7 +184,9 @@ impl SimNet {
             dialed: Vec::new(),
             announcements: Vec::new(),
         });
-        EndpointId(self.endpoints.len() - 1)
+        let idx = self.endpoints.len() - 1;
+        self.node_eps.entry(node.0).or_default().push(idx);
+        EndpointId(idx)
     }
 
     /// Install a rendezvous server on `node`.
@@ -151,6 +199,16 @@ impl SimNet {
             sessions: HashMap::new(),
             next_sid: 1,
         });
+        self.node_rvs
+            .entry(node.0)
+            .or_default()
+            .push(self.rendezvous.len() - 1);
+    }
+
+    /// Access the `i`-th rendezvous server (e.g. for subscriber-count
+    /// assertions).
+    pub fn rendezvous_server(&self, i: usize) -> &RendezvousServer {
+        &self.rendezvous[i].server
     }
 
     /// Access an endpoint's agent (e.g. for statistics assertions).
@@ -309,131 +367,73 @@ impl SimNet {
             }
         }
         let fired = self.sim.take_fired_timers();
-        self.process_endpoints(&fired);
-        self.process_rendezvous();
+        if self.sparse {
+            // Service only agents on nodes the simulator touched. Dirty
+            // nodes arrive in first-touch order (shard-major); mapping to
+            // sorted agent indices makes the service order a pure function
+            // of the event sequence regardless of touch order.
+            let dirty = self.sim.take_dirty_nodes();
+            if self.track_serviced {
+                self.serviced.extend_from_slice(&dirty);
+            }
+            let mut eps: Vec<usize> = Vec::new();
+            let mut rvs: Vec<usize> = Vec::new();
+            for n in &dirty {
+                if let Some(v) = self.node_eps.get(&n.0) {
+                    eps.extend_from_slice(v);
+                }
+                if let Some(v) = self.node_rvs.get(&n.0) {
+                    rvs.extend_from_slice(v);
+                }
+            }
+            // Timer fires mark dirty at the simulator, but be robust to
+            // timers armed before tracking was switched on.
+            for (n, _) in &fired {
+                if let Some(v) = self.node_eps.get(&n.0) {
+                    eps.extend_from_slice(v);
+                }
+            }
+            eps.sort_unstable();
+            eps.dedup();
+            rvs.sort_unstable();
+            rvs.dedup();
+            for i in eps {
+                self.service_endpoint(i, &fired);
+            }
+            for i in rvs {
+                self.service_rendezvous(i);
+            }
+        } else {
+            self.process_endpoints(&fired);
+            self.process_rendezvous();
+        }
     }
 
     fn process_endpoints(&mut self, fired: &[(NodeId, u64)]) {
         for i in 0..self.endpoints.len() {
-            // Accept new control connections.
-            loop {
-                let ep = &mut self.endpoints[i];
-                let Some(conn) = self.sim.tcp_accept(ep.node, ep.port) else {
-                    break;
-                };
-                let sid = ep.next_sid;
-                ep.next_sid += 1;
-                ep.agent.on_session_open(sid);
-                ep.sessions.insert(sid, SessionConn { conn, decoder: FrameDecoder::new() });
-            }
+            self.service_endpoint(i, fired);
+        }
+    }
 
-            let node = self.endpoints[i].node;
+    fn service_endpoint(&mut self, i: usize, fired: &[(NodeId, u64)]) {
+        // Accept new control connections.
+        loop {
+            let ep = &mut self.endpoints[i];
+            let Some(conn) = self.sim.tcp_accept(ep.node, ep.port) else {
+                break;
+            };
+            let sid = ep.next_sid;
+            ep.next_sid += 1;
+            ep.agent.on_session_open(sid);
+            ep.sessions.insert(sid, SessionConn { conn, decoder: FrameDecoder::new() });
+        }
 
-            // Deferred OS packets: capture + disposition.
-            let pending = self.sim.take_pending_os(node);
-            for (time, pkt) in pending {
-                let (disposition, out) = {
-                    let ep = &mut self.endpoints[i];
-                    let mut stack = SimStack {
-                        sim: self.sim.shard_mut(node),
-                        node,
-                        ext_addr: ep.ext_addr,
-                        raw_ok: ep.raw_ok,
-                    };
-                    ep.agent.on_packet(time, &pkt, &mut stack)
-                };
-                if disposition != RawDisposition::Consume {
-                    self.sim.os_process(node, &pkt);
-                }
-                self.send_frames(i, out);
-            }
+        let node = self.endpoints[i].node;
 
-            // Timers for this node.
-            for (t_node, key) in fired {
-                if *t_node == node {
-                    let out = {
-                        let ep = &mut self.endpoints[i];
-                        let mut stack = SimStack {
-                            sim: self.sim.shard_mut(node),
-                            node,
-                            ext_addr: ep.ext_addr,
-                            raw_ok: ep.raw_ok,
-                        };
-                        ep.agent.on_wakeup(*key, &mut stack)
-                    };
-                    self.send_frames(i, out);
-                }
-            }
-
-            // Drain control connections.
-            let sids: Vec<u64> = self.endpoints[i].sessions.keys().copied().collect();
-            for sid in sids {
-                let (conn, closed) = {
-                    let ep = &self.endpoints[i];
-                    let sc = &ep.sessions[&sid];
-                    let dead = self.sim.tcp_closed(node, sc.conn)
-                        || self.sim.tcp_peer_done(node, sc.conn);
-                    (sc.conn, dead)
-                };
-                // Read available stream data.
-                loop {
-                    let data = self.sim.tcp_recv(node, conn, 65536);
-                    if data.is_empty() {
-                        break;
-                    }
-                    self.endpoints[i]
-                        .sessions
-                        .get_mut(&sid)
-                        .unwrap()
-                        .decoder
-                        .extend(&data);
-                }
-                loop {
-                    let frame = {
-                        let ep = &mut self.endpoints[i];
-                        match ep.sessions.get_mut(&sid).unwrap().decoder.next_message() {
-                            Ok(Some(m)) => Some(m),
-                            Ok(None) => None,
-                            Err(_) => {
-                                // Corrupt stream: drop the session.
-                                None
-                            }
-                        }
-                    };
-                    let Some(msg) = frame else { break };
-                    let out = {
-                        let ep = &mut self.endpoints[i];
-                        let mut stack = SimStack {
-                            sim: self.sim.shard_mut(node),
-                            node,
-                            ext_addr: ep.ext_addr,
-                            raw_ok: ep.raw_ok,
-                        };
-                        ep.agent.on_message(sid, msg, &mut stack)
-                    };
-                    self.send_frames(i, out);
-                }
-                if closed {
-                    let out = {
-                        let ep = &mut self.endpoints[i];
-                        ep.sessions.remove(&sid);
-                        let mut stack = SimStack {
-                            sim: self.sim.shard_mut(node),
-                            node,
-                            ext_addr: ep.ext_addr,
-                            raw_ok: ep.raw_ok,
-                        };
-                        ep.agent.on_session_closed(sid, &mut stack)
-                    };
-                    self.send_frames(i, out);
-                }
-            }
-
-            // Rendezvous announcements.
-            self.drain_endpoint_rendezvous(i);
-
-            // Periodic service.
-            let out = {
+        // Deferred OS packets: capture + disposition.
+        let pending = self.sim.take_pending_os(node);
+        for (time, pkt) in pending {
+            let (disposition, out) = {
                 let ep = &mut self.endpoints[i];
                 let mut stack = SimStack {
                     sim: self.sim.shard_mut(node),
@@ -441,10 +441,110 @@ impl SimNet {
                     ext_addr: ep.ext_addr,
                     raw_ok: ep.raw_ok,
                 };
-                ep.agent.service(&mut stack)
+                ep.agent.on_packet(time, &pkt, &mut stack)
             };
+            if disposition != RawDisposition::Consume {
+                self.sim.os_process(node, &pkt);
+            }
             self.send_frames(i, out);
         }
+
+        // Timers for this node.
+        for (t_node, key) in fired {
+            if *t_node == node {
+                let out = {
+                    let ep = &mut self.endpoints[i];
+                    let mut stack = SimStack {
+                        sim: self.sim.shard_mut(node),
+                        node,
+                        ext_addr: ep.ext_addr,
+                        raw_ok: ep.raw_ok,
+                    };
+                    ep.agent.on_wakeup(*key, &mut stack)
+                };
+                self.send_frames(i, out);
+            }
+        }
+
+        // Drain control connections.
+        let sids: Vec<u64> = self.endpoints[i].sessions.keys().copied().collect();
+        for sid in sids {
+            let (conn, closed) = {
+                let ep = &self.endpoints[i];
+                let sc = &ep.sessions[&sid];
+                let dead = self.sim.tcp_closed(node, sc.conn)
+                    || self.sim.tcp_peer_done(node, sc.conn);
+                (sc.conn, dead)
+            };
+            // Read available stream data.
+            loop {
+                let data = self.sim.tcp_recv(node, conn, 65536);
+                if data.is_empty() {
+                    break;
+                }
+                self.endpoints[i]
+                    .sessions
+                    .get_mut(&sid)
+                    .unwrap()
+                    .decoder
+                    .extend(&data);
+            }
+            loop {
+                let frame = {
+                    let ep = &mut self.endpoints[i];
+                    match ep.sessions.get_mut(&sid).unwrap().decoder.next_message() {
+                        Ok(Some(m)) => Some(m),
+                        Ok(None) => None,
+                        Err(_) => {
+                            // Corrupt stream: drop the session.
+                            None
+                        }
+                    }
+                };
+                let Some(msg) = frame else { break };
+                let out = {
+                    let ep = &mut self.endpoints[i];
+                    let mut stack = SimStack {
+                        sim: self.sim.shard_mut(node),
+                        node,
+                        ext_addr: ep.ext_addr,
+                        raw_ok: ep.raw_ok,
+                    };
+                    ep.agent.on_message(sid, msg, &mut stack)
+                };
+                self.send_frames(i, out);
+            }
+            if closed {
+                let out = {
+                    let ep = &mut self.endpoints[i];
+                    ep.sessions.remove(&sid);
+                    let mut stack = SimStack {
+                        sim: self.sim.shard_mut(node),
+                        node,
+                        ext_addr: ep.ext_addr,
+                        raw_ok: ep.raw_ok,
+                    };
+                    ep.agent.on_session_closed(sid, &mut stack)
+                };
+                self.send_frames(i, out);
+            }
+        }
+
+        // Rendezvous announcements.
+        self.drain_endpoint_rendezvous(i);
+
+        // Periodic service.
+        let out = {
+            let ep = &mut self.endpoints[i];
+            let mut stack = SimStack {
+                sim: self.sim.shard_mut(node),
+                node,
+                ext_addr: ep.ext_addr,
+                raw_ok: ep.raw_ok,
+            };
+            ep.agent.service(&mut stack)
+        };
+        self.send_frames(i, out);
     }
 
     fn drain_endpoint_rendezvous(&mut self, i: usize) {
@@ -494,63 +594,93 @@ impl SimNet {
 
     fn process_rendezvous(&mut self) {
         for i in 0..self.rendezvous.len() {
+            self.service_rendezvous(i);
+        }
+    }
+
+    fn service_rendezvous(&mut self, i: usize) {
+        loop {
+            let rv = &mut self.rendezvous[i];
+            let Some(conn) = self.sim.tcp_accept(rv.node, rv.port) else {
+                break;
+            };
+            let sid = rv.next_sid;
+            rv.next_sid += 1;
+            rv.sessions.insert(sid, SessionConn { conn, decoder: FrameDecoder::new() });
+        }
+        let node = self.rendezvous[i].node;
+        // Service sessions in sid order — HashMap iteration order must
+        // never decide who is drained (and thus who publishes) first.
+        let mut sids: Vec<u64> = self.rendezvous[i].sessions.keys().copied().collect();
+        sids.sort_unstable();
+        for sid in sids {
+            // A session can be pruned mid-pass when a publish batch finds
+            // its connection already closed; skip it here rather than
+            // draining a stale slot.
+            let Some((conn, closed)) = self.rendezvous[i]
+                .sessions
+                .get(&sid)
+                .map(|sc| sc.conn)
+                .map(|c| {
+                    (c, self.sim.tcp_closed(node, c) || self.sim.tcp_peer_done(node, c))
+                })
+            else {
+                continue;
+            };
             loop {
-                let rv = &mut self.rendezvous[i];
-                let Some(conn) = self.sim.tcp_accept(rv.node, rv.port) else {
+                let data = self.sim.tcp_recv(node, conn, 65536);
+                if data.is_empty() {
                     break;
-                };
-                let sid = rv.next_sid;
-                rv.next_sid += 1;
-                rv.sessions.insert(sid, SessionConn { conn, decoder: FrameDecoder::new() });
+                }
+                self.rendezvous[i]
+                    .sessions
+                    .get_mut(&sid)
+                    .unwrap()
+                    .decoder
+                    .extend(&data);
             }
-            let node = self.rendezvous[i].node;
-            let sids: Vec<u64> = self.rendezvous[i].sessions.keys().copied().collect();
-            for sid in sids {
-                let (conn, closed) = {
-                    let rv = &self.rendezvous[i];
-                    let sc = &rv.sessions[&sid];
-                    (sc.conn, self.sim.tcp_closed(node, sc.conn))
-                };
-                loop {
-                    let data = self.sim.tcp_recv(node, conn, 65536);
-                    if data.is_empty() {
-                        break;
-                    }
-                    self.rendezvous[i]
-                        .sessions
+            loop {
+                let payload = {
+                    let rv = &mut self.rendezvous[i];
+                    rv.sessions
                         .get_mut(&sid)
                         .unwrap()
                         .decoder
-                        .extend(&data);
-                }
-                loop {
-                    let payload = {
-                        let rv = &mut self.rendezvous[i];
-                        rv.sessions
-                            .get_mut(&sid)
-                            .unwrap()
-                            .decoder
-                            .next_frame()
-                            .unwrap_or(None)
-                    };
-                    let Some(payload) = payload else { break };
-                    let Some(msg) = RvMessage::decode(&payload) else { continue };
-                    let replies = self.rendezvous[i].server.on_message(sid, msg);
-                    for (to_sid, reply) in replies {
-                        let to_conn = self.rendezvous[i]
-                            .sessions
-                            .get(&to_sid)
-                            .map(|sc| sc.conn);
-                        if let Some(c) = to_conn {
+                        .next_frame()
+                        .unwrap_or(None)
+                };
+                let Some(payload) = payload else { break };
+                let Some(msg) = RvMessage::decode(&payload) else { continue };
+                let replies = self.rendezvous[i].server.on_message(sid, msg);
+                for (to_sid, reply) in replies {
+                    let to_conn = self.rendezvous[i]
+                        .sessions
+                        .get(&to_sid)
+                        .map(|sc| sc.conn);
+                    match to_conn {
+                        Some(c)
+                            if !self.sim.tcp_closed(node, c)
+                                && !self.sim.tcp_peer_done(node, c) =>
+                        {
                             let frame = rv_frame(&reply);
                             self.sim.tcp_send(node, c, &frame);
                         }
+                        Some(_) => {
+                            // The subscriber hung up during the publish
+                            // batch: its sid still maps to a dead
+                            // connection. Waking it would queue bytes on
+                            // a closed socket — drop the session now so
+                            // the rest of the batch sees it gone.
+                            self.rendezvous[i].sessions.remove(&to_sid);
+                            self.rendezvous[i].server.on_session_closed(to_sid);
+                        }
+                        None => {}
                     }
                 }
-                if closed {
-                    self.rendezvous[i].sessions.remove(&sid);
-                    self.rendezvous[i].server.on_session_closed(sid);
-                }
+            }
+            if closed && self.rendezvous[i].sessions.contains_key(&sid) {
+                self.rendezvous[i].sessions.remove(&sid);
+                self.rendezvous[i].server.on_session_closed(sid);
             }
         }
     }

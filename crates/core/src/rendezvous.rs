@@ -324,8 +324,13 @@ impl RendezvousServer {
         self.published.push(exp);
 
         let mut out = vec![(sid, RvMessage::PublishOk)];
-        // Broadcast to subscribers on any matching channel.
-        for (&sub, sub_channels) in &self.subscribers {
+        // Broadcast to subscribers on any matching channel, in sid order —
+        // HashMap iteration order must never decide announce order, or two
+        // replays of the same publish would wake subscribers differently.
+        let mut subs: Vec<u64> = self.subscribers.keys().copied().collect();
+        subs.sort_unstable();
+        for sub in subs {
+            let sub_channels = &self.subscribers[&sub];
             if channels.iter().any(|c| sub_channels.contains(c)) {
                 out.push((
                     sub,

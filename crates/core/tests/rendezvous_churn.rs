@@ -10,13 +10,7 @@ use packetlab::rendezvous::{RendezvousServer, RvMessage};
 use plab_crypto::{KeyHash, Keypair};
 use plab_obs::metrics::{counter, gauge, MetricValue};
 
-fn publish(
-    server: &mut RendezvousServer,
-    sid: u64,
-    name: &str,
-    rv_operator: &Keypair,
-    experimenter: &Keypair,
-) -> Vec<(u64, RvMessage)> {
+fn publish_message(name: &str, rv_operator: &Keypair, experimenter: &Keypair) -> RvMessage {
     let deleg = Certificate::sign(
         rv_operator,
         CertPayload::Delegation(KeyHash::of(&experimenter.public)),
@@ -33,14 +27,21 @@ fn publish(
         CertPayload::Experiment(descriptor.hash()),
         Restrictions::none(),
     );
-    server.on_message(
-        sid,
-        RvMessage::Publish {
-            descriptor: descriptor.encode(),
-            chain: vec![deleg.encode(), leaf.encode()],
-            keys: vec![*rv_operator.public.as_bytes(), *experimenter.public.as_bytes()],
-        },
-    )
+    RvMessage::Publish {
+        descriptor: descriptor.encode(),
+        chain: vec![deleg.encode(), leaf.encode()],
+        keys: vec![*rv_operator.public.as_bytes(), *experimenter.public.as_bytes()],
+    }
+}
+
+fn publish(
+    server: &mut RendezvousServer,
+    sid: u64,
+    name: &str,
+    rv_operator: &Keypair,
+    experimenter: &Keypair,
+) -> Vec<(u64, RvMessage)> {
+    server.on_message(sid, publish_message(name, rv_operator, experimenter))
 }
 
 #[test]
@@ -97,4 +98,109 @@ fn subscriber_churn_leaks_no_slots() {
         other => panic!("expected histogram, got {other:?}"),
     }
     plab_obs::disable();
+}
+
+/// A subscriber that hangs up while a publish is in flight must not be
+/// woken on its stale slot: the harness prunes the dead session during
+/// the fan-out batch, the announce reaches only live subscribers, and
+/// the whole interleaving replays bit-identically.
+#[test]
+fn churn_during_publish_skips_stale_slots() {
+    use packetlab::harness::{SimNet, RENDEZVOUS_PORT};
+    use packetlab::wire::FrameDecoder;
+    use plab_netsim::{LinkParams, TopologyBuilder, SECOND};
+    use std::net::Ipv4Addr;
+
+    fn frame(msg: &RvMessage) -> Vec<u8> {
+        let payload = msg.encode();
+        let mut out = Vec::with_capacity(4 + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    let run = || {
+        plab_obs::enable();
+        plab_obs::reset();
+        let rv_operator = Keypair::from_seed(&[1; 32]);
+        let experimenter = Keypair::from_seed(&[2; 32]);
+        let channel = KeyHash::of(&rv_operator.public).0;
+
+        let mut t = TopologyBuilder::new();
+        let r = t.router("r", Ipv4Addr::new(10, 0, 0, 254));
+        let rv = t.host("rv", Ipv4Addr::new(10, 0, 0, 1));
+        let publisher = t.host("pub", Ipv4Addr::new(10, 0, 0, 2));
+        let sub1 = t.host("sub1", Ipv4Addr::new(10, 0, 0, 3));
+        let sub2 = t.host("sub2", Ipv4Addr::new(10, 0, 0, 4));
+        for h in [rv, publisher, sub1, sub2] {
+            t.link(r, h, LinkParams::new(1, 0));
+        }
+        let mut net = SimNet::new(t.build());
+        net.add_rendezvous(
+            rv,
+            RendezvousServer::new(vec![KeyHash::of(&rv_operator.public)], 1_700_000_000),
+        );
+        let rv_addr = Ipv4Addr::new(10, 0, 0, 1);
+
+        // The publisher connects first, taking the lowest sid: its publish
+        // drains before the subscriber slots in the same servicing pass —
+        // the ordering that exposes a stale slot.
+        let pub_conn = net.sim.tcp_connect(publisher, rv_addr, RENDEZVOUS_PORT);
+        net.run_until(SECOND);
+        let c1 = net.sim.tcp_connect(sub1, rv_addr, RENDEZVOUS_PORT);
+        net.sim.tcp_send(sub1, c1, &frame(&RvMessage::Subscribe { channels: vec![channel] }));
+        let c2 = net.sim.tcp_connect(sub2, rv_addr, RENDEZVOUS_PORT);
+        net.sim.tcp_send(sub2, c2, &frame(&RvMessage::Subscribe { channels: vec![channel] }));
+        net.run_until(2 * SECOND);
+        assert_eq!(net.rendezvous_server(0).subscriber_count(), 2);
+
+        // sub1 unsubscribes (hangs up) exactly as a publish goes out.
+        // Deliver the FIN and the publish bytes with *no* harness
+        // servicing in between — one pass then sees a publish batch whose
+        // subscriber set still names the departed session.
+        net.sim.tcp_close(sub1, c1);
+        let msg = publish_message("churn-mid-publish", &rv_operator, &experimenter);
+        net.sim.tcp_send(publisher, pub_conn, &frame(&msg));
+        let deadline = net.sim.now() + SECOND;
+        net.sim.run_until(deadline);
+        net.process();
+
+        // The stale slot was pruned inside the batch, not woken.
+        assert_eq!(
+            net.rendezvous_server(0).subscriber_count(),
+            1,
+            "departed subscriber still holds a slot after the publish batch"
+        );
+
+        // The live subscriber gets the announce.
+        net.run_until(net.sim.now() + SECOND);
+        let mut dec = FrameDecoder::new();
+        loop {
+            let data = net.sim.tcp_recv(sub2, c2, 65536);
+            if data.is_empty() {
+                break;
+            }
+            dec.extend(&data);
+        }
+        let mut announces = 0u32;
+        while let Ok(Some(payload)) = dec.next_frame() {
+            if let Some(RvMessage::Announce { .. }) = RvMessage::decode(&payload) {
+                announces += 1;
+            }
+        }
+        assert_eq!(announces, 1, "live subscriber missed the announce");
+
+        // The departed subscriber was never woken: nothing readable
+        // beyond what its own close already drained.
+        assert!(net.sim.tcp_recv(sub1, c1, 65536).is_empty());
+
+        let published = counter("rendezvous.publishes");
+        let announced = counter("rendezvous.announces");
+        plab_obs::disable();
+        (published, announced, net.sim.now())
+    };
+
+    // Same world, same interleaving: the run is a pure function of the
+    // spec even with churn inside the publish batch.
+    assert_eq!(run(), run());
 }

@@ -42,6 +42,7 @@ pub mod link;
 pub mod nat;
 pub mod node;
 pub mod pool;
+pub mod roster;
 pub mod routing;
 pub mod shard;
 pub mod sim;

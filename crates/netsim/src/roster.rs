@@ -1,0 +1,236 @@
+//! Fleet roster topologies: paired controller/endpoint hosts over pod
+//! worlds with manual routes, sized for thousands of measurement
+//! endpoints (the substrate `plab-runner` orchestrates over).
+//!
+//! The shape mirrors the scale-sweep pod worlds: a core router with one
+//! 2 ms uplink per pod (the uplink latency is the sharded lookahead
+//! window), pods of 64 hosts behind a pod router, and manual routes so
+//! construction skips the O(n²) BFS. Controllers and endpoints live in
+//! *separate* pods — pair `i`'s controller sits in controller-pod
+//! `i / 64` and its endpoint in endpoint-pod `i / 64` — so every
+//! control message and measurement probe crosses
+//! `controller → pod router → core → pod router → endpoint`, a
+//! four-hop path worth tracerouting and, at `shards > 1`, a genuine
+//! cross-shard exchange.
+//!
+//! Everything here is pure topology: nodes, links, addresses, routes,
+//! shard assignment. Attaching endpoint agents and control listeners is
+//! the harness's job.
+
+use crate::link::LinkParams;
+use crate::node::NodeId;
+use crate::shard::ShardedSim;
+use crate::topology::TopologyBuilder;
+use std::net::Ipv4Addr;
+
+/// Hosts per pod (shared with the scale-sweep pod worlds).
+pub const HOSTS_PER_POD: usize = 64;
+
+/// Uplink (pod ↔ core) one-way latency in milliseconds. This is the
+/// minimum cross-shard link latency, i.e. the conservative-lookahead
+/// window of the sharded world.
+pub const UPLINK_MS: u64 = 2;
+
+/// How to build a roster world.
+#[derive(Debug, Clone, Copy)]
+pub struct RosterSpec {
+    /// Number of controller/endpoint pairs.
+    pub pairs: usize,
+    /// Shard count for the [`ShardedSim`].
+    pub shards: usize,
+    /// OS threads for the windowed advance (1 = sequential; the result
+    /// is bit-identical either way).
+    pub threads: usize,
+    /// World RNG seed.
+    pub seed: u64,
+    /// Endpoint access-link bandwidth, Mbit/s (0 = infinite). Finite
+    /// values make the §4 uplink-bandwidth program measure something.
+    pub access_mbps: u64,
+}
+
+/// One controller/endpoint pair of a built roster.
+#[derive(Debug, Clone, Copy)]
+pub struct RosterPair {
+    /// The controller's host node.
+    pub controller: NodeId,
+    /// The measurement endpoint's host node.
+    pub endpoint: NodeId,
+    /// The controller host's address.
+    pub controller_addr: Ipv4Addr,
+    /// The endpoint host's address.
+    pub endpoint_addr: Ipv4Addr,
+}
+
+/// A built roster world.
+pub struct RosterWorld {
+    /// The sharded simulator.
+    pub sim: ShardedSim,
+    /// All pairs, in roster order.
+    pub pairs: Vec<RosterPair>,
+    /// Pods per side (controller pods == endpoint pods).
+    pub pods: usize,
+}
+
+fn ctrl_host_addr(pod: usize, j: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 32 + pod as u8, (j / 200) as u8, (j % 200) as u8 + 1)
+}
+
+fn ep_host_addr(pod: usize, j: usize) -> Ipv4Addr {
+    Ipv4Addr::new(11, 32 + pod as u8, (j / 200) as u8, (j % 200) as u8 + 1)
+}
+
+/// Build a paired pod world per `spec`. Node creation order, link
+/// order, shard assignment, and routes are all pure functions of the
+/// spec, so two builds from the same spec are identical worlds.
+pub fn build_roster(spec: &RosterSpec) -> RosterWorld {
+    assert!(spec.pairs > 0, "empty roster");
+    assert!(spec.shards > 0, "need at least one shard");
+    let pods = spec.pairs.div_ceil(HOSTS_PER_POD);
+    assert!(pods <= 200, "roster capped at {} pairs", 200 * HOSTS_PER_POD);
+
+    let mut t = TopologyBuilder::new();
+    t.seed(spec.seed);
+    t.manual_routes();
+
+    let core = t.router("core", Ipv4Addr::new(10, 0, 0, 254));
+
+    // Pod routers + uplinks first: core iface p == controller pod p,
+    // core iface pods + p == endpoint pod p (interfaces are allocated
+    // in link-creation order).
+    let uplink = LinkParams::new(UPLINK_MS, 0);
+    let ctrl_pods: Vec<NodeId> = (0..pods)
+        .map(|p| {
+            let r = t.router(&format!("cpod{p}"), Ipv4Addr::new(10, 32 + p as u8, 255, 254));
+            t.link(core, r, uplink);
+            r
+        })
+        .collect();
+    let ep_pods: Vec<NodeId> = (0..pods)
+        .map(|p| {
+            let r = t.router(&format!("epod{p}"), Ipv4Addr::new(11, 32 + p as u8, 255, 254));
+            t.link(core, r, uplink);
+            r
+        })
+        .collect();
+
+    // Hosts. Controller links are fast and clean; endpoint access links
+    // carry the (optionally finite) measured bandwidth.
+    let ctrl_link = LinkParams::new(1, 0);
+    let ep_link = LinkParams::new(1, spec.access_mbps);
+    let mut pairs = Vec::with_capacity(spec.pairs);
+    for i in 0..spec.pairs {
+        let (p, j) = (i / HOSTS_PER_POD, i % HOSTS_PER_POD);
+        let ca = ctrl_host_addr(p, j);
+        let ea = ep_host_addr(p, j);
+        let c = t.host(&format!("c{i}"), ca);
+        t.link(ctrl_pods[p], c, ctrl_link);
+        let e = t.host(&format!("e{i}"), ea);
+        t.link(ep_pods[p], e, ep_link);
+        pairs.push(RosterPair {
+            controller: c,
+            endpoint: e,
+            controller_addr: ca,
+            endpoint_addr: ea,
+        });
+    }
+
+    // Shard assignment: the core lives on shard 0; controller pod p and
+    // its hosts on shard p % shards, endpoint pod p and its hosts on
+    // (pods + p) % shards — paired pods generally land on different
+    // shards, so control traffic exercises the boundary exchange.
+    let total_nodes = 1 + 2 * pods + 2 * spec.pairs;
+    let mut shard_of = vec![0usize; total_nodes];
+    for (p, r) in ctrl_pods.iter().enumerate() {
+        shard_of[r.0] = p % spec.shards;
+    }
+    for (p, r) in ep_pods.iter().enumerate() {
+        shard_of[r.0] = (pods + p) % spec.shards;
+    }
+    for (i, pr) in pairs.iter().enumerate() {
+        let p = i / HOSTS_PER_POD;
+        shard_of[pr.controller.0] = p % spec.shards;
+        shard_of[pr.endpoint.0] = (pods + p) % spec.shards;
+    }
+
+    let mut sim = t.build_sharded(&shard_of, spec.threads);
+
+    // Manual routes. Core: one exact route per host toward its pod's
+    // uplink interface. Pod routers: default to the uplink (iface 0,
+    // created first), hosts on ifaces 1 + j. Hosts got their default
+    // route at assembly.
+    for (i, pr) in pairs.iter().enumerate() {
+        let p = i / HOSTS_PER_POD;
+        sim.install_route(core, pr.controller_addr, p);
+        sim.install_route(core, pr.endpoint_addr, pods + p);
+    }
+    for (p, r) in ctrl_pods.iter().enumerate() {
+        sim.set_default_route(*r, 0);
+        for j in 0..HOSTS_PER_POD.min(spec.pairs - p * HOSTS_PER_POD) {
+            sim.install_route(*r, ctrl_host_addr(p, j), 1 + j);
+        }
+    }
+    for (p, r) in ep_pods.iter().enumerate() {
+        sim.set_default_route(*r, 0);
+        for j in 0..HOSTS_PER_POD.min(spec.pairs - p * HOSTS_PER_POD) {
+            sim.install_route(*r, ep_host_addr(p, j), 1 + j);
+        }
+    }
+
+    RosterWorld { sim, pairs, pods }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_addresses_are_unique() {
+        let w = build_roster(&RosterSpec {
+            pairs: 130,
+            shards: 2,
+            threads: 1,
+            seed: 7,
+            access_mbps: 0,
+        });
+        let mut addrs: Vec<Ipv4Addr> = w
+            .pairs
+            .iter()
+            .flat_map(|p| [p.controller_addr, p.endpoint_addr])
+            .collect();
+        addrs.sort();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 260);
+        assert_eq!(w.pods, 3);
+    }
+
+    #[test]
+    fn roster_pairs_can_reach_each_other() {
+        let mut w = build_roster(&RosterSpec {
+            pairs: 65,
+            shards: 4,
+            threads: 1,
+            seed: 7,
+            access_mbps: 0,
+        });
+        // Last pair spans pod 1 on both sides: ping endpoint from
+        // controller through core and assert the echo comes back.
+        let pr = w.pairs[64];
+        let sock = w.sim.raw_open(pr.controller);
+        let probe = plab_packet::builder::icmp_echo_request(
+            pr.controller_addr,
+            pr.endpoint_addr,
+            32,
+            7,
+            1,
+            &[],
+        );
+        w.sim.raw_send(pr.controller, probe);
+        w.sim.run_until(crate::time::SECOND);
+        let got = w.sim.raw_recv(pr.controller, sock);
+        assert!(
+            !got.is_empty(),
+            "echo reply crosses pods: {:?}",
+            w.sim.shard_count()
+        );
+    }
+}

@@ -369,6 +369,24 @@ impl ShardedSim {
         out
     }
 
+    /// See [`Sim::set_track_dirty`]. Applied to every shard.
+    pub fn set_track_dirty(&mut self, on: bool) {
+        for s in &mut self.shards {
+            s.set_track_dirty(on);
+        }
+    }
+
+    /// See [`Sim::take_dirty_nodes`]. Concatenated in shard order, so
+    /// the merged sequence is a pure function of `(seed, shard_count)`
+    /// like every other cross-shard observable.
+    pub fn take_dirty_nodes(&mut self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for s in &mut self.shards {
+            out.append(&mut s.take_dirty_nodes());
+        }
+        out
+    }
+
     /// See [`Sim::schedule_send`].
     pub fn schedule_send(&mut self, node: NodeId, time: SimTime, packet: Vec<u8>, tag: u64) {
         self.shard_mut(node).schedule_send(node, time, packet, tag);

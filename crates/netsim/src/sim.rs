@@ -79,6 +79,13 @@ pub struct Sim {
     /// throughput accounting for windowed advances, where the driver
     /// never sees individual steps).
     processed: u64,
+    /// Opt-in dirty-node tracking for fleet-scale harnesses: when
+    /// enabled, event processing records which nodes it touched so a
+    /// driver servicing thousands of hosts can visit only those instead
+    /// of scanning the whole roster per event.
+    track_dirty: bool,
+    dirty_nodes: Vec<usize>,
+    dirty_mark: Vec<bool>,
 }
 
 impl Sim {
@@ -102,7 +109,43 @@ impl Sim {
             pool: BufPool::new(),
             shard: None,
             processed: 0,
+            track_dirty: false,
+            dirty_nodes: Vec::new(),
+            dirty_mark: Vec::new(),
         }
+    }
+
+    /// Enable (or disable) dirty-node tracking. While enabled,
+    /// [`Sim::take_dirty_nodes`] drains the set of nodes whose
+    /// harness-visible state (inboxes, TCP connections, timers, send
+    /// log) may have changed since the previous drain. Off by default:
+    /// the dense pump pays nothing for it.
+    pub fn set_track_dirty(&mut self, on: bool) {
+        self.track_dirty = on;
+        self.dirty_mark = vec![false; self.nodes.len()];
+        self.dirty_nodes.clear();
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, node: usize) {
+        if self.track_dirty && !self.dirty_mark[node] {
+            self.dirty_mark[node] = true;
+            self.dirty_nodes.push(node);
+        }
+    }
+
+    /// Drain nodes touched since the last drain, in first-touch (event
+    /// processing) order — a pure function of the event sequence, so
+    /// replays observe the same order. Empty unless
+    /// [`Sim::set_track_dirty`] is on.
+    pub fn take_dirty_nodes(&mut self) -> Vec<NodeId> {
+        if self.dirty_nodes.is_empty() {
+            return Vec::new();
+        }
+        for &n in &self.dirty_nodes {
+            self.dirty_mark[n] = false;
+        }
+        self.dirty_nodes.drain(..).map(NodeId).collect()
     }
 
     /// Mark this sim as shard `index` of a sharded world: nodes whose
@@ -257,6 +300,7 @@ impl Sim {
                     });
                     return true;
                 }
+                self.mark_dirty(node);
                 self.send_log.push((NodeId(node), tag, self.time));
                 self.send_from(NodeId(node), packet);
             }
@@ -264,11 +308,13 @@ impl Sim {
                 if self.nodes[node].crashed {
                     return true;
                 }
+                self.mark_dirty(node);
                 let now = self.time;
                 let out = self.nodes[node].host_mut().tcp.tick(now, conn);
                 self.dispatch_tcp(NodeId(node), out);
             }
             EventKind::Timer { node, key } => {
+                self.mark_dirty(node);
                 self.fired_timers.push((NodeId(node), key));
             }
             EventKind::Fault { action } => {
@@ -434,6 +480,7 @@ impl Sim {
         n.crashed = true;
         n.host = Some(Default::default());
         plab_obs::obs_event!(plab_obs::Component::Netsim, "node.crash", "node" = node.0);
+        self.mark_dirty(node.0);
         self.node_transitions.push(NodeTransition::Crashed(node));
     }
 
@@ -448,6 +495,7 @@ impl Sim {
         n.crashed = false;
         n.host = Some(Default::default());
         plab_obs::obs_event!(plab_obs::Component::Netsim, "node.restart", "node" = node.0);
+        self.mark_dirty(node.0);
         self.node_transitions.push(NodeTransition::Restarted(node));
     }
 
@@ -897,6 +945,7 @@ impl Sim {
 
     /// Host-side packet delivery: raw sockets, then OS or deferred OS.
     fn host_receive(&mut self, node: usize, packet: Frame) {
+        self.mark_dirty(node);
         let now = self.time;
         let host = self.nodes[node].host_mut();
         for raw in host.raw.values_mut() {

@@ -22,11 +22,13 @@ pub enum Component {
     Pfvm = 4,
     /// Harness-level markers (scenario start/end, world build).
     Harness = 5,
+    /// Fleet orchestration (scheduling decisions, launches, outcomes).
+    Runner = 6,
 }
 
 impl Component {
     /// Number of components (ring buffers per flight recorder).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// All components, in ring order.
     pub const ALL: [Component; Component::COUNT] = [
@@ -36,6 +38,7 @@ impl Component {
         Component::Netsim,
         Component::Pfvm,
         Component::Harness,
+        Component::Runner,
     ];
 
     /// Stable lowercase name, used by exporters.
@@ -47,6 +50,7 @@ impl Component {
             Component::Netsim => "netsim",
             Component::Pfvm => "pfvm",
             Component::Harness => "harness",
+            Component::Runner => "runner",
         }
     }
 }
@@ -203,6 +207,7 @@ thread_local! {
     static RECORDER: RefCell<Recorder> = const {
         RefCell::new(Recorder {
             rings: [
+                Ring::new(),
                 Ring::new(),
                 Ring::new(),
                 Ring::new(),

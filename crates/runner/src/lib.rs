@@ -1,0 +1,38 @@
+//! # plab-runner — fleet orchestration for PacketLab
+//!
+//! The paper's premise is that one experimenter logic runs unchanged
+//! across many measurement endpoints (§1); this crate supplies the layer
+//! that premise is useless without: a scheduler that fans a single
+//! **experiment spec** (certificate chain + Cpf monitor + measurement
+//! program, [`spec`]) over a **roster** of thousands of simulated
+//! endpoints ([`plab_netsim::roster`]) under a **scheduler config**
+//! ([`config`]: concurrency cap, token-bucket rate limits, retry/backoff
+//! budget), and emits a machine-readable **run report** ([`report`]:
+//! JSON-SEQ event stream, aggregate summary with percentile histograms,
+//! rotated result files).
+//!
+//! The experiment code itself is the unmodified blocking measurement
+//! library (`packetlab::controller::experiments`) driven through
+//! [`packetlab::controller::robust::RobustController`] — exactly what a
+//! single-endpoint run uses. Each in-flight experiment runs on its own OS
+//! thread against a proxy channel ([`exec::FleetChannel`]); a baton
+//! protocol guarantees **exactly one thread runs at any instant**, so the
+//! scheduler's interleaving is a pure function of virtual time and the
+//! run report is bit-identical across replays — including replays where
+//! chaos fault schedules ([`chaos`]) crash and restart endpoints
+//! mid-experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod config;
+pub mod exec;
+pub mod report;
+pub mod spec;
+
+pub use config::{RateLimit, SchedulerConfig};
+pub use chaos::{schedule_fleet_faults, FleetFaultPlan};
+pub use exec::{build_fleet, run_fleet, FleetRun, FleetWorld};
+pub use report::{Detail, Outcome, RunReport, TaskResult};
+pub use spec::{ExperimentSpec, Program};

@@ -1,0 +1,171 @@
+//! Fleet executor smoke tests: small rosters, every program kind, exact
+//! outcome accounting, and replay bit-identity without faults.
+
+use plab_crypto::Keypair;
+use plab_netsim::roster::RosterSpec;
+use plab_runner::{
+    build_fleet, run_fleet, ExperimentSpec, FleetRun, Outcome, Program, RateLimit,
+    SchedulerConfig,
+};
+
+fn run(spec: &ExperimentSpec, roster: &RosterSpec, config: &SchedulerConfig) -> FleetRun {
+    let operator = Keypair::from_seed(&[1; 32]);
+    let experimenter = Keypair::from_seed(&[2; 32]);
+    let world = build_fleet(roster, &operator);
+    run_fleet(world, spec, &operator, &experimenter, config).expect("spec is valid")
+}
+
+fn small_roster() -> RosterSpec {
+    RosterSpec { pairs: 8, shards: 2, threads: 1, seed: 42, access_mbps: 0 }
+}
+
+#[test]
+fn ping_fleet_completes_every_endpoint() {
+    let r = run(
+        &ExperimentSpec::ping("smoke-ping"),
+        &small_roster(),
+        &SchedulerConfig { max_concurrency: 4, ..Default::default() },
+    );
+    assert_eq!(r.results.len(), 8);
+    for t in &r.results {
+        assert_eq!(t.outcome, Outcome::Completed, "endpoint {}: {:?}", t.endpoint, t.cause);
+        match t.detail {
+            plab_runner::Detail::Ping { sent, replies, min_rtt, .. } => {
+                assert_eq!(sent, 2);
+                assert_eq!(replies, 2);
+                assert!(min_rtt > 0, "4-hop path has nonzero RTT");
+            }
+            ref other => panic!("unexpected detail {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn traceroute_fleet_reaches_across_pods() {
+    let spec = ExperimentSpec {
+        program: Program::Traceroute { max_ttl: 8 },
+        ..ExperimentSpec::ping("smoke-trace")
+    };
+    let r = run(&spec, &small_roster(), &SchedulerConfig::default());
+    for t in &r.results {
+        assert_eq!(t.outcome, Outcome::Completed, "endpoint {}: {:?}", t.endpoint, t.cause);
+        match t.detail {
+            plab_runner::Detail::Traceroute { hops, reached } => {
+                assert!(reached, "endpoint {} never reached its controller", t.endpoint);
+                // endpoint → epod → core → cpod → controller = 4 hops.
+                assert_eq!(hops, 4, "endpoint {}", t.endpoint);
+            }
+            ref other => panic!("unexpected detail {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bandwidth_fleet_measures_finite_access_links() {
+    let spec = ExperimentSpec {
+        program: Program::Bandwidth {
+            sink_port: 7000,
+            packets: 8,
+            payload_len: 512,
+            delay_ns: 2_000_000,
+        },
+        ..ExperimentSpec::ping("smoke-bw")
+    };
+    let roster = RosterSpec { access_mbps: 10, ..small_roster() };
+    let r = run(&spec, &roster, &SchedulerConfig { max_concurrency: 2, ..Default::default() });
+    for t in &r.results {
+        assert_eq!(t.outcome, Outcome::Completed, "endpoint {}: {:?}", t.endpoint, t.cause);
+        match t.detail {
+            plab_runner::Detail::Bandwidth { received, kbits_per_sec, .. } => {
+                assert!(received > 0, "endpoint {}", t.endpoint);
+                assert!(kbits_per_sec > 0, "endpoint {}", t.endpoint);
+            }
+            ref other => panic!("unexpected detail {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn monitored_fleet_installs_cpf_monitor() {
+    // A pass-through monitor: the experiment must still complete, proving
+    // the Cpf program rode the certificate chain into every endpoint.
+    let spec = ExperimentSpec {
+        monitor: Some(
+            "uint32_t send(const union packet * pkt, uint32_t len) { return len; }\n\
+             uint32_t recv(const union packet * pkt, uint32_t len) { return len; }"
+                .into(),
+        ),
+        ..ExperimentSpec::ping("smoke-monitored")
+    };
+    let r = run(&spec, &small_roster(), &SchedulerConfig::default());
+    for t in &r.results {
+        assert_eq!(t.outcome, Outcome::Completed, "endpoint {}: {:?}", t.endpoint, t.cause);
+    }
+}
+
+#[test]
+fn rate_limits_stretch_the_schedule() {
+    let fast = run(
+        &ExperimentSpec::ping("smoke-fast"),
+        &small_roster(),
+        &SchedulerConfig::default(),
+    );
+    let slow = run(
+        &ExperimentSpec::ping("smoke-slow"),
+        &small_roster(),
+        &SchedulerConfig {
+            // 1 launch/sec with burst 1: 8 endpoints take ≥ 7 virtual s.
+            launch: RateLimit::per_sec(1, 1),
+            ..Default::default()
+        },
+    );
+    for t in &slow.results {
+        assert_eq!(t.outcome, Outcome::Completed, "endpoint {}: {:?}", t.endpoint, t.cause);
+    }
+    assert!(
+        slow.end_ns >= fast.end_ns + 6 * plab_netsim::SECOND,
+        "launch limiter must stretch the run: fast={} slow={}",
+        fast.end_ns,
+        slow.end_ns
+    );
+}
+
+#[test]
+fn fleet_deadline_aborts_exactly() {
+    let r = run(
+        &ExperimentSpec::ping("smoke-deadline"),
+        &small_roster(),
+        &SchedulerConfig {
+            launch: RateLimit::per_sec(1, 1),
+            // Deep in the stretched schedule: some done, some cut off.
+            fleet_deadline_ns: Some(3 * plab_netsim::SECOND),
+            ..Default::default()
+        },
+    );
+    let completed = r.results.iter().filter(|t| t.outcome == Outcome::Completed).count();
+    let aborted = r.results.iter().filter(|t| t.outcome == Outcome::Aborted).count();
+    let failed = r.results.iter().filter(|t| t.outcome == Outcome::Failed).count();
+    assert_eq!(completed + aborted + failed, 8, "exact accounting");
+    assert!(completed > 0, "some endpoints finish before the deadline");
+    assert!(aborted > 0, "some endpoints are cut off");
+    for t in r.results.iter().filter(|t| t.outcome == Outcome::Aborted) {
+        assert_eq!(t.cause.as_deref(), Some("fleet-deadline"));
+    }
+}
+
+#[test]
+fn replay_is_bit_identical() {
+    let spec = ExperimentSpec::ping("smoke-replay");
+    let config = SchedulerConfig {
+        max_concurrency: 3,
+        launch: RateLimit::per_sec(50, 2),
+        per_endpoint: RateLimit::per_sec(200, 4),
+        ..Default::default()
+    };
+    let a = run(&spec, &small_roster(), &config);
+    let b = run(&spec, &small_roster(), &config);
+    assert_eq!(a.report.digest, b.report.digest, "digests diverge");
+    assert_eq!(a.report.events, b.report.events, "event streams diverge");
+    assert_eq!(a.report.summary, b.report.summary, "summaries diverge");
+    assert_eq!(a.report.json_seq(), b.report.json_seq());
+}
