@@ -226,6 +226,8 @@ pub fn scheduled_send_error(world: &World, ctrl: &mut Controller<SimChannel>) ->
 /// deterministic offset inside a 50 ms window toward a partner on the
 /// far side of the chain; routers forward, partners reply, TTLs are
 /// generous enough that every probe completes.
+pub mod ctrl;
+
 pub mod netsim_scale {
     use plab_netsim::{LinkParams, NodeId, Sim, TopologyBuilder, MILLISECOND};
     use plab_packet::builder;

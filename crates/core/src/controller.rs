@@ -193,6 +193,12 @@ pub fn handshake<C: ControlChannel>(
             }
             nonce
         }
+        // An admission rejection (e.g. `ErrCode::Busy` from an endpoint at
+        // session capacity) arrives before the HelloAck: surface it typed so
+        // the robust reconnect path can classify it.
+        Some(Message::Resp(Response::Err { code, msg })) => {
+            return Err(ControllerError::Endpoint(code, msg))
+        }
         Some(other) => {
             return Err(ControllerError::Protocol(format!("expected HelloAck, got {other:?}")))
         }

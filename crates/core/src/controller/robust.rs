@@ -31,6 +31,10 @@ static M_REPLAYS: plab_obs::metrics::Counter =
     plab_obs::metrics::Counter::new("controller.replays");
 static M_UNREACHABLE: plab_obs::metrics::Counter =
     plab_obs::metrics::Counter::new("controller.unreachable_aborts");
+static M_BUSY: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("controller.busy_rejections");
+static M_SUSPENDED_WAITS: plab_obs::metrics::Counter =
+    plab_obs::metrics::Counter::new("controller.suspended_waits");
 static M_BACKOFF: plab_obs::metrics::Histogram =
     plab_obs::metrics::Histogram::new("controller.backoff_ns");
 
@@ -91,6 +95,10 @@ pub struct RetryStats {
     pub timeouts: u32,
     /// Commands re-sent after a reconnect (replay candidates).
     pub replays: u32,
+    /// Backoff waits spent on `Suspended` refusals before retrying with
+    /// a fresh sequence number (§3.3 contention on a multiplexed
+    /// endpoint).
+    pub suspended_waits: u32,
 }
 
 /// A [`ControlPlane`] that survives control-channel loss.
@@ -232,6 +240,20 @@ impl<D: Dialer> RobustController<D> {
                             self.chan = Some(chan);
                             return Ok(());
                         }
+                        // Admission refusal: the endpoint is at session
+                        // capacity right now. Back off and re-dial — a slot
+                        // frees up when another controller detaches.
+                        Err(ControllerError::Endpoint(crate::wire::ErrCode::Busy, _)) => {
+                            self.stats.failed_dials += 1;
+                            M_FAILED_DIALS.inc();
+                            M_BUSY.inc();
+                            plab_obs::obs_event!(
+                                plab_obs::Component::Controller,
+                                "dial.busy",
+                                "failures" = failures
+                            );
+                            failures += 1;
+                        }
                         // The endpoint actively rejected our credentials:
                         // retrying cannot help.
                         Err(ControllerError::Endpoint(code, msg)) => {
@@ -273,7 +295,7 @@ impl<D: Dialer> RobustController<D> {
         cmd: Command,
         resp_deadline: Option<u64>,
     ) -> Result<Response, ControllerError> {
-        let seq = self.next_seq;
+        let mut seq = self.next_seq;
         self.next_seq += 1;
         let op_start = self.dialer.now();
         // npoll may legitimately not answer until its deadline: the budget
@@ -283,6 +305,7 @@ impl<D: Dialer> RobustController<D> {
             .max(op_start)
             .saturating_add(self.policy.unreachable_budget);
         let mut sent_before = false;
+        let mut suspended_waits = 0u32;
         loop {
             if self.chan.is_none() {
                 self.reconnect(op_start, overall_end)?;
@@ -304,9 +327,9 @@ impl<D: Dialer> RobustController<D> {
                 .max(chan.now())
                 .saturating_add(self.policy.request_timeout)
                 .min(overall_end.max(chan.now().saturating_add(self.policy.request_timeout)));
-            loop {
+            let resp = loop {
                 match chan.recv(Some(wait_end)) {
-                    Some(Message::RespSeq { seq: s, resp }) if s == seq => return Ok(resp),
+                    Some(Message::RespSeq { seq: s, resp }) if s == seq => break Some(resp),
                     // A stale response to an earlier sequence number
                     // (answered on a channel that died before we read it).
                     Some(Message::RespSeq { .. }) => continue,
@@ -330,9 +353,51 @@ impl<D: Dialer> RobustController<D> {
                             "seq" = seq
                         );
                         self.chan = None;
-                        break;
+                        break None;
                     }
                 }
+            };
+            match resp {
+                // A higher-priority controller holds the endpoint (§3.3):
+                // the command was refused, not executed, and the refusal is
+                // now cached under `seq` by the endpoint's replay cache.
+                // Back off and retry under a FRESH sequence number (a
+                // same-seq retry would replay the cached refusal forever)
+                // until the session is resumed or the budget is spent.
+                Some(Response::Err { code: crate::wire::ErrCode::Suspended, msg }) => {
+                    let now = self.dialer.now();
+                    if now >= overall_end {
+                        return Ok(Response::Err {
+                            code: crate::wire::ErrCode::Suspended,
+                            msg,
+                        });
+                    }
+                    suspended_waits += 1;
+                    self.stats.suspended_waits += 1;
+                    M_SUSPENDED_WAITS.inc();
+                    plab_obs::obs_event!(
+                        plab_obs::Component::Controller,
+                        "suspended.wait",
+                        "seq" = seq,
+                        "waits" = suspended_waits
+                    );
+                    let exp = (suspended_waits - 1).min(20);
+                    let ceiling = self
+                        .policy
+                        .base_backoff
+                        .saturating_mul(1u64 << exp)
+                        .min(self.policy.max_backoff)
+                        .max(1);
+                    let sleep = ceiling / 2 + self.next_jitter() % (ceiling / 2 + 1);
+                    M_BACKOFF.observe(sleep);
+                    self.dialer.wait_until((now + sleep).min(overall_end));
+                    seq = self.next_seq;
+                    self.next_seq += 1;
+                    sent_before = false;
+                    continue;
+                }
+                Some(resp) => return Ok(resp),
+                None => {}
             }
             let now = self.dialer.now();
             if now >= overall_end {

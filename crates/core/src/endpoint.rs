@@ -73,8 +73,16 @@ pub struct EndpointConfig {
     /// Default capture-buffer capacity (bytes) when no certificate
     /// restriction tightens it.
     pub default_buffer_bytes: u64,
-    /// Maximum concurrent sessions (active + suspended).
+    /// Maximum concurrent sessions (active + suspended). Connections
+    /// beyond the cap are refused at admission with a typed
+    /// [`ErrCode::Busy`] response (see [`crate::reactor`]).
     pub max_sessions: usize,
+    /// Per-session replay-cache budget in **bytes** of cached response
+    /// payload (entry count alone would let 4k sessions pin
+    /// O(sessions × cache × max-response) memory). The newest entry is
+    /// always kept, so replay of the most recent command works even for
+    /// one oversized response.
+    pub replay_cache_bytes: usize,
     /// How long (endpoint clock, ns) an authenticated session survives its
     /// control connection: within this window a controller that
     /// re-authenticates with the same experiment resumes the old session —
@@ -90,7 +98,8 @@ impl Default for EndpointConfig {
             trusted_keys: Vec::new(),
             wall_time: 1_700_000_000,
             default_buffer_bytes: 1 << 20,
-            max_sessions: 8,
+            max_sessions: 1024,
+            replay_cache_bytes: 256 << 10,
             session_linger_ns: 0,
         }
     }
@@ -188,10 +197,25 @@ enum SessionState {
     Ready,
 }
 
-/// Responses cached per session for idempotent replay after a control
-/// channel reconnect (bounds memory; a controller replays at most its
-/// in-flight window, which is far smaller).
+/// Entry-count backstop on the per-session replay cache; the operative
+/// bound is [`EndpointConfig::replay_cache_bytes`] (a controller replays
+/// at most its in-flight window, which is far smaller than either).
 const REPLAY_CACHE: usize = 32;
+
+/// Estimated resident cost of one cached response, in bytes: payload plus
+/// a flat per-entry overhead for the queue slot and seq/enum headers.
+fn resp_cost(resp: &Response) -> usize {
+    let payload = match resp {
+        Response::Ok => 0,
+        Response::SendQueued { .. } => 8,
+        Response::Mem { data } => data.len(),
+        Response::Poll { packets, .. } => {
+            packets.iter().map(|(_, _, d)| d.len() + 16).sum()
+        }
+        Response::Err { msg, .. } => msg.len(),
+    };
+    payload + 32
+}
 
 struct Session {
     sid: u64,
@@ -222,12 +246,16 @@ struct Session {
     detached_at: Option<u64>,
     /// Highest sequence number executed via `CmdSeq`.
     last_seq: u64,
-    /// Recent (seq, response) pairs for idempotent replay.
-    replay: VecDeque<(u64, Response)>,
+    /// Recent (seq, cost, response) entries for idempotent replay.
+    replay: VecDeque<(u64, usize, Response)>,
+    /// Sum of the cached entries' `resp_cost`.
+    replay_bytes: usize,
+    /// Byte budget for `replay` (from [`EndpointConfig::replay_cache_bytes`]).
+    replay_budget: usize,
 }
 
 impl Session {
-    fn new(sid: u64, default_buffer: usize) -> Self {
+    fn new(sid: u64, default_buffer: usize, replay_budget: usize) -> Self {
         Session {
             sid,
             state: SessionState::New,
@@ -247,13 +275,24 @@ impl Session {
             detached_at: None,
             last_seq: 0,
             replay: VecDeque::new(),
+            replay_bytes: 0,
+            replay_budget,
         }
     }
 
     fn cache_response(&mut self, seq: u64, resp: Response) {
-        self.replay.push_back((seq, resp));
-        while self.replay.len() > REPLAY_CACHE {
-            self.replay.pop_front();
+        let cost = resp_cost(&resp);
+        self.replay_bytes += cost;
+        self.replay.push_back((seq, cost, resp));
+        // Evict oldest-first past either bound, but always keep the entry
+        // just cached: the controller's most recent command must stay
+        // replayable even when one response alone exceeds the budget.
+        while self.replay.len() > 1
+            && (self.replay.len() > REPLAY_CACHE || self.replay_bytes > self.replay_budget)
+        {
+            if let Some((_, c, _)) = self.replay.pop_front() {
+                self.replay_bytes -= c;
+            }
         }
     }
 
@@ -330,11 +369,33 @@ impl EndpointAgent {
         self.sessions.len()
     }
 
+    /// Whether a new session would be admitted right now (the reactor
+    /// consults this before accepting, so over-capacity connections get a
+    /// typed [`ErrCode::Busy`] refusal instead of silence).
+    pub fn can_accept(&self) -> bool {
+        self.sessions.len() < self.config.max_sessions
+    }
+
     /// A new control connection was accepted / dialed.
     pub fn on_session_open(&mut self, sid: u64) {
-        if self.sessions.len() < self.config.max_sessions {
-            self.sessions
-                .insert(sid, Session::new(sid, self.config.default_buffer_bytes as usize));
+        if self.can_accept() {
+            // Grow the table in fixed chunks rather than pre-reserving
+            // `max_sessions` slots (the default cap is 1024; most endpoints
+            // hold a handful) or letting every insert decide: allocation
+            // stays bounded by the high-water mark, in CHUNK steps.
+            const SESSION_CHUNK: usize = 64;
+            if self.sessions.capacity() == self.sessions.len() {
+                let headroom = self.config.max_sessions - self.sessions.len();
+                self.sessions.reserve(SESSION_CHUNK.min(headroom));
+            }
+            self.sessions.insert(
+                sid,
+                Session::new(
+                    sid,
+                    self.config.default_buffer_bytes as usize,
+                    self.config.replay_cache_bytes,
+                ),
+            );
         }
     }
 
@@ -657,7 +718,7 @@ impl EndpointAgent {
         };
         // Replay of an already-answered command: return the cached response
         // without re-executing (idempotence across reconnects).
-        if let Some((_, resp)) = s.replay.iter().find(|(q, _)| *q == seq) {
+        if let Some((_, _, resp)) = s.replay.iter().find(|(q, _, _)| *q == seq) {
             M_REPLAY_HITS.inc();
             plab_obs::obs_event!(
                 plab_obs::Component::Endpoint,
@@ -1814,6 +1875,97 @@ mod tests {
                     Message::RespSeq { seq: 1, resp: Response::Err { code: ErrCode::Limit, .. } }
                 )),
             "evicted seq must yield a typed Limit error: {out:?}"
+        );
+    }
+
+    /// The replay cache is bounded by cached-response **bytes**, not just
+    /// entry count: a handful of oversized responses evicts older seqs
+    /// long before the [`REPLAY_CACHE`] entry backstop would.
+    #[test]
+    fn replay_cache_byte_bound_evicts_oversized_responses() {
+        let mut a = EndpointAgent::new(EndpointConfig {
+            trusted_keys: vec![plab_crypto::KeyHash::of(&operator().public)],
+            replay_cache_bytes: 2_048,
+            ..Default::default()
+        });
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        // Each 1 KiB `Mem` response costs ~1056 bytes of budget, so a
+        // 2 KiB budget holds at most two entries — far below the
+        // 32-entry backstop that was the only bound before.
+        for seq in 1..=4u64 {
+            let out = a.on_message(
+                1,
+                Message::CmdSeq { seq, cmd: Command::MRead { memaddr: 0, bytecnt: 1024 } },
+                &mut s,
+            );
+            assert!(
+                out.iter().any(|(_, m)| matches!(
+                    m,
+                    Message::RespSeq { resp: Response::Mem { .. }, .. }
+                )),
+                "big read succeeds: {out:?}"
+            );
+        }
+        // The newest seq is still replayable from the cache.
+        let out = a.on_message(
+            1,
+            Message::CmdSeq { seq: 4, cmd: Command::MRead { memaddr: 0, bytecnt: 1024 } },
+            &mut s,
+        );
+        assert!(
+            out.iter().any(|(_, m)| matches!(
+                m,
+                Message::RespSeq { seq: 4, resp: Response::Mem { .. } }
+            )),
+            "newest entry survives byte pressure: {out:?}"
+        );
+        // Seq 1 was evicted by byte pressure alone (4 entries ≤ 32): a
+        // typed refusal, not a silent re-execution.
+        let out = a.on_message(
+            1,
+            Message::CmdSeq { seq: 1, cmd: Command::MRead { memaddr: 0, bytecnt: 1024 } },
+            &mut s,
+        );
+        assert!(
+            out.iter().any(|(sid, m)| *sid == 1
+                && matches!(
+                    m,
+                    Message::RespSeq { seq: 1, resp: Response::Err { code: ErrCode::Limit, .. } }
+                )),
+            "byte-evicted seq must yield a typed Limit error: {out:?}"
+        );
+    }
+
+    /// A single response larger than the whole byte budget is still kept:
+    /// the most recent command must remain replayable no matter how big
+    /// its answer was.
+    #[test]
+    fn replay_cache_keeps_newest_even_when_over_budget() {
+        let mut a = EndpointAgent::new(EndpointConfig {
+            trusted_keys: vec![plab_crypto::KeyHash::of(&operator().public)],
+            replay_cache_bytes: 64,
+            ..Default::default()
+        });
+        let mut s = MockStack::new();
+        authenticate(&mut a, &mut s, 1, 10);
+        let first = a.on_message(
+            1,
+            Message::CmdSeq { seq: 1, cmd: Command::MRead { memaddr: 0, bytecnt: 1024 } },
+            &mut s,
+        );
+        let replayed = a.on_message(
+            1,
+            Message::CmdSeq { seq: 1, cmd: Command::MRead { memaddr: 0, bytecnt: 1024 } },
+            &mut s,
+        );
+        assert_eq!(format!("{first:?}"), format!("{replayed:?}"));
+        assert!(
+            replayed.iter().any(|(_, m)| matches!(
+                m,
+                Message::RespSeq { seq: 1, resp: Response::Mem { .. } }
+            )),
+            "oversized newest entry replays from cache: {replayed:?}"
         );
     }
 

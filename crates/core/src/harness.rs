@@ -12,6 +12,7 @@
 use crate::controller::robust::Dialer;
 use crate::controller::{ControlChannel, SinkHost};
 use crate::endpoint::{EndpointAgent, EndpointConfig};
+use crate::reactor::EndpointReactor;
 use crate::rendezvous::{RendezvousServer, RvMessage};
 use crate::netstack::SimStack;
 use crate::wire::{FrameDecoder, Message};
@@ -33,13 +34,13 @@ struct SessionConn {
 
 struct EndpointHost {
     node: NodeId,
-    agent: EndpointAgent,
+    /// The agent wrapped in its session reactor (admission, DRR dispatch,
+    /// backpressure — see [`crate::reactor`]).
+    reactor: EndpointReactor,
     /// Operator configuration, kept so a crashed node reboots with a
     /// fresh agent under the same policy.
     config: EndpointConfig,
     port: u16,
-    sessions: HashMap<u64, SessionConn>,
-    next_sid: u64,
     ext_addr: Option<Ipv4Addr>,
     raw_ok: bool,
     /// Connection to a rendezvous server, if subscribed.
@@ -172,11 +173,9 @@ impl SimNet {
         self.sim.set_defer_os(node, true);
         self.endpoints.push(EndpointHost {
             node,
-            agent: EndpointAgent::new(config.clone()),
+            reactor: EndpointReactor::new(config.clone()),
             config,
             port: CONTROL_PORT,
-            sessions: HashMap::new(),
-            next_sid: 1,
             ext_addr,
             raw_ok,
             rv_conn: None,
@@ -213,7 +212,13 @@ impl SimNet {
 
     /// Access an endpoint's agent (e.g. for statistics assertions).
     pub fn endpoint_agent(&self, id: EndpointId) -> &EndpointAgent {
-        &self.endpoints[id.0].agent
+        self.endpoints[id.0].reactor.agent()
+    }
+
+    /// Access an endpoint's session reactor (admission/backpressure
+    /// statistics).
+    pub fn endpoint_reactor(&self, id: EndpointId) -> &EndpointReactor {
+        &self.endpoints[id.0].reactor
     }
 
     /// Announcements an endpoint has received from its rendezvous server.
@@ -235,7 +240,8 @@ impl SimNet {
         let ep = &mut self.endpoints[id.0];
         let conn = self.sim.tcp_connect(ep.node, rv_addr, RENDEZVOUS_PORT);
         let channels: Vec<[u8; 32]> = ep
-            .agent
+            .reactor
+            .agent()
             .config()
             .trusted_keys
             .iter()
@@ -271,10 +277,7 @@ impl SimNet {
     pub fn endpoint_dial(&mut self, id: EndpointId, controller: Ipv4Addr, port: u16) {
         let ep = &mut self.endpoints[id.0];
         let conn = self.sim.tcp_connect(ep.node, controller, port);
-        let sid = ep.next_sid;
-        ep.next_sid += 1;
-        ep.agent.on_session_open(sid);
-        ep.sessions.insert(sid, SessionConn { conn, decoder: FrameDecoder::new() });
+        ep.reactor.accept(conn);
     }
 
     /// Open a controller-side listener (for endpoint-initiated control
@@ -330,17 +333,19 @@ impl SimNet {
             match tr {
                 NodeTransition::Crashed(node) => {
                     for ep in self.endpoints.iter_mut().filter(|e| e.node == node) {
-                        ep.agent = EndpointAgent::new(ep.config.clone());
-                        ep.sessions.clear();
+                        let sid = ep.reactor.next_sid();
+                        ep.reactor = EndpointReactor::new(ep.config.clone());
+                        ep.reactor.set_next_sid(sid);
                         ep.rv_conn = None;
                     }
                 }
                 NodeTransition::Restarted(node) => {
                     let mut is_endpoint = false;
                     for ep in self.endpoints.iter_mut().filter(|e| e.node == node) {
-                        ep.agent = EndpointAgent::new(ep.config.clone());
-                        ep.sessions.clear();
-                        ep.next_sid += 1000; // distance rebooted sids from pre-crash ones
+                        let sid = ep.reactor.next_sid();
+                        ep.reactor = EndpointReactor::new(ep.config.clone());
+                        // Distance rebooted sids from pre-crash ones.
+                        ep.reactor.set_next_sid(sid + 1000);
                         is_endpoint = true;
                     }
                     if is_endpoint {
@@ -416,16 +421,14 @@ impl SimNet {
     }
 
     fn service_endpoint(&mut self, i: usize, fired: &[(NodeId, u64)]) {
-        // Accept new control connections.
+        // Accept new control connections (the reactor refuses over-capacity
+        // ones with a typed Busy response and closes them after flushing).
         loop {
             let ep = &mut self.endpoints[i];
             let Some(conn) = self.sim.tcp_accept(ep.node, ep.port) else {
                 break;
             };
-            let sid = ep.next_sid;
-            ep.next_sid += 1;
-            ep.agent.on_session_open(sid);
-            ep.sessions.insert(sid, SessionConn { conn, decoder: FrameDecoder::new() });
+            ep.reactor.accept(conn);
         }
 
         let node = self.endpoints[i].node;
@@ -433,7 +436,7 @@ impl SimNet {
         // Deferred OS packets: capture + disposition.
         let pending = self.sim.take_pending_os(node);
         for (time, pkt) in pending {
-            let (disposition, out) = {
+            let disposition = {
                 let ep = &mut self.endpoints[i];
                 let mut stack = SimStack {
                     sim: self.sim.shard_mut(node),
@@ -441,100 +444,46 @@ impl SimNet {
                     ext_addr: ep.ext_addr,
                     raw_ok: ep.raw_ok,
                 };
-                ep.agent.on_packet(time, &pkt, &mut stack)
+                ep.reactor.on_packet(time, &pkt, &mut stack)
             };
             if disposition != RawDisposition::Consume {
                 self.sim.os_process(node, &pkt);
             }
-            self.send_frames(i, out);
+            self.flush_endpoint(i);
         }
 
         // Timers for this node.
         for (t_node, key) in fired {
             if *t_node == node {
-                let out = {
-                    let ep = &mut self.endpoints[i];
-                    let mut stack = SimStack {
-                        sim: self.sim.shard_mut(node),
-                        node,
-                        ext_addr: ep.ext_addr,
-                        raw_ok: ep.raw_ok,
-                    };
-                    ep.agent.on_wakeup(*key, &mut stack)
+                let ep = &mut self.endpoints[i];
+                let mut stack = SimStack {
+                    sim: self.sim.shard_mut(node),
+                    node,
+                    ext_addr: ep.ext_addr,
+                    raw_ok: ep.raw_ok,
                 };
-                self.send_frames(i, out);
+                ep.reactor.on_wakeup(*key, &mut stack);
+                self.flush_endpoint(i);
             }
         }
 
-        // Drain control connections.
-        let sids: Vec<u64> = self.endpoints[i].sessions.keys().copied().collect();
-        for sid in sids {
-            let (conn, closed) = {
-                let ep = &self.endpoints[i];
-                let sc = &ep.sessions[&sid];
-                let dead = self.sim.tcp_closed(node, sc.conn)
-                    || self.sim.tcp_peer_done(node, sc.conn);
-                (sc.conn, dead)
-            };
-            // Read available stream data.
-            loop {
-                let data = self.sim.tcp_recv(node, conn, 65536);
-                if data.is_empty() {
-                    break;
-                }
-                self.endpoints[i]
-                    .sessions
-                    .get_mut(&sid)
-                    .unwrap()
-                    .decoder
-                    .extend(&data);
-            }
-            loop {
-                let frame = {
-                    let ep = &mut self.endpoints[i];
-                    match ep.sessions.get_mut(&sid).unwrap().decoder.next_message() {
-                        Ok(Some(m)) => Some(m),
-                        Ok(None) => None,
-                        Err(_) => {
-                            // Corrupt stream: drop the session.
-                            None
-                        }
-                    }
-                };
-                let Some(msg) = frame else { break };
-                let out = {
-                    let ep = &mut self.endpoints[i];
-                    let mut stack = SimStack {
-                        sim: self.sim.shard_mut(node),
-                        node,
-                        ext_addr: ep.ext_addr,
-                        raw_ok: ep.raw_ok,
-                    };
-                    ep.agent.on_message(sid, msg, &mut stack)
-                };
-                self.send_frames(i, out);
-            }
-            if closed {
-                let out = {
-                    let ep = &mut self.endpoints[i];
-                    ep.sessions.remove(&sid);
-                    let mut stack = SimStack {
-                        sim: self.sim.shard_mut(node),
-                        node,
-                        ext_addr: ep.ext_addr,
-                        raw_ok: ep.raw_ok,
-                    };
-                    ep.agent.on_session_closed(sid, &mut stack)
-                };
-                self.send_frames(i, out);
-            }
-        }
+        // Note which connections died before draining them (the old serve
+        // loop's order: a dying session's buffered commands still run).
+        let dead: Vec<u64> = {
+            let ep = &self.endpoints[i];
+            ep.reactor
+                .session_ids()
+                .into_iter()
+                .filter(|&sid| {
+                    let conn = ep.reactor.conn_of(sid).expect("listed session has a conn");
+                    self.sim.tcp_closed(node, conn) || self.sim.tcp_peer_done(node, conn)
+                })
+                .collect()
+        };
 
-        // Rendezvous announcements.
-        self.drain_endpoint_rendezvous(i);
-
-        // Periodic service.
-        let out = {
+        // Readiness-poll inbound bytes, dispatch queued commands under
+        // deficit round-robin, then tear down dead connections.
+        {
             let ep = &mut self.endpoints[i];
             let mut stack = SimStack {
                 sim: self.sim.shard_mut(node),
@@ -542,9 +491,43 @@ impl SimNet {
                 ext_addr: ep.ext_addr,
                 raw_ok: ep.raw_ok,
             };
-            ep.agent.service(&mut stack)
+            ep.reactor.pump(&mut stack);
+            ep.reactor.dispatch(&mut stack);
+            for sid in dead {
+                ep.reactor.on_conn_closed(sid, &mut stack);
+            }
+        }
+        self.flush_endpoint(i);
+
+        // Rendezvous announcements.
+        self.drain_endpoint_rendezvous(i);
+
+        // Periodic service.
+        {
+            let ep = &mut self.endpoints[i];
+            let mut stack = SimStack {
+                sim: self.sim.shard_mut(node),
+                node,
+                ext_addr: ep.ext_addr,
+                raw_ok: ep.raw_ok,
+            };
+            ep.reactor.service(&mut stack);
+        }
+        self.flush_endpoint(i);
+    }
+
+    /// Transmit an endpoint's queued outbound frames (and close rejected
+    /// or poisoned connections whose queues drained).
+    fn flush_endpoint(&mut self, i: usize) {
+        let ep = &mut self.endpoints[i];
+        let node = ep.node;
+        let mut stack = SimStack {
+            sim: self.sim.shard_mut(node),
+            node,
+            ext_addr: ep.ext_addr,
+            raw_ok: ep.raw_ok,
         };
-        self.send_frames(i, out);
+        ep.reactor.flush(&mut stack);
     }
 
     fn drain_endpoint_rendezvous(&mut self, i: usize) {
@@ -578,11 +561,7 @@ impl SimNet {
                                 // controller given in the descriptor".
                                 let conn = self.sim.tcp_connect(node, addr, port);
                                 let ep = &mut self.endpoints[i];
-                                let sid = ep.next_sid;
-                                ep.next_sid += 1;
-                                ep.agent.on_session_open(sid);
-                                ep.sessions
-                                    .insert(sid, SessionConn { conn, decoder: FrameDecoder::new() });
+                                ep.reactor.accept(conn);
                                 ep.dialed.push(desc.controller_addr.clone());
                             }
                         }
@@ -685,18 +664,6 @@ impl SimNet {
         }
     }
 
-    fn send_frames(&mut self, endpoint_idx: usize, out: crate::endpoint::Out) {
-        let node = self.endpoints[endpoint_idx].node;
-        for (sid, msg) in out {
-            let conn = self.endpoints[endpoint_idx]
-                .sessions
-                .get(&sid)
-                .map(|sc| sc.conn);
-            if let Some(conn) = conn {
-                self.sim.tcp_send(node, conn, &msg.to_frame());
-            }
-        }
-    }
 }
 
 fn rv_frame(msg: &RvMessage) -> Vec<u8> {

@@ -55,6 +55,7 @@ pub mod harness;
 pub mod memory;
 pub mod monitor;
 pub mod netstack;
+pub mod reactor;
 pub mod rendezvous;
 pub mod transport;
 pub mod wire;

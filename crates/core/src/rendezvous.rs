@@ -188,8 +188,25 @@ pub struct PublishedExperiment {
     pub channels: Vec<KeyHash>,
 }
 
+/// Number of channel shards in the subscription index. Channels (key
+/// hashes) are uniformly distributed, so any byte of the hash spreads
+/// subscribers evenly.
+pub const RV_SHARDS: usize = 64;
+
+fn shard_of(ch: &KeyHash) -> usize {
+    usize::from(ch.0[0]) % RV_SHARDS
+}
+
 /// The rendezvous server: "the only permanent infrastructure required by
 /// PacketLab".
+///
+/// Subscriptions live in a channel-sharded inverted index
+/// (shard → channel → subscriber sids), so a publish touches only the
+/// shards its experiment-key channels hash into — O(dirty shards) plus a
+/// drain of the matched sids — instead of iterating every subscriber
+/// slot. [`RendezvousServer::scanned_slots`] counts the slots publishes
+/// actually scanned, which tests assert stays decoupled from the
+/// subscriber count.
 pub struct RendezvousServer {
     /// Keys accepted to anchor publish chains ("Each rendezvous server has
     /// a list of public keys whose signatures it accepts").
@@ -197,8 +214,13 @@ pub struct RendezvousServer {
     /// Wall time for validity checks.
     pub wall_time: u64,
     published: Vec<PublishedExperiment>,
-    /// Subscriber session → channels.
+    /// Subscriber session → channels (authoritative; also what
+    /// unsubscribe uses to find the index entries to drop).
     subscribers: HashMap<u64, Vec<KeyHash>>,
+    /// Sharded inverted index: shard → channel → subscribed sids.
+    shards: Vec<HashMap<KeyHash, Vec<u64>>>,
+    /// Cumulative subscription slots scanned by publish fan-out.
+    scanned_slots: u64,
 }
 
 impl RendezvousServer {
@@ -209,6 +231,8 @@ impl RendezvousServer {
             wall_time,
             published: Vec::new(),
             subscribers: HashMap::new(),
+            shards: (0..RV_SHARDS).map(|_| HashMap::new()).collect(),
+            scanned_slots: 0,
         }
     }
 
@@ -222,9 +246,40 @@ impl RendezvousServer {
         self.subscribers.len()
     }
 
+    /// Cumulative subscription slots scanned by publish fan-out since the
+    /// server started: each publish adds one per channel looked up plus
+    /// one per subscriber sid in the channels' match lists. With the
+    /// sharded index this grows with *matches*, not with the subscriber
+    /// population.
+    pub fn scanned_slots(&self) -> u64 {
+        self.scanned_slots
+    }
+
+    fn index_insert(&mut self, sid: u64, channels: &[KeyHash]) {
+        for ch in channels {
+            let slot = self.shards[shard_of(ch)].entry(*ch).or_default();
+            if !slot.contains(&sid) {
+                slot.push(sid);
+            }
+        }
+    }
+
+    fn index_remove(&mut self, sid: u64, channels: &[KeyHash]) {
+        for ch in channels {
+            let shard = &mut self.shards[shard_of(ch)];
+            if let Some(slot) = shard.get_mut(ch) {
+                slot.retain(|&s| s != sid);
+                if slot.is_empty() {
+                    shard.remove(ch);
+                }
+            }
+        }
+    }
+
     /// A subscriber connection closed.
     pub fn on_session_closed(&mut self, sid: u64) {
-        if self.subscribers.remove(&sid).is_some() {
+        if let Some(channels) = self.subscribers.remove(&sid) {
+            self.index_remove(sid, &channels);
             M_SUBSCRIBERS.sub(1);
             plab_obs::obs_event!(plab_obs::Component::Rendezvous, "unsubscribe", "sid" = sid);
         }
@@ -252,9 +307,11 @@ impl RendezvousServer {
                         ));
                     }
                 }
-                if self.subscribers.insert(sid, channels).is_none() {
-                    M_SUBSCRIBERS.add(1);
+                match self.subscribers.insert(sid, channels.clone()) {
+                    Some(old) => self.index_remove(sid, &old),
+                    None => M_SUBSCRIBERS.add(1),
                 }
+                self.index_insert(sid, &channels);
                 plab_obs::obs_event!(
                     plab_obs::Component::Rendezvous,
                     "subscribe",
@@ -324,23 +381,32 @@ impl RendezvousServer {
         self.published.push(exp);
 
         let mut out = vec![(sid, RvMessage::PublishOk)];
-        // Broadcast to subscribers on any matching channel, in sid order —
-        // HashMap iteration order must never decide announce order, or two
-        // replays of the same publish would wake subscribers differently.
-        let mut subs: Vec<u64> = self.subscribers.keys().copied().collect();
-        subs.sort_unstable();
-        for sub in subs {
-            let sub_channels = &self.subscribers[&sub];
-            if channels.iter().any(|c| sub_channels.contains(c)) {
-                out.push((
-                    sub,
-                    RvMessage::Announce {
-                        descriptor: descriptor.clone(),
-                        chain: chain.clone(),
-                        keys: keys.clone(),
-                    },
-                ));
+        // Fan out via the sharded inverted index: only the shards the
+        // experiment's channels hash into are touched, and only matching
+        // sids are drained. Announce in ascending-sid order (deduplicated
+        // across channels) — map iteration order must never decide announce
+        // order, or two replays of the same publish would wake subscribers
+        // differently.
+        let mut matched: Vec<u64> = Vec::new();
+        let mut scanned = channels.len() as u64;
+        for ch in &channels {
+            if let Some(slot) = self.shards[shard_of(ch)].get(ch) {
+                scanned += slot.len() as u64;
+                matched.extend_from_slice(slot);
             }
+        }
+        self.scanned_slots += scanned;
+        matched.sort_unstable();
+        matched.dedup();
+        for sub in matched {
+            out.push((
+                sub,
+                RvMessage::Announce {
+                    descriptor: descriptor.clone(),
+                    chain: chain.clone(),
+                    keys: keys.clone(),
+                },
+            ));
         }
         let fanout = (out.len() - 1) as u64;
         M_PUBLISHES.inc();
@@ -498,6 +564,65 @@ mod tests {
         let (d, chain, keys) = bundle(&root, &exp);
         let out = server.on_message(5, RvMessage::Publish { descriptor: d, chain, keys });
         assert_eq!(out.len(), 1, "only the PublishOk, no announce");
+    }
+
+    #[test]
+    fn publish_scans_dirty_shards_not_subscribers() {
+        let root = kp(1);
+        let exp = kp(2);
+        let mut server = RendezvousServer::new(vec![KeyHash::of(&root.public)], 1000);
+
+        // 100k subscribers, each on its own unrelated channel.
+        const POPULATION: u64 = 100_000;
+        for i in 0..POPULATION {
+            let mut ch = [0u8; 32];
+            ch[..8].copy_from_slice(&i.to_le_bytes());
+            ch[8] = 0xAB;
+            server.on_message(1000 + i, RvMessage::Subscribe { channels: vec![ch] });
+        }
+        // ... and 50 on a channel actually in the experiment's chain.
+        let interested: Vec<u64> = (0..50).map(|i| 2_000_000 + i).collect();
+        for &sid in &interested {
+            server.on_message(
+                sid,
+                RvMessage::Subscribe { channels: vec![KeyHash::of(&root.public).0] },
+            );
+        }
+        assert_eq!(server.subscriber_count() as u64, POPULATION + 50);
+
+        let scanned_before = server.scanned_slots();
+        let (d, chain, keys) = bundle(&root, &exp);
+        let out = server.on_message(5, RvMessage::Publish { descriptor: d, chain, keys });
+
+        // Every interested subscriber (and nobody else) gets the announce,
+        // in ascending sid order.
+        assert_eq!(out.len(), 1 + interested.len());
+        let announced: Vec<u64> = out[1..].iter().map(|(sid, _)| *sid).collect();
+        assert_eq!(announced, interested);
+
+        // The fan-out scanned O(dirty shards + matches), decoupled from
+        // the 100k-strong population: a per-slot iteration would have
+        // scanned at least POPULATION slots.
+        let scanned = server.scanned_slots() - scanned_before;
+        assert!(
+            scanned < 1_000,
+            "publish scanned {scanned} slots with {POPULATION} bystander subscribers"
+        );
+    }
+
+    #[test]
+    fn resubscribe_replaces_channels_in_index() {
+        let root = kp(1);
+        let exp = kp(2);
+        let mut server = RendezvousServer::new(vec![KeyHash::of(&root.public)], 1000);
+        // First subscribe on the matching channel, then replace the
+        // subscription with an unrelated one: no announce must arrive.
+        server.on_message(77, RvMessage::Subscribe { channels: vec![KeyHash::of(&root.public).0] });
+        server.on_message(77, RvMessage::Subscribe { channels: vec![[0xee; 32]] });
+        assert_eq!(server.subscriber_count(), 1);
+        let (d, chain, keys) = bundle(&root, &exp);
+        let out = server.on_message(5, RvMessage::Publish { descriptor: d, chain, keys });
+        assert_eq!(out.len(), 1, "only the PublishOk: the old channel was dropped");
     }
 
     #[test]

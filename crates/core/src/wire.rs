@@ -185,6 +185,9 @@ pub enum ErrCode {
     Unsupported,
     /// Resource limits exceeded.
     Limit,
+    /// Endpoint at session capacity: admission refused, retry after
+    /// backoff (the connection is closed after this response).
+    Busy,
 }
 
 impl ErrCode {
@@ -198,6 +201,7 @@ impl ErrCode {
             ErrCode::Suspended => 5,
             ErrCode::Unsupported => 6,
             ErrCode::Limit => 7,
+            ErrCode::Busy => 8,
         }
     }
 
@@ -211,6 +215,7 @@ impl ErrCode {
             5 => ErrCode::Suspended,
             6 => ErrCode::Unsupported,
             7 => ErrCode::Limit,
+            8 => ErrCode::Busy,
             _ => return None,
         })
     }

@@ -40,6 +40,15 @@ pub struct SchedulerConfig {
     /// Rotate JSON-SEQ result files after this many event records when
     /// writing a report to disk.
     pub rotate_events: usize,
+    /// Controller sessions multiplexed onto each endpoint: tasks are
+    /// grouped in runs of this size, and every task in a group dials the
+    /// group's first endpoint. 1 (the default) keeps the classic
+    /// one-task-one-endpoint fleet. Each slot within a group runs under
+    /// its own credentials (distinct experiment identity), so lingering
+    /// sessions of group neighbours are never wrongfully adopted; slots
+    /// beyond the first contend under §3.3 arbitration and ride the
+    /// controller's suspended-backoff retries.
+    pub sessions_per_endpoint: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -51,6 +60,7 @@ impl Default for SchedulerConfig {
             retry: RetryPolicy::default(),
             fleet_deadline_ns: None,
             rotate_events: 4096,
+            sessions_per_endpoint: 1,
         }
     }
 }

@@ -39,7 +39,7 @@ use std::sync::Arc;
 
 use packetlab::controller::experiments;
 use packetlab::controller::robust::{Dialer, RetryPolicy, RetryStats, RobustController};
-use packetlab::controller::{ControlChannel, ControllerError, SinkHost};
+use packetlab::controller::{ControlChannel, ControlPlane, ControllerError, SinkHost};
 use packetlab::endpoint::EndpointConfig;
 use packetlab::harness::{SimNet, CONTROL_PORT};
 use packetlab::wire::{FrameDecoder, Message};
@@ -298,6 +298,7 @@ fn run_task(
     policy: RetryPolicy,
     program: Program,
     dst: Ipv4Addr,
+    multiplexed: bool,
 ) -> (Outcome, Option<String>, Detail, RetryStats) {
     let h = Rc::new(h);
     let dialer = FleetDialer { h: Rc::clone(&h) };
@@ -329,6 +330,13 @@ fn run_task(
                 })
         }
     };
+    // On a multiplexed endpoint, release control as soon as the program
+    // is done so a suspended slot-mate resumes immediately instead of
+    // waiting out our session's linger window. Single-session fleets
+    // skip this (keeping their replay pins byte-identical).
+    if multiplexed {
+        let _ = ctrl.yield_endpoint();
+    }
     let stats = ctrl.stats;
     match r {
         Ok(detail) => (Outcome::Completed, None, detail, stats),
@@ -342,11 +350,14 @@ fn worker_main(
     policy: RetryPolicy,
     program: Program,
     dst: Ipv4Addr,
+    multiplexed: bool,
 ) {
     let task = h.task;
     let calls = h.calls.clone();
     let poisoned = Arc::clone(&h.poisoned);
-    let body = std::panic::catch_unwind(AssertUnwindSafe(|| run_task(h, creds, policy, program, dst)));
+    let body = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run_task(h, creds, policy, program, dst, multiplexed)
+    }));
     let (outcome, cause, detail, stats) = match body {
         Ok(r) => r,
         Err(_) => (Outcome::Aborted, Some("panic".into()), Detail::None, RetryStats::default()),
@@ -424,7 +435,10 @@ struct Sched {
     active: usize,
     results: Vec<Option<TaskResult>>,
     events: Vec<String>,
-    creds: packetlab::controller::Credentials,
+    /// Per-multiplex-slot credentials; task `i` runs under
+    /// `creds[i % creds.len()]` (one entry per slot of an endpoint
+    /// group, see [`SchedulerConfig::sessions_per_endpoint`]).
+    creds: Vec<packetlab::controller::Credentials>,
     program: Program,
 }
 
@@ -485,8 +499,15 @@ impl Sched {
             let now = self.now();
             match call {
                 Call::Dial => {
-                    let conn =
-                        self.net.sim.tcp_connect(node, self.pairs[i].endpoint_addr, CONTROL_PORT);
+                    // Tasks are grouped in runs of `sessions_per_endpoint`;
+                    // every task in a group multiplexes onto the group's
+                    // first endpoint.
+                    let k = self.config.sessions_per_endpoint.max(1);
+                    let target = (i / k) * k;
+                    let conn = self
+                        .net
+                        .sim
+                        .tcp_connect(node, self.pairs[target].endpoint_addr, CONTROL_PORT);
                     self.park(i, Wait::Established { conn, deadline: now + DIAL_DEADLINE });
                     return;
                 }
@@ -612,15 +633,16 @@ impl Sched {
             replies: reply_rx,
             poisoned: Arc::clone(&poisoned),
         };
-        let creds = self.creds.clone();
+        let creds = self.creds[i % self.creds.len()].clone();
         let mut policy = self.config.retry;
         // Decorrelate per-task backoff jitter deterministically.
         policy.jitter_seed = splitmix64(policy.jitter_seed ^ i as u64).max(1);
         let program = self.program;
         let dst = self.pairs[i].controller_addr;
+        let multiplexed = self.config.sessions_per_endpoint.max(1) > 1;
         let thread = std::thread::Builder::new()
             .name(format!("fleet-{i}"))
-            .spawn(move || worker_main(h, creds, policy, program, dst))
+            .spawn(move || worker_main(h, creds, policy, program, dst, multiplexed))
             .expect("spawn fleet worker");
         self.tasks[i] = Some(TaskSlot {
             replies: reply_tx,
@@ -917,7 +939,10 @@ pub fn run_fleet(
 ) -> Result<FleetRun, String> {
     let n = world.pairs.len();
     let controller_addr = format!("{}:{}", world.pairs[0].controller_addr, CONTROL_PORT);
-    let creds = spec.credentials(operator, experimenter, &controller_addr)?;
+    let slots = config.sessions_per_endpoint.max(1);
+    let creds = (0..slots)
+        .map(|s| spec.slot_credentials(operator, experimenter, &controller_addr, s))
+        .collect::<Result<Vec<_>, _>>()?;
     world.net.set_track_serviced(true);
     let now = world.net.sim.now();
     let (calls_tx, calls_rx) = channel();

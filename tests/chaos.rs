@@ -269,6 +269,83 @@ fn crash_without_restart_aborts_within_budget() {
     );
 }
 
+/// Two experiments multiplexed on one endpoint under a fixed fault
+/// schedule: the high-priority controller preempts, a TCP reset kills
+/// every control channel mid-run, the in-control experiment recovers by
+/// replay, the suspended one burns its fresh-seq retry budget into a
+/// typed `Suspended` refusal, and — after a yield — resumes with its
+/// endpoint state intact. The whole observable trace must be
+/// bit-identical across two consecutive runs.
+#[test]
+fn multiplexed_sessions_under_faults_are_deterministic() {
+    plab_obs::enable();
+    plab_obs::reset();
+    fn run() -> String {
+        let w = small_world(60 * SECOND);
+        let lo_creds = small_creds(&w); // priority 10
+        let experimenter = Keypair::from_seed(&[45; 32]);
+        let descriptor = ExperimentDescriptor {
+            name: "chaos-mux".into(),
+            controller_addr: "10.9.0.1:7000".into(),
+            info_url: String::new(),
+            experimenter: KeyHash::of(&experimenter.public),
+        };
+        let hi_creds =
+            Credentials::issue(&w.operator, &experimenter, descriptor, Restrictions::none(), 50);
+
+        let dialer = SimDialer::new(&w.net, w.ctrl_node, w.ep_addr);
+        let mut lo = RobustController::connect(dialer, lo_creds, chaos::chaos_policy(0xbead))
+            .expect("low-priority connect");
+        lo.mwrite(0x40, vec![1, 2, 3, 4]).unwrap();
+
+        let dialer = SimDialer::new(&w.net, w.ctrl_node, w.ep_addr);
+        let mut hi = RobustController::connect(dialer, hi_creds, chaos::chaos_policy(0xbeae))
+            .expect("high-priority connect");
+        hi.read_clock().unwrap(); // preempts lo
+
+        // Mid-run fault: every endpoint TCP connection resets.
+        let at = ControlPlane::now(&hi) + 50 * MILLISECOND;
+        w.net
+            .borrow_mut()
+            .sim
+            .schedule_fault(at, FaultAction::TcpReset { node: w.ep_node.0 });
+        w.net.borrow_mut().run_until(at + MILLISECOND);
+
+        // The in-control experiment rides the reconnect + replay path.
+        let t_hi = hi.read_clock().unwrap();
+
+        // The suspended experiment retries with fresh sequence numbers
+        // (same-seq retries would only replay the cached refusal), then
+        // surfaces the typed refusal once its budget is spent.
+        let denied = match lo.read_clock() {
+            Err(ControllerError::Endpoint(code, _)) => format!("{code:?}"),
+            other => panic!("suspended experiment must see a typed refusal, got {other:?}"),
+        };
+
+        // Control returns; the suspended experiment resumes with the
+        // state it wrote before preemption and the reset.
+        hi.yield_endpoint().unwrap();
+        let mem = lo.mread(0x40, 4).unwrap();
+        assert!(lo.stats.connects >= 2, "reset must force a reconnect: {:?}", lo.stats);
+        format!(
+            "hi_clock={t_hi} denied={denied} mem={mem:?} end={} lo={:?} hi={:?}",
+            ControlPlane::now(&lo),
+            lo.stats,
+            hi.stats,
+        )
+    }
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "multiplexed fault schedule diverged:\n  first : {first}\n  second: {second}"
+    );
+    assert!(
+        plab_obs::metrics::counter("controller.suspended_waits") >= 1,
+        "the suspended-backoff retry machinery never engaged"
+    );
+}
+
 /// A link flap during the §4 uplink-bandwidth experiment: the control
 /// channel dies and comes back; the experiment completes end to end.
 #[test]
