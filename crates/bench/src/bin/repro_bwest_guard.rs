@@ -1,0 +1,110 @@
+//! Bandwidth-estimation guard: fails CI when the bwest probe suite loses
+//! accuracy against the netsim ground-truth corpus or — far worse — when
+//! its artifacts stop replaying bit-identically.
+//!
+//! Two independent checks, both must pass:
+//!
+//! 1. **Accuracy.** The full 20-topology corpus runs and every
+//!    destination's estimate is compared against the configured
+//!    bottleneck; at least `BWEST_GUARD_MIN_WITHIN` (default 18)
+//!    topologies must land inside `BWEST_GUARD_TOLERANCE_PCT`
+//!    (default 20%).
+//!
+//! 2. **Determinism.** The corpus runs twice and both passes must render
+//!    the pinned qlog-style JSON-SEQ trace digest — byte-identical
+//!    artifacts, equal to each other and to the committed pin. Any drift
+//!    means probe replay is broken — a hard failure regardless of
+//!    accuracy.
+//!
+//! Env overrides:
+//! - `BWEST_GUARD_MIN_WITHIN`: accuracy pass bar (default 18).
+//! - `BWEST_GUARD_TOLERANCE_PCT`: per-topology budget (default 20).
+//!
+//! The digest pin has no knobs — traces are machine-independent by
+//! construction (virtual clock, integer rendering). To re-pin after an
+//! *intentional* estimator or trace-schema change, run `repro_bwest` and
+//! paste its printed trace digest.
+
+use plab_bench::bwest;
+use plab_netsim::roster::bw_corpus;
+use plab_obs::export::{fnv1a64, qlog_seq};
+
+/// Digest of the 20-topology corpus trace (matches `BENCH_bwest.json`'s
+/// `trace_fnv` and `repro_bwest`'s printed digest).
+const PINNED_BWEST_TRACE: u64 = 0x8786_bdd8_f1e0_d476;
+
+/// One corpus pass under a fresh flight recorder: per-topology worst
+/// errors plus the rendered trace digest.
+fn run_corpus() -> (Vec<(&'static str, f64)>, u64) {
+    plab_obs::enable();
+    plab_obs::reset();
+    let errors: Vec<(&'static str, f64)> = bw_corpus()
+        .iter()
+        .map(|spec| {
+            let p = bwest::point(spec);
+            (p.name, p.worst_error_pct())
+        })
+        .collect();
+    let digest = fnv1a64(qlog_seq(&plab_obs::snapshot()).as_bytes());
+    plab_obs::disable();
+    (errors, digest)
+}
+
+fn main() {
+    let json = plab_bench::reportjson::json_flag();
+    let min_within = std::env::var("BWEST_GUARD_MIN_WITHIN")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(18);
+    let tolerance = std::env::var("BWEST_GUARD_TOLERANCE_PCT")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(20.0);
+
+    let (errors, digest_a) = run_corpus();
+    let (errors_b, digest_b) = run_corpus();
+    let within = errors.iter().filter(|&&(_, e)| e <= tolerance).count();
+    let accurate = within >= min_within;
+    let replay = digest_a == digest_b && errors == errors_b;
+    let pinned = digest_a == PINNED_BWEST_TRACE;
+    let deterministic = replay && pinned;
+    let pass = accurate && deterministic;
+
+    if json {
+        print!(
+            "{{\n  \"bench\": \"bwest_guard\",\n  \"topologies\": {},\n  \
+             \"within\": {within},\n  \"min_within\": {min_within},\n  \
+             \"tolerance_pct\": {tolerance},\n  \"trace_fnv\": \"{digest_a:#018x}\",\n  \
+             \"pinned_fnv\": \"{PINNED_BWEST_TRACE:#018x}\",\n  \
+             \"replay_identical\": {replay},\n  \"pinned\": {pinned},\n  \
+             \"pass\": {pass}\n}}\n",
+            errors.len()
+        );
+    } else {
+        println!(
+            "bwest guard: {within}/{} topologies within {tolerance}% (bar {min_within})",
+            errors.len()
+        );
+        for (name, err) in errors.iter().filter(|&&(_, e)| e > tolerance) {
+            println!("  MISS {name}: {err:.1}%");
+        }
+        println!(
+            "bwest determinism: trace {digest_a:#018x} (pinned {PINNED_BWEST_TRACE:#018x}) \
+             replay {} pin {}",
+            if replay { "ok" } else { "DRIFT" },
+            if pinned { "ok" } else { "DRIFT" },
+        );
+        println!(
+            "{}",
+            match (accurate, deterministic) {
+                (true, true) => "PASS: bwest accuracy and determinism both hold",
+                (false, true) => "FAIL: bwest accuracy fell below the corpus bar",
+                (true, false) => "FAIL: bwest trace drifted from the pinned digest",
+                (false, false) => "FAIL: bwest accuracy fell AND the trace drifted",
+            }
+        );
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -583,6 +583,107 @@ pub mod fleet {
     }
 }
 
+/// Shared construction for the bandwidth-estimation bench and its CI
+/// guard (`repro_bwest`, `repro_bwest_guard`). Both must build
+/// bit-identical worlds — the guard pins artifact digests — so every
+/// knob (corpus, keypair seeds, estimator config, socket layout) lives
+/// here once.
+pub mod bwest {
+    use packetlab::cert::Restrictions;
+    use packetlab::controller::experiments::bwest::{
+        estimate_path_bandwidth, BwestConfig, BwestReport, TCP_SINK_PORT, UDP_ECHO_PORT,
+    };
+    use packetlab::controller::robust::{RetryPolicy, RobustController};
+    use packetlab::controller::Credentials;
+    use packetlab::descriptor::ExperimentDescriptor;
+    use packetlab::endpoint::EndpointConfig;
+    use packetlab::harness::{SimDialer, SimNet};
+    use plab_crypto::{KeyHash, Keypair};
+    use plab_netsim::roster::{build_bw_world, BwTopoSpec};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// One corpus point: the estimator's report next to the configured
+    /// truth.
+    pub struct BwestPoint {
+        /// Corpus entry name.
+        pub name: &'static str,
+        /// Configured endpoint→dest bottlenecks, bits/s, in dest order.
+        pub truth: Vec<u64>,
+        /// The suite's estimates.
+        pub report: BwestReport,
+    }
+
+    impl BwestPoint {
+        /// Signed relative error of destination `i`, percent.
+        pub fn error_pct(&self, i: usize) -> f64 {
+            let est = self.report.dests[i].bits_per_sec as f64;
+            let truth = self.truth[i] as f64;
+            (est - truth) * 100.0 / truth
+        }
+
+        /// Worst absolute relative error across destinations, percent.
+        pub fn worst_error_pct(&self) -> f64 {
+            (0..self.truth.len()).map(|i| self.error_pct(i).abs()).fold(0.0, f64::max)
+        }
+    }
+
+    /// Build one corpus world — endpoint agent behind the access link,
+    /// TCP byte sink + UDP echo on every destination — and run the full
+    /// suite over a [`RobustController`].
+    pub fn point(spec: &BwTopoSpec) -> BwestPoint {
+        let operator = Keypair::from_seed(&[71; 32]);
+        let w = build_bw_world(spec);
+        let mut net = SimNet::new(w.sim);
+        net.add_endpoint(
+            w.endpoint,
+            EndpointConfig {
+                trusted_keys: vec![KeyHash::of(&operator.public)],
+                // Burst-loss corpus entries can kill the control channel
+                // mid-probe; a lingering session lets the reconnect resume
+                // with its sockets (and sockstat region) intact. Sized in
+                // virtual minutes: redialing through Gilbert–Elliott bursts
+                // can lose several SYNs back to back, and an expiry midway
+                // tears down every probe socket.
+                session_linger_ns: 300 * plab_netsim::SECOND,
+                ..Default::default()
+            },
+        );
+        for &(node, _) in &w.dests {
+            net.add_tcp_sink(node, TCP_SINK_PORT);
+            net.add_udp_echo(node, UDP_ECHO_PORT);
+        }
+        let net = Rc::new(RefCell::new(net));
+        let experimenter = Keypair::from_seed(&[72; 32]);
+        let descriptor = ExperimentDescriptor {
+            name: format!("bwest-{}", spec.name),
+            controller_addr: format!("{}:7000", w.controller_addr),
+            info_url: String::new(),
+            experimenter: KeyHash::of(&experimenter.public),
+        };
+        let creds =
+            Credentials::issue(&operator, &experimenter, descriptor, Restrictions::none(), 10);
+        let dialer = SimDialer::new(&net, w.controller, w.endpoint_addr);
+        // Burst-loss entries can stall the control channel through several
+        // doubling RTOs (200 ms → 12.8 s cumulative); a patient per-request
+        // timeout rides the burst out instead of redialing into a fresh
+        // handshake over the same lossy link, and the unreachable budget
+        // is sized for virtual time — the probe should keep retrying as
+        // long as the session linger window can still save it.
+        let policy = RetryPolicy {
+            request_timeout: 15_000_000_000,
+            unreachable_budget: 600_000_000_000,
+            ..Default::default()
+        };
+        let mut ctrl = RobustController::connect(dialer, creds, policy)
+            .expect("bwest world authenticates");
+        let dests: Vec<_> = w.dests.iter().map(|&(_, addr)| addr).collect();
+        let report = estimate_path_bandwidth(&mut ctrl, &dests, &BwestConfig::default())
+            .expect("bwest suite completes");
+        BwestPoint { name: spec.name, truth: w.ground_truth, report }
+    }
+}
+
 /// Shared `--json` report plumbing for the repro binaries. Every bin used
 /// to hand-roll the same four pieces: the flag scan, the finite-float
 /// formatter, trailing-comma row joining, and the BENCH-file write +

@@ -449,8 +449,23 @@ pub trait SinkHost {
     /// Drain UDP arrivals: (arrival time, source, source port, payload
     /// length).
     fn sink_take(&mut self, port: u16) -> Vec<(u64, Ipv4Addr, u16, usize)>;
+    /// Drain UDP arrivals with their probe sequence numbers: (arrival
+    /// time, sequence from the payload's first 4 LE bytes, payload
+    /// length). Dispersion-based bandwidth estimation needs the sequence
+    /// gap between consecutive arrivals to stay loss-robust; datagrams
+    /// shorter than 4 bytes read as sequence 0.
+    fn sink_take_seq(&mut self, port: u16) -> Vec<(u64, u32, usize)>;
     /// Advance (virtual or real) time to `time`, letting traffic drain.
     fn wait_until(&mut self, time: u64);
+}
+
+/// Decode a probe datagram's sequence number: first 4 payload bytes, LE,
+/// zero-padded when the payload is shorter.
+pub fn probe_seq(payload: &[u8]) -> u32 {
+    let mut b = [0u8; 4];
+    let n = payload.len().min(4);
+    b[..n].copy_from_slice(&payload[..n]);
+    u32::from_le_bytes(b)
 }
 
 /// An authenticated control session with one endpoint.
@@ -545,6 +560,10 @@ impl<C: ControlChannel + SinkHost> SinkHost for Controller<C> {
 
     fn sink_take(&mut self, port: u16) -> Vec<(u64, Ipv4Addr, u16, usize)> {
         self.chan.sink_take(port)
+    }
+
+    fn sink_take_seq(&mut self, port: u16) -> Vec<(u64, u32, usize)> {
+        self.chan.sink_take_seq(port)
     }
 
     fn wait_until(&mut self, time: u64) {

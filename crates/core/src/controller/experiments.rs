@@ -13,6 +13,8 @@ use super::{ClockSync, ControlPlane, ControllerError, SinkHost};
 use plab_packet::{builder, icmp, ipv4};
 use std::net::Ipv4Addr;
 
+pub mod bwest;
+
 /// Capture filter: all ICMP addressed to the endpoint. Written in Cpf and
 /// compiled client-side, like every controller-supplied filter.
 pub const ICMP_CAPTURE_FILTER: &str = r#"
@@ -355,6 +357,65 @@ pub struct BandwidthEstimate {
     pub last_arrival: u64,
     /// Estimated uplink bandwidth, bits per second (IP-layer).
     pub bits_per_sec: f64,
+    /// The arrival wait hit its hard deadline while datagrams were still
+    /// landing: the count (and on very slow links the rate) undercounts.
+    pub truncated: bool,
+}
+
+/// Per-datagram IP-layer framing the sink does not see: IPv4 header (no
+/// options) + UDP header. Asserted against `plab_packet`'s layouts in the
+/// tests below.
+pub const UDP_IP_OVERHEAD: u64 = 28;
+
+/// Fold sink arrivals into a [`BandwidthEstimate`].
+///
+/// First/last are the *min/max* arrival timestamps, not the positional
+/// first/last sink entries: out-of-order delivery (multi-path, reordering
+/// middleboxes) must not produce a negative — or wrapped — interval. The
+/// rate excludes the earliest datagram's bytes: its serialization time is
+/// not inside the measured interval.
+pub fn estimate_from_arrivals(
+    sent: u32,
+    arrivals: &[(u64, Ipv4Addr, u16, usize)],
+    truncated: bool,
+) -> BandwidthEstimate {
+    if arrivals.len() < 2 {
+        let t = arrivals.first().map(|a| a.0).unwrap_or(0);
+        return BandwidthEstimate {
+            received: arrivals.len() as u32,
+            sent,
+            first_arrival: t,
+            last_arrival: t,
+            bits_per_sec: 0.0,
+            truncated,
+        };
+    }
+    let mut earliest = 0usize;
+    let (mut first, mut last) = (arrivals[0].0, arrivals[0].0);
+    for (i, a) in arrivals.iter().enumerate() {
+        if a.0 < first {
+            first = a.0;
+            earliest = i;
+        }
+        if a.0 > last {
+            last = a.0;
+        }
+    }
+    let bytes: u64 = arrivals
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != earliest)
+        .map(|(_, (_, _, _, len))| *len as u64 + UDP_IP_OVERHEAD)
+        .sum();
+    let duration = (last - first).max(1);
+    BandwidthEstimate {
+        received: arrivals.len() as u32,
+        sent,
+        first_arrival: first,
+        last_arrival: last,
+        bits_per_sec: bytes as f64 * 8.0 / (duration as f64 / 1e9),
+        truncated,
+    }
 }
 
 /// Ablation counterpart to [`measure_uplink_bandwidth`]: the *naive*
@@ -384,30 +445,33 @@ pub fn measure_uplink_bandwidth_unscheduled<P: ControlPlane + SinkHost>(
             .copy_from_slice(&i.to_le_bytes()[..4.min(payload_len)]);
         ctrl.nsend(SKT, 0, payload)?;
     }
-    let horizon = ctrl.now() + 2_000_000_000;
-    ctrl.wait_until(horizon);
-    let arrivals = ctrl.sink_take(sink_port);
-    ctrl.nclose(SKT)?;
-    if arrivals.len() < 2 {
-        return Ok(BandwidthEstimate {
-            received: arrivals.len() as u32,
-            sent: n_packets,
-            first_arrival: 0,
-            last_arrival: 0,
-            bits_per_sec: 0.0,
-        });
+    // Adaptive arrival horizon. The burst is paced by the control-channel
+    // round trip, so its duration scales with the link: a fixed horizon
+    // cuts slow links off mid-burst and silently undercounts. Keep
+    // extending the wait while arrivals are still landing, bounded by a
+    // hard deadline; report hitting that wall as truncation.
+    let hard_deadline = ctrl.now() + 30_000_000_000;
+    let mut arrivals = Vec::new();
+    let mut truncated = false;
+    loop {
+        let window_end = (ctrl.now() + 2_000_000_000).min(hard_deadline);
+        ctrl.wait_until(window_end);
+        let batch = ctrl.sink_take(sink_port);
+        let progress = !batch.is_empty();
+        arrivals.extend(batch);
+        if arrivals.len() as u32 >= n_packets {
+            break;
+        }
+        if ctrl.now() >= hard_deadline {
+            truncated = progress;
+            break;
+        }
+        if !progress {
+            break;
+        }
     }
-    let first = arrivals.first().unwrap().0;
-    let last = arrivals.last().unwrap().0;
-    let bytes: u64 = arrivals[1..].iter().map(|(_, _, _, len)| *len as u64 + 28).sum();
-    let duration = (last - first).max(1);
-    Ok(BandwidthEstimate {
-        received: arrivals.len() as u32,
-        sent: n_packets,
-        first_arrival: first,
-        last_arrival: last,
-        bits_per_sec: bytes as f64 * 8.0 / (duration as f64 / 1e9),
-    })
+    ctrl.nclose(SKT)?;
+    Ok(estimate_from_arrivals(n_packets, &arrivals, truncated))
 }
 
 /// §4's uplink bandwidth measurement, verbatim in structure:
@@ -498,27 +562,75 @@ fn burst_once<P: ControlPlane + SinkHost>(
 
     let arrivals = ctrl.sink_take(sink_port);
     ctrl.nclose(skt)?;
-    if arrivals.len() < 2 {
-        return Ok(BandwidthEstimate {
-            received: arrivals.len() as u32,
-            sent: n_packets,
-            first_arrival: arrivals.first().map(|a| a.0).unwrap_or(0),
-            last_arrival: arrivals.last().map(|a| a.0).unwrap_or(0),
-            bits_per_sec: 0.0,
-        });
+    Ok(estimate_from_arrivals(n_packets, &arrivals, false))
+}
+
+#[cfg(test)]
+mod estimate_tests {
+    use super::*;
+
+    fn arr(entries: &[(u64, usize)]) -> Vec<(u64, Ipv4Addr, u16, usize)> {
+        entries
+            .iter()
+            .map(|&(t, len)| (t, Ipv4Addr::new(10, 0, 0, 1), 9999, len))
+            .collect()
     }
-    let first = arrivals.first().unwrap().0;
-    let last = arrivals.last().unwrap().0;
-    // Rate = bytes excluding the first datagram (its serialization time is
-    // not inside the measured interval) over the arrival span.
-    let bytes: u64 = arrivals[1..].iter().map(|(_, _, _, len)| *len as u64 + 28).sum();
-    let duration = (last - first).max(1);
-    let bits_per_sec = bytes as f64 * 8.0 / (duration as f64 / 1e9);
-    Ok(BandwidthEstimate {
-        received: arrivals.len() as u32,
-        sent: n_packets,
-        first_arrival: first,
-        last_arrival: last,
-        bits_per_sec,
-    })
+
+    #[test]
+    fn overhead_matches_packet_crate_layouts() {
+        assert_eq!(
+            UDP_IP_OVERHEAD as usize,
+            plab_packet::ipv4::MIN_HEADER_LEN + plab_packet::udp::HEADER_LEN
+        );
+    }
+
+    #[test]
+    fn zero_arrivals() {
+        let e = estimate_from_arrivals(40, &arr(&[]), false);
+        assert_eq!(e.received, 0);
+        assert_eq!(e.sent, 40);
+        assert_eq!(e.first_arrival, 0);
+        assert_eq!(e.last_arrival, 0);
+        assert_eq!(e.bits_per_sec, 0.0);
+        assert!(!e.truncated);
+    }
+
+    #[test]
+    fn one_arrival_has_no_rate() {
+        let e = estimate_from_arrivals(40, &arr(&[(5_000, 1000)]), true);
+        assert_eq!(e.received, 1);
+        assert_eq!(e.first_arrival, 5_000);
+        assert_eq!(e.last_arrival, 5_000);
+        assert_eq!(e.bits_per_sec, 0.0);
+        assert!(e.truncated);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_use_min_max_not_positional() {
+        // Reordered sink entries: positional first/last would yield a
+        // wrapped (negative) interval. The middle entry is the earliest.
+        let e = estimate_from_arrivals(
+            3,
+            &arr(&[(2_000_000, 1000), (1_000_000, 1000), (1_500_000, 1000)]),
+            false,
+        );
+        assert_eq!(e.first_arrival, 1_000_000);
+        assert_eq!(e.last_arrival, 2_000_000);
+        // Two datagrams (the earliest excluded) over 1 ms.
+        let expect = 2.0 * (1000.0 + 28.0) * 8.0 / 1e-3;
+        assert!((e.bits_per_sec - expect).abs() < 1e-6, "{}", e.bits_per_sec);
+    }
+
+    #[test]
+    fn in_order_matches_positional_semantics() {
+        // FIFO arrivals: identical to the historical positional fold that
+        // the chaos digests pin.
+        let a = arr(&[(10, 500), (20, 500), (35, 500)]);
+        let e = estimate_from_arrivals(3, &a, false);
+        assert_eq!(e.first_arrival, 10);
+        assert_eq!(e.last_arrival, 35);
+        let bytes = 2 * (500 + 28) as u64;
+        let expect = bytes as f64 * 8.0 / (25.0 / 1e9);
+        assert_eq!(e.bits_per_sec, expect);
+    }
 }

@@ -438,6 +438,10 @@ impl<D: Dialer + SinkHost> SinkHost for RobustController<D> {
         self.dialer.sink_take(port)
     }
 
+    fn sink_take_seq(&mut self, port: u16) -> Vec<(u64, u32, usize)> {
+        self.dialer.sink_take_seq(port)
+    }
+
     fn wait_until(&mut self, time: u64) {
         SinkHost::wait_until(&mut self.dialer, time)
     }

@@ -435,12 +435,43 @@ impl EndpointAgent {
     }
 
     fn teardown_sockets(&mut self, s: &mut Session, stack: &mut dyn NetStack) {
-        for (_, binding) in s.sockets.drain() {
+        for (sktid, binding) in s.sockets.drain() {
             match binding {
                 SocketBinding::Udp { locport, .. } => stack.udp_unbind(locport),
-                SocketBinding::Tcp { conn, .. } => stack.tcp_close(conn),
+                SocketBinding::Tcp { conn, .. } => {
+                    stack.tcp_close(conn);
+                    s.memory.clear_sockstat(sktid);
+                }
                 SocketBinding::Raw { .. } => {}
             }
+        }
+    }
+
+    /// Stamp each open TCP socket's sender-side state into the session's
+    /// socket-state table so `mread` exposes live backlog/peer-window
+    /// ("the current socket state", §3.1). Refreshed on every service
+    /// pass and immediately before each `mread`.
+    fn refresh_sockstat(s: &mut Session, stack: &mut dyn NetStack) {
+        let tcp: Vec<(u32, u64)> = s
+            .sockets
+            .iter()
+            .filter_map(|(id, b)| match b {
+                SocketBinding::Tcp { conn, .. } => Some((*id, *conn)),
+                _ => None,
+            })
+            .collect();
+        for (sktid, conn) in tcp {
+            let mut flags = crate::memory::SOCKSTAT_FLAG_OPEN;
+            if stack.tcp_alive(conn) {
+                flags |= crate::memory::SOCKSTAT_FLAG_ALIVE;
+            }
+            flags |= stack.tcp_retrans(conn).min(0xFFFF) << 16;
+            s.memory.record_sockstat(
+                sktid,
+                flags,
+                stack.tcp_backlog(conn) as u64,
+                stack.tcp_peer_window(conn) as u64,
+            );
         }
     }
 
@@ -585,25 +616,44 @@ impl EndpointAgent {
             .max_buffer_bytes
             .unwrap_or(self.config.default_buffer_bytes)
             .min(self.config.default_buffer_bytes) as usize;
-        // Session resumption: if a *detached* session holds the same
-        // experiment identity (leaf signer + descriptor hash), this is the
-        // same controller reconnecting after a control-channel fault. Adopt
+        // Session resumption: if a session holds the same experiment
+        // identity (leaf signer + descriptor hash), this is the same
+        // controller reconnecting after a control-channel fault. Adopt
         // that session's entire state — sockets, capture buffer, memory,
         // replay cache — under the new connection. Authentication above was
-        // re-done in full, so resumption grants nothing auth didn't.
+        // re-done in full, so resumption grants nothing auth didn't. The
+        // old session need not have *detached* yet: with lingering enabled
+        // a controller only runs one connection, so a fresh authentication
+        // proves the prior connection is stale even when its FIN never
+        // arrived (the endpoint would otherwise hold the experiment hostage
+        // behind a dead conn, refusing the reconnect with `Suspended` at
+        // equal priority until the linger window burned out). Latest
+        // authenticated wins; the stale connection's messages fall into an
+        // untracked session and are dropped. With `session_linger_ns: 0`
+        // the operator has opted out of resumption entirely and
+        // same-experiment sessions stay independent.
         let exp_id = (leaf_signer, dhash.0);
+        let takeover = self.config.session_linger_ns > 0;
         let adopt = self
             .sessions
             .iter()
             .find(|(osid, s)| {
-                **osid != sid && s.detached_at.is_some() && s.experiment_id == Some(exp_id)
+                **osid != sid
+                    && s.experiment_id == Some(exp_id)
+                    && (s.detached_at.is_some()
+                        || (takeover && matches!(s.state, SessionState::Ready)))
             })
             .map(|(osid, _)| *osid);
         if let Some(osid) = adopt {
             let mut old = self.sessions.remove(&osid).unwrap();
             old.sid = sid;
-            old.detached_at = None;
-            M_LINGERING.sub(1);
+            if old.detached_at.take().is_some() {
+                M_LINGERING.sub(1);
+            } else if self.active == Some(osid) {
+                // Taking over a still-attached session: the adopted session
+                // inherits the old one's claim on the endpoint.
+                self.active = None;
+            }
             plab_obs::obs_event!(
                 plab_obs::Component::Endpoint,
                 "session.resume",
@@ -843,6 +893,7 @@ impl EndpointAgent {
                         }
                         Some(SocketBinding::Tcp { conn, .. }) => {
                             stack.tcp_close(conn);
+                            s.memory.clear_sockstat(sktid);
                             Message::Resp(Response::Ok)
                         }
                         Some(SocketBinding::Raw { .. }) => Message::Resp(Response::Ok),
@@ -873,6 +924,7 @@ impl EndpointAgent {
             Command::MRead { memaddr, bytecnt } => {
                 let s = self.sessions.get_mut(&sid).unwrap();
                 Self::refresh_info(s, stack);
+                Self::refresh_sockstat(s, stack);
                 let resp = match s.memory.read(memaddr, bytecnt) {
                     Some(data) => Message::Resp(Response::Mem { data: data.to_vec() }),
                     None => err(ErrCode::BadMemory, "mread out of range"),
@@ -1008,6 +1060,11 @@ impl EndpointAgent {
             }
             Some(SocketBinding::Udp { locport, remaddr, remport }) => {
                 let (locport, remaddr, remport) = (*locport, *remaddr, *remport);
+                // IPv4 total length is 16 bits: a payload that cannot fit
+                // one datagram is a controller error, not a panic.
+                if data.len() > u16::MAX as usize - 28 {
+                    return err(ErrCode::Malformed, "UDP payload exceeds one datagram");
+                }
                 let datagram =
                     plab_packet::builder::udp_datagram(local, remaddr, locport, remport, &data);
                 if !s.monitors.allow_send(&datagram, &info) {
@@ -1023,7 +1080,10 @@ impl EndpointAgent {
                 let (conn, remaddr, remport, locport) = (*conn, *remaddr, *remport, *locport);
                 // Monitors see a synthesized segment (correct addresses and
                 // ports; sequence fields zero) since the OS owns the real
-                // header.
+                // header. The stream will be segmented at the MSS on the
+                // wire, so the synthesized payload is capped at one
+                // segment's worth — a bulk NSend must not overflow the
+                // IPv4 length field here.
                 let synth = plab_packet::builder::tcp_segment(
                     local,
                     remaddr,
@@ -1035,7 +1095,7 @@ impl EndpointAgent {
                         flags: plab_packet::tcp::flags::ACK,
                         window: 0,
                     },
-                    &data,
+                    &data[..data.len().min(1400)],
                 );
                 if !s.monitors.allow_send(&synth, &info) {
                     self.denied_sends += 1;
@@ -1269,6 +1329,7 @@ impl EndpointAgent {
             }
             s.memory.set_info("buffer.capacity", s.capture.capacity as u64);
             s.memory.set_info("buffer.used", s.capture.bytes as u64);
+            Self::refresh_sockstat(s, stack);
             out.extend(Self::complete_poll_if_ready(s, now));
         }
         out

@@ -60,6 +60,29 @@ struct RvHost {
     next_sid: u64,
 }
 
+/// A byte-counting TCP sink: accepts connections on (node, port), drains
+/// every accepted connection as the harness services agents, and records
+/// one `(arrival time, bytes)` sample per drained read. The bwest suite
+/// runs these on destination hosts as the receive side of its TCP
+/// bulk-transfer probes.
+struct TcpSinkHost {
+    node: NodeId,
+    port: u16,
+    conns: Vec<u64>,
+    samples: Vec<(u64, u64)>,
+}
+
+/// A UDP echo service (RFC 862) on (node, port): every datagram received
+/// is sent straight back to its source. The bwest suite's dispersion
+/// probe targets these on destination hosts — the echoed train's spacing
+/// at the endpoint carries the bottleneck dispersion.
+struct UdpEchoHost {
+    node: NodeId,
+    port: u16,
+    /// Datagrams echoed (for assertions).
+    echoed: u64,
+}
+
 /// Handle identifying an endpoint within a [`SimNet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EndpointId(usize);
@@ -84,6 +107,8 @@ pub struct SimNet {
     pub sim: ShardedSim,
     endpoints: Vec<EndpointHost>,
     rendezvous: Vec<RvHost>,
+    tcp_sinks: Vec<TcpSinkHost>,
+    udp_echoes: Vec<UdpEchoHost>,
     /// Controller-side listeners: (node, port) → accepted conns.
     listeners: Vec<(NodeId, u16, Vec<u64>)>,
     /// Sparse servicing: only agents on nodes the simulator touched since
@@ -117,6 +142,8 @@ impl SimNet {
             sim,
             endpoints: Vec::new(),
             rendezvous: Vec::new(),
+            tcp_sinks: Vec::new(),
+            udp_echoes: Vec::new(),
             listeners: Vec::new(),
             sparse: false,
             node_eps: HashMap::new(),
@@ -280,6 +307,43 @@ impl SimNet {
         ep.reactor.accept(conn);
     }
 
+    /// Install a byte-counting TCP sink on `node`:`port`. Accepted
+    /// connections are drained continuously; each drained read yields one
+    /// `(arrival time, bytes)` sample retrievable with
+    /// [`SimNet::tcp_sink_take`].
+    pub fn add_tcp_sink(&mut self, node: NodeId, port: u16) {
+        self.sim.tcp_listen(node, port);
+        self.tcp_sinks.push(TcpSinkHost { node, port, conns: Vec::new(), samples: Vec::new() });
+    }
+
+    /// Drain the accumulated `(arrival time, bytes)` samples of the TCP
+    /// sink on `node`:`port`.
+    pub fn tcp_sink_take(&mut self, node: NodeId, port: u16) -> Vec<(u64, u64)> {
+        self.process();
+        for s in &mut self.tcp_sinks {
+            if s.node == node && s.port == port {
+                return std::mem::take(&mut s.samples);
+            }
+        }
+        Vec::new()
+    }
+
+    /// Install a UDP echo service (RFC 862) on `node`:`port`: every
+    /// datagram received is sent back to its source as the harness
+    /// services agents. The bwest dispersion probe's destination side.
+    pub fn add_udp_echo(&mut self, node: NodeId, port: u16) {
+        self.sim.udp_bind(node, port);
+        self.udp_echoes.push(UdpEchoHost { node, port, echoed: 0 });
+    }
+
+    /// Datagrams echoed so far by the echo service on `node`:`port`.
+    pub fn udp_echo_count(&self, node: NodeId, port: u16) -> u64 {
+        self.udp_echoes
+            .iter()
+            .find(|e| e.node == node && e.port == port)
+            .map_or(0, |e| e.echoed)
+    }
+
     /// Open a controller-side listener (for endpoint-initiated control
     /// connections, the paper's §3.2 direction).
     pub fn controller_listen(&mut self, node: NodeId, port: u16) {
@@ -362,6 +426,17 @@ impl SimNet {
                             self.sim.tcp_listen(node, *p);
                         }
                     }
+                    for s in &mut self.tcp_sinks {
+                        if s.node == node {
+                            s.conns.clear();
+                            self.sim.tcp_listen(node, s.port);
+                        }
+                    }
+                    for e in &self.udp_echoes {
+                        if e.node == node {
+                            self.sim.udp_bind(node, e.port);
+                        }
+                    }
                 }
             }
         }
@@ -369,6 +444,34 @@ impl SimNet {
         for (node, port, queue) in &mut self.listeners {
             while let Some(conn) = self.sim.tcp_accept(*node, *port) {
                 queue.push(conn);
+            }
+        }
+        // TCP sinks: accept, then drain every connection, timestamping
+        // each read. Serviced unconditionally (sparse mode included) —
+        // sink worlds have a handful of sinks, and a sample's timestamp
+        // must be the delivery event's instant, not a later dirty pass.
+        for s in &mut self.tcp_sinks {
+            while let Some(conn) = self.sim.tcp_accept(s.node, s.port) {
+                s.conns.push(conn);
+            }
+            let now = self.sim.now();
+            for &conn in &s.conns {
+                loop {
+                    let data = self.sim.tcp_recv(s.node, conn, 65536);
+                    if data.is_empty() {
+                        break;
+                    }
+                    s.samples.push((now, data.len() as u64));
+                }
+            }
+        }
+        // UDP echo services: bounce every arrival back to its source.
+        // Serviced unconditionally, like the TCP sinks — the echo must
+        // depart at the delivery event's instant.
+        for e in &mut self.udp_echoes {
+            for (_t, src, src_port, payload) in self.sim.udp_recv(e.node, e.port) {
+                self.sim.udp_send(e.node, e.port, src, src_port, &payload);
+                e.echoed += 1;
             }
         }
         let fired = self.sim.take_fired_timers();
@@ -783,9 +886,24 @@ impl SinkHost for SimChannel {
         self.udp_take(port)
     }
 
+    fn sink_take_seq(&mut self, port: u16) -> Vec<(u64, u32, usize)> {
+        udp_take_seq(&self.net, self.node, port)
+    }
+
     fn wait_until(&mut self, time: u64) {
         SimChannel::wait_until(self, time)
     }
+}
+
+/// Drain UDP arrivals on `node`:`port` as (arrival time, probe sequence,
+/// payload length) — the [`SinkHost::sink_take_seq`] shape.
+fn udp_take_seq(net: &Rc<RefCell<SimNet>>, node: NodeId, port: u16) -> Vec<(u64, u32, usize)> {
+    net.borrow_mut()
+        .sim
+        .udp_recv(node, port)
+        .into_iter()
+        .map(|(t, _, _, d)| (t, crate::controller::probe_seq(&d), d.len()))
+        .collect()
 }
 
 /// A [`Dialer`] that connects to one endpoint's control port over the
@@ -851,6 +969,10 @@ impl SinkHost for SimDialer {
             .into_iter()
             .map(|(t, a, p, d)| (t, a, p, d.len()))
             .collect()
+    }
+
+    fn sink_take_seq(&mut self, port: u16) -> Vec<(u64, u32, usize)> {
+        udp_take_seq(&self.net, self.node, port)
     }
 
     fn wait_until(&mut self, time: u64) {

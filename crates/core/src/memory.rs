@@ -13,6 +13,7 @@
 //! | `0 .. 64` | info block: clock, addresses, MTU, flags, buffer stats (see [`plab_packet::layout::INFO_FIELDS`]) | no |
 //! | `64 .. 128` | controller scratch (visible to monitors as info fields `scratch0..3`) | yes |
 //! | `128 .. 1152` | send-time log: 64 × (tag u64, actual send time u64) ring, slot = tag % 64 | no |
+//! | `1152 .. 1536` | socket-state table: 16 × (sktid u32, flags u32, send backlog u64, peer window u64) ring, slot = sktid % 16 | no |
 //!
 //! The same `0..128` prefix is what monitor programs see as their *info*
 //! address space, so a controller can pass parameters to a stateful
@@ -21,13 +22,57 @@
 use plab_packet::layout;
 
 /// Total size of the controller-visible memory.
-pub const MEMORY_SIZE: usize = SENDLOG_OFFSET + SENDLOG_SLOTS * SENDLOG_ENTRY;
+pub const MEMORY_SIZE: usize = SOCKSTAT_OFFSET + SOCKSTAT_SLOTS * SOCKSTAT_ENTRY;
 /// Offset of the send-time log.
 pub const SENDLOG_OFFSET: usize = layout::INFO_SIZE;
 /// Entries in the send-time log ring.
 pub const SENDLOG_SLOTS: usize = 64;
 /// Bytes per send-log entry (tag, time).
 pub const SENDLOG_ENTRY: usize = 16;
+/// Offset of the socket-state table ("the current socket state [is]
+/// available to the controller via a structured block of memory", §3.1).
+pub const SOCKSTAT_OFFSET: usize = SENDLOG_OFFSET + SENDLOG_SLOTS * SENDLOG_ENTRY;
+/// Entries in the socket-state ring.
+pub const SOCKSTAT_SLOTS: usize = 16;
+/// Bytes per socket-state entry (sktid u32, flags u32, backlog u64,
+/// peer window u64).
+pub const SOCKSTAT_ENTRY: usize = 24;
+/// Socket-state flag: the slot describes a currently open socket.
+pub const SOCKSTAT_FLAG_OPEN: u32 = 1;
+/// Socket-state flag: the connection is established and not reset.
+pub const SOCKSTAT_FLAG_ALIVE: u32 = 2;
+
+/// One parsed socket-state entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SockStat {
+    /// Socket id the slot describes (slot = sktid % [`SOCKSTAT_SLOTS`]).
+    pub sktid: u32,
+    /// [`SOCKSTAT_FLAG_OPEN`] | [`SOCKSTAT_FLAG_ALIVE`] in the low half;
+    /// the cumulative retransmission count (saturating u16, the TCP_INFO
+    /// `tcpi_total_retrans` analog) in the high half.
+    pub flags: u32,
+    /// Bytes queued for sending but not yet acknowledged by the peer.
+    pub backlog: u64,
+    /// The peer's advertised receive window, as last heard.
+    pub peer_window: u64,
+}
+
+impl SockStat {
+    /// The slot describes a currently open socket.
+    pub fn is_open(&self) -> bool {
+        self.flags & SOCKSTAT_FLAG_OPEN != 0
+    }
+
+    /// The connection is established and not reset.
+    pub fn is_alive(&self) -> bool {
+        self.flags & SOCKSTAT_FLAG_ALIVE != 0
+    }
+
+    /// Cumulative retransmissions (saturating at 65535).
+    pub fn retrans(&self) -> u32 {
+        self.flags >> 16
+    }
+}
 
 /// The endpoint memory image.
 pub struct EndpointMemory {
@@ -108,6 +153,46 @@ impl EndpointMemory {
             u64::from_le_bytes(data[8..16].try_into().unwrap()),
         ))
     }
+
+    /// Endpoint-side update of a socket's state slot. Called each service
+    /// pass so `mread` always sees the current send backlog and peer
+    /// window for recently used sockets.
+    pub fn record_sockstat(&mut self, sktid: u32, flags: u32, backlog: u64, peer_window: u64) {
+        let slot = (sktid as usize % SOCKSTAT_SLOTS) * SOCKSTAT_ENTRY + SOCKSTAT_OFFSET;
+        self.bytes[slot..slot + 4].copy_from_slice(&sktid.to_le_bytes());
+        self.bytes[slot + 4..slot + 8].copy_from_slice(&flags.to_le_bytes());
+        self.bytes[slot + 8..slot + 16].copy_from_slice(&backlog.to_le_bytes());
+        self.bytes[slot + 16..slot + 24].copy_from_slice(&peer_window.to_le_bytes());
+    }
+
+    /// Clear a socket's state slot (on close/teardown), but only if the
+    /// slot still describes `sktid` — a ring collision must not erase a
+    /// newer socket's entry.
+    pub fn clear_sockstat(&mut self, sktid: u32) {
+        let slot = (sktid as usize % SOCKSTAT_SLOTS) * SOCKSTAT_ENTRY + SOCKSTAT_OFFSET;
+        let cur = u32::from_le_bytes(self.bytes[slot..slot + 4].try_into().unwrap());
+        if cur == sktid {
+            self.bytes[slot..slot + SOCKSTAT_ENTRY].fill(0);
+        }
+    }
+
+    /// Byte offset of the socket-state slot for `sktid` (for controllers).
+    pub fn sockstat_slot(sktid: u32) -> u32 {
+        (SOCKSTAT_OFFSET + (sktid as usize % SOCKSTAT_SLOTS) * SOCKSTAT_ENTRY) as u32
+    }
+
+    /// Parse a socket-state entry read back via `mread`.
+    pub fn parse_sockstat_entry(data: &[u8]) -> Option<SockStat> {
+        if data.len() < SOCKSTAT_ENTRY {
+            return None;
+        }
+        Some(SockStat {
+            sktid: u32::from_le_bytes(data[..4].try_into().unwrap()),
+            flags: u32::from_le_bytes(data[4..8].try_into().unwrap()),
+            backlog: u64::from_le_bytes(data[8..16].try_into().unwrap()),
+            peer_window: u64::from_le_bytes(data[16..24].try_into().unwrap()),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +254,52 @@ mod tests {
             Some((1 + SENDLOG_SLOTS as u64, 200)),
             "newer entry overwrites the slot"
         );
+    }
+
+    #[test]
+    fn sockstat_records_and_reads_back() {
+        let mut m = EndpointMemory::new();
+        m.record_sockstat(3, SOCKSTAT_FLAG_OPEN | SOCKSTAT_FLAG_ALIVE, 48_000, 65_535);
+        let slot = EndpointMemory::sockstat_slot(3);
+        let entry = m.read(slot, SOCKSTAT_ENTRY as u32).unwrap();
+        assert_eq!(
+            EndpointMemory::parse_sockstat_entry(entry),
+            Some(SockStat {
+                sktid: 3,
+                flags: SOCKSTAT_FLAG_OPEN | SOCKSTAT_FLAG_ALIVE,
+                backlog: 48_000,
+                peer_window: 65_535,
+            })
+        );
+    }
+
+    #[test]
+    fn sockstat_region_read_only_and_in_bounds() {
+        let mut m = EndpointMemory::new();
+        assert!(!m.write(SOCKSTAT_OFFSET as u32, &[1]), "sockstat is read-only");
+        assert!(m.read(SOCKSTAT_OFFSET as u32, (SOCKSTAT_SLOTS * SOCKSTAT_ENTRY) as u32).is_some());
+        assert_eq!(MEMORY_SIZE, SOCKSTAT_OFFSET + SOCKSTAT_SLOTS * SOCKSTAT_ENTRY);
+    }
+
+    #[test]
+    fn sockstat_clear_respects_ring_collisions() {
+        let mut m = EndpointMemory::new();
+        m.record_sockstat(2, SOCKSTAT_FLAG_OPEN, 10, 20);
+        // Newer socket collides into the same slot (2 + 16).
+        m.record_sockstat(2 + SOCKSTAT_SLOTS as u32, SOCKSTAT_FLAG_OPEN, 30, 40);
+        // Closing the old socket must not erase the newer entry.
+        m.clear_sockstat(2);
+        let slot = EndpointMemory::sockstat_slot(2);
+        let entry = EndpointMemory::parse_sockstat_entry(
+            m.read(slot, SOCKSTAT_ENTRY as u32).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(entry.sktid, 2 + SOCKSTAT_SLOTS as u32);
+        assert_eq!(entry.backlog, 30);
+        // Closing the live one does clear it.
+        m.clear_sockstat(2 + SOCKSTAT_SLOTS as u32);
+        let entry = m.read(slot, SOCKSTAT_ENTRY as u32).unwrap();
+        assert!(entry.iter().all(|&b| b == 0));
     }
 
     #[test]

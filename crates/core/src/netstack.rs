@@ -63,6 +63,22 @@ pub trait NetStack {
     fn tcp_recv(&mut self, conn: u64, max: usize) -> Vec<u8>;
     /// Bytes available to read.
     fn tcp_readable(&self, conn: u64) -> usize;
+    /// Bytes queued for sending but not yet acknowledged (send backlog).
+    /// Stacks without sender-side introspection may report 0; the
+    /// socket-state memory block then shows an always-drained socket.
+    fn tcp_backlog(&self, _conn: u64) -> usize {
+        0
+    }
+    /// The peer's advertised receive window, as last heard (0 when the
+    /// stack cannot observe it).
+    fn tcp_peer_window(&self, _conn: u64) -> u32 {
+        0
+    }
+    /// Cumulative retransmissions on the connection (TCP_INFO
+    /// `tcpi_total_retrans` analog; 0 when unobservable).
+    fn tcp_retrans(&self, _conn: u64) -> u32 {
+        0
+    }
     /// Close gracefully.
     fn tcp_close(&mut self, conn: u64);
     /// Established and not reset?
@@ -166,6 +182,18 @@ impl NetStack for SimStack<'_> {
 
     fn tcp_readable(&self, conn: u64) -> usize {
         self.sim.tcp_readable(self.node, conn)
+    }
+
+    fn tcp_backlog(&self, conn: u64) -> usize {
+        self.sim.tcp_send_backlog(self.node, conn)
+    }
+
+    fn tcp_peer_window(&self, conn: u64) -> u32 {
+        self.sim.tcp_peer_window(self.node, conn)
+    }
+
+    fn tcp_retrans(&self, conn: u64) -> u32 {
+        self.sim.tcp_retrans(self.node, conn)
     }
 
     fn tcp_close(&mut self, conn: u64) {

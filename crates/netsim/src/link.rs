@@ -92,7 +92,20 @@ impl LinkParams {
         self.jitter = jitter;
         self
     }
+
+    /// Builder-style: bufferbloat mode. A pathologically deep drop-tail
+    /// queue (4 MiB ≈ seconds of buffering at residential rates): packets
+    /// are almost never tail-dropped, they just sit and accumulate
+    /// queueing delay, which inflates RTT-based estimates while leaving
+    /// dispersion-based ones intact.
+    pub fn bufferbloat(mut self) -> Self {
+        self.queue_bytes = BUFFERBLOAT_QUEUE_BYTES;
+        self
+    }
 }
+
+/// Queue depth used by [`LinkParams::bufferbloat`].
+pub const BUFFERBLOAT_QUEUE_BYTES: usize = 4 * 1024 * 1024;
 
 /// Per-direction transmission state.
 #[derive(Debug, Default, Clone)]

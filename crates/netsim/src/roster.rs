@@ -17,9 +17,12 @@
 //! shard assignment. Attaching endpoint agents and control listeners is
 //! the harness's job.
 
+use crate::fault::{FaultAction, GilbertElliott};
 use crate::link::LinkParams;
 use crate::node::NodeId;
 use crate::shard::ShardedSim;
+use crate::sim::Sim;
+use crate::time::MILLISECOND;
 use crate::topology::TopologyBuilder;
 use std::net::Ipv4Addr;
 
@@ -179,6 +182,271 @@ pub fn build_roster(spec: &RosterSpec) -> RosterWorld {
     RosterWorld { sim, pairs, pods }
 }
 
+// ---------------------------------------------------------------------
+// Bandwidth-estimation ground-truth corpus (plab-bwest)
+// ---------------------------------------------------------------------
+
+/// One destination host behind the bwest world's aggregation router.
+#[derive(Debug, Clone, Copy)]
+pub struct BwDest {
+    /// Destination link rate (both directions), Mbit/s. 0 = infinite.
+    pub mbps: u64,
+    /// Destination link one-way latency, ms.
+    pub latency_ms: u64,
+}
+
+/// One bandwidth-estimation topology: a subscriber endpoint behind an
+/// asymmetric access link, a fast controller, and one or more probe
+/// destinations, all meeting at an aggregation router.
+///
+/// ```text
+/// controller ──1ms/∞── racc ──access (down/up)── endpoint
+///                        │
+///                        ├──dest link── dest 0
+///                        └──dest link── dest 1 …
+/// ```
+///
+/// The netsim TCP advertises a 16-bit window (no window scaling), so a
+/// single bulk flow tops out at `65535·8/RTT` bits/s — corpus entries
+/// keep path RTTs and rates under that ceiling with margin.
+#[derive(Debug, Clone, Copy)]
+pub struct BwTopoSpec {
+    /// Corpus entry name (stable across releases; keys the accuracy
+    /// table and artifact digests).
+    pub name: &'static str,
+    /// Access downlink (racc → endpoint), Mbit/s.
+    pub down_mbps: u64,
+    /// Access uplink (endpoint → racc), Mbit/s — usually the bottleneck
+    /// the suite must find.
+    pub up_mbps: u64,
+    /// Access link one-way latency, ms.
+    pub access_latency_ms: u64,
+    /// Access link jitter ceiling, ms (uniform, FIFO-clamped).
+    pub jitter_ms: u64,
+    /// Probe destinations.
+    pub dests: &'static [BwDest],
+    /// Deep (4 MiB) drop-tail queue on the access link: RTT inflates
+    /// under load, nothing drops.
+    pub bufferbloat: bool,
+    /// Gilbert–Elliott burst loss on the access link from t=0.
+    pub burst_loss: bool,
+    /// World RNG seed.
+    pub seed: u64,
+}
+
+/// A built bwest world (sequential [`Sim`]; these are five-node worlds).
+pub struct BwWorld {
+    /// The simulator.
+    pub sim: Sim,
+    /// Controller host.
+    pub controller: NodeId,
+    /// Subscriber endpoint host.
+    pub endpoint: NodeId,
+    /// Controller address.
+    pub controller_addr: Ipv4Addr,
+    /// Endpoint address.
+    pub endpoint_addr: Ipv4Addr,
+    /// Destination hosts, in spec order.
+    pub dests: Vec<(NodeId, Ipv4Addr)>,
+    /// Configured endpoint→dest bottleneck per destination, bits/s
+    /// (`min(uplink, dest link)`) — what the estimator is graded against.
+    pub ground_truth: Vec<u64>,
+}
+
+const ONE: [BwDest; 1] = [BwDest { mbps: 40, latency_ms: 1 }];
+const DUAL: [BwDest; 2] =
+    [BwDest { mbps: 40, latency_ms: 1 }, BwDest { mbps: 3, latency_ms: 2 }];
+const TRIO: [BwDest; 3] = [
+    BwDest { mbps: 40, latency_ms: 1 },
+    BwDest { mbps: 8, latency_ms: 2 },
+    BwDest { mbps: 12, latency_ms: 3 },
+];
+const FAR: [BwDest; 1] = [BwDest { mbps: 40, latency_ms: 6 }];
+const SLOW: [BwDest; 1] = [BwDest { mbps: 5, latency_ms: 1 }];
+
+/// The 20-topology ground-truth corpus: clean asymmetric access tiers,
+/// destination-limited paths, bufferbloat queues, Gilbert–Elliott burst
+/// loss, jitter, and combinations.
+pub fn bw_corpus() -> Vec<BwTopoSpec> {
+    let base = BwTopoSpec {
+        name: "",
+        down_mbps: 0,
+        up_mbps: 0,
+        access_latency_ms: 2,
+        jitter_ms: 0,
+        dests: &ONE,
+        bufferbloat: false,
+        burst_loss: false,
+        seed: 0,
+    };
+    vec![
+        BwTopoSpec { name: "adsl_6_1", down_mbps: 6, up_mbps: 1, seed: 101, ..base },
+        BwTopoSpec { name: "adsl_24_3", down_mbps: 24, up_mbps: 3, seed: 102, ..base },
+        BwTopoSpec { name: "cable_30_5", down_mbps: 30, up_mbps: 5, seed: 103, ..base },
+        BwTopoSpec {
+            name: "cable_dual_dest",
+            down_mbps: 30,
+            up_mbps: 5,
+            dests: &DUAL,
+            seed: 104,
+            ..base
+        },
+        BwTopoSpec { name: "fiber_sym_20", down_mbps: 20, up_mbps: 20, seed: 105, ..base },
+        BwTopoSpec { name: "fiber_sym_35", down_mbps: 35, up_mbps: 35, seed: 106, ..base },
+        BwTopoSpec { name: "vdsl_50_10", down_mbps: 50, up_mbps: 10, seed: 107, ..base },
+        BwTopoSpec {
+            name: "dest_limited",
+            down_mbps: 30,
+            up_mbps: 20,
+            dests: &SLOW,
+            seed: 108,
+            ..base
+        },
+        BwTopoSpec {
+            name: "far_dest",
+            down_mbps: 20,
+            up_mbps: 8,
+            dests: &FAR,
+            seed: 109,
+            ..base
+        },
+        BwTopoSpec { name: "slow_sym_3", down_mbps: 3, up_mbps: 3, seed: 110, ..base },
+        BwTopoSpec {
+            name: "bloat_adsl",
+            down_mbps: 6,
+            up_mbps: 1,
+            bufferbloat: true,
+            seed: 111,
+            ..base
+        },
+        BwTopoSpec {
+            name: "bloat_cable",
+            down_mbps: 30,
+            up_mbps: 5,
+            bufferbloat: true,
+            seed: 112,
+            ..base
+        },
+        BwTopoSpec {
+            name: "bloat_fiber",
+            down_mbps: 25,
+            up_mbps: 25,
+            bufferbloat: true,
+            seed: 113,
+            ..base
+        },
+        BwTopoSpec {
+            name: "bloat_far",
+            down_mbps: 20,
+            up_mbps: 10,
+            dests: &FAR,
+            bufferbloat: true,
+            seed: 114,
+            ..base
+        },
+        BwTopoSpec {
+            name: "lossy_adsl",
+            down_mbps: 8,
+            up_mbps: 2,
+            burst_loss: true,
+            seed: 115,
+            ..base
+        },
+        BwTopoSpec {
+            name: "lossy_cable",
+            down_mbps: 30,
+            up_mbps: 5,
+            burst_loss: true,
+            seed: 116,
+            ..base
+        },
+        BwTopoSpec {
+            name: "lossy_sym",
+            down_mbps: 15,
+            up_mbps: 15,
+            burst_loss: true,
+            seed: 117,
+            ..base
+        },
+        BwTopoSpec {
+            name: "lossy_bloat",
+            down_mbps: 20,
+            up_mbps: 6,
+            bufferbloat: true,
+            burst_loss: true,
+            seed: 118,
+            ..base
+        },
+        BwTopoSpec {
+            name: "jittery_cable",
+            down_mbps: 30,
+            up_mbps: 5,
+            jitter_ms: 1,
+            seed: 119,
+            ..base
+        },
+        BwTopoSpec {
+            name: "multi_dest_trio",
+            down_mbps: 20,
+            up_mbps: 12,
+            dests: &TRIO,
+            seed: 120,
+            ..base
+        },
+    ]
+}
+
+/// Build the world for one corpus entry. Node order, link order, and the
+/// fault schedule are pure functions of the spec: two builds replay
+/// bit-identically.
+pub fn build_bw_world(spec: &BwTopoSpec) -> BwWorld {
+    let mut t = TopologyBuilder::new();
+    t.seed(spec.seed);
+
+    let racc = t.router("racc", Ipv4Addr::new(10, 9, 0, 254));
+    let controller_addr = Ipv4Addr::new(10, 9, 0, 1);
+    let endpoint_addr = Ipv4Addr::new(10, 9, 1, 1);
+    let controller = t.host("controller", controller_addr);
+    t.link(racc, controller, LinkParams::new(1, 0));
+
+    let mut access =
+        LinkParams::asymmetric(spec.access_latency_ms, spec.down_mbps, spec.up_mbps);
+    if spec.bufferbloat {
+        access = access.bufferbloat();
+    }
+    if spec.jitter_ms > 0 {
+        access = access.with_jitter(spec.jitter_ms * MILLISECOND);
+    }
+    let endpoint = t.host("endpoint", endpoint_addr);
+    let access_link = t.link(racc, endpoint, access);
+
+    let mut dests = Vec::with_capacity(spec.dests.len());
+    let mut ground_truth = Vec::with_capacity(spec.dests.len());
+    for (i, d) in spec.dests.iter().enumerate() {
+        let addr = Ipv4Addr::new(10, 9, 2, 1 + i as u8);
+        let node = t.host(&format!("dest{i}"), addr);
+        t.link(racc, node, LinkParams::new(d.latency_ms, d.mbps));
+        dests.push((node, addr));
+        // Endpoint→dest bottleneck: the slower of uplink and dest link
+        // (0 = infinite on either).
+        let truth = match (spec.up_mbps, d.mbps) {
+            (0, 0) => 0,
+            (0, m) | (m, 0) => m,
+            (a, b) => a.min(b),
+        };
+        ground_truth.push(truth * 1_000_000);
+    }
+
+    let mut sim = t.build();
+    if spec.burst_loss {
+        sim.schedule_fault(
+            0,
+            FaultAction::SetBurstLoss { link: access_link, model: Some(GilbertElliott::bursty()) },
+        );
+    }
+    BwWorld { sim, controller, endpoint, controller_addr, endpoint_addr, dests, ground_truth }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +500,46 @@ mod tests {
             "echo reply crosses pods: {:?}",
             w.sim.shard_count()
         );
+    }
+
+    #[test]
+    fn bw_corpus_is_twenty_distinct_topologies() {
+        let corpus = bw_corpus();
+        assert_eq!(corpus.len(), 20);
+        let mut names: Vec<&str> = corpus.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20, "corpus names must be unique");
+        for spec in &corpus {
+            // Every entry respects the u16-window TCP ceiling with ≥2x
+            // margin: bottleneck·1.2 < 65535·8/RTT.
+            for d in spec.dests {
+                let truth = spec.up_mbps.min(if d.mbps == 0 { u64::MAX } else { d.mbps });
+                let rtt_ms = 2 * (spec.access_latency_ms + d.latency_ms);
+                let ceiling_mbps = 65_535 * 8 / rtt_ms / 1000;
+                assert!(
+                    2 * truth <= ceiling_mbps,
+                    "{}: truth {truth} Mbps too close to window ceiling {ceiling_mbps} Mbps",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bw_world_endpoint_reaches_dests_and_truth_is_min() {
+        let corpus = bw_corpus();
+        let spec = corpus.iter().find(|s| s.name == "multi_dest_trio").unwrap();
+        let mut w = build_bw_world(spec);
+        assert_eq!(w.ground_truth, vec![12_000_000, 8_000_000, 12_000_000]);
+        // UDP from the endpoint reaches every dest.
+        for (i, (node, addr)) in w.dests.clone().into_iter().enumerate() {
+            assert!(w.sim.udp_bind(node, 7000));
+            w.sim.udp_send(w.endpoint, 20_000, addr, 7000, &[i as u8; 64]);
+        }
+        w.sim.run_until(crate::time::SECOND);
+        for (node, _) in &w.dests {
+            assert_eq!(w.sim.udp_recv(*node, 7000).len(), 1);
+        }
     }
 }

@@ -583,6 +583,21 @@ impl ShardedSim {
         self.shard_mut(node).tcp_close(node, conn);
     }
 
+    /// See [`Sim::tcp_set_recv_capacity`].
+    pub fn tcp_set_recv_capacity(&mut self, node: NodeId, conn: u64, capacity: usize) {
+        self.shard_mut(node).tcp_set_recv_capacity(node, conn, capacity);
+    }
+
+    /// See [`Sim::tcp_peer_window`].
+    pub fn tcp_peer_window(&self, node: NodeId, conn: u64) -> u32 {
+        self.shard(node).tcp_peer_window(node, conn)
+    }
+
+    /// See [`Sim::tcp_retrans`].
+    pub fn tcp_retrans(&self, node: NodeId, conn: u64) -> u32 {
+        self.shard(node).tcp_retrans(node, conn)
+    }
+
     /// See [`Sim::tcp_send_backlog`].
     pub fn tcp_send_backlog(&self, node: NodeId, conn: u64) -> usize {
         self.shard(node).tcp_send_backlog(node, conn)

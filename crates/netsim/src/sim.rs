@@ -656,6 +656,24 @@ impl Sim {
         self.nodes[node.0].host_ref().tcp.send_backlog(conn)
     }
 
+    /// The peer's advertised receive window on a connection, as last heard.
+    pub fn tcp_peer_window(&self, node: NodeId, conn: u64) -> u32 {
+        self.nodes[node.0].host_ref().tcp.peer_window(conn)
+    }
+
+    /// Cumulative RTO retransmissions on a connection.
+    pub fn tcp_retrans(&self, node: NodeId, conn: u64) -> u32 {
+        self.nodes[node.0].host_ref().tcp.retrans(conn)
+    }
+
+    /// Resize a connection's receive buffer (advertised-window ceiling).
+    pub fn tcp_set_recv_capacity(&mut self, node: NodeId, conn: u64, capacity: usize) {
+        self.nodes[node.0]
+            .host_mut()
+            .tcp
+            .set_recv_capacity(conn, capacity);
+    }
+
     // ------------------------------------------------------------------
     // Forwarding internals
     // ------------------------------------------------------------------

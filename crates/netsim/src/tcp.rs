@@ -88,6 +88,9 @@ pub struct Conn {
     peer_window: u32,
     rto: SimTime,
     retries: u32,
+    /// Cumulative RTO retransmission events (never reset; the TCP_INFO-style
+    /// loss signal surfaced through the endpoint's socket-state table).
+    retrans: u32,
     tick_armed: bool,
     /// Close requested: emit FIN once send_buf drains.
     fin_queued: bool,
@@ -106,9 +109,14 @@ fn seq_gt(a: u32, b: u32) -> bool {
 }
 
 impl Conn {
-    /// Advertised receive window.
+    /// Advertised receive window. `recv_buf` can legitimately exceed
+    /// `recv_capacity` after a capacity shrink (the buffered bytes were
+    /// accepted under the old capacity), so the subtraction saturates:
+    /// the window closes to zero instead of underflowing.
     fn window(&self) -> u16 {
-        (self.recv_capacity - self.recv_buf.len()).min(u16::MAX as usize) as u16
+        self.recv_capacity
+            .saturating_sub(self.recv_buf.len())
+            .min(u16::MAX as usize) as u16
     }
 
     /// Bytes in flight (sequence space consumed beyond snd_una).
@@ -150,14 +158,25 @@ impl Conn {
         )
     }
 
-    /// Collect bytes `[offset, offset+len)` of send_buf as a Vec.
+    /// Collect bytes `[offset, offset+len)` of send_buf as a Vec. Uses the
+    /// deque's two contiguous slices: the element-wise iterator walk here
+    /// was O(offset + len) per segment, quadratic over a bulk transfer's
+    /// (re)transmissions.
     fn payload_at(&self, offset: usize, len: usize) -> Vec<u8> {
-        self.send_buf
-            .iter()
-            .skip(offset)
-            .take(len)
-            .copied()
-            .collect()
+        let (head, tail) = self.send_buf.as_slices();
+        let mut out = Vec::with_capacity(len.min(self.send_buf.len().saturating_sub(offset)));
+        if offset < head.len() {
+            let take = len.min(head.len() - offset);
+            out.extend_from_slice(&head[offset..offset + take]);
+        }
+        if out.len() < len {
+            let tail_off = offset.saturating_sub(head.len());
+            if tail_off < tail.len() {
+                let take = (len - out.len()).min(tail.len() - tail_off);
+                out.extend_from_slice(&tail[tail_off..tail_off + take]);
+            }
+        }
+        out
     }
 }
 
@@ -258,6 +277,7 @@ impl TcpHost {
             peer_window: 0,
             rto: INITIAL_RTO,
             retries: 0,
+            retrans: 0,
             tick_armed: false,
             fin_queued: false,
             fin_sent: false,
@@ -285,9 +305,37 @@ impl TcpHost {
         out
     }
 
+    /// Resize a connection's receive buffer capacity. Growing it widens
+    /// the advertised window on the next segment we emit (there is no
+    /// unsolicited window update — fine for bulk flows, which ack
+    /// constantly). Shrinking below the currently buffered bytes is legal:
+    /// the window saturates at zero until the application drains the
+    /// excess.
+    pub fn set_recv_capacity(&mut self, id: u64, capacity: usize) {
+        if let Some(c) = self.conns.get_mut(&id) {
+            c.recv_capacity = capacity;
+        }
+    }
+
     /// Bytes queued but not yet acknowledged (for backpressure-aware callers).
     pub fn send_backlog(&self, id: u64) -> usize {
         self.conns.get(&id).map(|c| c.send_buf.len()).unwrap_or(0)
+    }
+
+    /// The peer's advertised receive window, as last heard. This is the
+    /// sender-side view of the receiver's flow-control state — what a
+    /// NextRouter-style bandwidth estimator watches to tell
+    /// "path-limited" from "window-limited" transfers.
+    pub fn peer_window(&self, id: u64) -> u32 {
+        self.conns.get(&id).map(|c| c.peer_window).unwrap_or(0)
+    }
+
+    /// Cumulative RTO retransmissions on this connection (TCP_INFO
+    /// `tcpi_total_retrans` analog). A bulk probe whose retransmit count
+    /// climbs is loss-limited, not path-limited — its throughput is not a
+    /// bandwidth estimate.
+    pub fn retrans(&self, id: u64) -> u32 {
+        self.conns.get(&id).map(|c| c.retrans).unwrap_or(0)
     }
 
     /// Bytes available to read.
@@ -419,6 +467,7 @@ impl TcpHost {
                     peer_window: h.window as u32,
                     rto: INITIAL_RTO,
                     retries: 0,
+                    retrans: 0,
                     tick_armed: false,
                     fin_queued: false,
                     fin_sent: false,
@@ -592,6 +641,9 @@ impl TcpHost {
             return out;
         }
         c.retries += 1;
+        if has_unacked {
+            c.retrans = c.retrans.saturating_add(1);
+        }
         if c.retries > MAX_RETRIES {
             c.state = TcpState::Reset;
             c.send_buf.clear();
@@ -782,6 +834,76 @@ mod tests {
             exchange(&mut ha, &mut hb, vec![], ack_out.segments, 1);
         }
         assert_eq!(received, payload);
+    }
+
+    #[test]
+    fn window_survives_capacity_shrink_below_buffered() {
+        // Regression: window() computed `recv_capacity - recv_buf.len()`
+        // with bare subtraction, which panics in debug builds the moment
+        // the buffer exceeds capacity — exactly what a capacity shrink
+        // under buffered data produces.
+        let (mut ha, mut hb, ca, cb) = connected_pair();
+        let out = ha.send(1, ca, &vec![0x5a; 8192]);
+        exchange(&mut ha, &mut hb, out.segments, vec![], 1);
+        assert_eq!(hb.readable(cb), 8192);
+        // Shrink b's capacity far below what it already buffered...
+        hb.set_recv_capacity(cb, 1024);
+        // ...then force b to emit a segment (which stamps window()): more
+        // data arrives and must be dup-acked with a zero window, not
+        // accepted and not panicked on.
+        let out = ha.send(2, ca, b"over capacity");
+        exchange(&mut ha, &mut hb, out.segments, vec![], 2);
+        assert_eq!(hb.readable(cb), 8192, "no delivery past shrunk capacity");
+        // Draining reopens the (shrunk) window and traffic resumes.
+        let (data, ack) = hb.recv(cb, usize::MAX);
+        assert_eq!(data.len(), 8192);
+        exchange(&mut ha, &mut hb, vec![], ack.segments, 3);
+        let out = ha.tick(3 + 10 * INITIAL_RTO, ca);
+        exchange(&mut ha, &mut hb, out.segments, vec![], 3 + 10 * INITIAL_RTO);
+        let (data, _) = hb.recv(cb, usize::MAX);
+        assert_eq!(data, b"over capacity");
+    }
+
+    /// The reference implementation `payload_at` replaced: element-wise
+    /// deque walk.
+    fn payload_at_naive(buf: &VecDeque<u8>, offset: usize, len: usize) -> Vec<u8> {
+        buf.iter().skip(offset).take(len).copied().collect()
+    }
+
+    #[test]
+    fn payload_at_matches_naive_on_wrapped_deque() {
+        let (mut ha, _, ca, _) = connected_pair();
+        // Build a send_buf whose ring storage wraps: fill to capacity,
+        // drain the front (as acks would), then extend past the old tail.
+        // Sized off the deque's actual capacity so the wrap is guaranteed
+        // without triggering a (re-linearizing) reallocation.
+        {
+            let mut buf: VecDeque<u8> = VecDeque::with_capacity(4096);
+            let cap = buf.capacity();
+            buf.extend((0..cap).map(|i| (i % 251) as u8));
+            buf.drain(..cap / 3);
+            buf.extend((0..cap / 4).map(|i| (i % 13) as u8));
+            let (head, tail) = buf.as_slices();
+            assert!(!head.is_empty() && !tail.is_empty(), "deque must wrap");
+            ha.conns.get_mut(&ca).unwrap().send_buf = buf;
+        }
+        let c = ha.conns.get(&ca).unwrap();
+        for &(offset, len) in &[
+            (0usize, 1usize),
+            (0, MSS),
+            (1, MSS),
+            (1499, 300),
+            (c.send_buf.len() - 7, 7),
+            (c.send_buf.len() - 1, MSS), // len past the end: clamps
+            (0, c.send_buf.len()),
+            (2000, 2000),
+        ] {
+            assert_eq!(
+                c.payload_at(offset, len),
+                payload_at_naive(&c.send_buf, offset, len),
+                "offset={offset} len={len}"
+            );
+        }
     }
 
     #[test]

@@ -110,6 +110,85 @@ pub fn text_dump(events: &[ResolvedEvent]) -> String {
     out
 }
 
+/// Sanitize a metric name for Prometheus exposition: the workspace's
+/// dotted names (`runner.task_latency_ns`) become underscore-separated
+/// (`runner_task_latency_ns`).
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Render this thread's metric snapshot in the Prometheus text
+/// exposition format (version 0.0.4): `# TYPE` comment per family, one
+/// sample per counter/gauge, and cumulative `le`-labelled buckets plus
+/// `_sum`/`_count` per histogram. Histogram buckets are the registry's
+/// power-of-two buckets; `le` carries each bucket's exclusive upper
+/// bound. Integer formatting only — two replays of the same seed render
+/// byte-identical expositions.
+pub fn prometheus_text() -> String {
+    let mut out = String::new();
+    for (name, value) in metrics::snapshot() {
+        let pname = prom_name(name);
+        match value {
+            MetricValue::Counter(c) => {
+                out.push_str(&format!("# TYPE {pname} counter\n{pname} {c}\n"));
+            }
+            MetricValue::Gauge(g) => {
+                out.push_str(&format!("# TYPE {pname} gauge\n{pname} {g}\n"));
+            }
+            MetricValue::Histogram { count, sum, buckets } => {
+                out.push_str(&format!("# TYPE {pname} histogram\n"));
+                let mut cumulative = 0u64;
+                for (i, c) in buckets {
+                    cumulative += c;
+                    if let Some(hi) = metrics::bucket_bound(i) {
+                        out.push_str(&format!("{pname}_bucket{{le=\"{hi}\"}} {cumulative}\n"));
+                    }
+                }
+                out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {count}\n"));
+                out.push_str(&format!("{pname}_sum {sum}\n"));
+                out.push_str(&format!("{pname}_count {count}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Render events as a qlog-style JSON-SEQ trace (RFC 7464 framing: each
+/// record is `RS` + JSON + `LF`; qlog 0.4's streamable container). The
+/// first record is the trace header; every following record is one event
+/// with its virtual-clock timestamp as decimal microseconds (integer
+/// arithmetic — replays render byte-identically), its name as
+/// `component:event`, and the payload fields under `data`.
+pub fn qlog_seq(events: &[ResolvedEvent]) -> String {
+    let mut out = String::new();
+    out.push('\u{1e}');
+    out.push_str(
+        "{\"qlog_version\":\"0.4\",\"qlog_format\":\"JSON-SEQ\",\
+         \"title\":\"packetlab\",\"trace\":{\"vantage_point\":{\"type\":\"network\"},\
+         \"common_fields\":{\"time_format\":\"relative\",\"reference_time\":0}}}\n",
+    );
+    for ev in events {
+        let mut data = format!("\"seq\":{}", ev.seq);
+        if !ev.fields[0].is_empty() {
+            data.push_str(&format!(",\"{}\":{}", json_escape(ev.fields[0]), ev.a));
+        }
+        if !ev.fields[1].is_empty() {
+            data.push_str(&format!(",\"{}\":{}", json_escape(ev.fields[1]), ev.b));
+        }
+        out.push('\u{1e}');
+        out.push_str(&format!(
+            "{{\"time\":{},\"name\":\"{}:{}\",\"data\":{{{}}}}}\n",
+            ts_micros(ev.t),
+            ev.component.name(),
+            json_escape(ev.name),
+            data
+        ));
+    }
+    out
+}
+
 /// Render this thread's metric snapshot as one aligned line per metric.
 pub fn metrics_dump() -> String {
     let mut out = String::new();
@@ -219,5 +298,55 @@ mod tests {
     #[test]
     fn fnv_matches_reference_vector() {
         assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn qlog_seq_framing_and_determinism() {
+        let evs = sample_events();
+        let a = qlog_seq(&evs);
+        assert_eq!(a, qlog_seq(&evs), "replay must render byte-identically");
+        let records: Vec<&str> = a.split('\u{1e}').filter(|r| !r.is_empty()).collect();
+        // Header + one record per event, each RS-prefixed and LF-terminated.
+        assert_eq!(records.len(), 1 + evs.len());
+        assert!(records[0].contains("\"qlog_version\":\"0.4\""));
+        assert!(records[0].contains("\"qlog_format\":\"JSON-SEQ\""));
+        for r in &records {
+            assert!(r.ends_with('\n'));
+            let body = r.trim_end();
+            assert!(body.starts_with('{') && body.ends_with('}'));
+            assert_eq!(body.matches('{').count(), body.matches('}').count());
+        }
+        assert!(records[1].contains("\"time\":1234.567"));
+        assert!(records[1].contains("\"name\":\"netsim:drop\""));
+        assert!(records[1].contains("\"reason\":2"));
+        assert!(records[2].contains("\"name\":\"controller:backoff\""));
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        static C: crate::metrics::Counter = crate::metrics::Counter::new("promtest.requests");
+        static H: crate::metrics::Histogram = crate::metrics::Histogram::new("promtest.lat_ns");
+        crate::enable();
+        crate::metrics::reset();
+        C.add(3);
+        H.observe(1);
+        H.observe(5);
+        H.observe(5_000);
+        let text = prometheus_text();
+        crate::disable();
+        assert_eq!(text, prometheus_text(), "exposition must be deterministic");
+        assert!(text.contains("# TYPE promtest_requests counter\npromtest_requests 3\n"));
+        assert!(text.contains("# TYPE promtest_lat_ns histogram\n"));
+        // Cumulative buckets end at +Inf == count, with sum/count samples.
+        assert!(text.contains("promtest_lat_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("promtest_lat_ns_sum 5006\n"));
+        assert!(text.contains("promtest_lat_ns_count 3\n"));
+        // Buckets are cumulative: each le line's value ≤ the next one's.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("promtest_lat_ns_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-monotone bucket line: {line}");
+            last = v;
+        }
     }
 }

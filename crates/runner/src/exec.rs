@@ -84,6 +84,8 @@ enum Call {
     UdpBind(u16),
     /// Drain UDP arrivals on the controller host.
     UdpTake(u16),
+    /// Drain UDP arrivals with probe sequence numbers (bwest dispersion).
+    UdpTakeSeq(u16),
     /// The controller host's address.
     Addr,
     /// The task finished; scheduler stops serving it.
@@ -97,6 +99,7 @@ enum Reply {
     Bytes(Vec<u8>),
     Bool(bool),
     Udp(Vec<(u64, Ipv4Addr, u16, usize)>),
+    UdpSeq(Vec<(u64, u32, usize)>),
     Addr(Ipv4Addr),
     Time(u64),
 }
@@ -272,6 +275,16 @@ impl SinkHost for FleetDialer {
         }
     }
 
+    fn sink_take_seq(&mut self, port: u16) -> Vec<(u64, u32, usize)> {
+        if self.h.poisoned() {
+            return Vec::new();
+        }
+        match self.h.call(Call::UdpTakeSeq(port)) {
+            Reply::UdpSeq(v) => v,
+            _ => Vec::new(),
+        }
+    }
+
     fn wait_until(&mut self, time: u64) {
         if self.h.poisoned() {
             return;
@@ -328,6 +341,25 @@ fn run_task(
                     received: b.received,
                     kbits_per_sec: (b.bits_per_sec / 1000.0) as u64,
                 })
+        }
+        Program::Bwest { sink_port, train_len, payload_len } => {
+            let cfg = experiments::bwest::BwestConfig {
+                train_len,
+                train_payload: payload_len,
+                ..Default::default()
+            };
+            experiments::bwest::measure_uplink_dispersion(&mut ctrl, sink_port, &cfg).map(|d| {
+                match d {
+                    Some(d) => Detail::Bwest {
+                        echoes: d.echoes,
+                        pairs: d.pairs,
+                        kbits_per_sec: d.bits_per_sec / 1000,
+                    },
+                    // The probe ran but never produced three usable pairs
+                    // (every attempt slipped or the train was lost).
+                    None => Detail::Bwest { echoes: 0, pairs: 0, kbits_per_sec: 0 },
+                }
+            })
         }
     };
     // On a multiplexed endpoint, release control as soon as the program
@@ -572,6 +604,18 @@ impl Sched {
                         .map(|(t, a, p, d)| (t, a, p, d.len()))
                         .collect();
                     self.reply(i, Reply::Udp(v));
+                }
+                Call::UdpTakeSeq(port) => {
+                    let v: Vec<(u64, u32, usize)> = self
+                        .net
+                        .sim
+                        .udp_recv(node, port)
+                        .into_iter()
+                        .map(|(t, _, _, d)| {
+                            (t, packetlab::controller::probe_seq(&d), d.len())
+                        })
+                        .collect();
+                    self.reply(i, Reply::UdpSeq(v));
                 }
                 Call::Addr => {
                     let a = self.net.sim.addr_of(node);

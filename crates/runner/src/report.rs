@@ -70,6 +70,16 @@ pub enum Detail {
         /// Estimated goodput in kilobits per second, truncated.
         kbits_per_sec: u64,
     },
+    /// Dispersion-probe (bwest) results.
+    Bwest {
+        /// Train packets observed at the sink.
+        echoes: u32,
+        /// Consecutive arrival pairs the estimate is the median of.
+        pairs: u32,
+        /// Estimated path bandwidth in kilobits per second, truncated
+        /// (0 when the train never yielded three usable pairs).
+        kbits_per_sec: u64,
+    },
 }
 
 impl Detail {
@@ -85,6 +95,9 @@ impl Detail {
             }
             Detail::Bandwidth { sent, received, kbits_per_sec } => format!(
                 "{{\"kind\":\"bandwidth\",\"sent\":{sent},\"received\":{received},\"kbits_per_sec\":{kbits_per_sec}}}"
+            ),
+            Detail::Bwest { echoes, pairs, kbits_per_sec } => format!(
+                "{{\"kind\":\"bwest\",\"echoes\":{echoes},\"pairs\":{pairs},\"kbits_per_sec\":{kbits_per_sec}}}"
             ),
         }
     }

@@ -40,6 +40,18 @@ pub enum Program {
         /// Scheduled inter-departure gap, ns.
         delay_ns: u64,
     },
+    /// `plab-bwest` uplink dispersion probe into a UDP sink on the pair's
+    /// controller host: one back-to-back scheduled train, bandwidth from
+    /// the median sequence-gap-normalized arrival spacing (loss-robust,
+    /// window-independent — the cross-check half of the bwest suite).
+    Bwest {
+        /// Controller-side UDP sink port.
+        sink_port: u16,
+        /// Packets per dispersion train.
+        train_len: u32,
+        /// UDP payload length per train packet.
+        payload_len: usize,
+    },
 }
 
 /// Everything the fleet shares: an experiment name, an optional Cpf

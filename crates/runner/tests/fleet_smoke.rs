@@ -86,6 +86,33 @@ fn bandwidth_fleet_measures_finite_access_links() {
 }
 
 #[test]
+fn bwest_fleet_estimates_access_bandwidth() {
+    let spec = ExperimentSpec {
+        program: Program::Bwest { sink_port: 7100, train_len: 24, payload_len: 1000 },
+        ..ExperimentSpec::ping("smoke-bwest")
+    };
+    let roster = RosterSpec { access_mbps: 10, ..small_roster() };
+    let r = run(&spec, &roster, &SchedulerConfig { max_concurrency: 2, ..Default::default() });
+    for t in &r.results {
+        assert_eq!(t.outcome, Outcome::Completed, "endpoint {}: {:?}", t.endpoint, t.cause);
+        match t.detail {
+            plab_runner::Detail::Bwest { echoes, pairs, kbits_per_sec } => {
+                assert!(echoes >= 3, "endpoint {}: train lost ({echoes} echoes)", t.endpoint);
+                assert!(pairs >= 2, "endpoint {}", t.endpoint);
+                // Dispersion over the clean 10 Mbit/s access bottleneck
+                // must land inside the suite's 20% accuracy budget.
+                assert!(
+                    (8_000..=12_000).contains(&kbits_per_sec),
+                    "endpoint {}: {kbits_per_sec} kbit/s vs 10 Mbit/s truth",
+                    t.endpoint
+                );
+            }
+            ref other => panic!("unexpected detail {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn monitored_fleet_installs_cpf_monitor() {
     // A pass-through monitor: the experiment must still complete, proving
     // the Cpf program rode the certificate chain into every endpoint.
